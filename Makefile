@@ -1,0 +1,31 @@
+# Development commands for the repro library.
+
+.PHONY: install test bench bench-tables examples outputs all clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-tables:
+	pytest benchmarks/ -s
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f =="; \
+		python $$f > /dev/null || exit 1; \
+	done; echo "all examples ran cleanly"
+
+outputs:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+all: test bench
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,53 @@
+"""E12 (Section 5): infinite trees and their finite truncations.
+
+Bataineh & Robertazzi showed a finite tree performs almost as well as an
+infinite one; the paper notes BW-First (unlike the bottom-up method) can
+evaluate infinite trees directly.  This bench:
+
+* brackets the throughput of an infinite uniform binary tree with the lazy
+  traversal + proposal cut-off;
+* shows finite truncations of growing depth converging into the bracket.
+"""
+
+from fractions import Fraction
+
+from repro.core.bwfirst import bw_first
+from repro.extensions.infinite import (
+    infinite_throughput,
+    truncate,
+    uniform_binary,
+)
+from repro.util.text import render_table
+
+from .conftest import emit
+
+F = Fraction
+SPEC = uniform_binary(w=4, c=1)  # each level absorbs 1/4: convergence by depth 4
+
+
+def test_truncation_convergence():
+    inf = infinite_throughput(SPEC, tol=F(1, 10**6))
+    rows = []
+    prev = F(0)
+    for depth in range(0, 7):
+        finite = bw_first(truncate(SPEC, depth)).throughput
+        assert prev <= finite <= inf.upper  # monotone, bounded by the bracket
+        prev = finite
+        rows.append([str(depth), str(finite), f"{float(finite):.4f}"])
+    emit(f"E12: truncations vs infinite bracket "
+         f"[{inf.lower}, {inf.upper}] (visited {inf.visited} nodes lazily)",
+         render_table(["depth", "throughput", "float"], rows))
+    # the Bataineh–Robertazzi observation: a shallow finite tree already
+    # matches the infinite value
+    assert bw_first(truncate(SPEC, 4)).throughput == inf.lower == inf.upper
+
+
+def test_infinite_evaluation_cost(benchmark):
+    result = benchmark(infinite_throughput, SPEC, F(1, 10**6))
+    assert result.lower == result.upper == F(5, 4)
+
+
+def test_truncation_evaluation_cost(benchmark):
+    tree = truncate(SPEC, 8)  # 511 nodes
+    result = benchmark(bw_first, tree)
+    assert result.throughput == F(5, 4)

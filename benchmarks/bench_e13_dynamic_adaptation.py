@@ -1,0 +1,58 @@
+"""E13 (Section 5): dynamic re-negotiation after platform drift.
+
+Measures the scenario the paper sketches: links/nodes drift, the stale
+schedule underperforms, the root re-initiates BW-First, and the negotiation
+is cheap (single-number messages).  Assertions: the stale schedule loses
+throughput, re-negotiation recovers 100% of the new optimum, and its
+wall-clock stays below one task transfer per tree level.
+"""
+
+from fractions import Fraction
+
+from repro.extensions.dynamic import adapt, perturb
+from repro.util.text import render_table
+
+from .conftest import emit
+
+F = Fraction
+
+
+def scenario(paper_tree):
+    drifted = perturb(paper_tree, edge_factors={"P1": 3}, node_factors={"P8": 2})
+    return adapt(paper_tree, drifted, periods_to_run=8)
+
+
+def test_adaptation_scenario(benchmark, paper_tree):
+    report = benchmark.pedantic(scenario, args=(paper_tree,),
+                                rounds=1, iterations=1)
+    assert report.new_throughput < report.old_throughput
+    assert report.degraded_throughput < report.old_throughput
+    assert report.recovered == 1
+
+    nego = report.renegotiation
+    emit("E13: drift + re-negotiation",
+         render_table(
+             ["quantity", "value"],
+             [["old optimum", f"{float(report.old_throughput):.4f}"],
+              ["stale schedule on drifted platform",
+               f"{float(report.degraded_throughput):.4f}"],
+              ["new optimum", f"{float(report.new_throughput):.4f}"],
+              ["recovered fraction", "1 (exact)"],
+              ["negotiation messages", str(nego.messages)],
+              ["negotiation bytes", str(nego.bytes)],
+              ["negotiation time", f"{float(nego.completion_time):.4f}"]],
+         ))
+
+    # lightweight-protocol claim: the negotiation costs less time than
+    # sending one task down each level of the (drifted) tree
+    depth = report.renegotiation.tree.height()
+    max_c = max(c for _, _, c in report.renegotiation.tree.edges())
+    assert nego.completion_time < depth * max_c
+
+
+def test_renegotiation_cost(benchmark, paper_tree):
+    from repro.protocol import run_protocol
+
+    drifted = perturb(paper_tree, edge_factors={"P1": 3})
+    result = benchmark(run_protocol, drifted)
+    assert result.throughput > 0

@@ -1,0 +1,56 @@
+"""E15 (Section 2 related work): single-port vs multiple-port models.
+
+Shao et al. solved the same steady-state problem under the *multiple-port*
+model (unbounded simultaneous communications per node).  This ablation
+quantifies how much throughput the paper's single-port restriction costs on
+different platform shapes — the gap is zero when no send port binds and
+grows with fan-out of fast links.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.extensions.multiport import multiport_throughput, port_gap_report
+from repro.platform.generators import balanced, fork, random_tree
+from repro.util.text import render_table
+
+from .conftest import emit
+
+F = Fraction
+
+PLATFORMS = {
+    "paper example": None,  # filled from the fixture
+    "fork 2x fast": fork(weights=[1] * 2, costs=[1] * 2, root_w="inf"),
+    "fork 8x fast": fork(weights=[1] * 8, costs=[1] * 8, root_w="inf"),
+    "balanced b=3 h=3": balanced(branching=3, height=3, w=2, c=1, root_w=2),
+    "random 40": random_tree(40, seed=15),
+}
+
+
+def test_port_gap_table(paper_tree):
+    PLATFORMS["paper example"] = paper_tree
+    rows = []
+    for name, tree in PLATFORMS.items():
+        report = port_gap_report(tree)
+        assert report.multi_port >= report.single_port
+        rows.append([
+            name,
+            f"{float(report.single_port):.4f}",
+            f"{float(report.multi_port):.4f}",
+            f"{float(report.gap):.1%}",
+        ])
+    emit("E15: cost of the single-port restriction",
+         render_table(["platform", "single-port", "multi-port", "gap"], rows))
+
+    # the gap grows with fast-link fan-out
+    narrow = port_gap_report(PLATFORMS["fork 2x fast"]).gap
+    wide = port_gap_report(PLATFORMS["fork 8x fast"]).gap
+    assert wide > narrow
+
+
+def test_multiport_cost(benchmark):
+    tree = random_tree(300, seed=3)
+    multi = benchmark(multiport_throughput, tree)
+    assert multi >= bw_first(tree).throughput

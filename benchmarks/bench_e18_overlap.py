@@ -1,0 +1,60 @@
+"""E18 (Section 3): what the full-overlap capability is worth.
+
+Section 3 classifies processors by how much they overlap receiving,
+computing and sending, and adopts full overlap.  This ablation runs the
+full-overlap-optimal schedule on platforms whose nodes progressively lose
+the overlap capability (CPU and communication serialize) and measures the
+throughput penalty — bounding how much of the paper's performance comes
+from the model assumption.
+"""
+
+from fractions import Fraction
+
+from repro.analysis import measured_rate
+from repro.core import bw_first
+from repro.sim import simulate
+from repro.util.text import render_table
+
+from .conftest import emit
+
+F = Fraction
+PERIOD = 36
+HORIZON = 12 * PERIOD
+WINDOW = (F(8 * PERIOD), F(HORIZON))
+
+
+def test_overlap_ablation(benchmark, paper_tree):
+    scenarios = {
+        "full overlap (paper model)": {},
+        "relays no-overlap (P1, P2)": {"P1": False, "P2": False},
+        "leaves no-overlap": {n: False for n in paper_tree.leaves()},
+        "no overlap anywhere": {n: False for n in paper_tree.nodes()},
+    }
+
+    def run_all():
+        return {
+            name: simulate(paper_tree, horizon=HORIZON, overlap=flags)
+            for name, flags in scenarios.items()
+        }
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    optimal = bw_first(paper_tree).throughput
+
+    rows = []
+    rates = {}
+    for name, result in runs.items():
+        rate = measured_rate(result.trace, *WINDOW)
+        rates[name] = rate
+        assert result.completed == result.released
+        rows.append([
+            name,
+            f"{float(rate):.4f}",
+            f"{float(rate / optimal):.1%}",
+        ])
+    emit("E18: throughput under degraded overlap capability",
+         render_table(["scenario", "steady rate", "vs full overlap"], rows))
+
+    assert rates["full overlap (paper model)"] == optimal
+    assert rates["no overlap anywhere"] < rates["full overlap (paper model)"]
+    assert (rates["relays no-overlap (P1, P2)"]
+            <= rates["full overlap (paper model)"])

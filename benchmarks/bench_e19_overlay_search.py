@@ -1,0 +1,89 @@
+"""E19 (Section 5): topological studies — searching for the best overlay.
+
+The paper's pitch for the depth-first procedure: "a quick way to evaluate
+the throughput of a tree allows to consider a wider set of trees" when
+building overlay networks.  This bench makes the pitch concrete:
+
+* on a 5-host network, exhaustive enumeration over every spanning tree
+  finds the global optimum, and seeded hill climbing (driven by exact
+  BW-First evaluations) reaches the same value;
+* on a 24-host random network, hill climbing improves on the standard
+  shortest-path-tree overlay, and the evaluation *rate* (overlays per
+  second) is reported — the quantity BW-First's frugality buys.
+"""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.core.bwfirst import bw_first
+from repro.core.rates import INFINITY
+from repro.extensions.overlay_search import enumerate_overlays, hill_climb
+from repro.platform.nxinterop import overlay_shortest_path_tree
+from repro.util.text import render_table
+
+from .conftest import emit
+
+F = Fraction
+
+
+def small_network():
+    g = nx.Graph()
+    g.add_edge("m", "a", c=1)
+    g.add_edge("m", "b", c=1)
+    g.add_edge("a", "b", c=2)
+    g.add_edge("a", "c", c=1)
+    g.add_edge("b", "c", c=1)
+    g.add_edge("b", "d", c=1)
+    return g, {"m": INFINITY, "a": 2, "b": 2, "c": 2, "d": 2}
+
+
+def big_network(n=24, seed=2025):
+    g = nx.connected_watts_strogatz_graph(n, k=4, p=0.3, seed=seed)
+    rng = random.Random(seed)
+    for u, v in g.edges:
+        g.edges[u, v]["c"] = F(rng.randint(1, 8), rng.choice((1, 2)))
+    weights = {node: F(rng.randint(1, 6)) for node in g.nodes}
+    weights[0] = INFINITY
+    return g, weights
+
+
+def test_search_matches_enumeration():
+    g, weights = small_network()
+    _, optimum, examined = enumerate_overlays(g, "m", weights)
+    result = hill_climb(g, "m", weights, iterations=200, restarts=4, seed=1)
+    spt = bw_first(overlay_shortest_path_tree(g, "m", weights)).throughput
+    emit("E19: 5-host network",
+         render_table(
+             ["overlay", "throughput"],
+             [["shortest-path tree", f"{float(spt):.4f}"],
+              [f"exhaustive optimum ({examined} spanning trees)",
+               f"{float(optimum):.4f}"],
+              [f"hill climbing ({result.evaluations} evaluations)",
+               f"{float(result.throughput):.4f}"]],
+         ))
+    assert result.throughput == optimum
+    assert optimum >= spt
+
+
+def test_search_improves_on_spt_at_scale(benchmark):
+    g, weights = big_network()
+    spt = bw_first(overlay_shortest_path_tree(g, 0, weights)).throughput
+
+    def search():
+        return hill_climb(g, 0, weights, iterations=250, restarts=3, seed=5)
+
+    result = benchmark.pedantic(search, rounds=1, iterations=1)
+    emit("E19: 24-host network",
+         f"SPT {float(spt):.4f} -> hill climbing {float(result.throughput):.4f} "
+         f"(+{float(result.throughput / spt - 1):.1%}) in "
+         f"{result.evaluations} exact evaluations")
+    assert result.throughput >= spt
+
+
+def test_single_evaluation_cost(benchmark):
+    g, weights = big_network()
+    tree = overlay_shortest_path_tree(g, 0, weights)
+    value = benchmark(lambda: bw_first(tree).throughput)
+    assert value > 0

@@ -1,0 +1,36 @@
+"""E1 (Figure 1): the platform model — construction and exact round-trips.
+
+Reproduces the paper's platform representation: node/edge-weighted trees
+with rational weights survive serialisation exactly, and large platforms
+build fast enough for topology studies.
+"""
+
+from repro.platform.examples import figure1_tree
+from repro.platform.generators import random_tree
+from repro.platform.serialization import tree_from_dict, tree_to_dict
+
+from .conftest import emit
+
+
+def test_figure1_model_round_trip(benchmark):
+    tree = figure1_tree()
+    data = benchmark(tree_to_dict, tree)
+    rebuilt = tree_from_dict(data)
+    assert rebuilt == tree
+    assert rebuilt.is_switch("P2")  # the w=inf relay survives
+    emit("E1: Figure 1 platform model", tree.describe())
+
+
+def test_large_platform_construction(benchmark):
+    tree = benchmark(random_tree, 1000, 42)
+    assert len(tree) == 1000
+
+
+def test_large_platform_round_trip(benchmark):
+    tree = random_tree(500, seed=7)
+
+    def round_trip():
+        return tree_from_dict(tree_to_dict(tree))
+
+    rebuilt = benchmark(round_trip)
+    assert rebuilt == tree

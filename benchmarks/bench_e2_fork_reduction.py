@@ -1,0 +1,49 @@
+"""E2 (Figure 2, Proposition 1): the bandwidth-centric fork reduction.
+
+Regenerates the fork-collapse of Figure 2 — a heterogeneous fork reduced to
+a single node of equivalent computing power — and times the reduction on
+wide forks (the inner loop of the bottom-up method).
+"""
+
+from fractions import Fraction
+
+from repro.core.fork import ForkChild, reduce_fork, reduce_fork_tree
+from repro.core.rates import format_fraction
+from repro.platform.examples import figure2_fork
+from repro.util.text import render_table
+
+from .conftest import emit
+
+F = Fraction
+
+
+def test_figure2_reduction(benchmark):
+    tree = figure2_fork()
+    reduction = benchmark(reduce_fork_tree, tree)
+    # children sorted by c: P1 saturated, P2 partial, P3/P4 starved
+    assert reduction.p == 1
+    assert reduction.epsilon == F(1, 2)
+    assert reduction.partial_child.name == "P2"
+    assert reduction.equivalent_rate == F(5, 4)
+
+    rows = [
+        [str(ch.name), format_fraction(ch.c), format_fraction(ch.rate),
+         format_fraction(reduction.deliveries[ch.name])]
+        for ch in reduction.order
+    ]
+    emit(
+        "E2: Figure 2 fork reduction "
+        f"(equivalent rate {format_fraction(reduction.equivalent_rate)}, "
+        f"p={reduction.p}, eps={format_fraction(reduction.epsilon)})",
+        render_table(["child", "c", "rate", "delivered"], rows),
+    )
+
+
+def test_wide_fork_reduction(benchmark):
+    children = [
+        ForkChild(f"c{i}", F(1 + i % 7, 1 + i % 3), F(1, 1 + i % 5))
+        for i in range(200)
+    ]
+    reduction = benchmark(reduce_fork, F(1, 2), children)
+    assert reduction.port_utilisation <= 1
+    assert reduction.equivalent_rate > F(1, 2)

@@ -1,0 +1,26 @@
+"""E3 (Figure 3): the interleaved local schedule.
+
+Regenerates the paper's worked example — ψ = (P0:1, P1:2, P2:4) must yield
+the order P2 P1 P2 P0 P2 P1 P2 — and times the interleaving on large
+bunches.
+"""
+
+from repro.schedule.local import interleaved_order
+
+from .conftest import emit
+
+FIGURE3 = ("P2", "P1", "P2", "P0", "P2", "P1", "P2")
+
+
+def test_figure3_order(benchmark):
+    order = benchmark(
+        interleaved_order, {"P0": 1, "P1": 2, "P2": 4}, ["P0", "P1", "P2"]
+    )
+    assert order == FIGURE3
+    emit("E3: Figure 3 interleaving for psi=(1,2,4)", " ".join(order))
+
+
+def test_large_bunch_interleave(benchmark):
+    quantities = {f"d{i}": (i * 37) % 101 + 1 for i in range(20)}
+    order = benchmark(interleaved_order, quantities, list(quantities))
+    assert len(order) == sum(quantities.values())

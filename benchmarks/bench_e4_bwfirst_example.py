@@ -1,0 +1,56 @@
+"""E4 (Figure 4, Section 8): BW-First on the reconstructed example tree.
+
+The two facts the paper states about its example are asserted exactly:
+
+* optimal steady-state throughput **10 tasks every 9 time units**;
+* nodes **P5, P9, P10, P11 are never visited** by the procedure.
+
+The regenerated Figure 4(b)–(d) tables are printed, and the procedure
+itself is timed.
+"""
+
+from fractions import Fraction
+
+from repro.core import bw_first, from_bw_first
+from repro.platform.examples import (
+    PAPER_FIGURE4_THROUGHPUT,
+    PAPER_FIGURE4_UNVISITED,
+)
+from repro.schedule import (
+    build_schedules,
+    global_period,
+    rate_table,
+    schedule_table,
+    transaction_table,
+    tree_periods,
+)
+
+from .conftest import emit
+
+
+def test_figure4_bwfirst(benchmark, paper_tree):
+    result = benchmark(bw_first, paper_tree)
+    assert result.throughput == PAPER_FIGURE4_THROUGHPUT == Fraction(10, 9)
+    assert result.unvisited == PAPER_FIGURE4_UNVISITED
+
+    allocation = from_bw_first(result)
+    periods = tree_periods(allocation)
+    schedules = build_schedules(allocation, periods=periods)
+    emit("E4: Figure 4(b) transactions", transaction_table(result))
+    emit("E4: Figure 4(c) per-node rates", rate_table(allocation))
+    emit("E4: Figure 4(d) local schedules", schedule_table(schedules, periods))
+    emit(f"E4: throughput {result.throughput} (paper: 10/9), "
+         f"unvisited {sorted(result.unvisited)} (paper: P5 P9 P10 P11), "
+         f"global period {global_period(periods)}")
+
+
+def test_schedule_reconstruction(benchmark, paper_tree):
+    result = bw_first(paper_tree)
+
+    def reconstruct():
+        allocation = from_bw_first(result)
+        periods = tree_periods(allocation)
+        return build_schedules(allocation, periods=periods)
+
+    schedules = benchmark(reconstruct)
+    assert schedules["P4"].order == ("P8", "P4", "P8", "P4", "P8")

@@ -1,0 +1,83 @@
+"""E5 + E14 (Figure 5, Section 8, Proposition 4): phases of the execution.
+
+Regenerates the Figure 5 story on the reconstructed example tree:
+
+* the simulation settles into **exactly** the optimal rate 10/9;
+* the start-up phase is short — on the order of one steady-state period
+  (the paper: one rootless-tree period) — and *useful*: a substantial
+  fraction of the optimal throughput is computed during it (paper: 80%);
+* the wind-down after cutting the supply is short;
+* (E14) every node enters steady state within Proposition 4's bound
+  Σ ancestor send-periods (up to grid alignment).
+
+The ASCII Gantt of the start-up is printed; the full 10-period simulation
+is the timed unit.
+"""
+
+from fractions import Fraction
+
+from repro.analysis import (
+    node_steady_entry,
+    render_gantt,
+    simulation_metrics,
+    simulation_report,
+)
+from repro.core import bw_first
+from repro.schedule.periods import startup_bound
+from repro.sim import simulate
+
+from .conftest import emit
+
+F = Fraction
+PERIOD = 36
+
+
+def run(paper_tree):
+    return simulate(paper_tree, horizon=10 * PERIOD)
+
+
+def test_figure5_phases(benchmark, paper_tree):
+    result = benchmark.pedantic(run, args=(paper_tree,), rounds=3, iterations=1)
+    optimal = bw_first(paper_tree).throughput
+    metrics = simulation_metrics(result, optimal, period=PERIOD)
+
+    # the simulation reaches exactly the optimal steady-state rate
+    assert metrics["measured_rate"] == F(10, 9)
+    # start-up within two periods (paper: one period of the rootless tree)
+    assert metrics["startup_length"] is not None
+    assert metrics["startup_length"] <= 2 * PERIOD
+    # useful start-up: at least 60% of the optimal rate in the first period
+    # (paper reports 80% on its original labels)
+    assert metrics["startup_efficiency"] >= F(3, 5)
+    # wind-down is a small multiple of the period, not of the horizon
+    assert metrics["wind_down"] < 2 * PERIOD
+
+    emit("E5: Figure 5 start-up Gantt (first period)",
+         render_gantt(result.trace,
+                      [n for n in paper_tree.nodes() if n in result.schedules],
+                      start=0, end=PERIOD, width=72, label_peers=True))
+    emit("E5: Section 8 phase metrics",
+         simulation_report(result, optimal, period=PERIOD))
+    emit("E5 shape vs paper: startup ~ one period (paper: one rootless "
+         f"period), efficiency {float(metrics['startup_efficiency']):.0%} "
+         "(paper: 80%), wind-down "
+         f"{float(metrics['wind_down']):.1f} < 2 periods (paper: T/4)")
+
+
+def test_prop4_startup_bound(paper_tree):
+    """E14: Proposition 4's per-node start-up bound holds in execution."""
+    result = simulate(paper_tree, horizon=20 * PERIOD)
+    periods = result.periods
+    rows = []
+    for node in result.schedules:
+        p = periods[node]
+        if p.chi_compute == 0:
+            continue
+        entry = node_steady_entry(result.trace, node, p.t_full,
+                                  p.chi_compute, stop_time=result.stop_time)
+        bound = startup_bound(periods, paper_tree, node)
+        grid = ((bound + p.t_full - 1) // p.t_full) * p.t_full + p.t_full
+        assert entry is not None and entry <= grid, (node, entry, bound)
+        rows.append(f"  {node}: entered steady state at t={entry} "
+                    f"(Prop 4 bound {bound})")
+    emit("E14: Proposition 4 start-up bounds", "\n".join(rows))

@@ -1,0 +1,50 @@
+"""E6 (Section 5): BW-First visits only the nodes the schedule uses.
+
+The motivating claim for the depth-first traversal: on strongly
+bandwidth-limited platforms the bottom-up method reduces **every** fork,
+while BW-First touches only the handful of nodes reachable by tasks.  This
+bench sweeps bottleneck trees of growing size and reports (and times) the
+visited-node counts of both methods.
+"""
+
+import pytest
+
+from repro.core.bottomup import bottom_up_throughput
+from repro.core.bwfirst import bw_first
+from repro.platform.generators import bandwidth_limited_tree
+from repro.util.text import render_table
+
+from .conftest import emit
+
+DEPTHS = (3, 5, 7)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_visited_counts(depth):
+    tree = bandwidth_limited_tree(fanout=2, depth=depth, bottleneck_c=200)
+    bw = bw_first(tree)
+    bu = bottom_up_throughput(tree)
+    assert bw.throughput == bu.throughput
+    # the bottom-up method touches everything…
+    assert bu.nodes_touched == len(tree)
+    # …while BW-First stays on the fast side of the bottleneck
+    assert len(bw.visited) <= 4
+    emit(f"E6: depth={depth}",
+         render_table(
+             ["method", "nodes touched", "of total"],
+             [["BW-First", str(len(bw.visited)), str(len(tree))],
+              ["bottom-up", str(bu.nodes_touched), str(len(tree))]],
+         ))
+
+
+def test_bwfirst_speed_on_bottleneck_tree(benchmark):
+    tree = bandwidth_limited_tree(fanout=2, depth=10, bottleneck_c=200)
+    result = benchmark(bw_first, tree)
+    assert len(result.visited) <= 4
+    assert len(tree) > 2000
+
+
+def test_bottomup_speed_on_bottleneck_tree(benchmark):
+    tree = bandwidth_limited_tree(fanout=2, depth=10, bottleneck_c=200)
+    result = benchmark(bottom_up_throughput, tree)
+    assert result.nodes_touched == len(tree)

@@ -1,0 +1,42 @@
+"""E7 (Proposition 2): BW-First == bottom-up == exact LP, and their costs.
+
+The correctness claim is checked with exact equality over a batch of seeded
+random heterogeneous trees; the three solvers are then timed on the same
+fixed 30-node platform, quantifying how much cheaper the combinatorial
+procedures are than the LP oracle.
+"""
+
+from repro.core.bottomup import bottom_up_throughput
+from repro.core.bwfirst import bw_first
+from repro.core.lp import lp_throughput_exact
+from repro.platform.generators import random_tree
+
+from .conftest import emit
+
+TREE = random_tree(30, seed=424242)
+
+
+def test_equivalence_batch():
+    rows = []
+    for seed in range(20):
+        tree = random_tree(12, seed=seed)
+        a = bw_first(tree).throughput
+        b = bottom_up_throughput(tree).throughput
+        c = lp_throughput_exact(tree)
+        assert a == b == c, (seed, a, b, c)
+        rows.append(f"  seed {seed:2d}: throughput {a}")
+    emit("E7: 20/20 random trees agree across all three solvers",
+         "\n".join(rows[:5] + ["  ..."]))
+
+
+def test_bwfirst_cost(benchmark):
+    assert benchmark(bw_first, TREE).throughput > 0
+
+
+def test_bottomup_cost(benchmark):
+    assert benchmark(bottom_up_throughput, TREE).throughput > 0
+
+
+def test_exact_lp_cost(benchmark):
+    reference = bw_first(TREE).throughput
+    assert benchmark(lp_throughput_exact, TREE) == reference

@@ -1,0 +1,52 @@
+"""E8 (Section 5): the distributed protocol is lightweight.
+
+Measures, across platform sizes, the number of control messages (exactly
+two per transaction plus the virtual-parent pair), the protocol bytes, and
+the negotiation wall-clock under a latency model where a control message
+costs 1% of a task transfer.  The paper's argument — negotiation time is
+negligible against task communication — becomes the printed ratio.
+"""
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.platform.generators import balanced, random_tree
+from repro.protocol import run_protocol
+from repro.util.text import render_table
+
+from .conftest import emit
+
+SIZES = (10, 50, 200)
+
+
+def test_protocol_scaling_table():
+    rows = []
+    for size in SIZES:
+        tree = random_tree(size, seed=size)
+        result = run_protocol(tree)
+        txns = len(bw_first(tree).transactions)
+        assert result.messages == 2 * txns + 2
+        rows.append([
+            str(size),
+            str(result.messages),
+            str(result.bytes),
+            f"{float(result.completion_time):.4f}",
+        ])
+    emit("E8: protocol cost vs platform size (latency = 1% of a task send)",
+         render_table(["nodes", "messages", "bytes", "negotiation time"], rows))
+
+
+def test_negotiation_vs_task_time():
+    tree = balanced(branching=3, height=4, w=4, c=1, root_w=4)
+    result = run_protocol(tree)
+    # the whole negotiation costs less than shipping ten tasks on one link
+    assert result.completion_time < 10 * min(
+        tree.c(c) for c in tree.children(tree.root)
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_protocol_cost(benchmark, size):
+    tree = random_tree(size, seed=size)
+    result = benchmark(run_protocol, tree)
+    assert result.throughput == bw_first(tree).throughput

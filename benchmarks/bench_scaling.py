@@ -1,0 +1,50 @@
+"""Core scalability: throughput evaluation and simulation at size.
+
+Not tied to a paper figure — this is the engineering-health bench: BW-First
+must stay cheap on big platforms (the Section 5 argument for topology
+studies), and the simulator must process events fast enough for long
+steady-state runs.
+"""
+
+import pytest
+
+from repro.core.bottomup import bottom_up_throughput
+from repro.core.bwfirst import bw_first
+from repro.platform.generators import balanced, random_tree
+from repro.sim import simulate
+
+from .conftest import emit
+
+SIZES = (100, 1000, 5000)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bwfirst_scaling(benchmark, size):
+    tree = random_tree(size, seed=size)
+    result = benchmark(bw_first, tree)
+    assert result.throughput > 0
+
+
+def test_bwfirst_deep_platform(benchmark):
+    tree = balanced(branching=2, height=11, w=8, c=1, root_w=8)  # 4095 nodes
+    result = benchmark(bw_first, tree)
+    assert result.throughput > 0
+
+
+def test_bottomup_large(benchmark):
+    tree = random_tree(2000, seed=7)
+    result = benchmark(bottom_up_throughput, tree)
+    assert result.nodes_touched == 2000
+
+
+def test_simulator_event_rate(benchmark, paper_tree):
+    """Events per second of the DES on a long steady-state run."""
+
+    def run():
+        return simulate(paper_tree, horizon=50 * 36)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.completed == result.released
+    emit("scaling: simulator run",
+         f"{result.completed} tasks, trace of "
+         f"{len(result.trace.segments)} segments over 1800 time units")

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one experiment row of DESIGN.md §4 and
+prints the regenerated table/series (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them).  Assertions encode the paper's shape
+claims, so a regression in any reproduced result fails the harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str = "") -> None:
+    """Print a clearly-delimited experiment block (visible with -s)."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}")
+    if body:
+        print(body)
+
+
+@pytest.fixture
+def paper_tree():
+    from repro.platform.examples import paper_figure4_tree
+
+    return paper_figure4_tree()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The Section 9 result-return study: when output files stop being free.
+
+Run with::
+
+    python examples/result_return.py
+
+The paper's core model assumes results are negligible (SETI@home-style).
+Section 9 shows what breaks otherwise: folding the return time into the
+send time — the simplification of earlier work — ignores the master's
+*receive port* and can understate the achievable throughput by 2x.
+
+This script:
+
+1. reproduces the 3-node counterexample (2 vs 1 tasks per time unit) and
+   *executes* the rate-2 schedule in a two-port simulator;
+2. sweeps the output/input size ratio on the paper's example tree, showing
+   how throughput degrades as results grow — and how far a demand-driven
+   two-port execution gets from the LP optimum at each point.
+"""
+
+from fractions import Fraction
+
+from repro.analysis import measured_rate
+from repro.extensions.result_return import (
+    return_lp_throughput,
+    section9_counterexample,
+    uniform_return_platform,
+)
+from repro.extensions.return_sim import simulate_with_returns
+from repro.platform.examples import paper_figure4_tree, section9_platform
+from repro.util.text import render_table
+
+
+def main() -> None:
+    # 1. the counterexample
+    report = section9_counterexample()
+    print("Section 9 counterexample (master + 2 children, w=1, c=d=1/2):")
+    print(f"  separate send/receive ports (correct): "
+          f"{report.separate_ports} tasks/time unit")
+    print(f"  merged send+return cost (simplified):  "
+          f"{report.merged_model} task/time unit")
+
+    platform = uniform_return_platform(section9_platform())
+    run = simulate_with_returns(platform, horizon=60)
+    rate = measured_rate(run.trace, 30, 60)
+    print(f"  two-port execution achieves:           {rate}  ✔")
+
+    # 2. the sweep on the example tree, under two send-port policies:
+    #    "patient" waits for the bandwidth-best child's receive port;
+    #    "impatient" diverts the port to any available requester
+    tree = paper_figure4_tree()
+    print("\nthroughput vs result size on the Figure 4 tree "
+          "(d = ratio × c on every edge):")
+    rows = []
+    for ratio in (Fraction(1, 100), Fraction(1, 4), Fraction(1, 2),
+                  Fraction(1), Fraction(2)):
+        p = uniform_return_platform(tree, ratio=ratio)
+        lp = return_lp_throughput(p)
+        rates = {}
+        for patient in (True, False):
+            sim = simulate_with_returns(p, horizon=360, patient=patient)
+            rates[patient] = measured_rate(sim.trace, 180, 360)
+        best = max(rates.values())
+        rows.append([
+            str(ratio),
+            f"{float(lp):.4f}",
+            f"{float(rates[True]):.4f}",
+            f"{float(rates[False]):.4f}",
+            f"{float(best / lp):.1%}",
+        ])
+    print(render_table(
+        ["output/input ratio", "LP optimum", "patient", "impatient",
+         "best vs LP"],
+        rows,
+    ))
+    print("\nno-return optimum is 10/9 ≈ 1.1111.  Two observations the paper")
+    print("anticipates: (i) the optimum degrades as results grow; (ii) no")
+    print("simple port policy dominates — patience wins when results are")
+    print("tiny, impatience wins when returns hog the receive ports.  The")
+    print("bandwidth-centric principle genuinely 'does not hold when the")
+    print("return of the results is considered' (Section 9): the problem is")
+    print("open, and these heuristics bracket it from below while the LP")
+    print("brackets it from above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""A SETI@home-style campaign on a volunteer-computing tree.
+
+Run with::
+
+    python examples/seti_workload.py
+
+Scenario (the application class motivating the paper): a project server
+holds a large batch of independent work units (radio-telescope chunks).
+Volunteers form a three-level tree: institutional relays with good links,
+and home machines of wildly varying speed behind them.  Output files are
+tiny, so the no-return model applies.
+
+The script compares three ways to run a 2 000-work-unit campaign:
+
+* the paper's bandwidth-centric event-driven schedule,
+* the demand-driven protocol (Kreaseck-style pull),
+* naive greedy farming,
+
+reporting campaign makespan, achieved rate vs the optimal steady state, and
+peak memory (buffered work units) per strategy.
+"""
+
+from fractions import Fraction
+
+from repro import Tree, bw_first
+from repro.analysis import measured_rate, steady_state_buffer_stats
+from repro.baselines import simulate_demand_driven, simulate_greedy
+from repro.extensions.makespan import makespan_lower_bound
+from repro.sim import simulate
+from repro.util.text import render_table
+
+
+def volunteer_tree() -> Tree:
+    """Project server → 3 institutional relays → 9 home machines."""
+    t = Tree("server", w="inf")
+    # institutional relays: fast links to the server, modest CPUs
+    t.add_node("uni-A", w=4, parent="server", c=Fraction(1, 2))
+    t.add_node("uni-B", w=6, parent="server", c=1)
+    t.add_node("isp-C", w="inf", parent="server", c=2)  # a pure relay
+    # home machines behind A: DSL-era links
+    t.add_node("home-A1", w=2, parent="uni-A", c=2)
+    t.add_node("home-A2", w=3, parent="uni-A", c=3)
+    t.add_node("home-A3", w=8, parent="uni-A", c=4)
+    # behind B
+    t.add_node("home-B1", w=2, parent="uni-B", c=2)
+    t.add_node("home-B2", w=2, parent="uni-B", c=6)
+    # behind C: fast boxes on a shared slow uplink
+    t.add_node("home-C1", w=1, parent="isp-C", c=3)
+    t.add_node("home-C2", w=1, parent="isp-C", c=3)
+    t.add_node("home-C3", w=1, parent="isp-C", c=5)
+    return t
+
+
+N_TASKS = 2000
+
+
+def main() -> None:
+    tree = volunteer_tree()
+    print("volunteer platform:")
+    print(tree.describe())
+
+    result = bw_first(tree)
+    optimal = result.throughput
+    bound = makespan_lower_bound(tree, N_TASKS)
+    print(f"\noptimal steady-state rate: {optimal} work units/time unit "
+          f"({float(optimal):.4f})")
+    print(f"machines used by the optimal schedule: "
+          f"{sorted(result.visited, key=str)}")
+    idle = sorted(result.unvisited, key=str)
+    if idle:
+        print(f"machines the optimum leaves idle (links too slow): {idle}")
+    print(f"campaign lower bound for {N_TASKS} work units: {float(bound):.1f}")
+
+    rows = []
+    runs = {
+        "bandwidth-centric": simulate(tree, supply=N_TASKS),
+        "demand-driven": simulate_demand_driven(tree, supply=N_TASKS),
+        "greedy farming": simulate_greedy(tree, supply=N_TASKS),
+    }
+    for name, run in runs.items():
+        makespan = run.end_time
+        assert run.completed == N_TASKS, (name, run.completed)
+        mid = makespan / 2
+        rate = measured_rate(run.trace, mid / 2, mid * Fraction(3, 2))
+        buffers = steady_state_buffer_stats(run.trace, mid / 2,
+                                            mid * Fraction(3, 2))
+        rows.append([
+            name,
+            f"{float(makespan):.1f}",
+            f"{float(makespan / bound):.3f}",
+            f"{float(rate):.4f}",
+            str(buffers["peak_total"]),
+        ])
+    print()
+    print(render_table(
+        ["strategy", "makespan", "vs bound", "mid-run rate", "peak buffered"],
+        rows,
+    ))
+    print("\nThe bandwidth-centric schedule finishes closest to the bound and"
+          "\nbuffers the fewest work units at volunteers.")
+
+
+if __name__ == "__main__":
+    main()

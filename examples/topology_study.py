@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Overlay-tree selection on a physical network (Section 5's use case).
+
+Run with::
+
+    python examples/topology_study.py
+
+The paper argues BW-First "might be a useful tool for topological studies,
+which aim at determining the best tree overlay network that is built on top
+of the physical network topology — a quick way to evaluate the throughput
+of a tree allows to consider a wider set of trees."
+
+This script does exactly that: it generates a random weighted physical
+network (networkx), extracts a family of candidate overlay trees — the
+shortest-path tree, the minimum spanning tree, and shortest-path trees
+rooted after re-weighting — evaluates each with BW-First, and picks the
+winner.  It also reports how many nodes each evaluation visited, showing
+the procedure's frugality on bandwidth-limited overlays.
+"""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.core import bw_first
+from repro.platform.nxinterop import (
+    overlay_minimum_spanning_tree,
+    overlay_shortest_path_tree,
+)
+from repro.util.text import render_table
+
+
+def random_physical_network(n: int, seed: int):
+    """A connected random graph with rational link costs and node speeds."""
+    rng = random.Random(seed)
+    graph: nx.Graph = nx.connected_watts_strogatz_graph(n, k=4, p=0.3, seed=seed)
+    for a, b in graph.edges:
+        graph.edges[a, b]["c"] = Fraction(rng.randint(1, 8), rng.choice((1, 2)))
+    weights = {node: Fraction(rng.randint(1, 6)) for node in graph.nodes}
+    weights[0] = float("inf")  # node 0 is the master (dispatch only)
+    return graph, weights
+
+
+def main() -> None:
+    graph, weights = random_physical_network(24, seed=2025)
+    root = 0
+    print(f"physical network: {graph.number_of_nodes()} hosts, "
+          f"{graph.number_of_edges()} links; master = host {root}")
+
+    candidates = {
+        "shortest-path tree": overlay_shortest_path_tree(graph, root, weights),
+        "minimum spanning tree": overlay_minimum_spanning_tree(graph, root, weights),
+    }
+    # a third family: SPTs whose routing penalises high-degree hubs (often
+    # better balanced for single-port masters); the topology is chosen on
+    # penalised costs, but the overlay keeps the true physical link costs
+    from repro.platform.tree import Tree
+
+    for penalty in (2, 4):
+        penalised = graph.copy()
+        for a, b in penalised.edges:
+            hub = max(penalised.degree[a], penalised.degree[b])
+            penalised.edges[a, b]["c"] = (
+                graph.edges[a, b]["c"] + Fraction(hub, penalty * 4)
+            )
+        shape = overlay_shortest_path_tree(penalised, root, weights)
+        tree = Tree(root, weights[root])
+        for node in shape.nodes():
+            if node == root:
+                continue
+            parent = shape.parent(node)
+            tree.add_node(node, weights[node], parent=parent,
+                          c=graph.edges[parent, node]["c"])
+        candidates[f"hub-penalised SPT (1/{penalty})"] = tree
+
+    rows = []
+    best_name, best_rate = None, Fraction(0)
+    for name, tree in candidates.items():
+        result = bw_first(tree)
+        rows.append([
+            name,
+            f"{float(result.throughput):.4f}",
+            str(result.throughput),
+            f"{len(result.visited)}/{len(tree)}",
+            str(tree.height()),
+        ])
+        if result.throughput > best_rate:
+            best_name, best_rate = name, result.throughput
+
+    print()
+    print(render_table(
+        ["overlay", "throughput", "exact", "visited", "height"], rows
+    ))
+    print(f"\nbest overlay: {best_name} at {best_rate} tasks/time unit")
+    print("BW-First evaluated each candidate by visiting only the nodes the")
+    print("optimal schedule would actually use — cheap enough to scan many "
+          "overlays.")
+
+
+if __name__ == "__main__":
+    main()

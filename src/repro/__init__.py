@@ -1,0 +1,84 @@
+"""repro — bandwidth-centric steady-state scheduling on heterogeneous trees.
+
+A production-quality reproduction of
+
+    Cyril Banino, *A Distributed Procedure for Bandwidth-Centric Scheduling
+    of Independent-Task Applications*, IPPS 2005.
+
+Quickstart
+----------
+>>> from repro import Tree, bw_first
+>>> t = Tree("master", w="inf")          # a pure master (no computing power)
+>>> t.add_node("fast", w=1, parent="master", c=1)
+>>> t.add_node("slow", w=2, parent="master", c=2)
+>>> result = bw_first(t)
+>>> result.throughput
+Fraction(1, 1)
+
+The package layers:
+
+* :mod:`repro.platform` — the heterogeneous tree model (Section 3);
+* :mod:`repro.core` — Proposition 1, the bottom-up method, **BW-First**
+  (Algorithm 1) and LP oracles (Sections 4–5);
+* :mod:`repro.schedule` — schedule reconstruction: asynchronous periods,
+  event-driven bunches and the interleaved local schedule (Section 6);
+* :mod:`repro.sim` — a discrete-event simulator of the single-port
+  full-overlap model with exact rational time (Sections 7–8);
+* :mod:`repro.protocol` — BW-First as an actual message-passing protocol;
+* :mod:`repro.baselines` — Kreaseck-style demand-driven, synchronized and
+  greedy baselines;
+* :mod:`repro.analysis` — throughput/buffer/phase analysis and ASCII Gantt;
+* :mod:`repro.extensions` — result-return model (Section 9), dynamic
+  adaptation, finite-N makespan, infinite trees.
+"""
+
+from .core import (
+    INFINITY,
+    Allocation,
+    BottomUpResult,
+    BWFirstResult,
+    bottom_up_throughput,
+    bw_first,
+    from_bw_first,
+    lp_throughput,
+    lp_throughput_exact,
+    reduce_fork,
+    reduce_fork_tree,
+)
+from .exceptions import (
+    PlatformError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SolverError,
+)
+from .platform import Tree, TreeBuilder, load_tree, save_tree, tree_from_nested
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "INFINITY",
+    "Tree",
+    "TreeBuilder",
+    "tree_from_nested",
+    "save_tree",
+    "load_tree",
+    "Allocation",
+    "BottomUpResult",
+    "BWFirstResult",
+    "bottom_up_throughput",
+    "bw_first",
+    "from_bw_first",
+    "lp_throughput",
+    "lp_throughput_exact",
+    "reduce_fork",
+    "reduce_fork_tree",
+    "ReproError",
+    "PlatformError",
+    "ScheduleError",
+    "SimulationError",
+    "ProtocolError",
+    "SolverError",
+]

@@ -1,0 +1,136 @@
+"""Buffer-occupancy analysis (the Section 6.3 objective).
+
+The paper's interleaved local schedule is designed to minimise the number of
+tasks buffered at node locations during steady state.  These helpers
+reconstruct per-node occupancy over time from the ±1 buffer deltas a
+simulation records, and summarise peaks and time averages — the metrics the
+E9/E10 experiments compare across scheduling policies.
+
+A task counts as *buffered at a node* from the moment it fully arrives (or
+is released, at the root) until it finishes computing locally or finishes
+being forwarded to a child.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..sim.tracing import Trace
+
+#: A step function as ``[(time, new_level), …]`` sorted by time.
+StepSeries = List[Tuple[Fraction, int]]
+
+
+def occupancy_series(trace: Trace, node: Hashable) -> StepSeries:
+    """The buffer level of *node* over time as a step series (starts at 0)."""
+    series: StepSeries = [(Fraction(0), 0)]
+    level = 0
+    for time, n, delta in sorted(trace.buffer_deltas, key=lambda d: d[0]):
+        if n != node:
+            continue
+        level += delta
+        if series and series[-1][0] == time:
+            series[-1] = (time, level)
+        else:
+            series.append((time, level))
+    return series
+
+
+def total_occupancy_series(trace: Trace) -> StepSeries:
+    """Platform-wide buffered-task level over time."""
+    series: StepSeries = [(Fraction(0), 0)]
+    level = 0
+    for time, _, delta in sorted(trace.buffer_deltas, key=lambda d: d[0]):
+        level += delta
+        if series and series[-1][0] == time:
+            series[-1] = (time, level)
+        else:
+            series.append((time, level))
+    return series
+
+
+def peak(series: StepSeries, start=None, end=None) -> int:
+    """Maximum level of *series* inside the optional ``[start, end]`` window."""
+    lo = Fraction(start) if start is not None else None
+    hi = Fraction(end) if end is not None else None
+    best = 0
+    current = 0
+    for time, level in series:
+        if hi is not None and time > hi:
+            break
+        current = level
+        if lo is None or time >= lo:
+            best = max(best, current)
+    # a level set before the window persists into it
+    if lo is not None:
+        level_at_lo = 0
+        for time, level in series:
+            if time > lo:
+                break
+            level_at_lo = level
+        best = max(best, level_at_lo)
+    return best
+
+
+def time_average(series: StepSeries, start, end) -> Fraction:
+    """Time-averaged level of *series* over ``[start, end]``."""
+    lo, hi = Fraction(start), Fraction(end)
+    if hi <= lo:
+        raise ValueError("empty averaging window")
+    area = Fraction(0)
+    prev_time = lo
+    prev_level = 0
+    for time, level in series:
+        if time <= lo:
+            prev_level = level
+            continue
+        t = min(time, hi)
+        area += prev_level * (t - prev_time)
+        prev_time = t
+        prev_level = level
+        if time >= hi:
+            break
+    if prev_time < hi:
+        area += prev_level * (hi - prev_time)
+    return area / (hi - lo)
+
+
+def peak_per_node(trace: Trace, start=None, end=None) -> Dict[Hashable, int]:
+    """Peak buffer occupancy of every node appearing in the trace."""
+    nodes = {n for _, n, _ in trace.buffer_deltas}
+    return {n: peak(occupancy_series(trace, n), start, end) for n in sorted(nodes, key=str)}
+
+
+def prop3_buffer_bound(periods, root) -> Dict[Hashable, int]:
+    """Proposition 3's sufficient per-node buffer: χ_in tasks.
+
+    "The only requirement for ensuring steady-state with asynchronous
+    activities is to dispose of enough tasks buffered at node locations …
+    assume that χ_in tasks have been buffered during the start-up phase."
+    Returns the bound for every non-root node; the measured steady-state
+    peak occupancy of each node must stay within χ_in plus the tasks
+    physically in flight on its ports (checked by the tests).
+    """
+    return {
+        node: p.chi_in for node, p in periods.items()
+        if node != root and p.chi_in > 0
+    }
+
+
+def steady_state_buffer_stats(
+    trace: Trace,
+    start,
+    end,
+) -> Dict[str, object]:
+    """Summary statistics over a steady-state window.
+
+    Returns a dict with ``peak_total``, ``avg_total`` and ``peak_by_node`` —
+    the numbers experiments E9/E10 report.
+    """
+    total = total_occupancy_series(trace)
+    return {
+        "peak_total": peak(total, start, end),
+        "avg_total": time_average(total, start, end),
+        "peak_by_node": peak_per_node(trace, start, end),
+    }

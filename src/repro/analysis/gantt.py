@@ -1,0 +1,95 @@
+"""ASCII Gantt rendering of simulation traces (the paper's Figure 5).
+
+Each node gets up to three lanes — R (receive), C (compute), S (send) —
+sampled on a regular grid.  A cell shows the activity occupying the lane at
+the *start* of its sampling interval (``#`` when busy, ``.`` when idle; the
+S lane shows the first letter of the destination child when unambiguous).
+
+The rendering is deliberately terminal-friendly: the benchmark harness
+prints it for the start-up window of the reconstructed example so the
+reader can eyeball the pipeline filling up, exactly like Figure 5.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, List, Optional, Sequence
+
+from ..sim.tracing import COMPUTE, RECV, SEND, Trace
+
+_LANES = ((RECV, "R"), (COMPUTE, "C"), (SEND, "S"))
+
+
+def render_gantt(
+    trace: Trace,
+    nodes: Sequence[Hashable],
+    start=0,
+    end=None,
+    width: int = 80,
+    label_peers: bool = False,
+) -> str:
+    """Render an ASCII Gantt chart of *nodes* over ``[start, end]``.
+
+    *width* is the number of sampling cells.  With *label_peers* the send
+    lane prints the first character of the receiving child instead of ``#``.
+    """
+    lo = Fraction(start)
+    hi = Fraction(end) if end is not None else trace.end_time
+    if hi <= lo:
+        raise ValueError("empty Gantt window")
+    if width < 1:
+        raise ValueError("width must be positive")
+    dt = (hi - lo) / width
+
+    label_width = max((len(f"{node} {code}") for node in nodes for _, code in _LANES),
+                      default=4)
+    lines: List[str] = []
+    header = " " * (label_width + 1) + _time_axis(lo, hi, width)
+    lines.append(header)
+
+    for node in nodes:
+        for kind, code in _LANES:
+            segments = trace.segments_for(node, kind)
+            if not segments:
+                continue
+            cells = []
+            for i in range(width):
+                t = lo + i * dt
+                seg = _segment_at(segments, t)
+                if seg is None:
+                    cells.append(".")
+                elif label_peers and kind == SEND and seg.peer is not None:
+                    cells.append(str(seg.peer)[-1])
+                else:
+                    cells.append("#")
+            label = f"{node} {code}".ljust(label_width)
+            lines.append(f"{label} {''.join(cells)}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _segment_at(segments, t: Fraction):
+    for seg in segments:
+        if seg.start <= t < seg.end:
+            return seg
+    return None
+
+
+def _time_axis(lo: Fraction, hi: Fraction, width: int) -> str:
+    """A sparse time axis: tick labels every ~10 cells."""
+    axis = [" "] * width
+    step = max(width // 8, 1)
+    span = hi - lo
+    for i in range(0, width, step):
+        t = lo + span * i / width
+        label = _short(t)
+        for j, ch in enumerate(label):
+            if i + j < width:
+                axis[i + j] = ch
+    return "".join(axis)
+
+
+def _short(t: Fraction) -> str:
+    if t.denominator == 1:
+        return str(t.numerator)
+    return f"{float(t):.4g}"

@@ -1,0 +1,138 @@
+"""Experiment reports: the tables the benchmark harness prints.
+
+:func:`simulation_report` condenses one simulation run into the numbers the
+paper's Section 8 narrates — optimal vs measured steady-state rate, start-up
+length and efficiency, wind-down length, buffer peaks — and renders them as
+an aligned table.  The benchmarks print these reports so the EXPERIMENTS.md
+paper-vs-measured entries can be regenerated from scratch.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional
+
+from ..core.rates import format_fraction
+from ..schedule.periods import global_period
+from ..sim.simulator import SimulationResult
+from ..util.text import render_table
+from . import buffers, phases, throughput
+
+
+def workers_rate(allocation) -> Fraction:
+    """The *rootless tree*'s throughput: tasks/unit computed by non-roots.
+
+    Section 8 phrases its start-up and wind-down claims against the
+    "rootless tree" — the platform without the master.
+    """
+    root = allocation.tree.root
+    return sum(
+        (alpha for node, alpha in allocation.alpha.items() if node != root),
+        Fraction(0),
+    )
+
+
+def rootless_period(periods, tree) -> int:
+    """The steady-state period of the rootless tree (lcm over non-roots)."""
+    from ..core.rates import lcm_ints
+
+    return lcm_ints(
+        p.t_full for node, p in periods.items() if node != tree.root
+    )
+
+
+def utilization_report(result: SimulationResult, start, end) -> str:
+    """Per-node resource utilisation over ``[start, end]``.
+
+    CPU, send-port and receive-port busy fractions from the trace — the
+    operational view of where the platform's capacity goes.
+    """
+    from ..sim.tracing import COMPUTE, RECV, SEND
+
+    lo, hi = Fraction(start), Fraction(end)
+    if hi <= lo:
+        raise ValueError("empty utilisation window")
+    span = hi - lo
+    rows = []
+    for node in result.tree.nodes():
+        if node not in result.schedules:
+            continue
+        cells = [str(node)]
+        for kind in (COMPUTE, SEND, RECV):
+            busy = result.trace.busy_time(node, kind, lo, hi)
+            cells.append(f"{float(busy / span):.1%}")
+        rows.append(cells)
+    return render_table(["node", "cpu", "send port", "recv port"], rows)
+
+
+def simulation_metrics(
+    result: SimulationResult,
+    optimal_rate: Fraction,
+    period: Optional[int] = None,
+) -> Dict[str, object]:
+    """Compute the standard metric set for one run.
+
+    *period* defaults to the global (whole-tree) period.  Steady-state
+    metrics are measured on the period grid; start-up efficiency uses the
+    first period as its window, mirroring the paper's "during the start-up
+    phase, the rootless tree executes 80% of its optimal throughput".
+    """
+    if period is None:
+        period = global_period(result.periods)
+    p = Fraction(period)
+    expected = optimal_rate * p
+    if expected.denominator != 1:
+        raise ValueError(f"period {period} is not a multiple of the steady period")
+    trace = result.trace
+
+    startup = phases.startup_length(trace, p, int(expected), stop_time=result.stop_time)
+    rate = throughput.steady_state_rate(trace, p, stop_time=result.stop_time)
+    efficiency = phases.startup_efficiency(trace, p, optimal_rate)
+    stop = result.stop_time if result.stop_time is not None else trace.end_time
+    window_start = stop - p if stop >= p else Fraction(0)
+    buffer_stats = buffers.steady_state_buffer_stats(trace, window_start, stop)
+    return {
+        "period": period,
+        "optimal_rate": optimal_rate,
+        "measured_rate": rate,
+        "startup_length": startup,
+        "startup_efficiency": efficiency,
+        "wind_down": result.wind_down,
+        "released": result.released,
+        "completed": trace.completed,
+        "peak_buffer_total": buffer_stats["peak_total"],
+        "avg_buffer_total": buffer_stats["avg_total"],
+        "peak_buffer_by_node": buffer_stats["peak_by_node"],
+    }
+
+
+def simulation_report(result: SimulationResult, optimal_rate: Fraction,
+                      period: Optional[int] = None, title: str = "") -> str:
+    """Render :func:`simulation_metrics` as an aligned text table."""
+    metrics = simulation_metrics(result, optimal_rate, period)
+    rows = []
+
+    def add(name: str, value) -> None:
+        if value is None:
+            rows.append([name, "-"])
+        elif isinstance(value, Fraction):
+            text = format_fraction(value)
+            if value.denominator != 1:
+                text += f" ({float(value):.4f})"
+            rows.append([name, text])
+        else:
+            rows.append([name, str(value)])
+
+    add("steady period T", metrics["period"])
+    add("optimal rate (tasks/unit)", metrics["optimal_rate"])
+    add("measured steady rate", metrics["measured_rate"])
+    add("start-up length", metrics["startup_length"])
+    add("start-up efficiency", metrics["startup_efficiency"])
+    add("wind-down length", metrics["wind_down"])
+    add("tasks released", metrics["released"])
+    add("tasks completed", metrics["completed"])
+    add("peak buffered (total)", metrics["peak_buffer_total"])
+    add("avg buffered (steady)", metrics["avg_buffer_total"])
+
+    table = render_table(["metric", "value"], rows)
+    return f"{title}\n{table}" if title else table

@@ -1,0 +1,136 @@
+"""Bottleneck analysis: which resource is worth upgrading?
+
+A platform operator holding a BW-First result wants to know where the next
+dollar goes: a faster CPU somewhere, or a faster link?  Because throughput
+is cheap to re-evaluate (that is the whole point of the depth-first
+procedure, Section 5), sensitivity analysis is just a sweep: speed one
+resource up by a factor, re-run BW-First, report the gain.  All arithmetic
+stays exact.
+
+* :func:`node_sensitivity` / :func:`edge_sensitivity` — throughput after
+  speeding up one ``w`` or one ``c``;
+* :func:`sensitivity_report` — every resource ranked by gain;
+* :func:`bottlenecks` — the resources whose improvement actually helps
+  (gain > 0); on a saturated platform most resources are *not* bottlenecks,
+  which is itself the interesting output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, List, Optional
+
+from ..core.bwfirst import bw_first
+from ..core.rates import as_cost
+from ..exceptions import PlatformError
+from ..platform.tree import Tree
+from ..util.text import render_table
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Effect of speeding up one resource by the given factor."""
+
+    kind: str  # "node" or "edge"
+    name: Hashable  # the node, or the child end of the edge
+    factor: Fraction
+    base: Fraction
+    improved: Fraction
+
+    @property
+    def gain(self) -> Fraction:
+        """Relative throughput gain (0 when the resource is not binding)."""
+        if self.base == 0:
+            return Fraction(0) if self.improved == 0 else Fraction(1)
+        return self.improved / self.base - 1
+
+
+def node_sensitivity(tree: Tree, node: Hashable, speedup=2) -> Sensitivity:
+    """Throughput of *tree* with *node*'s CPU sped up by *speedup*."""
+    factor = as_cost(speedup)
+    if factor < 1:
+        raise PlatformError("speedup factor must be ≥ 1")
+    base = bw_first(tree).throughput
+    if tree.is_switch(node):
+        improved = base  # a switch has no CPU to upgrade
+    else:
+        from ..extensions.dynamic import perturb
+
+        improved = bw_first(
+            perturb(tree, node_factors={node: Fraction(1) / factor})
+        ).throughput
+    return Sensitivity(kind="node", name=node, factor=factor,
+                       base=base, improved=improved)
+
+
+def edge_sensitivity(tree: Tree, child: Hashable, speedup=2) -> Sensitivity:
+    """Throughput of *tree* with *child*'s incoming link sped up."""
+    factor = as_cost(speedup)
+    if factor < 1:
+        raise PlatformError("speedup factor must be ≥ 1")
+    if tree.parent(child) is None:
+        raise PlatformError("the root has no incoming link")
+    from ..extensions.dynamic import perturb
+
+    base = bw_first(tree).throughput
+    improved = bw_first(
+        perturb(tree, edge_factors={child: Fraction(1) / factor})
+    ).throughput
+    return Sensitivity(kind="edge", name=child, factor=factor,
+                       base=base, improved=improved)
+
+
+def _sweep_one(task) -> Sensitivity:
+    """Worker for :func:`sensitivity_sweep` (top-level: picklable)."""
+    tree, kind, name, speedup = task
+    if kind == "node":
+        return node_sensitivity(tree, name, speedup)
+    return edge_sensitivity(tree, name, speedup)
+
+
+def sensitivity_sweep(tree: Tree, speedup=2,
+                      workers: int = 1) -> List[Sensitivity]:
+    """Sensitivity of every CPU and every link, sorted by decreasing gain.
+
+    Each evaluation is an independent exact BW-First run, so the sweep is
+    embarrassingly parallel: pass ``workers > 1`` to spread it over
+    processes (results are identical to the serial run).
+    """
+    from ..util.parallel import parallel_map
+
+    tasks = []
+    for node in tree.nodes():
+        if not tree.is_switch(node):
+            tasks.append((tree, "node", node, speedup))
+        if tree.parent(node) is not None:
+            tasks.append((tree, "edge", node, speedup))
+    results = parallel_map(_sweep_one, tasks, workers=workers)
+    results.sort(key=lambda s: (-s.gain, s.kind, str(s.name)))
+    return results
+
+
+def bottlenecks(tree: Tree, speedup=2) -> List[Sensitivity]:
+    """Only the resources whose speedup increases throughput."""
+    return [s for s in sensitivity_sweep(tree, speedup) if s.gain > 0]
+
+
+def sensitivity_report(tree: Tree, speedup=2, top: Optional[int] = None) -> str:
+    """Ranked text table of :func:`sensitivity_sweep` (all rows by default)."""
+    rows = []
+    sweep = sensitivity_sweep(tree, speedup)
+    if top is not None:
+        sweep = sweep[:top]
+    for s in sweep:
+        label = (f"CPU of {s.name}" if s.kind == "node"
+                 else f"link to {s.name}")
+        rows.append([
+            label,
+            f"{float(s.base):.4f}",
+            f"{float(s.improved):.4f}",
+            f"{float(s.gain):+.1%}",
+        ])
+    return render_table(
+        [f"resource (x{as_cost(speedup)} speedup)", "base", "improved", "gain"],
+        rows,
+    )

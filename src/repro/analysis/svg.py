@@ -1,0 +1,165 @@
+"""Dependency-free SVG rendering of Gantt charts and buffer curves.
+
+The ASCII renderer (:mod:`repro.analysis.gantt`) is for terminals; this
+module writes standalone ``.svg`` files for papers and docs, with no
+external dependency — the SVG is assembled as text.
+
+* :func:`gantt_svg` — the Figure-5 view: one row of lanes (receive /
+  compute / send) per node, exact segment boundaries, send lanes coloured
+  by destination child;
+* :func:`buffer_svg` — the total buffered-task step curve over time.
+
+Colours are a fixed qualitative palette cycled over peers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, List, Optional, Sequence
+
+from ..sim.tracing import COMPUTE, RECV, SEND, Trace
+from .buffers import total_occupancy_series
+
+_PALETTE = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+_KIND_FILL = {COMPUTE: "#59a14f", RECV: "#bab0ac", SEND: "#4e79a7"}
+_LANES = (RECV, COMPUTE, SEND)
+
+
+def _esc(text: object) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def gantt_svg(
+    trace: Trace,
+    nodes: Sequence[Hashable],
+    start=0,
+    end=None,
+    width: int = 900,
+    lane_height: int = 14,
+    label_width: int = 70,
+) -> str:
+    """Render the busy segments of *nodes* over ``[start, end]`` as SVG."""
+    lo = Fraction(start)
+    hi = Fraction(end) if end is not None else trace.end_time
+    if hi <= lo:
+        raise ValueError("empty Gantt window")
+    span = hi - lo
+    scale = Fraction(width) / span
+
+    peers: List[Hashable] = []
+    for seg in trace.segments:
+        if seg.kind == SEND and seg.peer is not None and seg.peer not in peers:
+            peers.append(seg.peer)
+    peer_fill = {p: _PALETTE[i % len(_PALETTE)] for i, p in enumerate(peers)}
+
+    rows: List[str] = []
+    y = 20
+    for node in nodes:
+        for kind in _LANES:
+            segments = [
+                s for s in trace.segments_for(node, kind)
+                if s.end > lo and s.start < hi
+            ]
+            if not segments:
+                continue
+            rows.append(
+                f'<text x="2" y="{y + lane_height - 3}" font-size="10" '
+                f'font-family="monospace">{_esc(node)} {kind[:1].upper()}</text>'
+            )
+            for seg in segments:
+                x0 = float((max(seg.start, lo) - lo) * scale)
+                x1 = float((min(seg.end, hi) - lo) * scale)
+                if seg.kind == SEND and seg.peer in peer_fill:
+                    fill = peer_fill[seg.peer]
+                else:
+                    fill = _KIND_FILL[seg.kind]
+                title = f"{node} {seg.kind} [{seg.start}, {seg.end})"
+                if seg.peer is not None:
+                    title += f" peer={seg.peer}"
+                rows.append(
+                    f'<rect x="{label_width + x0:.2f}" y="{y}" '
+                    f'width="{max(x1 - x0, 0.5):.2f}" height="{lane_height - 2}" '
+                    f'fill="{fill}"><title>{_esc(title)}</title></rect>'
+                )
+            y += lane_height
+        y += 6  # gap between nodes
+
+    # time axis
+    axis: List[str] = []
+    ticks = 8
+    for i in range(ticks + 1):
+        t = lo + span * i / ticks
+        x = label_width + float((t - lo) * scale)
+        axis.append(
+            f'<line x1="{x:.2f}" y1="14" x2="{x:.2f}" y2="{y}" '
+            'stroke="#dddddd" stroke-width="1"/>'
+        )
+        label = str(t) if t.denominator == 1 else f"{float(t):.4g}"
+        axis.append(
+            f'<text x="{x:.2f}" y="11" font-size="9" text-anchor="middle" '
+            f'font-family="monospace">{_esc(label)}</text>'
+        )
+
+    total_width = label_width + width + 10
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{total_width}" '
+        f'height="{y + 10}" viewBox="0 0 {total_width} {y + 10}">\n'
+        '<rect width="100%" height="100%" fill="white"/>\n'
+        + "\n".join(axis) + "\n" + "\n".join(rows) + "\n</svg>\n"
+    )
+
+
+def buffer_svg(
+    trace: Trace,
+    start=0,
+    end=None,
+    width: int = 900,
+    height: int = 200,
+) -> str:
+    """Render the total buffered-task step curve over ``[start, end]``."""
+    lo = Fraction(start)
+    hi = Fraction(end) if end is not None else trace.end_time
+    if hi <= lo:
+        raise ValueError("empty window")
+    series = total_occupancy_series(trace)
+    peak_level = max((level for _, level in series), default=0) or 1
+    x_scale = Fraction(width) / (hi - lo)
+    y_scale = Fraction(height - 30) / peak_level
+
+    points: List[str] = []
+    prev_level = 0
+    for time, level in series:
+        if time < lo:
+            prev_level = level
+            continue
+        if time > hi:
+            break
+        x = float((time - lo) * x_scale)
+        y_prev = height - 10 - float(prev_level * y_scale)
+        y_new = height - 10 - float(level * y_scale)
+        if not points:
+            points.append(f"M 0 {height - 10 - float(prev_level * y_scale):.2f}")
+        points.append(f"L {x:.2f} {y_prev:.2f} L {x:.2f} {y_new:.2f}")
+        prev_level = level
+    points.append(f"L {width} {height - 10 - float(prev_level * y_scale):.2f}")
+
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width + 10}" '
+        f'height="{height}" viewBox="0 0 {width + 10} {height}">\n'
+        '<rect width="100%" height="100%" fill="white"/>\n'
+        f'<text x="4" y="12" font-size="10" font-family="monospace">'
+        f'buffered tasks (peak {peak_level})</text>\n'
+        f'<path d="{" ".join(points)}" fill="none" stroke="#4e79a7" '
+        'stroke-width="1.5"/>\n</svg>\n'
+    )
+
+
+def save_svg(svg: str, path) -> None:
+    """Write an SVG document produced by the renderers to *path*."""
+    from pathlib import Path
+
+    Path(path).write_text(svg)

@@ -1,0 +1,28 @@
+"""Baseline scheduling strategies the paper compares against.
+
+* :mod:`~repro.baselines.kreaseck` — the autonomous demand-driven protocol
+  of Kreaseck et al. (reconstructed);
+* :mod:`~repro.baselines.synchronized` — the traditional global-period
+  schedule with a dead (no-compute) start-up phase;
+* :mod:`~repro.baselines.greedy` — naive round-robin task farming, a sanity
+  floor not taken from the paper.
+"""
+
+from .greedy import GreedyResult, GreedySimulation, simulate_greedy
+from .kreaseck import (
+    DemandDrivenResult,
+    DemandDrivenSimulation,
+    simulate_demand_driven,
+)
+from .synchronized import simulate_synchronized, traditional_startup_bound
+
+__all__ = [
+    "DemandDrivenResult",
+    "DemandDrivenSimulation",
+    "simulate_demand_driven",
+    "simulate_synchronized",
+    "traditional_startup_bound",
+    "GreedyResult",
+    "GreedySimulation",
+    "simulate_greedy",
+]

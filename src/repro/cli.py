@@ -1,0 +1,277 @@
+"""Command-line interface: ``repro-sched`` (or ``python -m repro``).
+
+Sub-commands:
+
+* ``throughput TREE.json`` — optimal steady-state throughput (BW-First),
+  visited/unvisited nodes, cross-checked against the bottom-up method;
+* ``schedule TREE.json`` — the full schedule reconstruction: transactions,
+  per-node rates, periods and compact bunch orders (Figure 4);
+* ``simulate TREE.json --horizon H`` — run the discrete-event simulation
+  and print the standard metrics report (Figure 5 numbers);
+* ``gantt TREE.json --horizon H`` — ASCII Gantt chart of the run;
+* ``compare TREE.json`` — run every built-in strategy (bandwidth-centric,
+  synchronized, demand-driven ×2, greedy) and rank them;
+* ``dot TREE.json`` — Graphviz rendering with unvisited nodes greyed out;
+* ``example`` — the whole pipeline on the built-in reconstruction of the
+  paper's Section 8 tree.
+
+Tree files use the JSON schema of :mod:`repro.platform.serialization`;
+with ``--dsl`` the TREE argument is instead parsed as the compact text
+grammar of :mod:`repro.platform.dsl`, e.g. ``'P0(w=3)[P1(w=2,c=1)]'``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from .analysis import render_gantt, simulation_report
+from .core import bottom_up_throughput, bw_first, from_bw_first
+from .core.rates import format_fraction
+from .platform import load_tree
+from .platform.examples import paper_figure4_tree
+from .schedule import (
+    POLICIES,
+    build_schedules,
+    global_period,
+    rate_table,
+    schedule_table,
+    transaction_table,
+    tree_periods,
+)
+from .platform.serialization import tree_to_dot
+from .sim import simulate
+
+
+def _load_platform(args: argparse.Namespace):
+    if getattr(args, "dsl", False):
+        from .platform.dsl import parse_tree
+
+        return parse_tree(args.tree)
+    return load_tree(args.tree)
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    tree = _load_platform(args)
+    result = bw_first(tree)
+    reference = bottom_up_throughput(tree)
+    print(f"optimal throughput: {format_fraction(result.throughput)} "
+          f"({float(result.throughput):.6f} tasks/time unit)")
+    print(f"bottom-up agrees:   {reference.throughput == result.throughput}")
+    print(f"visited nodes:      {len(result.visited)}/{len(tree)}")
+    unvisited = sorted(result.unvisited, key=str)
+    if unvisited:
+        print(f"unvisited:          {' '.join(str(n) for n in unvisited)}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    tree = _load_platform(args)
+    result = bw_first(tree)
+    allocation = from_bw_first(result)
+    periods = tree_periods(allocation)
+    schedules = build_schedules(allocation, policy=POLICIES[args.policy],
+                                periods=periods)
+    print("== transactions (Figure 4b) ==")
+    print(transaction_table(result))
+    print()
+    print("== per-node rates (Figure 4c) ==")
+    print(rate_table(allocation))
+    print()
+    print("== local schedules (Figure 4d) ==")
+    print(schedule_table(schedules, periods))
+    print()
+    print(f"global period T = {global_period(periods)}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    tree = _load_platform(args)
+    result = bw_first(tree)
+    sim = simulate(
+        tree,
+        policy=POLICIES[args.policy],
+        horizon=Fraction(args.horizon) if args.horizon else None,
+        supply=args.supply,
+        compute_during_startup=not args.buffered_start,
+    )
+    print(simulation_report(sim, result.throughput,
+                            title=f"simulation of {args.tree}"))
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    tree = _load_platform(args)
+    sim = simulate(
+        tree,
+        policy=POLICIES[args.policy],
+        horizon=Fraction(args.horizon),
+    )
+    nodes = args.nodes if args.nodes else [
+        n for n in tree.nodes() if n in sim.schedules
+    ]
+    end = Fraction(args.until) if args.until else Fraction(args.horizon)
+    print(render_gantt(sim.trace, nodes, start=0, end=end,
+                       width=args.width, label_peers=True))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    tree = _load_platform(args)
+    result = bw_first(tree)
+    print(tree_to_dot(tree, highlight=result.unvisited))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis.compare import compare_strategies, comparison_table
+
+    tree = _load_platform(args)
+    metrics = compare_strategies(
+        tree,
+        periods_count=args.periods,
+        supply=args.supply,
+    )
+    print(comparison_table(metrics))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.export import export_trace
+    from .analysis.svg import buffer_svg, gantt_svg, save_svg
+
+    tree = _load_platform(args)
+    sim = simulate(
+        tree,
+        policy=POLICIES[args.policy],
+        horizon=Fraction(args.horizon) if args.horizon else None,
+        supply=args.supply,
+    )
+    out = Path(args.out)
+    written = export_trace(sim.trace, out, prefix=args.prefix)
+    nodes = [n for n in tree.nodes() if n in sim.schedules]
+    end = sim.trace.end_time
+    gantt_path = out / f"{args.prefix}_gantt.svg"
+    save_svg(gantt_svg(sim.trace, nodes, start=0, end=end), gantt_path)
+    buffers_path = out / f"{args.prefix}_buffers.svg"
+    save_svg(buffer_svg(sim.trace, start=0, end=end), buffers_path)
+    for path in written + [gantt_path, buffers_path]:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .analysis.sensitivity import sensitivity_report
+
+    tree = _load_platform(args)
+    print(sensitivity_report(tree, speedup=args.speedup, top=args.top))
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    tree = paper_figure4_tree()
+    result = bw_first(tree)
+    allocation = from_bw_first(result)
+    periods = tree_periods(allocation)
+    schedules = build_schedules(allocation, periods=periods)
+    print("reconstructed Section 8 example tree:")
+    print(tree.describe())
+    print()
+    print(transaction_table(result))
+    print()
+    print(rate_table(allocation))
+    print()
+    print(schedule_table(schedules, periods))
+    print()
+    period = global_period(periods)
+    sim = simulate(tree, horizon=10 * period)
+    print(simulation_report(sim, result.throughput, title="10-period simulation"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Bandwidth-centric steady-state scheduling on heterogeneous trees",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def tree_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("tree", help="platform JSON file (or DSL text with --dsl)")
+        p.add_argument("--dsl", action="store_true",
+                       help="parse the TREE argument as DSL text instead of a file")
+
+    p = sub.add_parser("throughput", help="optimal steady-state throughput")
+    tree_arg(p)
+    p.set_defaults(func=_cmd_throughput)
+
+    p = sub.add_parser("schedule", help="full schedule reconstruction")
+    tree_arg(p)
+    p.add_argument("--policy", choices=sorted(POLICIES), default="interleaved")
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("simulate", help="discrete-event simulation report")
+    tree_arg(p)
+    p.add_argument("--horizon", help="stop releasing tasks at this time")
+    p.add_argument("--supply", type=int, help="total number of tasks")
+    p.add_argument("--policy", choices=sorted(POLICIES), default="interleaved")
+    p.add_argument("--buffered-start", action="store_true",
+                   help="use the traditional no-compute start-up baseline")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("gantt", help="ASCII Gantt chart")
+    tree_arg(p)
+    p.add_argument("--horizon", required=True)
+    p.add_argument("--until", help="render only up to this time")
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--nodes", nargs="*", help="nodes to render (default: active)")
+    p.add_argument("--policy", choices=sorted(POLICIES), default="interleaved")
+    p.set_defaults(func=_cmd_gantt)
+
+    p = sub.add_parser("compare", help="rank all built-in strategies")
+    tree_arg(p)
+    p.add_argument("--periods", type=int, default=10,
+                   help="steady-state periods to simulate")
+    p.add_argument("--supply", type=int,
+                   help="finite campaign of N tasks (measures makespan)")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("export",
+                       help="simulate and export CSV traces + SVG charts")
+    tree_arg(p)
+    p.add_argument("--horizon", help="stop releasing tasks at this time")
+    p.add_argument("--supply", type=int, help="total number of tasks")
+    p.add_argument("--out", default=".", help="output directory")
+    p.add_argument("--prefix", default="trace", help="output filename prefix")
+    p.add_argument("--policy", choices=sorted(POLICIES), default="interleaved")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("sensitivity",
+                       help="rank resources by throughput gain when sped up")
+    tree_arg(p)
+    p.add_argument("--speedup", default="2",
+                   help="speed-up factor applied to each resource (default 2)")
+    p.add_argument("--top", type=int, help="show only the best N resources")
+    p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser("dot", help="Graphviz DOT with unvisited nodes greyed")
+    tree_arg(p)
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("example", help="run the built-in paper example")
+    p.set_defaults(func=_cmd_example)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Core scheduling algorithms: the paper's primary contribution.
+
+* :mod:`~repro.core.rates` — exact rational arithmetic helpers;
+* :mod:`~repro.core.fork` — Proposition 1 fork reduction;
+* :mod:`~repro.core.bottomup` — the Beaumont et al. bottom-up method;
+* :mod:`~repro.core.bwfirst` — the BW-First procedure (Algorithm 1);
+* :mod:`~repro.core.allocation` — steady-state rate assignments;
+* :mod:`~repro.core.lp` / :mod:`~repro.core.simplex` — LP oracles.
+"""
+
+from .allocation import Allocation, from_bw_first
+from .bottomup import BottomUpResult, bottom_up_throughput
+from .bwfirst import BWFirstResult, NodeOutcome, Transaction, bw_first, root_proposal
+from .fork import ForkChild, ForkReduction, reduce_fork, reduce_fork_capped, reduce_fork_tree
+from .lp import lp_solution_exact, lp_throughput, lp_throughput_exact
+from .rates import INFINITY, as_fraction, format_fraction, rate_of, time_of
+
+__all__ = [
+    "Allocation",
+    "from_bw_first",
+    "BottomUpResult",
+    "bottom_up_throughput",
+    "BWFirstResult",
+    "NodeOutcome",
+    "Transaction",
+    "bw_first",
+    "root_proposal",
+    "ForkChild",
+    "ForkReduction",
+    "reduce_fork",
+    "reduce_fork_capped",
+    "reduce_fork_tree",
+    "lp_throughput",
+    "lp_throughput_exact",
+    "lp_solution_exact",
+    "INFINITY",
+    "as_fraction",
+    "format_fraction",
+    "rate_of",
+    "time_of",
+]

@@ -1,0 +1,104 @@
+"""The bottom-up throughput method of Beaumont et al. (Section 4).
+
+Starting from the leaves, every fork graph (a node whose children are all
+already reduced to equivalent leaves) is collapsed into a single node of
+equivalent computing power using Proposition 1, until only the root remains;
+the root's equivalent rate is the optimal steady-state throughput of the
+tree.
+
+This is the *baseline* the paper improves upon: it always reduces **every**
+node, even those a bandwidth bottleneck makes unreachable, whereas BW-First
+(:mod:`repro.core.bwfirst`) visits only the nodes the optimal schedule
+actually uses (experiment E6 quantifies the difference).
+
+The implementation is a post-order traversal, which performs exactly the
+same sequence of fork reductions as the level-by-level formulation of the
+paper; every reduction step is recorded so callers can inspect or count
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..platform.tree import Tree
+from .fork import ForkChild, ForkReduction, reduce_fork_capped
+from .rates import ONE
+
+
+@dataclass(frozen=True)
+class BottomUpResult:
+    """Outcome of the bottom-up reduction.
+
+    Attributes
+    ----------
+    throughput:
+        Optimal steady-state throughput of the tree (tasks per time unit).
+    reduced_rates:
+        For every node, the equivalent computing rate of the subtree rooted
+        there (after the incoming-link cap if *capped* was requested).
+    reductions:
+        One :class:`~repro.core.fork.ForkReduction` per internal node, in the
+        order they were performed (post-order — leaves first).
+    reduction_count:
+        Number of fork reductions performed (== number of internal nodes).
+    """
+
+    throughput: Fraction
+    reduced_rates: Dict[Hashable, Fraction]
+    reductions: Tuple[Tuple[Hashable, ForkReduction], ...]
+    reduction_count: int
+
+    @property
+    def nodes_touched(self) -> int:
+        """Number of nodes examined — always *all* of them for bottom-up."""
+        return len(self.reduced_rates)
+
+
+def bottom_up_throughput(tree: Tree, capped: bool = True) -> BottomUpResult:
+    """Compute the optimal steady-state throughput of *tree* bottom-up.
+
+    With ``capped=True`` every reduced subtree rate is clamped to the
+    bandwidth of its incoming link (the ``max{c_{-1}, …}`` of the paper's
+    Proposition 1 step 3); with ``capped=False`` the clamp is left to the
+    parent's own reduction step.  Both return the same throughput — a
+    property the test-suite checks — but the per-subtree ``reduced_rates``
+    differ for subtrees that out-consume their incoming link.
+    """
+    reduced: Dict[Hashable, Fraction] = {}
+    reductions: List[Tuple[Hashable, ForkReduction]] = []
+
+    # Post-order traversal without recursion (chains can be deep).
+    stack: List[Tuple[Hashable, bool]] = [(tree.root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            for child in tree.children(node):
+                stack.append((child, False))
+            continue
+        kids = tree.children(node)
+        if not kids:
+            rate = tree.rate(node)
+            if capped and tree.parent(node) is not None:
+                rate = min(rate, ONE / tree.c(node))
+            reduced[node] = rate
+            continue
+        children = [ForkChild(kid, tree.c(kid), reduced[kid]) for kid in kids]
+        incoming: Optional[Fraction]
+        if capped and tree.parent(node) is not None:
+            incoming = ONE / tree.c(node)
+        else:
+            incoming = None
+        reduction = reduce_fork_capped(tree.rate(node), children, incoming)
+        reduced[node] = reduction.equivalent_rate
+        reductions.append((node, reduction))
+
+    return BottomUpResult(
+        throughput=reduced[tree.root],
+        reduced_rates=reduced,
+        reductions=tuple(reductions),
+        reduction_count=len(reductions),
+    )

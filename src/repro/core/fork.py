@@ -1,0 +1,189 @@
+"""Proposition 1: bandwidth-centric reduction of a fork graph.
+
+A *fork graph* is a parent ``P_0`` with children ``P_1 … P_k`` (Figure 2).
+Under the single-port full-overlap model its steady-state behaviour is that
+of a single node of *equivalent computing power* obtained as follows
+(Beaumont et al., restated as Proposition 1 in the paper):
+
+1. sort the children by increasing communication time
+   ``c_1 ≤ c_2 ≤ … ≤ c_k``;
+2. let ``p`` be the largest index with ``Σ_{j≤p} c_j · r_j ≤ 1`` (the parent
+   can keep its ``p`` fastest-link children saturated within one time unit);
+   let ``ε = 1 − Σ_{j≤p} c_j · r_j`` be the leftover port time if ``p < k``,
+   else ``ε = 0``;
+3. the equivalent computing rate is
+   ``r_f = r_0 + Σ_{j≤p} r_j + ε · b_{p+1}``.
+
+This is the *bandwidth-centric principle*: when the port is the bottleneck,
+tasks go to the children with the fastest links regardless of their compute
+speed; compute speeds only set how much each saturated child absorbs.
+
+The module exposes the reduction on raw ``(name, c, rate)`` triples so the
+bottom-up method can feed it already-reduced subtree rates, plus a
+convenience wrapper operating on a one-level :class:`~repro.platform.tree.Tree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ScheduleError
+from .rates import ONE, ZERO, time_of
+
+
+@dataclass(frozen=True)
+class ForkChild:
+    """One child of a fork: its name, link time ``c`` and computing rate."""
+
+    name: Hashable
+    c: Fraction
+    rate: Fraction
+
+    def __post_init__(self) -> None:
+        if self.c <= 0:
+            raise ScheduleError(f"fork child {self.name!r} has non-positive c={self.c}")
+        if self.rate < 0:
+            raise ScheduleError(f"fork child {self.name!r} has negative rate {self.rate}")
+
+    @property
+    def bandwidth(self) -> Fraction:
+        return ONE / self.c
+
+
+@dataclass(frozen=True)
+class ForkReduction:
+    """The result of applying Proposition 1 to a fork graph.
+
+    Attributes
+    ----------
+    order:
+        The children in bandwidth-centric order (increasing ``c``, stable).
+    p:
+        Number of children that are fully saturated (kept busy at their own
+        computing rate).  ``order[:p]`` are saturated.
+    epsilon:
+        Leftover fraction of the parent's send port after feeding the ``p``
+        saturated children (0 when every child is saturated).
+    partial_child:
+        The ``(p+1)``-th child, which receives tasks at rate
+        ``ε · b_{p+1}`` — or ``None`` when ``p == k`` or ``ε == 0``.
+    equivalent_rate:
+        ``r_f = r_0 + Σ_{j≤p} r_j + ε · b_{p+1}``.
+    deliveries:
+        Tasks/time-unit shipped to each child in the optimal steady state.
+    """
+
+    order: Tuple[ForkChild, ...]
+    p: int
+    epsilon: Fraction
+    partial_child: Optional[ForkChild]
+    parent_rate: Fraction
+    equivalent_rate: Fraction
+    deliveries: Dict[Hashable, Fraction] = field(default_factory=dict)
+
+    @property
+    def equivalent_weight(self):
+        """``w_f = 1/r_f`` with the convention ``1/0 = inf``."""
+        return time_of(self.equivalent_rate)
+
+    @property
+    def port_utilisation(self) -> Fraction:
+        """Fraction of the parent's send-port time used by the deliveries."""
+        return sum(
+            (child.c * self.deliveries[child.name] for child in self.order),
+            ZERO,
+        )
+
+
+def reduce_fork(
+    parent_rate: Fraction,
+    children: Sequence[ForkChild],
+) -> ForkReduction:
+    """Apply Proposition 1 to a fork with the given *parent_rate* and *children*.
+
+    Children are processed in bandwidth-centric order; ties on ``c`` keep the
+    sequence order, making the reduction deterministic.
+    """
+    order = tuple(sorted(children, key=lambda ch: ch.c))
+    # Sorting is stable, so equal-c children keep their original order — the
+    # same deterministic tie-break BW-First uses.
+    port = ONE  # fraction of the send port still available
+    p = 0
+    deliveries: Dict[Hashable, Fraction] = {ch.name: ZERO for ch in order}
+    for child in order:
+        need = child.c * child.rate  # port time to keep this child saturated
+        if need <= port:
+            port -= need
+            deliveries[child.name] = child.rate
+            p += 1
+        else:
+            break
+
+    epsilon = ZERO
+    partial: Optional[ForkChild] = None
+    if p < len(order):
+        epsilon = port
+        partial = order[p]
+        if epsilon > 0:
+            deliveries[partial.name] = epsilon * partial.bandwidth
+        else:
+            partial = None
+
+    rate = parent_rate + sum((deliveries[ch.name] for ch in order), ZERO)
+    return ForkReduction(
+        order=order,
+        p=p,
+        epsilon=epsilon,
+        partial_child=partial,
+        parent_rate=parent_rate,
+        equivalent_rate=rate,
+        deliveries=deliveries,
+    )
+
+
+def reduce_fork_capped(
+    parent_rate: Fraction,
+    children: Sequence[ForkChild],
+    incoming_bandwidth: Optional[Fraction],
+) -> ForkReduction:
+    """Proposition 1 with the incoming-link cap ``r_f ≤ b_{-1}`` applied.
+
+    When the fork hangs below a parent link of bandwidth *incoming_bandwidth*
+    the reduced node can never consume faster than that link delivers
+    (``r_f = min(r_f, b_{-1})``, i.e. ``w_f = max(c_{-1}, 1/r_f)`` as in the
+    paper's step 3).  Capping here or letting the grandparent's own
+    Proposition-1 step do it yields the same tree throughput; both variants
+    exist so the property-based tests can check that equivalence.
+    """
+    reduction = reduce_fork(parent_rate, children)
+    if incoming_bandwidth is None or reduction.equivalent_rate <= incoming_bandwidth:
+        return reduction
+    return ForkReduction(
+        order=reduction.order,
+        p=reduction.p,
+        epsilon=reduction.epsilon,
+        partial_child=reduction.partial_child,
+        parent_rate=reduction.parent_rate,
+        equivalent_rate=incoming_bandwidth,
+        deliveries=reduction.deliveries,
+    )
+
+
+def reduce_fork_tree(tree, node: Optional[Hashable] = None) -> ForkReduction:
+    """Apply Proposition 1 to node *node* of *tree* and its (leaf) children.
+
+    All children of *node* must be leaves (a fork graph); defaults to the
+    root.  Convenience wrapper used by the examples and tests.
+    """
+    if node is None:
+        node = tree.root
+    kids = tree.children(node)
+    for kid in kids:
+        if not tree.is_leaf(kid):
+            raise ScheduleError(
+                f"reduce_fork_tree requires a fork graph; {kid!r} has children"
+            )
+    children = [ForkChild(kid, tree.c(kid), tree.rate(kid)) for kid in kids]
+    return reduce_fork(tree.rate(node), children)

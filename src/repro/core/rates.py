@@ -1,0 +1,170 @@
+"""Exact rational arithmetic helpers used throughout the library.
+
+The paper (Section 3) assumes all node processing times ``w_i`` and link
+communication times ``c_ij`` are *positive rational numbers*; ``w_i = +inf``
+is allowed to model pure forwarders (switches).  Every algorithm in
+:mod:`repro.core` and :mod:`repro.schedule` therefore runs on
+:class:`fractions.Fraction` end-to-end, which lets the test-suite assert the
+paper's propositions with exact equality instead of floating-point
+tolerances.
+
+This module centralises:
+
+* :data:`INFINITY` — the sentinel used for ``w_i = +inf``,
+* :func:`as_fraction` — tolerant conversion of user input to ``Fraction``,
+* :func:`rate_of` / :func:`time_of` — the ``r = 1/w`` duality with the
+  conventions ``1/inf = 0`` and ``1/0 = inf`` from the paper,
+* lcm helpers over fractions (used by Lemma 1 to build integer periods).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Union
+
+from ..exceptions import PlatformError
+
+#: Sentinel for an infinite processing time (a node with no computing power,
+#: e.g. a network switch).  Comparisons like ``Fraction(3) < INFINITY`` work
+#: because ``float('inf')`` compares correctly against ``Fraction``.
+INFINITY: float = math.inf
+
+#: Anything :func:`as_fraction` accepts.
+FractionLike = Union[int, str, Fraction, float]
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+def is_infinite(value: object) -> bool:
+    """Return ``True`` iff *value* is the :data:`INFINITY` sentinel."""
+    return isinstance(value, float) and math.isinf(value) and value > 0
+
+
+def as_fraction(value: FractionLike) -> Fraction:
+    """Convert *value* to an exact :class:`~fractions.Fraction`.
+
+    Accepted inputs:
+
+    * ``int`` and ``Fraction`` — taken as-is;
+    * ``str`` — parsed by ``Fraction`` (``"18/5"``, ``"3.6"``, ``"7"``);
+    * ``float`` — converted through its ``repr`` so that ``0.1`` becomes
+      ``1/10`` (the value the user wrote) rather than the ugly binary
+      expansion ``Fraction(0.1)`` would produce.
+
+    Raises :class:`~repro.exceptions.PlatformError` for NaN/inf floats and
+    unparseable strings; use :data:`INFINITY` explicitly for infinite
+    weights.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise PlatformError(f"cannot interpret boolean {value!r} as a rational number")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise PlatformError(
+                f"cannot convert {value!r} to a rational number; "
+                "use repro.INFINITY for infinite processing times"
+            )
+        return Fraction(repr(value))
+    if isinstance(value, str):
+        try:
+            return Fraction(value.strip())
+        except (ValueError, ZeroDivisionError) as exc:
+            raise PlatformError(f"cannot parse {value!r} as a rational number") from exc
+    raise PlatformError(f"cannot interpret {type(value).__name__} as a rational number")
+
+
+def as_weight(value: FractionLike) -> Union[Fraction, float]:
+    """Convert *value* to a node weight: a positive ``Fraction`` or INFINITY.
+
+    The paper disallows ``w_i = 0`` (it would allow infinitely fast
+    processing) but allows ``w_i = +inf``; the strings ``"inf"``,
+    ``"infinity"`` and ``"+inf"`` are accepted as spellings of the latter.
+    """
+    if is_infinite(value):
+        return INFINITY
+    if isinstance(value, str) and value.strip().lower() in {"inf", "infinity", "+inf"}:
+        return INFINITY
+    frac = as_fraction(value)
+    if frac <= 0:
+        raise PlatformError(f"node weight must be positive (got {frac})")
+    return frac
+
+
+def as_cost(value: FractionLike) -> Fraction:
+    """Convert *value* to an edge communication time: a positive ``Fraction``.
+
+    The paper requires all ``c_ij`` to be positive rationals (a zero cost
+    would allow infinite bandwidth).
+    """
+    frac = as_fraction(value)
+    if frac <= 0:
+        raise PlatformError(f"edge communication time must be positive (got {frac})")
+    return frac
+
+
+def rate_of(weight: Union[Fraction, float]) -> Fraction:
+    """Return the rate ``1/weight`` with the paper's convention ``1/inf = 0``."""
+    if is_infinite(weight):
+        return ZERO
+    if weight <= 0:
+        raise PlatformError(f"cannot take the rate of non-positive weight {weight}")
+    return ONE / weight
+
+
+def time_of(rate: Fraction) -> Union[Fraction, float]:
+    """Return the time-per-task ``1/rate`` with the convention ``1/0 = inf``."""
+    if rate < 0:
+        raise PlatformError(f"cannot take the time of negative rate {rate}")
+    if rate == 0:
+        return INFINITY
+    return ONE / rate
+
+
+def lcm_ints(values: Iterable[int]) -> int:
+    """Least common multiple of positive integers; 1 for an empty iterable."""
+    result = 1
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"lcm is only defined for positive integers (got {v})")
+        result = result * v // math.gcd(result, v)
+    return result
+
+
+def lcm_denominators(values: Iterable[Fraction]) -> int:
+    """LCM of the denominators of *values* (in lowest terms); 1 if empty.
+
+    This is the operation Lemma 1 uses to turn per-time-unit rational rates
+    ``η_i = ν_i/μ_i`` into the shortest period over which an integer number
+    of tasks is handled.
+    """
+    return lcm_ints(v.denominator for v in values)
+
+
+def scaled_integer(value: Fraction, period: Union[int, Fraction]) -> int:
+    """Return ``value * period`` checked to be a non-negative integer.
+
+    Used when materialising the integer task counts ``φ``, ``χ`` and ``ψ`` of
+    equations (2)–(4): the periods are constructed so that the products are
+    integral, and this helper asserts it.
+    """
+    product = value * Fraction(period)
+    if product.denominator != 1:
+        raise ValueError(f"{value} * {period} = {product} is not an integer")
+    if product < 0:
+        raise ValueError(f"{value} * {period} = {product} is negative")
+    return int(product)
+
+
+def format_fraction(value: Union[Fraction, float]) -> str:
+    """Human-readable rendering: ``"3"``, ``"18/5"`` or ``"inf"``."""
+    if is_infinite(value):
+        return "inf"
+    frac = Fraction(value)
+    if frac.denominator == 1:
+        return str(frac.numerator)
+    return f"{frac.numerator}/{frac.denominator}"

@@ -1,0 +1,242 @@
+"""A from-scratch exact rational simplex solver.
+
+Proposition 2 claims BW-First computes the *optimal* steady-state
+throughput.  To verify that claim with exact equality (experiment E7) we
+need a linear-programming oracle that works in rational arithmetic — a
+floating-point solver can only confirm it up to tolerance.  This module
+implements a small dense two-phase primal simplex over
+:class:`~fractions.Fraction`:
+
+* standard form: maximize ``c·x`` subject to ``A_ub x ≤ b_ub``,
+  ``A_eq x = b_eq``, ``x ≥ 0``;
+* phase 1 drives artificial variables out with the auxiliary objective;
+* **Bland's rule** (smallest-index entering and leaving variable) guarantees
+  termination — no cycling — at the cost of speed, which is irrelevant at
+  the tree sizes the tests use.
+
+It is deliberately simple and dense; for anything beyond a few hundred
+variables use :func:`repro.core.lp.lp_throughput` (scipy/HiGHS) instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from ..exceptions import SolverError
+from .rates import ONE, ZERO
+
+Matrix = List[List[Fraction]]
+Vector = List[Fraction]
+
+#: Solver status values.
+OPTIMAL = "optimal"
+INFEASIBLE = "infeasible"
+UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class SimplexResult:
+    """Outcome of :func:`solve_lp`."""
+
+    status: str
+    objective: Optional[Fraction]
+    x: Optional[Vector]
+
+    def require_optimal(self) -> "SimplexResult":
+        """Return self, raising :class:`SolverError` unless status is optimal."""
+        if self.status != OPTIMAL:
+            raise SolverError(f"LP did not solve to optimality: {self.status}")
+        return self
+
+
+def solve_lp(
+    c: Sequence[Fraction],
+    a_ub: Sequence[Sequence[Fraction]] = (),
+    b_ub: Sequence[Fraction] = (),
+    a_eq: Sequence[Sequence[Fraction]] = (),
+    b_eq: Sequence[Fraction] = (),
+) -> SimplexResult:
+    """Maximize ``c·x`` s.t. ``a_ub x ≤ b_ub``, ``a_eq x = b_eq``, ``x ≥ 0``.
+
+    All inputs are coerced to :class:`~fractions.Fraction`; the result is
+    exact.  Returns a :class:`SimplexResult` whose status is one of
+    :data:`OPTIMAL`, :data:`INFEASIBLE`, :data:`UNBOUNDED`.
+    """
+    n = len(c)
+    cost = [Fraction(v) for v in c]
+    rows: Matrix = []
+    rhs: Vector = []
+    kinds: List[str] = []  # "ub" or "eq" per row, post-normalisation sign applied
+
+    for row, b in zip(a_ub, b_ub, strict=True):
+        if len(row) != n:
+            raise SolverError("a_ub row length does not match len(c)")
+        rows.append([Fraction(v) for v in row])
+        rhs.append(Fraction(b))
+        kinds.append("ub")
+    for row, b in zip(a_eq, b_eq, strict=True):
+        if len(row) != n:
+            raise SolverError("a_eq row length does not match len(c)")
+        rows.append([Fraction(v) for v in row])
+        rhs.append(Fraction(b))
+        kinds.append("eq")
+
+    m = len(rows)
+    if m == 0:
+        # only x ≥ 0: bounded iff no positive cost coefficient
+        if any(v > 0 for v in cost):
+            return SimplexResult(UNBOUNDED, None, None)
+        return SimplexResult(OPTIMAL, ZERO, [ZERO] * n)
+
+    # ------------------------------------------------------------------
+    # build the phase-1 tableau: columns = [x | slacks/surpluses | artificials]
+    # ------------------------------------------------------------------
+    slack_cols: List[Optional[int]] = [None] * m
+    art_cols: List[Optional[int]] = [None] * m
+    num_extra = 0
+
+    # normalise rhs signs first
+    for i in range(m):
+        if rhs[i] < 0:
+            rhs[i] = -rhs[i]
+            rows[i] = [-v for v in rows[i]]
+            if kinds[i] == "ub":
+                kinds[i] = "ge"  # a ≤ with negative b becomes a ≥ with positive b
+
+    # column layout
+    for i in range(m):
+        if kinds[i] == "ub":
+            slack_cols[i] = n + num_extra
+            num_extra += 1
+        elif kinds[i] == "ge":
+            slack_cols[i] = n + num_extra  # surplus (coefficient −1)
+            num_extra += 1
+    num_slack = num_extra
+    for i in range(m):
+        if kinds[i] != "ub":  # ge and eq rows need an artificial
+            art_cols[i] = n + num_extra
+            num_extra += 1
+
+    total = n + num_extra
+    tableau: Matrix = []
+    basis: List[int] = []
+    for i in range(m):
+        row = rows[i] + [ZERO] * num_extra
+        if kinds[i] == "ub":
+            row[slack_cols[i]] = ONE
+            basis.append(slack_cols[i])
+        elif kinds[i] == "ge":
+            row[slack_cols[i]] = -ONE
+            row[art_cols[i]] = ONE
+            basis.append(art_cols[i])
+        else:  # eq
+            row[art_cols[i]] = ONE
+            basis.append(art_cols[i])
+        tableau.append(row)
+
+    artificial_set = {col for col in art_cols if col is not None}
+
+    # ------------------------------------------------------------------
+    # phase 1: minimise the sum of artificials
+    # ------------------------------------------------------------------
+    if artificial_set:
+        phase1_cost = [ZERO] * total
+        for col in artificial_set:
+            phase1_cost[col] = -ONE  # maximise −Σ artificials
+        value = _simplex_iterate(tableau, rhs, basis, phase1_cost)
+        if value is None:
+            raise SolverError("phase-1 auxiliary LP reported unbounded")  # impossible
+        if value != 0:
+            return SimplexResult(INFEASIBLE, None, None)
+        # pivot any artificial still (degenerately) in the basis out of it
+        for i in range(m):
+            if basis[i] in artificial_set:
+                pivot_col = next(
+                    (j for j in range(n + num_slack) if tableau[i][j] != 0),
+                    None,
+                )
+                if pivot_col is None:
+                    continue  # redundant row; the artificial stays at zero
+                _pivot(tableau, rhs, basis, i, pivot_col)
+
+    # ------------------------------------------------------------------
+    # phase 2: original objective, artificial columns frozen at zero
+    # ------------------------------------------------------------------
+    phase2_cost = cost + [ZERO] * num_extra
+    value = _simplex_iterate(tableau, rhs, basis, phase2_cost,
+                             forbidden=artificial_set)
+    if value is None:
+        return SimplexResult(UNBOUNDED, None, None)
+
+    x = [ZERO] * n
+    for i, col in enumerate(basis):
+        if col < n:
+            x[col] = rhs[i]
+    return SimplexResult(OPTIMAL, value, x)
+
+
+def _simplex_iterate(
+    tableau: Matrix,
+    rhs: Vector,
+    basis: List[int],
+    cost: Vector,
+    forbidden: frozenset = frozenset(),
+) -> Optional[Fraction]:
+    """Run Bland-rule simplex pivots in place; return the objective value.
+
+    Returns ``None`` when the LP is unbounded.  *forbidden* columns may
+    never enter the basis (used to freeze phase-1 artificials).
+    """
+    m = len(tableau)
+    total = len(cost)
+    while True:
+        # reduced costs: cost_j − cB · column_j
+        cb = [cost[basis[i]] for i in range(m)]
+        entering = -1
+        for j in range(total):
+            if j in forbidden or j in basis:
+                continue
+            reduced = cost[j] - sum(cb[i] * tableau[i][j] for i in range(m))
+            if reduced > 0:  # Bland: first improving column
+                entering = j
+                break
+        if entering < 0:
+            value = sum(cb[i] * rhs[i] for i in range(m))
+            return value
+
+        # ratio test with Bland's tie-break: smallest basis index leaves
+        leaving = -1
+        best_ratio: Optional[Fraction] = None
+        for i in range(m):
+            coeff = tableau[i][entering]
+            if coeff > 0:
+                ratio = rhs[i] / coeff
+                if best_ratio is None or ratio < best_ratio or (
+                    ratio == best_ratio and basis[i] < basis[leaving]
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return None  # unbounded direction
+        _pivot(tableau, rhs, basis, leaving, entering)
+
+
+def _pivot(tableau: Matrix, rhs: Vector, basis: List[int], row: int, col: int) -> None:
+    """Gauss–Jordan pivot on (row, col), updating basis bookkeeping."""
+    pivot = tableau[row][col]
+    if pivot == 0:
+        raise SolverError("pivot on a zero element")
+    inv = ONE / pivot
+    tableau[row] = [v * inv for v in tableau[row]]
+    rhs[row] *= inv
+    for i in range(len(tableau)):
+        if i == row:
+            continue
+        factor = tableau[i][col]
+        if factor == 0:
+            continue
+        tableau[i] = [a - factor * b for a, b in zip(tableau[i], tableau[row])]
+        rhs[i] -= factor * rhs[row]
+    basis[row] = col

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  The sub-classes separate the three broad
+failure domains: malformed platform descriptions, infeasible or inconsistent
+scheduling computations, and simulation-time violations of the single-port
+full-overlap model.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class PlatformError(ReproError):
+    """A platform (tree) description is malformed.
+
+    Raised for duplicate node names, unknown parents, non-positive weights,
+    edges that would create a cycle, and similar structural problems.
+    """
+
+
+class ScheduleError(ReproError):
+    """A schedule computation is inconsistent.
+
+    Raised when a conservation law is violated, when a period cannot be
+    derived (e.g. irrational input sneaked in), or when a local schedule is
+    asked to order quantities that do not match its bunch size.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator detected an impossible state.
+
+    This signals a bug in a scheduling policy (e.g. two concurrent sends from
+    a single-port node) rather than a user input error.
+    """
+
+
+class ProtocolError(ReproError):
+    """The distributed BW-First protocol received an out-of-order message."""
+
+
+class SolverError(ReproError):
+    """A linear-programming solver failed or returned an infeasible status."""

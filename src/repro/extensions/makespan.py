@@ -1,0 +1,88 @@
+"""Finite-N makespan via the steady-state schedule (the Dutot problem).
+
+Makespan minimisation on heterogeneous trees is NP-hard (Dutot, cited in
+Section 2); the paper argues its scheduling strategy is "a good heuristic
+candidate" because it attains the optimal throughput with quick start-up and
+wind-down phases.  This module turns that argument into a measurable
+heuristic:
+
+* :func:`makespan_lower_bound` — ``N / ρ*`` with ``ρ*`` the optimal
+  steady-state throughput: no schedule can beat it (each of the ``N`` tasks
+  must be computed somewhere, and the platform computes at most ``ρ*``
+  tasks per time unit in any time window... asymptotically);
+* :func:`steady_state_makespan` — simulate the event-driven schedule with a
+  supply of exactly ``N`` tasks and report when the last one completes;
+* :func:`makespan_report` — both numbers and their ratio, which tends to 1
+  as ``N`` grows (experiment ``bench_e4``/examples use it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional
+
+from ..core.allocation import Allocation, from_bw_first
+from ..core.bwfirst import bw_first
+from ..exceptions import ScheduleError
+from ..platform.tree import Tree
+from ..schedule.local import interleaved_order
+from ..sim.simulator import SimulationResult, simulate
+
+
+def makespan_lower_bound(tree: Tree, n_tasks: int) -> Fraction:
+    """The steady-state bound ``N / ρ*`` on any schedule's makespan."""
+    if n_tasks < 0:
+        raise ScheduleError("task count must be non-negative")
+    throughput = bw_first(tree).throughput
+    if throughput == 0:
+        raise ScheduleError("platform has no computing power")
+    return Fraction(n_tasks) / throughput
+
+
+def steady_state_makespan(
+    tree: Tree,
+    n_tasks: int,
+    allocation: Optional[Allocation] = None,
+    policy: Callable = interleaved_order,
+) -> SimulationResult:
+    """Run the paper's schedule on a supply of exactly *n_tasks* tasks.
+
+    The returned result's ``end_time`` is the measured makespan (time of the
+    last completion; every released task is computed, which the caller can
+    assert via ``completed == n_tasks``).
+    """
+    if n_tasks <= 0:
+        raise ScheduleError("need at least one task")
+    return simulate(tree, allocation=allocation, policy=policy, supply=n_tasks)
+
+
+@dataclass(frozen=True)
+class MakespanReport:
+    """Lower bound vs achieved makespan for one (tree, N) instance."""
+
+    n_tasks: int
+    lower_bound: Fraction
+    makespan: Fraction
+    completed: int
+
+    @property
+    def ratio(self) -> Fraction:
+        """Achieved / bound — approaches 1 as N grows."""
+        return self.makespan / self.lower_bound
+
+
+def makespan_report(tree: Tree, n_tasks: int) -> MakespanReport:
+    """Measure the heuristic against the bound on one instance."""
+    bound = makespan_lower_bound(tree, n_tasks)
+    result = steady_state_makespan(tree, n_tasks)
+    if result.completed != n_tasks:
+        raise ScheduleError(
+            f"simulation completed {result.completed} of {n_tasks} tasks"
+        )
+    return MakespanReport(
+        n_tasks=n_tasks,
+        lower_bound=bound,
+        makespan=result.end_time,
+        completed=result.completed,
+    )

@@ -1,0 +1,135 @@
+"""The multiple-port model of Shao et al. (Section 2 related work).
+
+Shao et al. solved steady-state Master–Worker tasking with a network-flow
+approach under the **multiple-port, full-overlap** model, "where the number
+of simultaneous communications for a given node is not bounded": each *link*
+still carries at most ``1/c`` tasks per time unit, but a node may drive all
+its links at once — there is no shared send-port budget.
+
+This module quantifies what the single-port restriction costs:
+
+* :func:`multiport_lp_throughput` — exact optimal throughput under the
+  multiple-port model (drop the send-port rows, keep per-link capacities);
+* :func:`multiport_throughput` — the same by direct combinatorial
+  evaluation: without port coupling, each subtree independently absorbs
+  ``min(b_in, r + Σ children)``, so a single bottom-up sweep suffices
+  (cross-checked against the LP in the tests);
+* :func:`port_gap_report` — single-port vs multi-port throughput on one
+  platform, the ablation of experiment E15.
+
+The multi-port optimum is always ≥ the single-port one, with equality when
+no node's send port is the binding resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, List, Tuple
+
+from ..core.bwfirst import bw_first
+from ..core.rates import ONE, ZERO
+from ..core.simplex import solve_lp
+from ..platform.tree import Tree
+
+
+def multiport_throughput(tree: Tree) -> Fraction:
+    """Optimal steady-state throughput under the multiple-port model.
+
+    Bottom-up: each subtree absorbs its own compute rate plus whatever its
+    children absorb, capped only by its incoming link bandwidth — the ports
+    impose no coupling between siblings.
+    """
+    absorb: Dict[Hashable, Fraction] = {}
+    stack: List[Tuple[Hashable, bool]] = [(tree.root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            for child in tree.children(node):
+                stack.append((child, False))
+            continue
+        total = tree.rate(node)
+        for child in tree.children(node):
+            total += absorb[child]
+        if tree.parent(node) is not None:
+            total = min(total, ONE / tree.c(node))
+        absorb[node] = total
+    return absorb[tree.root]
+
+
+def multiport_lp_throughput(tree: Tree) -> Fraction:
+    """The multiple-port optimum by exact LP (independent cross-check).
+
+    Same variables and conservation rows as the single-port LP, but the
+    send-port rows ``Σ c_e s_e ≤ 1`` are replaced by per-link capacities
+    ``c_e s_e ≤ 1`` (which equal the receive-port rows and are kept once).
+    """
+    nodes = list(tree.nodes())
+    edges = [(p, ch) for p, ch, _ in tree.edges()]
+    alpha_index = {node: i for i, node in enumerate(nodes)}
+    edge_index = {edge: len(nodes) + j for j, edge in enumerate(edges)}
+    num_vars = len(nodes) + len(edges)
+
+    def zeros() -> List[Fraction]:
+        return [ZERO] * num_vars
+
+    c_obj = zeros()
+    for node in nodes:
+        c_obj[alpha_index[node]] = ONE
+
+    a_ub: List[List[Fraction]] = []
+    b_ub: List[Fraction] = []
+    a_eq: List[List[Fraction]] = []
+    b_eq: List[Fraction] = []
+
+    for node in nodes:
+        row = zeros()
+        row[alpha_index[node]] = ONE
+        a_ub.append(row)
+        b_ub.append(tree.rate(node))
+
+        if node != tree.root:
+            parent = tree.parent(node)
+            in_var = edge_index[(parent, node)]
+
+            # per-link capacity (the only communication constraint left)
+            row = zeros()
+            row[in_var] = tree.c(node)
+            a_ub.append(row)
+            b_ub.append(ONE)
+
+            # conservation
+            row = zeros()
+            row[in_var] = ONE
+            row[alpha_index[node]] = -ONE
+            for child in tree.children(node):
+                row[edge_index[(node, child)]] = -ONE
+            a_eq.append(row)
+            b_eq.append(ZERO)
+
+    result = solve_lp(c_obj, a_ub, b_ub, a_eq, b_eq).require_optimal()
+    return result.objective
+
+
+@dataclass(frozen=True)
+class PortGapReport:
+    """Single-port vs multiple-port throughput on one platform."""
+
+    single_port: Fraction
+    multi_port: Fraction
+
+    @property
+    def gap(self) -> Fraction:
+        """Fraction of the multi-port optimum lost to the single port."""
+        if self.multi_port == 0:
+            return Fraction(0)
+        return 1 - self.single_port / self.multi_port
+
+
+def port_gap_report(tree: Tree) -> PortGapReport:
+    """Measure the cost of the single-port restriction on *tree*."""
+    return PortGapReport(
+        single_port=bw_first(tree).throughput,
+        multi_port=multiport_throughput(tree),
+    )

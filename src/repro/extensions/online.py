@@ -1,0 +1,162 @@
+"""Online re-negotiation: the paper's synchronization-overhead question.
+
+Section 5 leaves for future work "measuring the overhead incurred by the
+global synchronization phase" when the root re-initiates BW-First on a
+running platform.  This module stages the full scenario inside one
+discrete-event simulation:
+
+1. the platform executes the schedule negotiated for the *believed*
+   weights;
+2. at ``t_drift`` the physical platform changes (links slow down, CPUs
+   throttle) — in-flight transfers finish at their old durations, new ones
+   take the new times, and the stale schedule's achieved rate degrades;
+3. at ``t_renegotiate`` the root re-runs BW-First against the *actual*
+   platform.  The negotiation's messages occupy the very send ports that
+   carry tasks: for every transaction, a control job of the message
+   latency pre-empts the parent's and the child's port.  Its wall-clock
+   comes from the latency-modelled protocol run;
+4. when the root's acknowledgment arrives, every node switches to the new
+   event-driven schedule in place (clock-free nodes just continue into the
+   new bunch orders; the root re-anchors its release grid).
+
+The result is a *throughput timeline* from which the report reads: the
+rate before the drift, the degraded rate, the dip (if any) during the
+negotiation window, and the recovered rate — which converges to the new
+platform's exact optimum, as the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from ..analysis.throughput import measured_rate
+from ..core.allocation import from_bw_first
+from ..core.bwfirst import bw_first
+from ..exceptions import SimulationError
+from ..platform.tree import Tree
+from ..protocol.runner import run_protocol
+from ..schedule.eventdriven import build_schedules
+from ..schedule.periods import global_period, tree_periods
+from ..sim.simulator import Simulation
+
+
+@dataclass(frozen=True)
+class OnlineReport:
+    """Outcome of one online drift-and-renegotiate run."""
+
+    old_optimum: Fraction
+    new_optimum: Fraction
+    rate_before_drift: Fraction
+    rate_degraded: Fraction
+    rate_recovered: Fraction
+    t_drift: Fraction
+    t_renegotiate: Fraction
+    t_switched: Fraction
+    negotiation_messages: int
+    timeline: Tuple[Tuple[Fraction, Fraction], ...]  # (window start, rate)
+    result: object = None  # the full SimulationResult (trace inspection)
+
+    @property
+    def negotiation_wallclock(self) -> Fraction:
+        """Time between initiating the re-negotiation and switching."""
+        return self.t_switched - self.t_renegotiate
+
+    @property
+    def recovery(self) -> Fraction:
+        """Recovered rate as a fraction of the new optimum."""
+        if self.new_optimum == 0:
+            return Fraction(1)
+        return self.rate_recovered / self.new_optimum
+
+
+def online_renegotiation(
+    believed: Tree,
+    actual: Tree,
+    drift_periods: int = 4,
+    degraded_periods: int = 4,
+    recovery_periods: int = 8,
+    latency_factor=Fraction(1, 100),
+    window: Optional[int] = None,
+) -> OnlineReport:
+    """Run the full online scenario and measure the throughput timeline.
+
+    Phase lengths are in *believed* global periods: the drift happens after
+    ``drift_periods``, the root reacts after another ``degraded_periods``,
+    and the run continues for ``recovery_periods`` of the **new** schedule's
+    global period after the switch.  *window* (default: the believed global
+    period) is the timeline resolution.
+    """
+    if set(believed.nodes()) != set(actual.nodes()):
+        raise SimulationError("believed and actual platforms must share topology")
+
+    old_allocation = from_bw_first(bw_first(believed))
+    old_periods = tree_periods(old_allocation)
+    old_schedules = build_schedules(old_allocation, periods=old_periods)
+    old_t = global_period(old_periods)
+
+    new_allocation = from_bw_first(bw_first(actual))
+    new_periods = tree_periods(new_allocation)
+    new_schedules = build_schedules(new_allocation, periods=new_periods)
+    new_t = global_period(new_periods)
+
+    t_drift = Fraction(old_t * drift_periods)
+    t_renegotiate = t_drift + old_t * degraded_periods
+
+    # the negotiation against the actual platform (messages + wall-clock)
+    negotiation = run_protocol(actual, latency_factor=latency_factor)
+    t_switched = t_renegotiate + negotiation.completion_time
+    horizon = t_switched + Fraction(new_t * recovery_periods)
+
+    sim = Simulation(
+        believed,
+        dict(old_schedules),
+        dict(old_periods),
+        horizon=horizon,
+    )
+
+    sim.engine.schedule_at(t_drift, lambda: sim.swap_platform(actual))
+
+    def start_negotiation() -> None:
+        # every transaction costs one control job on the proposing parent
+        # and one on the acknowledging child
+        for node, actor in negotiation.actors.items():
+            for child, _beta, _theta in actor.transactions:
+                latency = actual.c(child) * Fraction(latency_factor)
+                sim.inject_control(node, latency)
+                sim.inject_control(child, latency)
+
+    sim.engine.schedule_at(t_renegotiate, start_negotiation)
+    sim.engine.schedule_at(
+        t_switched, lambda: sim.reconfigure(new_schedules, new_periods)
+    )
+
+    result = sim.run()
+
+    w = Fraction(window if window is not None else old_t)
+    timeline: List[Tuple[Fraction, Fraction]] = []
+    start = Fraction(0)
+    stop = result.stop_time if result.stop_time is not None else result.end_time
+    while start + w <= stop:  # the wind-down tail is not part of the story
+        timeline.append((start, measured_rate(result.trace, start, start + w)))
+        start += w
+
+    def rate(lo: Fraction, hi: Fraction) -> Fraction:
+        return measured_rate(result.trace, lo, hi)
+
+    return OnlineReport(
+        old_optimum=old_allocation.throughput,
+        new_optimum=new_allocation.throughput,
+        rate_before_drift=rate(Fraction(0), t_drift),
+        rate_degraded=rate(t_drift + old_t, t_renegotiate),
+        rate_recovered=rate(
+            t_switched + (horizon - t_switched) / 2, horizon
+        ),
+        t_drift=t_drift,
+        t_renegotiate=t_renegotiate,
+        t_switched=t_switched,
+        negotiation_messages=negotiation.messages,
+        timeline=tuple(timeline),
+        result=result,
+    )

@@ -1,0 +1,222 @@
+"""Searching for the best overlay tree on a physical network (Section 5).
+
+The paper argues BW-First "might be a useful tool for topological studies,
+which aim at determining the best tree overlay network that is built on top
+of the physical network topology — a quick way to evaluate the throughput
+of a tree allows to consider a wider set of trees."  This module is that
+tool:
+
+* :func:`overlay_from_parents` — materialise a spanning arborescence of the
+  physical graph as a schedulable :class:`~repro.platform.tree.Tree`;
+* :func:`hill_climb` — local search over overlays: repeatedly re-attach one
+  node to a different physical neighbour when that increases the BW-First
+  throughput; seeded, with random restarts from perturbed shortest-path
+  trees;
+* :func:`enumerate_overlays` — exhaustive enumeration of all spanning
+  trees for *small* graphs (the ground truth the tests compare against).
+
+Throughput evaluation is exact and cheap (BW-First visits only the nodes
+the schedule uses), which is what makes thousands of candidate overlays per
+second feasible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..core.bwfirst import bw_first
+from ..core.rates import INFINITY, as_fraction
+from ..exceptions import PlatformError
+from ..platform.tree import Tree
+
+Parents = Dict[Hashable, Hashable]
+
+
+def overlay_from_parents(
+    graph: nx.Graph,
+    root: Hashable,
+    parents: Parents,
+    node_weights: Mapping[Hashable, object],
+    edge_cost_attr: str = "c",
+) -> Tree:
+    """Build the overlay :class:`Tree` described by a parent map.
+
+    *parents* maps every non-root node to its overlay parent; each pair must
+    be a physical edge of *graph*.  Raises on cycles or disconnection.
+    """
+    children: Dict[Hashable, List[Hashable]] = {n: [] for n in graph.nodes}
+    for node, parent in parents.items():
+        if node == root:
+            raise PlatformError("the root cannot have a parent")
+        if not graph.has_edge(parent, node):
+            raise PlatformError(f"({parent!r}, {node!r}) is not a physical link")
+        children[parent].append(node)
+
+    tree = Tree(root, node_weights.get(root, INFINITY))
+    stack = [root]
+    while stack:
+        parent = stack.pop()
+        for child in children[parent]:
+            cost = as_fraction(graph.edges[parent, child][edge_cost_attr])
+            tree.add_node(child, node_weights.get(child, INFINITY),
+                          parent=parent, c=cost)
+            stack.append(child)
+    if len(tree) != graph.number_of_nodes():
+        raise PlatformError("parent map does not span the graph (cycle?)")
+    return tree
+
+
+def _initial_parents(graph: nx.Graph, root: Hashable,
+                     edge_cost_attr: str) -> Parents:
+    """Shortest-path-tree parents (the natural starting overlay)."""
+    paths = nx.shortest_path(graph, source=root, weight=edge_cost_attr)
+    missing = set(graph.nodes) - set(paths)
+    if missing:
+        raise PlatformError(f"nodes unreachable from the root: {missing}")
+    return {node: path[-2] for node, path in paths.items() if node != root}
+
+
+def _subtree(parents: Parents, root: Hashable, node: Hashable) -> set:
+    """All overlay descendants of *node* (inclusive)."""
+    children: Dict[Hashable, List[Hashable]] = {}
+    for child, parent in parents.items():
+        children.setdefault(parent, []).append(child)
+    out = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        out.add(current)
+        stack.extend(children.get(current, []))
+    return out
+
+
+@dataclass(frozen=True)
+class OverlaySearchResult:
+    """Best overlay found and the search trajectory."""
+
+    tree: Tree
+    throughput: Fraction
+    evaluations: int
+    history: Tuple[Fraction, ...]  # best-so-far after each improvement
+
+    @property
+    def improvement(self) -> Fraction:
+        """Gain over the starting overlay (history[0])."""
+        if not self.history or self.history[0] == 0:
+            return Fraction(0)
+        return self.throughput / self.history[0] - 1
+
+
+def hill_climb(
+    graph: nx.Graph,
+    root: Hashable,
+    node_weights: Mapping[Hashable, object],
+    edge_cost_attr: str = "c",
+    iterations: int = 300,
+    restarts: int = 3,
+    seed: int = 0,
+) -> OverlaySearchResult:
+    """Seeded stochastic hill climbing over overlay trees.
+
+    Each step re-attaches one random node to a random physical neighbour
+    outside its own subtree and keeps the move iff the exact BW-First
+    throughput does not decrease (accepting sideways moves lets the search
+    traverse plateaus).  Restarts perturb the shortest-path tree.
+    """
+    rng = random.Random(seed)
+    evaluations = 0
+
+    def evaluate(parents: Parents) -> Fraction:
+        nonlocal evaluations
+        evaluations += 1
+        tree = overlay_from_parents(graph, root, parents,
+                                    node_weights, edge_cost_attr)
+        return bw_first(tree).throughput
+
+    base = _initial_parents(graph, root, edge_cost_attr)
+    best_parents = dict(base)
+    best_value = evaluate(best_parents)
+    history: List[Fraction] = [best_value]
+
+    nodes = [n for n in graph.nodes if n != root]
+    for restart in range(restarts):
+        parents = dict(base)
+        if restart > 0:  # perturb: a few random (valid) re-attachments
+            for _ in range(min(3, len(nodes))):
+                node = rng.choice(nodes)
+                banned = _subtree(parents, root, node)
+                options = [u for u in graph.neighbors(node) if u not in banned]
+                if options:
+                    parents[node] = rng.choice(options)
+        value = evaluate(parents)
+
+        for _ in range(iterations):
+            node = rng.choice(nodes)
+            banned = _subtree(parents, root, node)
+            options = [u for u in graph.neighbors(node)
+                       if u not in banned and u != parents[node]]
+            if not options:
+                continue
+            candidate = dict(parents)
+            candidate[node] = rng.choice(options)
+            candidate_value = evaluate(candidate)
+            if candidate_value >= value:
+                parents, value = candidate, candidate_value
+                if value > best_value:
+                    best_parents, best_value = dict(parents), value
+                    history.append(value)
+
+    tree = overlay_from_parents(graph, root, best_parents,
+                                node_weights, edge_cost_attr)
+    return OverlaySearchResult(
+        tree=tree,
+        throughput=best_value,
+        evaluations=evaluations,
+        history=tuple(history),
+    )
+
+
+def enumerate_overlays(
+    graph: nx.Graph,
+    root: Hashable,
+    node_weights: Mapping[Hashable, object],
+    edge_cost_attr: str = "c",
+    max_nodes: int = 8,
+) -> Tuple[Tree, Fraction, int]:
+    """Exhaustive optimum over all spanning trees (small graphs only).
+
+    Returns ``(best_tree, best_throughput, candidates_examined)``.  Guarded
+    by *max_nodes* — the number of spanning trees grows super-exponentially.
+    """
+    n = graph.number_of_nodes()
+    if n > max_nodes:
+        raise PlatformError(
+            f"enumeration is limited to {max_nodes} nodes (got {n})"
+        )
+    best: Optional[Tuple[Tree, Fraction]] = None
+    examined = 0
+    edges = list(graph.edges)
+    for subset in combinations(edges, n - 1):
+        candidate = nx.Graph(list(subset))
+        if candidate.number_of_nodes() != n or not nx.is_connected(candidate):
+            continue
+        if root not in candidate:
+            continue
+        parents = {}
+        for parent, child in nx.bfs_edges(candidate, source=root):
+            parents[child] = parent
+        tree = overlay_from_parents(graph, root, parents,
+                                    node_weights, edge_cost_attr)
+        examined += 1
+        value = bw_first(tree).throughput
+        if best is None or value > best[1]:
+            best = (tree, value)
+    if best is None:
+        raise PlatformError("the graph has no spanning tree containing the root")
+    return best[0], best[1], examined

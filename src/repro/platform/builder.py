@@ -1,0 +1,131 @@
+"""Fluent construction helpers for :class:`~repro.platform.tree.Tree`.
+
+Two styles are supported:
+
+* :class:`TreeBuilder` — a chainable builder convenient in scripts::
+
+      tree = (
+          TreeBuilder("P0", w=3)
+          .child("P0", "P1", w=3, c=1)
+          .child("P1", "P4", w=9, c="18/5")
+          .build()
+      )
+
+* :func:`tree_from_nested` — a declarative nested-dict format convenient for
+  fixtures and configuration files::
+
+      tree_from_nested({
+          "name": "P0", "w": 3,
+          "children": [
+              {"name": "P1", "w": 3, "c": 1},
+          ],
+      })
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..core.rates import INFINITY, FractionLike
+from ..exceptions import PlatformError
+from .tree import NodeId, Tree
+
+
+class TreeBuilder:
+    """Chainable builder around :class:`~repro.platform.tree.Tree`."""
+
+    def __init__(self, root: NodeId, w: FractionLike = INFINITY):
+        self._tree = Tree(root, w)
+        self._built = False
+
+    def child(
+        self,
+        parent: NodeId,
+        name: NodeId,
+        w: FractionLike,
+        c: FractionLike,
+    ) -> "TreeBuilder":
+        """Add node *name* (weight *w*) under *parent* via an edge of cost *c*."""
+        self._check_open()
+        self._tree.add_node(name, w, parent=parent, c=c)
+        return self
+
+    def switch(self, parent: NodeId, name: NodeId, c: FractionLike) -> "TreeBuilder":
+        """Add a pure forwarding node (``w = +inf``) under *parent*."""
+        return self.child(parent, name, INFINITY, c)
+
+    def chain(
+        self,
+        parent: NodeId,
+        names: Sequence[NodeId],
+        w: FractionLike,
+        c: FractionLike,
+    ) -> "TreeBuilder":
+        """Add a daisy-chain of identical nodes hanging under *parent*."""
+        self._check_open()
+        prev = parent
+        for name in names:
+            self._tree.add_node(name, w, parent=prev, c=c)
+            prev = name
+        return self
+
+    def fork(
+        self,
+        parent: NodeId,
+        names: Sequence[NodeId],
+        weights: Sequence[FractionLike],
+        costs: Sequence[FractionLike],
+    ) -> "TreeBuilder":
+        """Add several children of *parent* at once (a fork graph)."""
+        self._check_open()
+        if not (len(names) == len(weights) == len(costs)):
+            raise PlatformError("fork: names, weights and costs must have equal length")
+        for name, w, c in zip(names, weights, costs):
+            self._tree.add_node(name, w, parent=parent, c=c)
+        return self
+
+    def build(self) -> Tree:
+        """Finalize and return the tree.  The builder cannot be reused."""
+        self._check_open()
+        self._built = True
+        return self._tree
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise PlatformError("TreeBuilder already built; create a new builder")
+
+
+def tree_from_nested(spec: Mapping) -> Tree:
+    """Build a tree from a nested-dictionary specification.
+
+    Each node dict holds ``name``, ``w`` (weight, ``"inf"`` allowed),
+    optionally ``c`` (cost of the incoming edge; required for non-root
+    nodes) and ``children`` (a list of node dicts).
+    """
+    tree = Tree(spec["name"], _parse_weight(spec.get("w", "inf")))
+
+    def attach(parent: NodeId, child_spec: Mapping) -> None:
+        if "c" not in child_spec:
+            raise PlatformError(
+                f"node {child_spec.get('name')!r} is missing its edge cost 'c'"
+            )
+        tree.add_node(
+            child_spec["name"],
+            _parse_weight(child_spec.get("w", "inf")),
+            parent=parent,
+            c=child_spec["c"],
+        )
+        for grandchild in child_spec.get("children", ()):
+            attach(child_spec["name"], grandchild)
+
+    for child in spec.get("children", ()):
+        attach(spec["name"], child)
+    return tree
+
+
+def _parse_weight(value: Optional[FractionLike]) -> FractionLike:
+    if isinstance(value, str) and value.strip().lower() in {"inf", "infinity", "+inf"}:
+        return INFINITY
+    if value is None:
+        return INFINITY
+    return value

@@ -1,0 +1,153 @@
+"""A compact one-line text grammar for tree platforms.
+
+JSON (``repro.platform.serialization``) is the interchange format; this DSL
+is the *human* format — handy in docstrings, tests and shell pipelines::
+
+    P0(w=3)[P1(w=3,c=1)[P4(w=9,c=18/5)[P8(w=6,c=2)]], P2(w=18,c=2)]
+
+Grammar::
+
+    tree     := node
+    node     := NAME "(" attrs ")" [ "[" node ("," node)* "]" ]
+    attrs    := "w=" value [ "," "c=" value ]      # c required below the root
+    value    := fraction | decimal | "inf"
+    NAME     := [A-Za-z0-9_./+-]+
+
+Whitespace is insignificant.  :func:`format_tree` emits the canonical
+rendering; ``parse_tree(format_tree(t)) == t`` for every tree.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..core.rates import format_fraction
+from ..exceptions import PlatformError
+from .builder import _parse_weight
+from .tree import NodeId, Tree
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z0-9_./+-]+)|(?P<punct>[()\[\],=]))"
+)
+
+# token kinds
+_NAME = "name"
+_PUNCT = "punct"
+
+
+class _Tokens:
+    """A tiny cursor over the token stream with one-token lookahead."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.items: List[Tuple[str, str, int]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None:
+                if text[pos:].strip() == "":
+                    break
+                raise PlatformError(
+                    f"DSL: unexpected character {text[pos]!r} at offset {pos}"
+                )
+            if match.group(_NAME) is not None:
+                self.items.append((_NAME, match.group(_NAME), match.start(_NAME)))
+            else:
+                self.items.append((_PUNCT, match.group(_PUNCT), match.start(_PUNCT)))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str, int]]:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return None
+
+    def next(self, expect: Optional[str] = None) -> Tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise PlatformError("DSL: unexpected end of input")
+        self.index += 1
+        kind, value, offset = token
+        if expect is not None and value != expect:
+            raise PlatformError(
+                f"DSL: expected {expect!r} at offset {offset}, got {value!r}"
+            )
+        return token
+
+    def next_name(self) -> str:
+        kind, value, offset = self.next()
+        if kind != _NAME:
+            raise PlatformError(f"DSL: expected a name at offset {offset}, got {value!r}")
+        return value
+
+
+def parse_tree(text: str) -> Tree:
+    """Parse the DSL *text* into a :class:`~repro.platform.tree.Tree`."""
+    tokens = _Tokens(text)
+    name, attrs = _parse_header(tokens)
+    if "c" in attrs:
+        raise PlatformError("DSL: the root cannot have an incoming edge cost 'c'")
+    tree = Tree(name, _parse_weight(attrs["w"]))
+    _parse_children(tokens, tree, name)
+    if tokens.peek() is not None:
+        kind, value, offset = tokens.peek()
+        raise PlatformError(f"DSL: trailing input at offset {offset}: {value!r}")
+    return tree
+
+
+def _parse_header(tokens: _Tokens):
+    name = tokens.next_name()
+    tokens.next("(")
+    attrs = {}
+    while True:
+        key = tokens.next_name()
+        if key not in ("w", "c"):
+            raise PlatformError(f"DSL: unknown attribute {key!r} (use w/c)")
+        if key in attrs:
+            raise PlatformError(f"DSL: duplicate attribute {key!r} for {name!r}")
+        tokens.next("=")
+        value = tokens.next_name()
+        attrs[key] = value
+        kind, punct, offset = tokens.next()
+        if punct == ")":
+            break
+        if punct != ",":
+            raise PlatformError(f"DSL: expected ',' or ')' at offset {offset}")
+    if "w" not in attrs:
+        raise PlatformError(f"DSL: node {name!r} is missing its weight 'w'")
+    return name, attrs
+
+
+def _parse_children(tokens: _Tokens, tree: Tree, parent: NodeId) -> None:
+    token = tokens.peek()
+    if token is None or token[1] != "[":
+        return
+    tokens.next("[")
+    while True:
+        name, attrs = _parse_header(tokens)
+        if "c" not in attrs:
+            raise PlatformError(f"DSL: non-root node {name!r} needs an edge cost 'c'")
+        tree.add_node(name, _parse_weight(attrs["w"]), parent=parent, c=attrs["c"])
+        _parse_children(tokens, tree, name)
+        kind, punct, offset = tokens.next()
+        if punct == "]":
+            return
+        if punct != ",":
+            raise PlatformError(f"DSL: expected ',' or ']' at offset {offset}")
+
+
+def format_tree(tree: Tree) -> str:
+    """Render *tree* in the canonical one-line DSL form."""
+
+    def render(node: NodeId) -> str:
+        parts = [f"w={format_fraction(tree.w(node))}"]
+        if tree.parent(node) is not None:
+            parts.append(f"c={format_fraction(tree.c(node))}")
+        text = f"{node}({','.join(parts)})"
+        kids = tree.children(node)
+        if kids:
+            text += "[" + ", ".join(render(child) for child in kids) + "]"
+        return text
+
+    return render(tree.root)

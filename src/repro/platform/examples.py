@@ -1,0 +1,127 @@
+"""The concrete platforms used by the paper's figures and examples.
+
+Two of the paper's platforms can be reproduced exactly from the text; the
+third (the Section 8 / Figure 4 example tree, "taken from [4]") has numeric
+labels that live in a figure of a cited paper we do not have.  For that one,
+:func:`paper_figure4_tree` provides a *reconstruction*: a 12-node tree with
+exact rational weights engineered so that the two facts the paper states
+about the example hold exactly —
+
+* BW-First yields a steady-state throughput of **10 tasks every 9 time
+  units**, and
+* nodes **P5, P9, P10 and P11 are never visited** by the procedure.
+
+See DESIGN.md §5 for the substitution note.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.rates import INFINITY
+from .tree import Tree
+
+
+def figure1_tree() -> Tree:
+    """A small generic node/edge-weighted tree in the spirit of Figure 1.
+
+    Figure 1 only illustrates the platform model (weights on nodes and
+    edges); the paper attaches no quantitative claims to it.  This fixture is
+    a 7-node heterogeneous tree exercising distinct ``w``/``c`` values and a
+    switch node.
+    """
+    t = Tree("P0", w=2)
+    t.add_node("P1", w=1, parent="P0", c=1)
+    t.add_node("P2", w=INFINITY, parent="P0", c=2)  # a switch
+    t.add_node("P3", w=3, parent="P0", c=3)
+    t.add_node("P4", w=2, parent="P1", c=2)
+    t.add_node("P5", w=4, parent="P2", c=1)
+    t.add_node("P6", w=1, parent="P2", c=3)
+    return t
+
+
+def figure2_fork() -> Tree:
+    """A fork graph as in Figure 2: a parent with heterogeneous children."""
+    t = Tree("P0", w=2)
+    t.add_node("P1", w=2, parent="P0", c=1)
+    t.add_node("P2", w=3, parent="P0", c=2)
+    t.add_node("P3", w=1, parent="P0", c=3)
+    t.add_node("P4", w=4, parent="P0", c=4)
+    return t
+
+
+def paper_figure4_tree() -> Tree:
+    """Reconstruction of the Section 8 / Figure 4 example tree (12 nodes).
+
+    Exact BW-First walk on this tree (time-unit interval, all numbers are
+    tasks per time unit):
+
+    * ``t_max = r0 + b_max = 1/3 + 1 = 4/3`` proposed to ``P0``;
+    * ``P0`` (w=3) keeps ``1/3``; proposes ``1`` to ``P1`` (c=1);
+    * ``P1`` (w=3) keeps ``1/3``; proposes ``5/18`` to ``P4`` (c=18/5),
+      whose subtree (``P4`` keeps ``1/9``, ``P8`` keeps ``1/6``) consumes it
+      entirely and saturates ``P1``'s port — **P5 unvisited**, ``P1`` acks
+      ``7/18``;
+    * ``P4``'s bandwidth/tasks are exactly exhausted by ``P8`` — **P9
+      unvisited**;
+    * ``P0`` proposes ``7/36`` to ``P2`` (c=2); ``P2`` (w=18) keeps ``1/18``,
+      feeds ``P6`` ``1/36`` (acking ``1/18`` of the ``1/12`` proposed) and
+      ``P7`` ``1/36``, then its send port saturates — **P10, P11 unvisited**;
+      ``P2`` acks ``1/12``;
+    * ``P0`` proposes ``1/18`` to ``P3`` (c=3), which consumes it fully and
+      saturates ``P0``'s port; final root acknowledgment ``θ = 2/9``.
+
+    Total throughput ``4/3 − 2/9 = 10/9`` — ten tasks every nine time units,
+    matching the paper.  Unvisited set: ``{P5, P9, P10, P11}``.
+    """
+    t = Tree("P0", w=3)
+    # children of the root, bandwidth-centric order P1 < P2 < P3
+    t.add_node("P1", w=3, parent="P0", c=1)
+    t.add_node("P2", w=18, parent="P0", c=2)
+    t.add_node("P3", w=18, parent="P0", c=3)
+    # P1's subtree
+    t.add_node("P4", w=9, parent="P1", c=Fraction(18, 5))
+    t.add_node("P5", w=1, parent="P1", c=4)      # never visited
+    t.add_node("P8", w=6, parent="P4", c=2)
+    t.add_node("P9", w=2, parent="P4", c=5)      # never visited
+    # P2's subtree
+    t.add_node("P6", w=36, parent="P2", c=12)
+    t.add_node("P7", w=36, parent="P2", c=24)
+    t.add_node("P10", w=1, parent="P2", c=30)    # never visited
+    t.add_node("P11", w=1, parent="P2", c=36)    # never visited
+    return t
+
+
+#: The optimal steady-state throughput of :func:`paper_figure4_tree`.
+PAPER_FIGURE4_THROUGHPUT = Fraction(10, 9)
+
+#: Nodes the BW-First procedure never visits on :func:`paper_figure4_tree`.
+PAPER_FIGURE4_UNVISITED = frozenset({"P5", "P9", "P10", "P11"})
+
+
+def section9_platform() -> Tree:
+    """The 3-node platform of the Section 9 counterexample (send side only).
+
+    A master with no computing power and two identical children: one task
+    takes ``w = 1`` to process, ``0.5`` time units to send, and ``0.5`` time
+    units to *return* (the return cost is carried separately by
+    :mod:`repro.extensions.result_return`; this tree holds the send costs).
+    """
+    t = Tree("M", w=INFINITY)
+    t.add_node("A", w=1, parent="M", c=Fraction(1, 2))
+    t.add_node("B", w=1, parent="M", c=Fraction(1, 2))
+    return t
+
+
+def section9_platform_merged() -> Tree:
+    """The same platform with send+return *merged* into a single cost.
+
+    This is the (erroneous, per Section 9) simplification of Beaumont et al.
+    and Kreaseck et al.: ``c = c_send + c_return = 1``.  The bandwidth-centric
+    throughput of this tree is 1 task per time unit, whereas the true
+    two-port optimum of :func:`section9_platform` with return cost 1/2 is 2.
+    """
+    t = Tree("M", w=INFINITY)
+    t.add_node("A", w=1, parent="M", c=1)
+    t.add_node("B", w=1, parent="M", c=1)
+    return t

@@ -1,0 +1,257 @@
+"""Synthetic platform generators.
+
+These produce the tree families used by the test-suite and the benchmark
+harness:
+
+* :func:`fork` — a one-level star (the fork graph of Proposition 1);
+* :func:`chain` — a daisy-chain (Dutot's polynomial case);
+* :func:`spider` — a root with several chains (Dutot's "spider graphs");
+* :func:`balanced` — a complete b-ary tree;
+* :func:`caterpillar` — a chain with leaves hanging off every spine node;
+* :func:`random_tree` — seeded random topology with rational weights;
+* :func:`bandwidth_limited_tree` — a tree with a deliberate bottleneck link
+  high up in the hierarchy, the adversarial case motivating the depth-first
+  traversal of Section 5 (most of the platform is unreachable by tasks, so
+  BW-First should visit only a few nodes while the bottom-up method reduces
+  everything).
+
+All weights are small-denominator :class:`~fractions.Fraction` values so that
+every downstream computation stays exact and periods stay small.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..core.rates import FractionLike
+from ..exceptions import PlatformError
+from .tree import Tree
+
+
+def fork(
+    weights: Sequence[FractionLike],
+    costs: Sequence[FractionLike],
+    root_w: FractionLike = "inf",
+    root_name: str = "P0",
+) -> Tree:
+    """A fork graph: ``root`` with ``len(weights)`` leaf children.
+
+    ``weights[i]`` / ``costs[i]`` give ``w`` and ``c`` of child ``i``.
+    ``root_w`` accepts ``"inf"`` for a pure master.
+    """
+    if len(weights) != len(costs):
+        raise PlatformError("fork: weights and costs must have equal length")
+    from .builder import _parse_weight
+
+    tree = Tree(root_name, _parse_weight(root_w))
+    for i, (w, c) in enumerate(zip(weights, costs), start=1):
+        tree.add_node(f"{root_name}.{i}", w, parent=root_name, c=c)
+    return tree
+
+
+def chain(
+    length: int,
+    w: FractionLike = 1,
+    c: FractionLike = 1,
+    root_w: FractionLike = "inf",
+) -> Tree:
+    """A daisy-chain of *length* identical workers below the master."""
+    if length < 0:
+        raise PlatformError("chain length must be non-negative")
+    from .builder import _parse_weight
+
+    tree = Tree("P0", _parse_weight(root_w))
+    prev = "P0"
+    for i in range(1, length + 1):
+        name = f"P{i}"
+        tree.add_node(name, w, parent=prev, c=c)
+        prev = name
+    return tree
+
+
+def spider(
+    legs: int,
+    leg_length: int,
+    w: FractionLike = 1,
+    c: FractionLike = 1,
+    root_w: FractionLike = "inf",
+) -> Tree:
+    """A spider graph: *legs* chains of *leg_length* nodes under the master."""
+    if legs < 0 or leg_length < 0:
+        raise PlatformError("spider dimensions must be non-negative")
+    from .builder import _parse_weight
+
+    tree = Tree("P0", _parse_weight(root_w))
+    for leg in range(legs):
+        prev = "P0"
+        for i in range(leg_length):
+            name = f"P{leg}.{i}"
+            tree.add_node(name, w, parent=prev, c=c)
+            prev = name
+    return tree
+
+
+def balanced(
+    branching: int,
+    height: int,
+    w: FractionLike = 1,
+    c: FractionLike = 1,
+    root_w: FractionLike = "inf",
+) -> Tree:
+    """A complete *branching*-ary tree of the given *height* (edges)."""
+    if branching < 1:
+        raise PlatformError("branching factor must be at least 1")
+    if height < 0:
+        raise PlatformError("height must be non-negative")
+    from .builder import _parse_weight
+
+    tree = Tree("P", _parse_weight(root_w))
+    frontier = ["P"]
+    for _ in range(height):
+        next_frontier = []
+        for node in frontier:
+            for b in range(branching):
+                name = f"{node}.{b}"
+                tree.add_node(name, w, parent=node, c=c)
+                next_frontier.append(name)
+        frontier = next_frontier
+    return tree
+
+
+def caterpillar(
+    spine: int,
+    legs_per_node: int,
+    spine_w: FractionLike = 2,
+    leg_w: FractionLike = 1,
+    spine_c: FractionLike = 1,
+    leg_c: FractionLike = 2,
+) -> Tree:
+    """A chain of *spine* nodes, each with *legs_per_node* leaf children."""
+    if spine < 1:
+        raise PlatformError("caterpillar needs at least one spine node")
+    tree = Tree("S0", spine_w)
+    prev = "S0"
+    for i in range(1, spine):
+        name = f"S{i}"
+        tree.add_node(name, spine_w, parent=prev, c=spine_c)
+        prev = name
+    for i in range(spine):
+        for leg in range(legs_per_node):
+            tree.add_node(f"S{i}.L{leg}", leg_w, parent=f"S{i}", c=leg_c)
+    return tree
+
+
+#: Denominators used by :func:`random_tree` to keep fractions small.
+_DENOMS = (1, 2, 3, 4, 5, 6)
+
+
+def random_tree(
+    n: int,
+    seed: int,
+    max_children: int = 4,
+    w_numerator_range: tuple = (1, 12),
+    c_numerator_range: tuple = (1, 8),
+    switch_probability: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> Tree:
+    """A seeded random heterogeneous tree with *n* nodes.
+
+    Topology: each new node is attached to a uniformly random existing node
+    that still has fewer than *max_children* children.  Weights and costs are
+    random small fractions ``numerator/denominator`` with the numerator drawn
+    from the given ranges and the denominator from {1..6}.  With probability
+    *switch_probability* a non-root node becomes a switch (``w = inf``).
+
+    The same ``(n, seed, …)`` always returns the same tree.
+    """
+    if n < 1:
+        raise PlatformError("random_tree needs at least one node")
+    if max_children < 1:
+        raise PlatformError("max_children must be at least 1")
+    r = rng if rng is not None else random.Random(seed)
+
+    def rand_fraction(num_range: tuple) -> Fraction:
+        return Fraction(r.randint(*num_range), r.choice(_DENOMS))
+
+    tree = Tree("P0", rand_fraction(w_numerator_range))
+    open_slots = ["P0"] * max_children
+    for i in range(1, n):
+        parent = r.choice(open_slots)
+        open_slots.remove(parent)
+        name = f"P{i}"
+        if r.random() < switch_probability:
+            w: FractionLike = float("inf")
+        else:
+            w = rand_fraction(w_numerator_range)
+        tree.add_node(name, w, parent=parent, c=rand_fraction(c_numerator_range))
+        open_slots.extend([name] * max_children)
+    return tree
+
+
+def grid_federation(
+    sites: int,
+    hosts_per_site: int,
+    wan_c: FractionLike = 4,
+    lan_c: FractionLike = 1,
+    gateway_w: FractionLike = "inf",
+    host_w: FractionLike = 2,
+    heterogeneous: bool = True,
+) -> Tree:
+    """A computational-grid federation: WAN to sites, LAN inside them.
+
+    The master connects to each site's gateway (a switch) over a slow WAN
+    link of cost *wan_c*; each gateway fans out to its hosts over fast LAN
+    links of cost *lan_c*.  With *heterogeneous* the i-th site's WAN is
+    ``wan_c·(1 + i/2)`` and host speeds alternate between ``host_w`` and
+    ``2·host_w`` — the shape (fast local clusters behind thin pipes) that
+    makes bandwidth-centric allocation non-trivial.
+    """
+    if sites < 1 or hosts_per_site < 1:
+        raise PlatformError("grid_federation needs at least one site and host")
+    from ..core.rates import as_fraction
+    from .builder import _parse_weight
+
+    wan = as_fraction(wan_c)
+    base_w = as_fraction(host_w)
+    tree = Tree("master", _parse_weight("inf"))
+    for s in range(sites):
+        gw = f"site{s}"
+        cost = wan * (2 + s) / 2 if heterogeneous else wan
+        tree.add_node(gw, _parse_weight(gateway_w), parent="master", c=cost)
+        for h in range(hosts_per_site):
+            w = base_w * (2 if heterogeneous and h % 2 else 1)
+            tree.add_node(f"{gw}.h{h}", w, parent=gw, c=lan_c)
+    return tree
+
+
+def bandwidth_limited_tree(
+    fanout: int,
+    depth: int,
+    bottleneck_c: FractionLike = 50,
+    w: FractionLike = 1,
+    c: FractionLike = 1,
+) -> Tree:
+    """A large subtree behind a severe bottleneck link near the root.
+
+    The root has two children: a fast worker on a fast link, and a switch on
+    a link with cost *bottleneck_c* behind which hangs a complete *fanout*-ary
+    tree of the given *depth*.  With a sufficiently slow bottleneck the
+    optimal schedule never (or barely) uses the big subtree, so BW-First
+    visits only a handful of nodes while the bottom-up method must reduce the
+    whole platform.  This is the motivating scenario of Section 5.
+    """
+    tree = Tree("root", w)
+    tree.add_node("fast", w, parent="root", c=c)
+    tree.add_node("gate", float("inf"), parent="root", c=bottleneck_c)
+    frontier = ["gate"]
+    for level in range(depth):
+        next_frontier = []
+        for node in frontier:
+            for b in range(fanout):
+                name = f"{node}.{b}"
+                tree.add_node(name, w, parent=node, c=c)
+                next_frontier.append(name)
+        frontier = next_frontier
+    return tree

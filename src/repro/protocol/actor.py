@@ -1,0 +1,166 @@
+"""Per-node actors executing Algorithm 1 as a message-driven state machine.
+
+Each :class:`NodeActor` owns exactly the state Algorithm 1 gives a node —
+λ, α, δ, τ and the bandwidth-centric child cursor — and reacts to incoming
+messages only:
+
+* on a :class:`~repro.protocol.messages.Proposal` it computes its local
+  share and either opens a transaction with its first child or immediately
+  acknowledges its parent;
+* on an :class:`~repro.protocol.messages.Acknowledgment` it settles the
+  pending transaction and moves to the next child, or acknowledges its
+  parent when done.
+
+Actors know *only* local information (their ``w``, their children's link
+costs, their parent's name): the semi-autonomy property of Section 5.  The
+actor layer is deliberately independent of the transport so the tests can
+drive it synchronously.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.rates import ONE, ZERO
+from ..exceptions import ProtocolError
+from .messages import Acknowledgment, Message, Proposal
+
+#: Callback an actor uses to hand a message to the transport.
+SendFn = Callable[[Message], None]
+
+IDLE = "idle"
+AWAITING_CHILD = "awaiting-child"
+DONE = "done"
+
+
+class NodeActor:
+    """The BW-First state machine of one platform node."""
+
+    def __init__(
+        self,
+        name: Hashable,
+        rate: Fraction,
+        parent: Optional[Hashable],
+        children: Sequence[Tuple[Hashable, Fraction]],
+        send: SendFn,
+    ):
+        """*children* lists ``(name, c)`` pairs already in bandwidth-centric
+        order; *rate* is the node's computing rate ``1/w``."""
+        self.name = name
+        self.rate = rate
+        self.parent = parent
+        self.children = list(children)
+        self._send = send
+
+        self.state = IDLE
+        self.lam: Optional[Fraction] = None
+        self.alpha = ZERO
+        self.delta = ZERO
+        self.tau = ONE
+        self._cursor = 0
+        self._pending: Optional[Tuple[Hashable, Fraction]] = None
+        self.transactions: List[Tuple[Hashable, Fraction, Fraction]] = []
+
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> None:
+        """React to one incoming message."""
+        if isinstance(message, Proposal):
+            self._on_proposal(message)
+        elif isinstance(message, Acknowledgment):
+            self._on_ack(message)
+        else:
+            raise ProtocolError(f"{self.name!r}: unknown message {message!r}")
+
+    # ------------------------------------------------------------------
+    def _on_proposal(self, message: Proposal) -> None:
+        if self.state != IDLE:
+            raise ProtocolError(
+                f"{self.name!r} received a proposal while {self.state}"
+            )
+        if message.sender != self.parent:
+            raise ProtocolError(
+                f"{self.name!r} received a proposal from non-parent "
+                f"{message.sender!r}"
+            )
+        if message.beta < 0:
+            raise ProtocolError(f"{self.name!r}: negative proposal {message.beta}")
+        self.lam = message.beta
+        self.alpha = min(self.rate, message.beta)
+        self.delta = message.beta - self.alpha
+        self.tau = ONE
+        self._cursor = 0
+        self._advance()
+
+    def _on_ack(self, message: Acknowledgment) -> None:
+        if self.state != AWAITING_CHILD or self._pending is None:
+            raise ProtocolError(
+                f"{self.name!r} received an unexpected acknowledgment"
+            )
+        child, beta = self._pending
+        if message.sender != child:
+            raise ProtocolError(
+                f"{self.name!r} expected an ack from {child!r}, "
+                f"got one from {message.sender!r}"
+            )
+        theta = message.theta
+        if theta < 0 or theta > beta:
+            raise ProtocolError(
+                f"{self.name!r}: child {child!r} acked {theta} of {beta}"
+            )
+        self._pending = None
+        accepted = beta - theta
+        self.delta -= accepted
+        cost = dict(self.children)[child]
+        self.tau -= accepted * cost
+        self.transactions.append((child, beta, theta))
+        self._advance()
+
+    def on_timeout(self, child: Hashable) -> None:
+        """The pending transaction with *child* timed out (dead subtree).
+
+        The parent closes the transaction as if the child acknowledged the
+        full proposal (θ = β — the subtree consumes nothing) and moves on.
+        Stale timeouts (the ack arrived meanwhile, or the pending child is a
+        different one) are ignored, so timers can be armed unconditionally.
+        """
+        if self.state != AWAITING_CHILD or self._pending is None:
+            return
+        pending_child, beta = self._pending
+        if pending_child != child:
+            return
+        self._pending = None
+        self.transactions.append((child, beta, beta))
+        self._advance()
+
+    def _advance(self) -> None:
+        """Open the next child transaction, or acknowledge the parent."""
+        while self._cursor < len(self.children):
+            if self.delta <= 0 or self.tau <= 0:
+                break
+            child, cost = self.children[self._cursor]
+            self._cursor += 1
+            beta = min(self.delta, self.tau / cost)
+            self._pending = (child, beta)
+            self.state = AWAITING_CHILD
+            self._send(Proposal(sender=self.name, receiver=child, beta=beta))
+            return
+        self.state = DONE
+        self._send(
+            Acknowledgment(sender=self.name, receiver=self.parent, theta=self.delta)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def theta(self) -> Fraction:
+        """The acknowledgment this node returned (valid once DONE)."""
+        if self.state != DONE:
+            raise ProtocolError(f"{self.name!r} has not finished")
+        return self.delta
+
+    @property
+    def accepted(self) -> Fraction:
+        """λ − θ: the rate this node's subtree absorbs (valid once DONE)."""
+        if self.state != DONE or self.lam is None:
+            raise ProtocolError(f"{self.name!r} has not finished")
+        return self.lam - self.delta

@@ -1,0 +1,51 @@
+"""Message types of the distributed BW-First protocol.
+
+A transaction is a two-phase exchange (Definition 1 of the paper): a
+:class:`Proposal` carrying the single number β travels from parent to child,
+and an :class:`Acknowledgment` carrying the single number θ travels back.
+Both payloads are one rational number — the paper's argument for calling the
+protocol *lightweight* — and :func:`wire_size` estimates their encoded size
+so the benchmark can report protocol bytes, not just message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """Phase one: parent offers ``beta`` tasks per time unit to child."""
+
+    sender: Hashable
+    receiver: Hashable
+    beta: Fraction
+
+
+@dataclass(frozen=True)
+class Acknowledgment:
+    """Phase two: child returns the ``theta`` tasks/unit it could not use."""
+
+    sender: Hashable
+    receiver: Hashable
+    theta: Fraction
+
+
+Message = object  # Proposal | Acknowledgment
+
+
+def wire_size(message: Message) -> int:
+    """Bytes to encode the message: 8-byte header + the rational payload.
+
+    The payload is a numerator/denominator pair, each varint-encoded; we
+    charge one byte per 7 bits, with a 1-byte minimum per integer.
+    """
+    value = message.beta if isinstance(message, Proposal) else message.theta
+
+    def varint(n: int) -> int:
+        n = abs(int(n))
+        return max((n.bit_length() + 6) // 7, 1)
+
+    return 8 + varint(value.numerator) + varint(value.denominator)

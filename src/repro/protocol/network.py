@@ -1,0 +1,76 @@
+"""Message transport for the distributed BW-First protocol.
+
+Delivers messages between actors over the tree's links with a configurable
+latency model, counting messages and bytes.  The default latency of a
+control message crossing the ``parent↔child`` link is
+``latency_factor × c`` — control messages are tiny compared to task files,
+so the factor is small (default 1%); a constant per-hop latency can be added
+for WAN-style modelling.
+
+Built on the shared deterministic :class:`~repro.sim.engine.Engine`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from ..core.rates import ZERO, as_fraction
+from ..exceptions import ProtocolError
+from ..platform.tree import Tree
+from ..sim.engine import Engine
+from .messages import Message, wire_size
+
+
+class Network:
+    """Latency-modelled point-to-point transport over a tree's links."""
+
+    def __init__(
+        self,
+        tree: Tree,
+        latency_factor=Fraction(1, 100),
+        fixed_latency=0,
+    ):
+        self.tree = tree
+        self.latency_factor = as_fraction(latency_factor)
+        self.fixed_latency = as_fraction(fixed_latency)
+        self.engine = Engine()
+        self._handlers: Dict[Hashable, Callable[[Message], None]] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def register(self, node: Hashable, handler: Callable[[Message], None]) -> None:
+        """Attach *node*'s message handler (its actor's ``handle``)."""
+        self._handlers[node] = handler
+
+    def link_latency(self, a: Hashable, b: Hashable) -> Fraction:
+        """Control-message latency between adjacent nodes *a* and *b*.
+
+        Endpoints outside the tree (the virtual parent seeding the root) are
+        local: latency zero.
+        """
+        if a not in self.tree or b not in self.tree:
+            return ZERO
+        if self.tree.parent(b) == a:
+            cost = self.tree.edge_cost(a, b)
+        elif self.tree.parent(a) == b:
+            cost = self.tree.edge_cost(b, a)
+        else:
+            raise ProtocolError(f"{a!r} and {b!r} are not adjacent")
+        return cost * self.latency_factor + self.fixed_latency
+
+    def send(self, message: Message) -> None:
+        """Queue *message* for delivery after the link latency."""
+        receiver = message.receiver
+        if receiver not in self._handlers:
+            raise ProtocolError(f"no handler registered for {receiver!r}")
+        self.messages_sent += 1
+        self.bytes_sent += wire_size(message)
+        latency = self.link_latency(message.sender, message.receiver)
+        handler = self._handlers[receiver]
+        self.engine.schedule_in(latency, lambda: handler(message))
+
+    def run(self, max_events: Optional[int] = None) -> Fraction:
+        """Drain the event queue; return the completion time."""
+        self.engine.run_all(max_events=max_events)
+        return self.engine.now

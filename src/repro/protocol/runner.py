@@ -1,0 +1,191 @@
+"""Running the distributed BW-First protocol end to end.
+
+:func:`run_protocol` instantiates one :class:`~repro.protocol.actor.NodeActor`
+per platform node, wires them through a latency-modelled
+:class:`~repro.protocol.network.Network`, seeds the root with the virtual
+parent's proposal ``t_max``, and drains the event queue.  The result carries
+
+* the negotiated throughput (exactly the centralised
+  :func:`~repro.core.bwfirst.bw_first` value — asserted when *verify* is on),
+* the number of control messages and bytes exchanged,
+* the protocol's wall-clock completion time under the latency model —
+  the quantity Section 5 argues is negligible against task communication
+  times, measured by experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, Optional
+
+from ..core.bwfirst import bw_first, root_proposal
+from ..exceptions import ProtocolError
+from ..platform.tree import Tree
+from .actor import DONE, NodeActor
+from .messages import Acknowledgment, Message, Proposal
+from .network import Network
+
+#: Name of the virtual parent that seeds the root (never a real node).
+VIRTUAL_PARENT = "__virtual_parent__"
+
+
+def _prune(tree: Tree, failed: frozenset) -> Tree:
+    """The surviving platform: *tree* minus every failed node's subtree."""
+    out = Tree(tree.root, tree.w(tree.root))
+    for node in tree.nodes():
+        if node == tree.root or node in failed:
+            continue
+        parent = tree.parent(node)
+        if parent not in out:  # an ancestor was failed
+            continue
+        out.add_node(node, tree.w(node), parent=parent, c=tree.c(node))
+    return out
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of one distributed BW-First negotiation."""
+
+    tree: Tree
+    throughput: Fraction
+    t_max: Fraction
+    completion_time: Fraction
+    messages: int
+    bytes: int
+    actors: Dict[Hashable, NodeActor]
+
+    @property
+    def visited(self) -> frozenset:
+        """Nodes that took part in the negotiation."""
+        return frozenset(
+            name for name, actor in self.actors.items() if actor.lam is not None
+        )
+
+
+def run_protocol(
+    tree: Tree,
+    latency_factor=Fraction(1, 100),
+    fixed_latency=0,
+    proposal: Optional[Fraction] = None,
+    verify: bool = True,
+    failed: frozenset = frozenset(),
+    ack_timeout: Optional[Fraction] = None,
+) -> ProtocolResult:
+    """Execute BW-First as a distributed message-passing protocol.
+
+    With *verify* (default) the negotiated throughput is checked against the
+    centralised implementation; a mismatch raises
+    :class:`~repro.exceptions.ProtocolError` (it would indicate a bug in the
+    actor state machine, since Proposition 2 guarantees equality).
+
+    *failed* names dead nodes: they silently swallow every message.  Parents
+    handle them through ack timeouts: if a proposal's acknowledgment has not
+    arrived in time, the parent closes the transaction as "child consumed
+    nothing" and moves on, so the negotiation terminates on the **surviving
+    platform** and (as the tests prove) yields exactly the BW-First
+    throughput of the tree with the dead subtrees pruned.
+
+    Timeouts are **hierarchical**: the timer for a proposal to child ``X``
+    must outlast X's entire sub-negotiation, including X's own timeouts for
+    its dead descendants, so each edge gets the recursive budget
+    ``B(X) = 2·latency(X) + Σ_children B(Y) + slack``.  *ack_timeout*
+    overrides the slack (the ``+1`` per edge) when given.
+    """
+    if VIRTUAL_PARENT in tree:
+        raise ProtocolError(f"{VIRTUAL_PARENT!r} is reserved")
+    if tree.root in failed:
+        raise ProtocolError("the root cannot be failed: nothing can negotiate")
+    network = Network(tree, latency_factor=latency_factor,
+                      fixed_latency=fixed_latency)
+
+    budgets: Dict[Hashable, Fraction] = {}
+    if failed:
+        slack = Fraction(ack_timeout) if ack_timeout is not None else Fraction(1)
+        for node in reversed(list(tree.nodes())):  # children before parents
+            parent = tree.parent(node)
+            if parent is None:
+                continue
+            budgets[node] = (
+                2 * network.link_latency(parent, node)
+                + sum((budgets[ch] for ch in tree.children(node)), Fraction(0))
+                + slack
+            )
+
+    actors: Dict[Hashable, NodeActor] = {}
+
+    def make_send(sender: Hashable):
+        if not budgets:
+            return network.send
+
+        def send_with_timer(message: Message) -> None:
+            network.send(message)
+            if isinstance(message, Proposal) and message.receiver in budgets:
+                network.engine.schedule_in(
+                    budgets[message.receiver],
+                    lambda: actors[sender].on_timeout(message.receiver),
+                )
+
+        return send_with_timer
+
+    for node in tree.nodes():
+        parent = tree.parent(node)
+        children = [
+            (child, tree.c(child)) for child in tree.children_by_bandwidth(node)
+        ]
+        actors[node] = NodeActor(
+            name=node,
+            rate=tree.rate(node),
+            parent=parent if parent is not None else VIRTUAL_PARENT,
+            children=children,
+            send=make_send(node),
+        )
+        if node in failed:
+            network.register(node, lambda message: None)  # a dead node
+        else:
+            network.register(node, actors[node].handle)
+
+    final: Dict[str, Fraction] = {}
+
+    def virtual_handler(message: Message) -> None:
+        if not isinstance(message, Acknowledgment):
+            raise ProtocolError("virtual parent expected an acknowledgment")
+        final["theta"] = message.theta
+
+    network.register(VIRTUAL_PARENT, virtual_handler)
+
+    lam = root_proposal(tree) if proposal is None else proposal
+    network.send(Proposal(sender=VIRTUAL_PARENT, receiver=tree.root, beta=lam))
+    completion = network.run(max_events=40 * len(tree) + 200)
+
+    if "theta" not in final:
+        raise ProtocolError("the protocol did not terminate with a root ack")
+    throughput = lam - final["theta"]
+
+    if verify:
+        reference_tree = _prune(tree, failed) if failed else tree
+        reference = bw_first(reference_tree, proposal=proposal)
+        if reference.throughput != throughput:
+            raise ProtocolError(
+                f"distributed protocol negotiated {throughput}, centralised "
+                f"BW-First computes {reference.throughput}"
+            )
+        if not failed:
+            for node, outcome in reference.outcomes.items():
+                actor = actors[node]
+                if actor.lam != outcome.lam or (
+                    actor.state == DONE and actor.theta != outcome.theta
+                ):
+                    raise ProtocolError(
+                        f"actor {node!r} diverged from Algorithm 1"
+                    )
+
+    return ProtocolResult(
+        tree=tree,
+        throughput=throughput,
+        t_max=lam,
+        completion_time=completion,
+        messages=network.messages_sent,
+        bytes=network.bytes_sent,
+        actors=actors,
+    )

@@ -1,0 +1,51 @@
+"""Schedule reconstruction (Section 6 of the paper).
+
+From a steady-state :class:`~repro.core.allocation.Allocation` this package
+derives:
+
+* the asynchronous periods of Lemma 1 (:mod:`~repro.schedule.periods`);
+* the clock-free event-driven schedules of Section 6.2
+  (:mod:`~repro.schedule.eventdriven`);
+* the interleaved local task order of Section 6.3 and its ablation
+  alternatives (:mod:`~repro.schedule.local`);
+* text renderings of Figure 4's tables (:mod:`~repro.schedule.table`).
+"""
+
+from .eventdriven import NodeSchedule, build_schedules, describe_schedules
+from .local import (
+    POLICIES,
+    block_order,
+    interleaved_order,
+    random_order,
+    round_robin_order,
+)
+from .periods import (
+    NodePeriods,
+    global_period,
+    node_periods,
+    startup_bound,
+    tree_periods,
+)
+from .table import rate_table, schedule_table, transaction_table
+from .verify import is_feasible, verify_schedules
+
+__all__ = [
+    "verify_schedules",
+    "is_feasible",
+    "NodeSchedule",
+    "build_schedules",
+    "describe_schedules",
+    "POLICIES",
+    "interleaved_order",
+    "block_order",
+    "round_robin_order",
+    "random_order",
+    "NodePeriods",
+    "node_periods",
+    "tree_periods",
+    "global_period",
+    "startup_bound",
+    "rate_table",
+    "schedule_table",
+    "transaction_table",
+]

@@ -1,0 +1,177 @@
+"""Asynchronous periods: Lemma 1 and equation set (3) of the paper.
+
+Once BW-First has fixed the per-time-unit rational rates of a node —
+``η_{-1} = ν/μ`` received, ``η_0 = α`` computed, ``η_i`` sent to each child —
+the node can *desynchronize* its three activities (Section 6.1):
+
+* **send period** ``T^s = lcm{μ_i | i ∈ C}``: the shortest horizon over
+  which an integer number of tasks ``φ_i = η_i·T^s`` goes to every child;
+* **compute period** ``T^c = μ_0``: the shortest horizon over which an
+  integer number ``ρ_0`` of tasks is computed;
+* **receive period** ``T^r = parent's T^s`` (the root receives nothing).
+
+Their lcm ``T = lcm{T^s, T^c, T^r}`` is the full local period of equation
+set (3), over which the conservation law holds with integers
+(``χ_{-1} = Σ χ_i``).  Equation set (4) adds the *consumption period*
+``T^w = lcm{T^s, T^c}`` and the bunch quantities ``ψ_i = η_i·T^w`` that
+drive the event-driven schedule of Section 6.2.
+
+Everything here is exact: the η rates are rationals in lowest terms, so the
+periods are true minima, and all task counts are integers by construction
+(checked by :func:`~repro.core.rates.scaled_integer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from ..core.allocation import Allocation
+from ..core.rates import ZERO, lcm_denominators, lcm_ints, scaled_integer
+from ..exceptions import ScheduleError
+
+
+@dataclass(frozen=True)
+class NodePeriods:
+    """All Lemma-1 / equation-(3)/(4) quantities for one node.
+
+    Task counts:
+
+    * ``phi_children[i] = η_i · T^s`` — tasks sent to child ``i`` per send
+      period;
+    * ``rho = α · T^c`` — tasks computed per compute period;
+    * ``phi_in = η_{-1} · T^r`` — tasks received per receive period
+      (``None`` for the root);
+    * ``chi_*`` — the same quantities over the full period ``T``;
+    * ``psi_self`` / ``psi_children`` — the event-driven bunch quantities
+      over the consumption period ``T_w``, with ``bunch = Σ ψ``.
+    """
+
+    node: Hashable
+    t_send: int
+    t_compute: int
+    t_receive: Optional[int]  # None for the root (it receives nothing)
+    t_full: int
+    t_consume: int  # T^w = lcm(T^c, T^s)
+
+    phi_children: Mapping[Hashable, int]
+    rho: int
+    phi_in: Optional[int]
+
+    chi_in: int
+    chi_compute: int
+    chi_children: Mapping[Hashable, int]
+
+    psi_self: int
+    psi_children: Mapping[Hashable, int]
+
+    @property
+    def bunch(self) -> int:
+        """Ψ = ψ_0 + Σ ψ_i — the event-driven bunch size."""
+        return self.psi_self + sum(self.psi_children.values())
+
+    def check_conservation(self, is_root: bool) -> None:
+        """Assert equation (3)'s integer conservation ``χ_{-1} = Σ χ_i``."""
+        consumed = self.chi_compute + sum(self.chi_children.values())
+        if not is_root and self.chi_in != consumed:
+            raise ScheduleError(
+                f"node {self.node!r}: χ_in={self.chi_in} but consumes {consumed}"
+            )
+
+
+def node_periods(
+    allocation: Allocation,
+    node: Hashable,
+    parent_send_period: Optional[int],
+) -> NodePeriods:
+    """Compute the :class:`NodePeriods` of *node* given its parent's ``T^s``.
+
+    *parent_send_period* must be ``None`` exactly for the root.
+    """
+    tree = allocation.tree
+    alpha = allocation.alpha.get(node, ZERO)
+    eta_in = allocation.eta_in.get(node, ZERO)
+    children = tree.children(node)
+    etas: Dict[Hashable, Fraction] = {
+        child: allocation.eta_out.get((node, child), ZERO) for child in children
+    }
+
+    t_send = lcm_denominators(etas.values()) if children else 1
+    t_compute = alpha.denominator
+    is_root = node == tree.root
+    if is_root:
+        t_receive: Optional[int] = None
+        t_full = lcm_ints([t_send, t_compute])
+    else:
+        if parent_send_period is None:
+            raise ScheduleError(f"non-root node {node!r} needs its parent's T^s")
+        t_receive = parent_send_period
+        t_full = lcm_ints([t_send, t_compute, t_receive])
+    t_consume = lcm_ints([t_send, t_compute])
+
+    phi_children = {ch: scaled_integer(etas[ch], t_send) for ch in children}
+    rho = scaled_integer(alpha, t_compute)
+    phi_in = None if t_receive is None else scaled_integer(eta_in, t_receive)
+
+    chi_in = scaled_integer(eta_in, t_full)
+    chi_compute = scaled_integer(alpha, t_full)
+    chi_children = {ch: scaled_integer(etas[ch], t_full) for ch in children}
+
+    psi_self = scaled_integer(alpha, t_consume)
+    psi_children = {ch: scaled_integer(etas[ch], t_consume) for ch in children}
+
+    periods = NodePeriods(
+        node=node,
+        t_send=t_send,
+        t_compute=t_compute,
+        t_receive=t_receive,
+        t_full=t_full,
+        t_consume=t_consume,
+        phi_children=phi_children,
+        rho=rho,
+        phi_in=phi_in,
+        chi_in=chi_in,
+        chi_compute=chi_compute,
+        chi_children=chi_children,
+        psi_self=psi_self,
+        psi_children=psi_children,
+    )
+    periods.check_conservation(is_root)
+    return periods
+
+
+def tree_periods(allocation: Allocation) -> Dict[Hashable, NodePeriods]:
+    """Compute :class:`NodePeriods` for every node of the allocation's tree.
+
+    Periods are propagated top-down (``T^r`` of a node is the ``T^s`` of its
+    parent).  Nodes with zero activity still get (trivial, all-1) periods so
+    callers need no special-casing.
+    """
+    tree = allocation.tree
+    result: Dict[Hashable, NodePeriods] = {}
+    for node in tree.nodes():  # pre-order: parents first
+        parent = tree.parent(node)
+        parent_ts = result[parent].t_send if parent is not None else None
+        result[node] = node_periods(allocation, node, parent_ts)
+    return result
+
+
+def global_period(periods: Mapping[Hashable, NodePeriods]) -> int:
+    """The synchronized whole-tree period ``T`` (lcm of every local period).
+
+    This is the "embarrassingly long" period of the traditional approach the
+    paper avoids (Section 6 intro); it is exposed for the synchronized
+    baseline and for reporting.
+    """
+    return lcm_ints(p.t_full for p in periods.values())
+
+
+def startup_bound(periods: Mapping[Hashable, NodePeriods], tree, node: Hashable) -> int:
+    """Proposition 4's start-up bound for *node*: ``Σ T^s_a`` over ancestors.
+
+    Every node enters its steady-state regime at most this many time units
+    after the computation starts, when all nodes apply their event-driven
+    schedule from the beginning.
+    """
+    return sum(periods[a].t_send for a in tree.ancestors(node))

@@ -1,0 +1,97 @@
+"""Textual report tables for schedules (Figure 4(b)–(d) renderings).
+
+These produce the same information the paper's Figure 4 displays:
+
+* :func:`transaction_table` — the successive transactions of the BW-First
+  procedure (Figure 4b);
+* :func:`rate_table` — per-node receive/compute rates ``η_{-1}`` and ``η_0``
+  (Figure 4c);
+* :func:`schedule_table` — the compact local schedules with their periods
+  (Figure 4d).
+
+All output is plain aligned text, suitable for terminals and the benchmark
+logs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from ..core.allocation import Allocation
+from ..core.bwfirst import BWFirstResult
+from ..core.rates import format_fraction
+from .eventdriven import NodeSchedule
+from .periods import NodePeriods
+
+
+def _render(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def transaction_table(result: BWFirstResult) -> str:
+    """The successive transactions of a BW-First run (Figure 4b)."""
+    rows = [
+        [
+            str(t.index + 1),
+            f"{t.parent} -> {t.child}",
+            format_fraction(t.proposal),
+            format_fraction(t.ack),
+            format_fraction(t.accepted),
+        ]
+        for t in result.transactions
+    ]
+    return _render(["#", "transaction", "proposal β", "ack θ", "accepted"], rows)
+
+
+def rate_table(allocation: Allocation) -> str:
+    """Per-node receive and compute rates (Figure 4c).
+
+    Inactive nodes are listed with dashes so the table shows the whole
+    platform.
+    """
+    tree = allocation.tree
+    rows = []
+    for node in tree.nodes():
+        eta_in = allocation.eta_in.get(node)
+        alpha = allocation.alpha.get(node)
+        active = (eta_in and eta_in > 0) or (alpha and alpha > 0) or bool(
+            allocation.sends(node)
+        )
+        rows.append([
+            str(node),
+            format_fraction(eta_in) if active and node != tree.root else
+            ("-" if not active else "0"),
+            format_fraction(alpha) if active else "-",
+        ])
+    return _render(["node", "η_in (recv/unit)", "α (compute/unit)"], rows)
+
+
+def schedule_table(
+    schedules: Mapping[Hashable, NodeSchedule],
+    periods: Mapping[Hashable, NodePeriods],
+) -> str:
+    """The compact local schedules with their periods (Figure 4d)."""
+    rows = []
+    for node, sched in schedules.items():
+        p = periods[node]
+        rows.append([
+            str(node),
+            str(p.t_send),
+            str(p.t_compute),
+            "-" if p.t_receive is None else str(p.t_receive),
+            str(p.t_consume),
+            str(sched.bunch),
+            " ".join(str(d) for d in sched.order),
+        ])
+    return _render(
+        ["node", "T^s", "T^c", "T^r", "T^w", "Ψ", "bunch order"],
+        rows,
+    )

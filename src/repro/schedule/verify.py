@@ -1,0 +1,134 @@
+"""Static verification of event-driven schedules.
+
+The simulator *executes* a schedule; this module *proves* one feasible
+without running it, by checking the per-period resource budgets analytically
+over each node's consumption period:
+
+* **send-port budget** — the transfers a node issues per period fit in the
+  period: ``Σ_i ψ_i · c_i ≤ T^w``;
+* **compute budget** — ``ψ_0 · w ≤ T^w``;
+* **receive budget** — the tasks a node is sent per parent period fit its
+  incoming link: ``φ_i · c ≤ T^s(parent)``;
+* **flow consistency** — the bunch a node routes matches what its parent
+  ships it per common period (the integer conservation of equation (3)).
+
+These are exactly the constraints whose per-time-unit versions
+:meth:`repro.core.allocation.Allocation.check` enforces; here they are
+re-derived from the *integer* schedule quantities, so a buggy policy or a
+hand-edited schedule is caught before simulation.  Used by the failure-
+injection tests.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, List, Mapping
+
+from ..exceptions import ScheduleError
+from ..platform.tree import Tree
+from .eventdriven import NodeSchedule
+from .periods import NodePeriods
+
+
+def verify_schedules(
+    tree: Tree,
+    schedules: Mapping[Hashable, NodeSchedule],
+    periods: Mapping[Hashable, NodePeriods],
+) -> None:
+    """Raise :class:`~repro.exceptions.ScheduleError` on the first violation."""
+    for node, schedule in schedules.items():
+        if node not in tree:
+            raise ScheduleError(f"schedule for unknown node {node!r}")
+        p = periods[node]
+        t_w = Fraction(p.t_consume)
+
+        # the order must be a permutation of the ψ quantities
+        counts: Dict[Hashable, int] = {}
+        for dest in schedule.order:
+            counts[dest] = counts.get(dest, 0) + 1
+        expected: Dict[Hashable, int] = {}
+        if p.psi_self > 0:
+            expected[node] = p.psi_self
+        for child, count in p.psi_children.items():
+            if count > 0:
+                expected[child] = count
+        if counts != expected:
+            raise ScheduleError(
+                f"{node!r}: bunch order {counts} does not match ψ {expected}"
+            )
+
+        # compute budget: ψ_0·w ≤ T^w
+        if p.psi_self > 0:
+            if tree.is_switch(node):
+                raise ScheduleError(f"switch {node!r} is scheduled to compute")
+            if p.psi_self * tree.w(node) > t_w:
+                raise ScheduleError(
+                    f"{node!r}: computing {p.psi_self} tasks of {tree.w(node)} "
+                    f"time units exceeds the period {t_w}"
+                )
+
+        # send-port budget: Σ ψ_i·c_i ≤ T^w
+        port = sum(
+            (count * tree.edge_cost(node, child)
+             for child, count in p.psi_children.items()),
+            Fraction(0),
+        )
+        if port > t_w:
+            raise ScheduleError(
+                f"{node!r}: sending for {port} time units exceeds the period {t_w}"
+            )
+
+        # every destination must exist and be a child (or the node itself)
+        for dest in schedule.order:
+            if dest != node and dest not in tree.children(node):
+                raise ScheduleError(f"{node!r} routes a task to non-child {dest!r}")
+
+    # receive budgets and parent-child flow consistency
+    for node, schedule in schedules.items():
+        parent = tree.parent(node)
+        if parent is None:
+            continue
+        p = periods[node]
+        parent_p = periods[parent]
+        shipped = parent_p.phi_children.get(node, 0)
+        if shipped == 0:
+            if schedule.bunch > 0:
+                raise ScheduleError(
+                    f"{node!r} expects tasks but its parent ships none"
+                )
+            continue
+        # receive budget: φ·c ≤ parent's T^s
+        if shipped * tree.c(node) > Fraction(parent_p.t_send):
+            raise ScheduleError(
+                f"edge {parent!r}->{node!r}: shipping {shipped} tasks of "
+                f"{tree.c(node)} time units exceeds the parent period "
+                f"{parent_p.t_send}"
+            )
+        # flow consistency over the common period
+        common = _lcm(parent_p.t_send, p.t_consume)
+        inbound = shipped * (common // parent_p.t_send)
+        consumed = schedule.bunch * (common // p.t_consume)
+        if inbound != consumed:
+            raise ScheduleError(
+                f"{node!r}: receives {inbound} but routes {consumed} tasks "
+                f"per {common} time units"
+            )
+
+
+def is_feasible(
+    tree: Tree,
+    schedules: Mapping[Hashable, NodeSchedule],
+    periods: Mapping[Hashable, NodePeriods],
+) -> bool:
+    """``True`` iff :func:`verify_schedules` passes."""
+    try:
+        verify_schedules(tree, schedules, periods)
+    except ScheduleError:
+        return False
+    return True
+
+
+def _lcm(a: int, b: int) -> int:
+    import math
+
+    return a * b // math.gcd(a, b)

@@ -1,0 +1,31 @@
+"""Discrete-event simulation of the single-port full-overlap model.
+
+* :mod:`~repro.sim.engine` — deterministic event loop over rational time;
+* :mod:`~repro.sim.tracing` — busy segments, completions, buffer deltas;
+* :mod:`~repro.sim.simulator` — execution of event-driven schedules with
+  start-up, steady-state and wind-down phases.
+"""
+
+from .engine import Engine
+from .simulator import (
+    BufferedStartController,
+    Controller,
+    Simulation,
+    SimulationResult,
+    simulate,
+)
+from .tracing import COMPUTE, RECV, SEND, Segment, Trace
+
+__all__ = [
+    "Engine",
+    "Controller",
+    "BufferedStartController",
+    "Simulation",
+    "SimulationResult",
+    "simulate",
+    "Trace",
+    "Segment",
+    "COMPUTE",
+    "SEND",
+    "RECV",
+]

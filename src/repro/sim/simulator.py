@@ -1,0 +1,526 @@
+"""Discrete-event simulation of the single-port full-overlap model.
+
+This module executes a tree platform running the paper's event-driven
+schedules (Section 6.2) — or any other routing controller — and records a
+full :class:`~repro.sim.tracing.Trace`.
+
+Model (Section 3), enforced exactly:
+
+* a node *overlaps* receiving, computing and sending;
+* the **send port** transmits to at most one child at a time,
+  non-interruptibly, taking ``c`` time units per task;
+* the **receive port** handles one incoming transfer at a time — automatic
+  in a tree, since the unique parent sends sequentially;
+* computing one task takes ``w`` time units.
+
+Scheduling semantics:
+
+* **non-root nodes are clock-free** (Section 6.2): the j-th task a node ever
+  receives is routed by its bunch order (``order[j mod Ψ]``) the moment it
+  arrives — to the local compute queue, or to the FIFO send queue drained by
+  the send port;
+* **the root is the only clocked node**: it owns the task supply and
+  releases the designations of each bunch evenly spaced over its consumption
+  period ``T^w`` (``Ψ`` releases per period).  Pacing is required — a
+  work-conserving root would exceed its steady-state rates and flood its
+  children — and even spacing implements the paper's "disseminate the tasks
+  along the period";
+* the root stops releasing when its *supply* runs out or the *horizon* is
+  reached; the simulation then drains — the **wind-down** phase.
+
+The ``compute_during_startup`` flag selects between the paper's start-up
+strategy (Section 7: every node applies its event-driven schedule from the
+beginning, computing immediately) and the traditional baseline (a node
+computes nothing until it has buffered its steady-state task count χ_in).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Deque, Dict, Hashable, Mapping, Optional
+
+from ..core.allocation import Allocation
+from ..core.rates import is_infinite
+from ..exceptions import SimulationError
+from ..platform.tree import Tree
+from ..schedule.eventdriven import NodeSchedule, build_schedules
+from ..schedule.local import interleaved_order
+from ..schedule.periods import NodePeriods, tree_periods
+from .engine import Engine
+from .tracing import COMPUTE, CTRL, RECV, SEND, Trace
+
+
+class _SimNode:
+    """Mutable per-node simulation state."""
+
+    __slots__ = (
+        "name", "w", "compute_queue", "send_queue", "computing", "sending",
+        "receiving", "arrivals", "buffered", "overlap",
+    )
+
+    def __init__(self, name: Hashable, w, overlap: bool = True) -> None:
+        self.name = name
+        self.w = w
+        self.compute_queue = 0
+        self.send_queue: Deque[Hashable] = deque()
+        self.computing = False
+        self.sending = False
+        self.receiving = False
+        self.arrivals = 0  # tasks received (or released, for the root)
+        self.buffered = 0  # tasks currently held at the node
+        self.overlap = overlap  # can compute and communicate simultaneously
+
+
+class Controller:
+    """Routing policy: decides each task's destination and compute gating.
+
+    The default implementation routes by the event-driven bunch order and
+    always allows computing (the paper's Section 7 strategy).
+    """
+
+    def __init__(self, schedules: Mapping[Hashable, NodeSchedule]):
+        self.schedules = schedules
+
+    def destination(self, node: Hashable, arrival_index: int) -> Hashable:
+        """Destination of the ``arrival_index``-th task received by *node*."""
+        schedule = self.schedules.get(node)
+        if schedule is None:
+            retired = getattr(self, "retired", {}).get(node)
+            if retired is not None:
+                return retired.destination(arrival_index)
+            raise SimulationError(
+                f"task delivered to {node!r}, which has no schedule"
+            )
+        return schedule.destination(arrival_index)
+
+    def may_compute(self, state: _SimNode) -> bool:
+        """Whether *state*'s node may start computing right now."""
+        return True
+
+
+class BufferedStartController(Controller):
+    """The traditional start-up baseline (Section 7's strawman).
+
+    A node performs no useful computation until it has received its full
+    steady-state buffer of ``χ_in`` tasks; forwarding is unrestricted.  The
+    root (which holds the supply) computes from the start.
+    """
+
+    def __init__(
+        self,
+        schedules: Mapping[Hashable, NodeSchedule],
+        thresholds: Mapping[Hashable, int],
+        root: Hashable,
+    ):
+        super().__init__(schedules)
+        self.thresholds = thresholds
+        self.root = root
+
+    def may_compute(self, state: _SimNode) -> bool:
+        if state.name == self.root:
+            return True
+        return state.arrivals >= self.thresholds.get(state.name, 0)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced."""
+
+    trace: Trace
+    tree: Tree
+    schedules: Mapping[Hashable, NodeSchedule]
+    periods: Mapping[Hashable, NodePeriods]
+    released: int
+    stop_time: Optional[Fraction]  # when the root stopped releasing
+    end_time: Fraction
+
+    @property
+    def completed(self) -> int:
+        return self.trace.completed
+
+    @property
+    def wind_down(self) -> Optional[Fraction]:
+        """Time from supply cut-off to the last task completion."""
+        if self.stop_time is None or not self.trace.completions:
+            return None
+        return max(self.end_time - self.stop_time, Fraction(0))
+
+
+class Simulation:
+    """One configured simulation run over a tree + schedules."""
+
+    def __init__(
+        self,
+        tree: Tree,
+        schedules: Mapping[Hashable, NodeSchedule],
+        periods: Mapping[Hashable, NodePeriods],
+        controller: Optional[Controller] = None,
+        horizon: Optional[Fraction] = None,
+        supply: Optional[int] = None,
+        overlap: Optional[Mapping[Hashable, bool]] = None,
+        root_pacing: str = "even",
+        record_segments: bool = True,
+        record_buffers: bool = True,
+        max_events: int = 5_000_000,
+    ):
+        if horizon is None and supply is None:
+            raise SimulationError("give a horizon, a supply, or both")
+        if root_pacing not in ("even", "marks", "burst"):
+            raise SimulationError(f"unknown root pacing {root_pacing!r}")
+        self.root_pacing = root_pacing
+        self._record_segments = record_segments
+        self._record_buffers = record_buffers
+        self.tree = tree
+        self.schedules = schedules
+        self.periods = periods
+        self.controller = controller or Controller(schedules)
+        self.horizon = Fraction(horizon) if horizon is not None else None
+        self.supply = supply
+        self.max_events = max_events
+
+        self.engine = Engine()
+        self.trace = Trace(record_segments=record_segments,
+                           record_buffers=record_buffers)
+        overlap = overlap or {}
+        self.nodes: Dict[Hashable, _SimNode] = {
+            n: _SimNode(n, tree.w(n), overlap=overlap.get(n, True))
+            for n in tree.nodes()
+        }
+        self._released = 0
+        self._stop_time: Optional[Fraction] = None
+        self._generation = 0  # bumped by reconfigure() to retire old chains
+        self._control_jobs: Dict[Hashable, Deque] = {}
+
+    # ------------------------------------------------------------------
+    # root release driver
+    # ------------------------------------------------------------------
+    def _root_schedule(self) -> NodeSchedule:
+        schedule = self.schedules.get(self.tree.root)
+        if schedule is None:
+            raise SimulationError("the root has no schedule — empty allocation?")
+        return schedule
+
+    def _release_offsets(self, schedule: NodeSchedule) -> list:
+        """Within-period release times of the root's bunch, per pacing mode.
+
+        * ``even`` (default): the j-th designation at ``j·T^w/Ψ`` — uniform
+          dissemination along the period;
+        * ``marks``: at the interleave mark positions ``k/(ψ+1)`` scaled to
+          ``T^w`` (Section 6.3's geometric construction taken literally);
+        * ``burst``: the whole bunch at the period start (a naive clocked
+          root; the steady rates still hold, buffering suffers).
+        """
+        t_w = Fraction(schedule.periods.t_consume)
+        bunch = schedule.bunch
+        if self.root_pacing == "even":
+            spacing = t_w / bunch
+            return [j * spacing for j in range(bunch)]
+        if self.root_pacing == "burst":
+            return [Fraction(0)] * bunch
+        if self.root_pacing == "marks":
+            marks = []
+            for i, dest in enumerate(
+                [d for d in schedule.quantities]
+            ):
+                count = schedule.quantities[dest]
+                delta = Fraction(1, count + 1)
+                for k in range(1, count + 1):
+                    marks.append((k * delta, count, i))
+            marks.sort()
+            return [pos * t_w for pos, _, _ in marks]
+        raise SimulationError(f"unknown root pacing {self.root_pacing!r}")
+
+    def _schedule_period(self, k: int, origin: Fraction = Fraction(0),
+                         generation: int = 0) -> None:
+        """Lazily schedule the k-th bunch of root releases.
+
+        *origin* anchors the period grid (non-zero after a reconfiguration);
+        a stale *generation* means :meth:`reconfigure` retired this chain.
+        """
+        if generation != self._generation:
+            return
+        schedule = self._root_schedule()
+        t_w = Fraction(schedule.periods.t_consume)
+        offsets = self._release_offsets(schedule)
+        start = origin + k * t_w
+        stopped = False
+        for j, dest in enumerate(schedule.order):
+            t = start + offsets[j]
+            if self.horizon is not None and t >= self.horizon:
+                stopped = True
+                break
+            if self.supply is not None and self._released >= self.supply:
+                stopped = True
+                break
+            self._released += 1
+            self.engine.schedule_at(
+                t, lambda d=dest, g=generation, tt=t: self._release(d, tt, g)
+            )
+        if stopped:
+            # remember when the supply was effectively cut
+            if self._stop_time is None:
+                self._stop_time = t
+        else:
+            self.engine.schedule_at(
+                start + t_w,
+                lambda g=generation: self._schedule_period(k + 1, origin, g),
+            )
+
+    def _release(self, dest: Hashable, time: Fraction,
+                 generation: int = 0) -> None:
+        """The root releases one task designated for *dest*."""
+        if generation != self._generation:
+            self._released -= 1  # the retired chain never released this task
+            return
+        root = self.tree.root
+        state = self.nodes[root]
+        state.arrivals += 1
+        state.buffered += 1
+        self.trace.add_release(self.engine.now, dest)
+        self.trace.add_buffer_delta(self.engine.now, root, +1)
+        self._route(root, dest)
+
+    # ------------------------------------------------------------------
+    # task movement
+    # ------------------------------------------------------------------
+    def _route(self, node: Hashable, dest: Hashable) -> None:
+        state = self.nodes[node]
+        if dest == node:
+            if is_infinite(state.w):
+                raise SimulationError(f"switch {node!r} was routed a compute task")
+            state.compute_queue += 1
+            self._try_start_compute(node)
+        else:
+            if dest not in self.tree.children(node):
+                raise SimulationError(f"{node!r} cannot send to non-child {dest!r}")
+            state.send_queue.append(dest)
+            self._try_start_send(node)
+
+    def _deliver(self, node: Hashable) -> None:
+        """A task transfer to *node* just completed."""
+        state = self.nodes[node]
+        index = state.arrivals
+        state.arrivals += 1
+        state.buffered += 1
+        now = self.engine.now
+        self.trace.add_arrival(now, node)
+        self.trace.add_buffer_delta(now, node, +1)
+        dest = self.controller.destination(node, index)
+        self._route(node, dest)
+        # a threshold controller may have just unblocked computing
+        self._try_start_compute(node)
+
+    def _try_start_compute(self, node: Hashable) -> None:
+        state = self.nodes[node]
+        if state.computing or state.compute_queue == 0:
+            return
+        if not state.overlap and (state.sending or state.receiving):
+            return  # a no-overlap node cannot compute while communicating
+        if not self.controller.may_compute(state):
+            return
+        state.computing = True
+        state.compute_queue -= 1
+        start = self.engine.now
+        end = start + state.w
+        self.trace.add_segment(node, COMPUTE, start, end)
+        self.engine.schedule_at(end, lambda: self._compute_done(node))
+
+    def _compute_done(self, node: Hashable) -> None:
+        state = self.nodes[node]
+        state.computing = False
+        state.buffered -= 1
+        now = self.engine.now
+        self.trace.add_completion(now, node)
+        self.trace.add_buffer_delta(now, node, -1)
+        # communication gets priority at a no-overlap node: first release a
+        # parent transfer held back by our computing, then our own port,
+        # then (if still allowed) the next local task
+        parent = self.tree.parent(node)
+        if parent is not None:
+            self._try_start_send(parent)
+        self._try_start_send(node)
+        self._try_start_compute(node)
+
+    def _try_start_send(self, node: Hashable) -> None:
+        state = self.nodes[node]
+        if state.sending:
+            return
+        if not state.overlap and state.computing:
+            return  # a no-overlap node cannot send while computing
+        # control messages (reconfiguration traffic) pre-empt task transfers
+        jobs = self._control_jobs.get(node)
+        if jobs:
+            duration, callback = jobs.popleft()
+            state.sending = True
+            start = self.engine.now
+            end = start + duration
+            self.trace.add_segment(node, CTRL, start, end)
+
+            def ctrl_done() -> None:
+                state.sending = False
+                if callback is not None:
+                    callback()
+                self._try_start_send(node)
+                self._try_start_compute(node)
+
+            self.engine.schedule_at(end, ctrl_done)
+            return
+        if not state.send_queue:
+            return
+        # an in-order transfer to a no-overlap child waits for its CPU
+        head = state.send_queue[0]
+        head_state = self.nodes[head]
+        if not head_state.overlap and head_state.computing:
+            return  # the child's compute completion will wake us
+        child = state.send_queue.popleft()
+        state.sending = True
+        self.nodes[child].receiving = True
+        start = self.engine.now
+        cost = self.tree.edge_cost(node, child)
+        end = start + cost
+        self.trace.add_segment(node, SEND, start, end, peer=child)
+        self.trace.add_segment(child, RECV, start, end, peer=node)
+        self.engine.schedule_at(end, lambda: self._send_done(node, child))
+
+    def _send_done(self, node: Hashable, child: Hashable) -> None:
+        state = self.nodes[node]
+        state.sending = False
+        state.buffered -= 1
+        self.nodes[child].receiving = False
+        self.trace.add_buffer_delta(self.engine.now, node, -1)
+        self._deliver(child)
+        self._try_start_send(node)
+        # a no-overlap node's CPU may have been waiting on the port
+        self._try_start_compute(node)
+
+    # ------------------------------------------------------------------
+    # online reconfiguration (used by repro.extensions.online)
+    # ------------------------------------------------------------------
+    def inject_control(self, node: Hashable, duration,
+                       callback=None) -> None:
+        """Queue a control-plane job on *node*'s send port.
+
+        Control jobs model negotiation messages: they pre-empt queued task
+        transfers (they are tiny but must cross the same port) and are
+        recorded as ``CTRL`` segments.
+        """
+        self._control_jobs.setdefault(node, deque()).append(
+            (Fraction(duration), callback)
+        )
+        self._try_start_send(node)
+
+    def swap_platform(self, tree: Tree) -> None:
+        """The physical platform drifted: costs/weights change in place.
+
+        *tree* must have the same topology; transfers and computations
+        already in progress finish at their old durations, new ones use the
+        new values.
+        """
+        if set(tree.nodes()) != set(self.tree.nodes()):
+            raise SimulationError("swap_platform requires the same topology")
+        self.tree = tree
+        for node in tree.nodes():
+            self.nodes[node].w = tree.w(node)
+
+    def reconfigure(self, schedules: Mapping[Hashable, NodeSchedule],
+                    periods: Mapping[Hashable, NodePeriods]) -> None:
+        """Switch every node to new event-driven *schedules* right now.
+
+        The old root release chain is retired and a new one starts
+        immediately, anchored at the current time; clock-free nodes keep
+        their arrival counters and simply continue into the new bunch
+        orders (nodes dropped from the new schedules drain residual tasks
+        by their retired orders).
+        """
+        retired = dict(self.schedules)
+        self.schedules = dict(schedules)
+        self.periods = dict(periods)
+        self.controller.schedules = self.schedules
+        self.controller.retired = retired
+        self._generation += 1
+        origin = self.engine.now
+        self.engine.schedule_at(
+            origin,
+            lambda g=self._generation: self._schedule_period(0, origin, g),
+        )
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run to completion: release until horizon/supply, then drain."""
+        self._schedule_period(0)
+        self.engine.run_all(max_events=self.max_events)
+        stop = self._stop_time
+        if stop is None and self.horizon is not None:
+            stop = self.horizon
+        return SimulationResult(
+            trace=self.trace,
+            tree=self.tree,
+            schedules=self.schedules,
+            periods=self.periods,
+            released=self._released,
+            stop_time=stop,
+            end_time=self.trace.end_time,
+        )
+
+
+def simulate(
+    tree: Tree,
+    allocation: Optional[Allocation] = None,
+    policy: Callable = interleaved_order,
+    horizon: Optional[Fraction] = None,
+    supply: Optional[int] = None,
+    compute_during_startup: bool = True,
+    overlap: Optional[Mapping[Hashable, bool]] = None,
+    root_pacing: str = "even",
+    record_segments: bool = True,
+    record_buffers: bool = True,
+    max_events: int = 5_000_000,
+) -> SimulationResult:
+    """One-call simulation of *tree* running its optimal event-driven schedule.
+
+    When *allocation* is omitted it is computed by BW-First.  *policy* orders
+    each node's bunch (default: the paper's interleaving).  The root releases
+    tasks until *horizon* time units and/or *supply* tasks, whichever comes
+    first; the simulation then drains and the result's ``wind_down`` measures
+    the drain time.  ``compute_during_startup=False`` selects the traditional
+    buffered-start baseline instead of the paper's Section 7 strategy.
+
+    *overlap* maps nodes to their overlap capability (Section 3's operation
+    modes; default: every node is full-overlap).  A ``False`` node cannot
+    compute while either of its ports is active: its CPU defers to transfers
+    (an inbound transfer to it waits for its current task to finish, then
+    takes priority over the next one).  Running the *full-overlap-optimal*
+    schedule on such nodes measures what the overlap capability is worth —
+    experiment E18 — not the optimum of the non-overlap model, which is a
+    different scheduling problem.
+    """
+    if allocation is None:
+        from ..core.allocation import from_bw_first
+        from ..core.bwfirst import bw_first
+
+        allocation = from_bw_first(bw_first(tree))
+    periods = tree_periods(allocation)
+    schedules = build_schedules(allocation, policy=policy, periods=periods)
+    if compute_during_startup:
+        controller: Controller = Controller(schedules)
+    else:
+        thresholds = {node: periods[node].chi_in for node in schedules}
+        controller = BufferedStartController(schedules, thresholds, tree.root)
+    sim = Simulation(
+        tree,
+        schedules,
+        periods,
+        controller=controller,
+        horizon=horizon,
+        supply=supply,
+        overlap=overlap,
+        root_pacing=root_pacing,
+        record_segments=record_segments,
+        record_buffers=record_buffers,
+        max_events=max_events,
+    )
+    return sim.run()

@@ -1,0 +1,130 @@
+"""Execution traces: the raw material for Gantt charts and phase analysis.
+
+A :class:`Trace` records everything observable about a simulation run:
+
+* **segments** — intervals during which a node resource was busy:
+  ``compute`` (the CPU), ``send`` (the emission port, labelled with the
+  child), ``recv`` (the reception port, labelled with the parent) and
+  ``release`` markers for the root's task generation;
+* **completions** — one ``(time, node)`` pair per task computed;
+* **buffer deltas** — ±1 changes of the number of tasks held at a node
+  (arrived or released, minus computed or forwarded), from which
+  :mod:`repro.analysis.buffers` reconstructs occupancy over time.
+
+Traces are append-only during simulation and analysed afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Tuple
+
+COMPUTE = "compute"
+SEND = "send"
+RECV = "recv"
+CTRL = "ctrl"  # control-plane traffic occupying a send port
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One busy interval of one resource of one node."""
+
+    node: Hashable
+    kind: str  # COMPUTE, SEND or RECV
+    start: Fraction
+    end: Fraction
+    peer: Optional[Hashable] = None  # child for SEND, parent for RECV
+
+    @property
+    def duration(self) -> Fraction:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Append-only record of a simulation run.
+
+    For very long steady-state runs the segment/buffer streams dominate
+    memory; construct with ``record_segments=False`` (and/or
+    ``record_buffers=False``) to keep only completions — enough for
+    throughput measurements — at a fraction of the footprint.
+    """
+
+    segments: List[Segment] = field(default_factory=list)
+    completions: List[Tuple[Fraction, Hashable]] = field(default_factory=list)
+    arrivals: List[Tuple[Fraction, Hashable]] = field(default_factory=list)
+    buffer_deltas: List[Tuple[Fraction, Hashable, int]] = field(default_factory=list)
+    releases: List[Tuple[Fraction, Hashable]] = field(default_factory=list)
+    record_segments: bool = True
+    record_buffers: bool = True
+    _last_time: Fraction = field(default_factory=lambda: Fraction(0))
+
+    # ------------------------------------------------------------------
+    # recording (called by the simulator)
+    # ------------------------------------------------------------------
+    def add_segment(self, node: Hashable, kind: str, start: Fraction,
+                    end: Fraction, peer: Optional[Hashable] = None) -> None:
+        self._last_time = max(self._last_time, end)
+        if self.record_segments:
+            self.segments.append(Segment(node, kind, start, end, peer))
+
+    def add_completion(self, time: Fraction, node: Hashable) -> None:
+        self._last_time = max(self._last_time, time)
+        self.completions.append((time, node))
+
+    def add_arrival(self, time: Fraction, node: Hashable) -> None:
+        self.arrivals.append((time, node))
+
+    def add_buffer_delta(self, time: Fraction, node: Hashable, delta: int) -> None:
+        if self.record_buffers:
+            self.buffer_deltas.append((time, node, delta))
+
+    def add_release(self, time: Fraction, destination: Hashable) -> None:
+        self.releases.append((time, destination))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        """Total number of tasks computed."""
+        return len(self.completions)
+
+    @property
+    def end_time(self) -> Fraction:
+        """Timestamp of the last recorded activity (0 for an empty trace).
+
+        Tracked incrementally, so it stays correct even when segment
+        recording is disabled.
+        """
+        return self._last_time
+
+    def completions_by_node(self) -> Dict[Hashable, int]:
+        """Tasks computed per node."""
+        counts: Dict[Hashable, int] = {}
+        for _, node in self.completions:
+            counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    def completions_in(self, start: Fraction, end: Fraction) -> int:
+        """Tasks completed in the half-open window ``(start, end]``."""
+        return sum(1 for t, _ in self.completions if start < t <= end)
+
+    def segments_for(self, node: Hashable, kind: Optional[str] = None) -> List[Segment]:
+        """All segments of *node*, optionally filtered by *kind*."""
+        return [
+            s for s in self.segments
+            if s.node == node and (kind is None or s.kind == kind)
+        ]
+
+    def busy_time(self, node: Hashable, kind: str,
+                  start: Fraction, end: Fraction) -> Fraction:
+        """Total busy time of a resource inside ``[start, end]``."""
+        total = Fraction(0)
+        for s in self.segments_for(node, kind):
+            lo = max(s.start, start)
+            hi = min(s.end, end)
+            if hi > lo:
+                total += hi - lo
+        return total

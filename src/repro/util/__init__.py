@@ -1,0 +1,5 @@
+"""Small shared utilities (text tables, etc.)."""
+
+from .text import render_table
+
+__all__ = ["render_table"]

@@ -1,0 +1,57 @@
+"""Process-parallel sweeps for embarrassingly parallel evaluations.
+
+Several workflows in this library are sweeps of *independent* exact
+computations — sensitivity analysis re-runs BW-First once per resource,
+overlay search runs independent restarts, benchmark harnesses scan seeds.
+These parallelise perfectly across processes (the GIL rules threads out for
+pure-Python `Fraction` work).
+
+:func:`parallel_map` is a thin, dependable wrapper over
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **order-preserving** — results come back in input order, so parallel and
+  serial runs are interchangeable (the tests assert equality);
+* **deterministic** — it adds no scheduling-dependent behaviour; callables
+  must already take their seeds explicitly;
+* **graceful fallback** — ``workers=0``/``1`` (or an unpicklable callable
+  on platforms without ``fork``) runs serially, so library code can expose
+  a ``parallel=`` flag without platform worries.
+
+Top-level functions (picklable) are required for multi-process execution;
+lambdas only work in serial mode.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """A sensible worker count: the CPU count, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """``[fn(x) for x in items]``, optionally across processes.
+
+    *workers* ``None`` uses :func:`default_workers`; ``0`` or ``1`` runs
+    serially in-process (no pickling requirements).  Exceptions raised by
+    *fn* propagate to the caller either way.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

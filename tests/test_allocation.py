@@ -1,0 +1,129 @@
+"""Unit tests for the Allocation layer (conservation + feasibility)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.allocation import Allocation, from_bw_first
+from repro.core.bwfirst import bw_first
+from repro.exceptions import ScheduleError
+from repro.platform.tree import Tree
+
+F = Fraction
+
+
+@pytest.fixture
+def simple_tree():
+    t = Tree("m", w=2)
+    t.add_node("a", w=2, parent="m", c=1)
+    return t
+
+
+def make_allocation(tree, alpha, eta_in, eta_out):
+    return Allocation(tree=tree, alpha=alpha, eta_in=eta_in, eta_out=eta_out)
+
+
+class TestFromBWFirst:
+    def test_paper_tree(self, paper_tree):
+        allocation = from_bw_first(bw_first(paper_tree))
+        assert allocation.throughput == F(10, 9)
+        allocation.check()
+
+    def test_active_nodes(self, paper_tree):
+        allocation = from_bw_first(bw_first(paper_tree))
+        active = allocation.active_nodes()
+        assert "P5" not in active
+        assert "P8" in active
+        assert "P0" in active
+
+    def test_sends_in_child_order(self, paper_tree):
+        allocation = from_bw_first(bw_first(paper_tree))
+        assert list(allocation.sends("P0")) == ["P1", "P2", "P3"]
+
+    def test_unvisited_nodes_are_zero(self, paper_tree):
+        allocation = from_bw_first(bw_first(paper_tree))
+        assert allocation.alpha["P10"] == 0
+        assert allocation.eta_in["P10"] == 0
+
+
+class TestCheck:
+    def test_valid(self, simple_tree):
+        a = make_allocation(
+            simple_tree,
+            alpha={"m": F(1, 2), "a": F(1, 2)},
+            eta_in={"m": F(0), "a": F(1, 2)},
+            eta_out={("m", "a"): F(1, 2)},
+        )
+        a.check()
+        assert a.is_feasible()
+
+    def test_conservation_violation(self, simple_tree):
+        a = make_allocation(
+            simple_tree,
+            alpha={"m": F(1, 2), "a": F(1, 4)},
+            eta_in={"m": F(0), "a": F(1, 2)},  # receives 1/2, consumes 1/4
+            eta_out={("m", "a"): F(1, 2)},
+        )
+        with pytest.raises(ScheduleError, match="conservation"):
+            a.check()
+
+    def test_compute_capacity_violation(self, simple_tree):
+        a = make_allocation(
+            simple_tree,
+            alpha={"m": F(2), "a": F(0)},  # rate is only 1/2
+            eta_in={"m": F(0), "a": F(0)},
+            eta_out={("m", "a"): F(0)},
+        )
+        with pytest.raises(ScheduleError, match="rate"):
+            a.check()
+
+    def test_send_port_violation(self):
+        t = Tree("m", w=2)
+        t.add_node("a", w="1/4", parent="m", c=1)  # rate 4
+        a = make_allocation(
+            t,
+            alpha={"m": F(0), "a": F(2)},
+            eta_in={"m": F(0), "a": F(2)},  # 2 tasks/unit over a c=1 link: 2 > 1
+            eta_out={("m", "a"): F(2)},
+        )
+        with pytest.raises(ScheduleError, match="port"):
+            a.check()
+
+    def test_root_cannot_receive(self, simple_tree):
+        a = make_allocation(
+            simple_tree,
+            alpha={"m": F(1, 2), "a": F(0)},
+            eta_in={"m": F(1), "a": F(0)},
+            eta_out={("m", "a"): F(0)},
+        )
+        with pytest.raises(ScheduleError, match="root"):
+            a.check()
+
+    def test_edge_mismatch(self, simple_tree):
+        a = make_allocation(
+            simple_tree,
+            alpha={"m": F(1, 2), "a": F(1, 4)},
+            eta_in={"m": F(0), "a": F(1, 4)},
+            eta_out={("m", "a"): F(1, 2)},  # parent sends 1/2, child gets 1/4
+        )
+        with pytest.raises(ScheduleError, match="edge"):
+            a.check()
+
+    def test_negative_rate(self, simple_tree):
+        a = make_allocation(
+            simple_tree,
+            alpha={"m": F(-1), "a": F(0)},
+            eta_in={"m": F(0), "a": F(0)},
+            eta_out={("m", "a"): F(0)},
+        )
+        with pytest.raises(ScheduleError):
+            a.check()
+
+    def test_is_feasible_false(self, simple_tree):
+        a = make_allocation(
+            simple_tree,
+            alpha={"m": F(2), "a": F(0)},
+            eta_in={"m": F(0), "a": F(0)},
+            eta_out={("m", "a"): F(0)},
+        )
+        assert not a.is_feasible()

@@ -1,0 +1,166 @@
+"""Unit tests for the analysis package (throughput, buffers, phases)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    measured_rate,
+    node_steady_entry,
+    occupancy_series,
+    peak,
+    peak_per_node,
+    startup_efficiency,
+    startup_length,
+    steady_state_rate,
+    time_average,
+    total_occupancy_series,
+    window_rates,
+)
+from repro.sim import simulate
+from repro.sim.tracing import Trace
+
+F = Fraction
+
+
+def synthetic_trace() -> Trace:
+    """One completion per time unit from t=3 to t=20 (a 3-unit start-up)."""
+    trace = Trace()
+    for t in range(3, 21):
+        trace.add_completion(F(t), "n")
+    return trace
+
+
+class TestThroughput:
+    def test_measured_rate(self):
+        trace = synthetic_trace()
+        assert measured_rate(trace, 9, 19) == 1
+
+    def test_measured_rate_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            measured_rate(synthetic_trace(), 5, 5)
+
+    def test_window_rates(self):
+        rates = window_rates(synthetic_trace(), 5, until=15)
+        assert len(rates) == 3
+        assert rates[0] == (F(0), F(3, 5))  # completions at 3,4,5
+        assert rates[1] == (F(5), F(1))
+
+    def test_window_rates_bad_period(self):
+        with pytest.raises(ValueError):
+            window_rates(synthetic_trace(), 0)
+
+    def test_steady_state_rate_found(self):
+        rate = steady_state_rate(synthetic_trace(), 5, stop_time=15)
+        assert rate == 1
+
+    def test_steady_state_rate_none_when_unstable(self):
+        trace = Trace()
+        for t in (1, 2, 4, 8, 16):
+            trace.add_completion(F(t), "n")
+        assert steady_state_rate(trace, 4, stop_time=16) is None
+
+
+class TestBuffers:
+    @pytest.fixture
+    def trace(self):
+        trace = Trace()
+        trace.add_buffer_delta(F(1), "a", +1)
+        trace.add_buffer_delta(F(2), "a", +1)
+        trace.add_buffer_delta(F(4), "a", -1)
+        trace.add_buffer_delta(F(3), "b", +1)
+        return trace
+
+    def test_occupancy_series(self, trace):
+        series = occupancy_series(trace, "a")
+        assert series == [(F(0), 0), (F(1), 1), (F(2), 2), (F(4), 1)]
+
+    def test_total_series(self, trace):
+        series = total_occupancy_series(trace)
+        assert series[-1] == (F(4), 2)
+        assert max(level for _, level in series) == 3
+
+    def test_peak(self, trace):
+        assert peak(occupancy_series(trace, "a")) == 2
+
+    def test_peak_windowed(self, trace):
+        series = occupancy_series(trace, "a")
+        assert peak(series, start=F(4), end=F(10)) == 1  # level persists
+
+    def test_time_average(self, trace):
+        series = occupancy_series(trace, "a")
+        # [1,2): 1, [2,4): 2, [4,5): 1 → (1+4+1)/4 over [1,5]
+        assert time_average(series, 1, 5) == F(6, 4)
+
+    def test_time_average_empty_window(self, trace):
+        with pytest.raises(ValueError):
+            time_average(occupancy_series(trace, "a"), 2, 2)
+
+    def test_peak_per_node(self, trace):
+        assert peak_per_node(trace) == {"a": 2, "b": 1}
+
+    def test_merges_same_instant_deltas(self):
+        trace = Trace()
+        trace.add_buffer_delta(F(1), "a", +1)
+        trace.add_buffer_delta(F(1), "a", -1)
+        series = occupancy_series(trace, "a")
+        assert series == [(F(0), 0), (F(1), 0)]
+
+
+class TestPhases:
+    def test_startup_length(self):
+        # 5-unit windows; the (0,5] window has 3 completions (3,4,5),
+        # all later windows have exactly 5
+        assert startup_length(synthetic_trace(), 5, 5, stop_time=20) == 5
+
+    def test_startup_zero_for_immediate_steady(self):
+        trace = Trace()
+        for t in range(1, 13):
+            trace.add_completion(F(t), "n")
+        assert startup_length(trace, 4, 4, stop_time=12) == 0
+
+    def test_startup_none_when_never_steady(self):
+        assert startup_length(synthetic_trace(), 5, 99, stop_time=20) is None
+
+    def test_startup_efficiency(self):
+        # window [0,5]: 3 completions of an optimal 5
+        assert startup_efficiency(synthetic_trace(), 5, 1) == F(3, 5)
+
+    def test_startup_efficiency_bad_window(self):
+        with pytest.raises(ValueError):
+            startup_efficiency(synthetic_trace(), 0, 1)
+
+    def test_node_steady_entry(self):
+        trace = Trace()
+        for t in range(3, 21):
+            trace.add_completion(F(t), "x")
+            trace.add_completion(F(t), "y")
+        assert node_steady_entry(trace, "x", 5, 5, stop_time=20) == 5
+
+
+class TestOnRealSimulation:
+    def test_prop4_startup_bound_holds(self, paper_tree):
+        """Proposition 4: every node enters steady state within Σ ancestor T^s."""
+        from repro.core.allocation import from_bw_first
+        from repro.core.bwfirst import bw_first
+        from repro.schedule.periods import startup_bound, tree_periods
+
+        allocation = from_bw_first(bw_first(paper_tree))
+        periods = tree_periods(allocation)
+        result = simulate(paper_tree, horizon=20 * 36)
+        for node in result.schedules:
+            p = periods[node]
+            if p.chi_compute == 0:
+                continue
+            entry = node_steady_entry(
+                result.trace, node, p.t_full, p.chi_compute,
+                stop_time=result.stop_time,
+            )
+            assert entry is not None, f"{node} never reached steady state"
+            bound = startup_bound(periods, paper_tree, node)
+            # Proposition 4's "steady state" is a flow balance; our measured
+            # entry uses fixed grid windows, so allow the bound to round up
+            # to the grid plus one local period of phase alignment.
+            grid_bound = ((bound + p.t_full - 1) // p.t_full) * p.t_full
+            assert entry <= grid_bound + p.t_full, \
+                f"{node}: entry {entry} > bound {bound} (grid {grid_bound})"

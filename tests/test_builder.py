@@ -1,0 +1,87 @@
+"""Unit tests for TreeBuilder and the nested-dict format."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.builder import TreeBuilder, tree_from_nested
+
+
+class TestTreeBuilder:
+    def test_chained_children(self):
+        tree = (
+            TreeBuilder("P0", w=3)
+            .child("P0", "P1", w=3, c=1)
+            .child("P1", "P4", w=9, c="18/5")
+            .build()
+        )
+        assert tree.parent("P4") == "P1"
+        assert tree.c("P4") == Fraction(18, 5)
+
+    def test_switch(self):
+        tree = TreeBuilder("m", w=1).switch("m", "sw", c=2).build()
+        assert tree.is_switch("sw")
+
+    def test_chain(self):
+        tree = TreeBuilder("m").chain("m", ["a", "b", "c"], w=1, c=2).build()
+        assert tree.parent("c") == "b"
+        assert tree.depth("c") == 3
+
+    def test_fork(self):
+        tree = (
+            TreeBuilder("m")
+            .fork("m", ["a", "b"], weights=[1, 2], costs=[3, 4])
+            .build()
+        )
+        assert tree.children("m") == ("a", "b")
+        assert tree.c("b") == 4
+
+    def test_fork_length_mismatch(self):
+        with pytest.raises(PlatformError):
+            TreeBuilder("m").fork("m", ["a"], weights=[1, 2], costs=[3])
+
+    def test_build_twice_rejected(self):
+        builder = TreeBuilder("m", w=1)
+        builder.build()
+        with pytest.raises(PlatformError):
+            builder.build()
+
+    def test_use_after_build_rejected(self):
+        builder = TreeBuilder("m", w=1)
+        builder.build()
+        with pytest.raises(PlatformError):
+            builder.child("m", "x", w=1, c=1)
+
+    def test_default_root_is_switch(self):
+        tree = TreeBuilder("m").build()
+        assert tree.is_switch("m")
+
+
+class TestNested:
+    def test_basic(self):
+        tree = tree_from_nested({
+            "name": "P0", "w": 3,
+            "children": [
+                {"name": "P1", "w": 3, "c": 1,
+                 "children": [{"name": "P4", "w": 9, "c": "18/5"}]},
+                {"name": "P2", "w": 18, "c": 2},
+            ],
+        })
+        assert list(tree.nodes()) == ["P0", "P1", "P4", "P2"]
+        assert tree.c("P4") == Fraction(18, 5)
+
+    def test_inf_weight_string(self):
+        tree = tree_from_nested({"name": "m", "w": "inf"})
+        assert tree.is_switch("m")
+
+    def test_missing_w_means_switch(self):
+        tree = tree_from_nested({"name": "m"})
+        assert tree.is_switch("m")
+
+    def test_missing_c_rejected(self):
+        with pytest.raises(PlatformError):
+            tree_from_nested({
+                "name": "m", "w": 1,
+                "children": [{"name": "a", "w": 1}],
+            })

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.platform import save_tree
+from repro.platform.examples import paper_figure4_tree
+
+
+@pytest.fixture
+def tree_file(tmp_path):
+    path = tmp_path / "tree.json"
+    save_tree(paper_figure4_tree(), path)
+    return str(path)
+
+
+class TestThroughputCommand:
+    def test_basic(self, tree_file, capsys):
+        assert main(["throughput", tree_file]) == 0
+        out = capsys.readouterr().out
+        assert "10/9" in out
+        assert "bottom-up agrees:   True" in out
+        assert "8/12" in out
+
+    def test_lists_unvisited(self, tree_file, capsys):
+        main(["throughput", tree_file])
+        out = capsys.readouterr().out
+        assert "P10 P11 P5 P9" in out
+
+
+class TestScheduleCommand:
+    def test_tables_present(self, tree_file, capsys):
+        assert main(["schedule", tree_file]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4b" in out
+        assert "P0 -> P1" in out
+        assert "global period T = 36" in out
+
+    def test_policy_flag(self, tree_file, capsys):
+        assert main(["schedule", tree_file, "--policy", "block"]) == 0
+        out = capsys.readouterr().out
+        assert "P4 P4 P8 P8 P8" in out
+
+
+class TestSimulateCommand:
+    def test_horizon(self, tree_file, capsys):
+        assert main(["simulate", tree_file, "--horizon", "72"]) == 0
+        out = capsys.readouterr().out
+        assert "measured steady rate" in out
+
+    def test_supply(self, tree_file, capsys):
+        import re
+
+        assert main(["simulate", tree_file, "--supply", "30"]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"tasks completed\s+30\b", out)
+
+    def test_buffered_start(self, tree_file, capsys):
+        assert main(
+            ["simulate", tree_file, "--horizon", "72", "--buffered-start"]
+        ) == 0
+
+
+class TestGanttCommand:
+    def test_renders(self, tree_file, capsys):
+        assert main(["gantt", tree_file, "--horizon", "36", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "P0 C" in out
+
+    def test_node_selection(self, tree_file, capsys):
+        main(["gantt", tree_file, "--horizon", "36", "--nodes", "P0", "P1"])
+        out = capsys.readouterr().out
+        assert "P0 C" in out
+        assert "P4" not in out
+
+
+class TestDotCommand:
+    def test_highlights_unvisited(self, tree_file, capsys):
+        assert main(["dot", tree_file]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().startswith("digraph")
+        p5_line = next(l for l in out.splitlines() if l.strip().startswith('"P5"'))
+        assert "fillcolor" in p5_line
+
+
+class TestExampleCommand:
+    def test_runs_end_to_end(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "10/9" in out
+        assert "P0 -> P1" in out
+        assert "10-period simulation" in out

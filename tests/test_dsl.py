@@ -1,0 +1,86 @@
+"""Unit tests for the platform text DSL."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.dsl import format_tree, parse_tree
+from repro.platform.generators import random_tree
+
+
+class TestParse:
+    def test_single_node(self):
+        tree = parse_tree("P0(w=3)")
+        assert len(tree) == 1
+        assert tree.w("P0") == 3
+
+    def test_switch_root(self):
+        tree = parse_tree("m(w=inf)")
+        assert tree.is_switch("m")
+
+    def test_nested(self):
+        tree = parse_tree("a(w=1)[b(w=2,c=3)[c(w=4,c=5)], d(w=6,c=7)]")
+        assert list(tree.nodes()) == ["a", "b", "c", "d"]
+        assert tree.parent("c") == "b"
+        assert tree.c("d") == 7
+
+    def test_fraction_values(self):
+        tree = parse_tree("a(w=18/5)[b(w=1/3,c=3/7)]")
+        assert tree.w("a") == Fraction(18, 5)
+        assert tree.c("b") == Fraction(3, 7)
+
+    def test_decimal_values(self):
+        tree = parse_tree("a(w=1.5)[b(w=2,c=0.5)]")
+        assert tree.w("a") == Fraction(3, 2)
+        assert tree.c("b") == Fraction(1, 2)
+
+    def test_whitespace_insensitive(self):
+        a = parse_tree("a(w=1)[ b(w=2, c=3) ,c(w=4,c=5) ]")
+        b = parse_tree("a(w=1)[b(w=2,c=3),c(w=4,c=5)]")
+        assert a == b
+
+    def test_attribute_order_free(self):
+        tree = parse_tree("a(w=1)[b(c=3,w=2)]")
+        assert tree.w("b") == 2
+        assert tree.c("b") == 3
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "a(w=1)[b(w=2)]",           # missing c on a child
+        "a(w=1,c=2)",               # c on the root
+        "a(w=1)[b(w=2,c=3)",        # unclosed bracket
+        "a(w=1) trailing(w=2,c=1)",  # trailing input
+        "a(c=1)",                   # missing w
+        "a(w=1,w=2)",               # duplicate attribute
+        "a(x=1)",                   # unknown attribute
+        "a(w=0)",                   # invalid weight
+        "(w=1)",                    # missing name
+        "a(w=1)[]",                 # empty child list
+        "a(w=1 b=2)",               # missing comma
+        "",                         # empty input
+        "a(w=1)[b(w=2,c=3);]",      # illegal character
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(PlatformError):
+            parse_tree(text)
+
+
+class TestRoundTrip:
+    def test_paper_tree(self, paper_tree):
+        assert parse_tree(format_tree(paper_tree)) == paper_tree
+
+    def test_figure1(self, fig1_tree):
+        text = format_tree(fig1_tree)
+        assert "w=inf" in text
+        assert parse_tree(text) == fig1_tree
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_trees(self, seed):
+        tree = random_tree(20, seed=seed, switch_probability=0.2)
+        assert parse_tree(format_tree(tree)) == tree
+
+    def test_canonical_form(self, paper_tree):
+        text = format_tree(paper_tree)
+        assert text.startswith("P0(w=3)[P1(w=3,c=1)[P4(w=9,c=18/5)")

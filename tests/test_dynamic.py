@@ -1,0 +1,67 @@
+"""Tests for the dynamic-adaptation extension."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.exceptions import PlatformError
+from repro.extensions.dynamic import adapt, degraded_rate, perturb
+
+F = Fraction
+
+
+class TestPerturb:
+    def test_edge_slowdown(self, paper_tree):
+        out = perturb(paper_tree, edge_factors={"P1": 3})
+        assert out.c("P1") == 3
+        assert out.c("P2") == 2  # untouched
+        assert paper_tree.c("P1") == 1  # original intact
+
+    def test_node_slowdown(self, paper_tree):
+        out = perturb(paper_tree, node_factors={"P0": 2})
+        assert out.w("P0") == 6
+
+    def test_switch_weight_preserved(self, fig1_tree):
+        out = perturb(fig1_tree, node_factors={"P2": 5})
+        assert out.is_switch("P2")
+
+    def test_speedup(self, paper_tree):
+        out = perturb(paper_tree, edge_factors={"P1": F(1, 2)})
+        assert out.c("P1") == F(1, 2)
+
+    def test_unknown_node_rejected(self, paper_tree):
+        with pytest.raises(PlatformError):
+            perturb(paper_tree, edge_factors={"nope": 2})
+
+    def test_throughput_changes(self, paper_tree):
+        slower = perturb(paper_tree, edge_factors={"P1": 3})
+        assert bw_first(slower).throughput < bw_first(paper_tree).throughput
+
+
+class TestDegradedRate:
+    def test_degradation_below_old_optimum(self, paper_tree):
+        slower = perturb(paper_tree, edge_factors={"P1": 3})
+        rate = degraded_rate(paper_tree, slower, periods_to_run=8)
+        assert rate < bw_first(paper_tree).throughput
+
+    def test_no_drift_no_degradation(self, paper_tree):
+        rate = degraded_rate(paper_tree, paper_tree, periods_to_run=8)
+        assert rate == F(10, 9)
+
+
+class TestAdapt:
+    def test_full_scenario(self, paper_tree):
+        slower = perturb(paper_tree, edge_factors={"P1": 3}, node_factors={"P8": 2})
+        report = adapt(paper_tree, slower, periods_to_run=8)
+        assert report.new_throughput < report.old_throughput
+        assert report.degraded_throughput <= report.old_throughput
+        assert report.recovered == 1  # re-negotiation restores the optimum
+        assert report.renegotiation.messages > 0
+        assert 0 <= report.drop <= 1
+
+    def test_improvement_scenario(self, paper_tree):
+        faster = perturb(paper_tree, edge_factors={"P2": F(1, 4)})
+        report = adapt(paper_tree, faster, periods_to_run=8)
+        assert report.new_throughput >= report.old_throughput
+        assert report.recovered == 1

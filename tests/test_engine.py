@@ -1,0 +1,105 @@
+"""Unit tests for the discrete-event engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Engine
+
+F = Fraction
+
+
+class TestScheduling:
+    def test_time_order(self):
+        engine = Engine()
+        out = []
+        engine.schedule_at(F(2), lambda: out.append("b"))
+        engine.schedule_at(F(1), lambda: out.append("a"))
+        engine.run_all()
+        assert out == ["a", "b"]
+        assert engine.now == 2
+
+    def test_fifo_at_equal_times(self):
+        engine = Engine()
+        out = []
+        for tag in "abc":
+            engine.schedule_at(F(1), lambda t=tag: out.append(t))
+        engine.run_all()
+        assert out == ["a", "b", "c"]
+
+    def test_exact_fraction_times(self):
+        engine = Engine()
+        out = []
+        engine.schedule_at(F(1, 3), lambda: out.append(engine.now))
+        engine.schedule_at(F(2, 6), lambda: out.append(engine.now))  # same instant
+        engine.run_all()
+        assert out == [F(1, 3), F(1, 3)]
+
+    def test_schedule_in(self):
+        engine = Engine()
+        times = []
+        engine.schedule_in(F(1, 2), lambda: times.append(engine.now))
+        engine.run_all()
+        assert times == [F(1, 2)]
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule_at(F(5), lambda: None)
+        engine.run_all()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(F(1), lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_in(F(-1), lambda: None)
+
+    def test_events_scheduling_events(self):
+        engine = Engine()
+        out = []
+
+        def first():
+            out.append(engine.now)
+            engine.schedule_in(F(1), lambda: out.append(engine.now))
+
+        engine.schedule_at(F(1), first)
+        engine.run_all()
+        assert out == [F(1), F(2)]
+
+
+class TestRunControl:
+    def test_run_until(self):
+        engine = Engine()
+        out = []
+        engine.schedule_at(F(1), lambda: out.append(1))
+        engine.schedule_at(F(3), lambda: out.append(3))
+        engine.run_until(F(2))
+        assert out == [1]
+        assert engine.now == 2
+        assert engine.pending == 1
+
+    def test_run_until_backwards_rejected(self):
+        engine = Engine()
+        engine.run_until(F(5))
+        with pytest.raises(SimulationError):
+            engine.run_until(F(1))
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_processed_counter(self):
+        engine = Engine()
+        for i in range(3):
+            engine.schedule_at(F(i), lambda: None)
+        engine.run_all()
+        assert engine.processed == 3
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule_in(F(1), forever)
+
+        engine.schedule_at(F(0), forever)
+        with pytest.raises(SimulationError):
+            engine.run_all(max_events=100)

@@ -1,0 +1,134 @@
+"""Unit tests for Proposition 1 (fork reduction)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.fork import (
+    ForkChild,
+    reduce_fork,
+    reduce_fork_capped,
+    reduce_fork_tree,
+)
+from repro.exceptions import ScheduleError
+
+F = Fraction
+
+
+def child(name, c, rate):
+    return ForkChild(name, F(c), F(rate))
+
+
+class TestForkChild:
+    def test_bandwidth(self):
+        assert child("a", 4, 1).bandwidth == F(1, 4)
+
+    def test_rejects_nonpositive_c(self):
+        with pytest.raises(ScheduleError):
+            ForkChild("a", F(0), F(1))
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ScheduleError):
+            ForkChild("a", F(1), F(-1))
+
+
+class TestReduceFork:
+    def test_all_children_saturated(self):
+        # c·r sums: 1·1/4 + 2·1/4 = 3/4 ≤ 1 → everyone saturated, ε = 0
+        r = reduce_fork(F(1, 2), [child("a", 1, "1/4"), child("b", 2, "1/4")])
+        assert r.p == 2
+        assert r.epsilon == 0
+        assert r.partial_child is None
+        assert r.equivalent_rate == F(1, 2) + F(1, 4) + F(1, 4)
+        assert r.deliveries == {"a": F(1, 4), "b": F(1, 4)}
+
+    def test_bandwidth_limited_partial_child(self):
+        # child a saturates 1·(1/2)=1/2; child b needs 2·(1/2)=1 > leftover 1/2
+        r = reduce_fork(F(0), [child("a", 1, "1/2"), child("b", 2, "1/2")])
+        assert r.p == 1
+        assert r.epsilon == F(1, 2)
+        assert r.partial_child.name == "b"
+        assert r.deliveries["b"] == F(1, 2) * F(1, 2)  # ε·b = 1/2 · 1/2
+        assert r.equivalent_rate == F(1, 2) + F(1, 4)
+
+    def test_port_exactly_saturated(self):
+        # one child, c·r = 1 exactly
+        r = reduce_fork(F(0), [child("a", 2, "1/2")])
+        assert r.p == 1
+        assert r.epsilon == 0
+        assert r.equivalent_rate == F(1, 2)
+
+    def test_first_child_already_too_fast(self):
+        # c·r = 4 > 1: even the first child only gets ε·b = 1/2
+        r = reduce_fork(F(1), [child("a", 2, 2)])
+        assert r.p == 0
+        assert r.epsilon == 1
+        assert r.partial_child.name == "a"
+        assert r.deliveries["a"] == F(1, 2)
+        assert r.equivalent_rate == F(3, 2)
+
+    def test_children_sorted_by_c(self):
+        r = reduce_fork(F(0), [child("slow", 5, 1), child("fast", 1, "1/10")])
+        assert [ch.name for ch in r.order] == ["fast", "slow"]
+
+    def test_tie_break_is_stable(self):
+        r = reduce_fork(F(0), [child("first", 2, "1/10"), child("second", 2, "1/10")])
+        assert [ch.name for ch in r.order] == ["first", "second"]
+
+    def test_no_children(self):
+        r = reduce_fork(F(3), [])
+        assert r.equivalent_rate == F(3)
+        assert r.p == 0
+
+    def test_zero_rate_child_consumes_nothing(self):
+        # a switch-like child: saturating it costs no port time
+        r = reduce_fork(F(0), [child("sw", 1, 0), child("b", 2, "1/4")])
+        assert r.deliveries["sw"] == 0
+        assert r.deliveries["b"] == F(1, 4)
+
+    def test_port_utilisation(self):
+        r = reduce_fork(F(0), [child("a", 1, "1/2"), child("b", 2, "1/2")])
+        assert r.port_utilisation == 1  # saturated
+
+    def test_equivalent_weight(self):
+        r = reduce_fork(F(0), [child("a", 1, "1/2")])
+        assert r.equivalent_weight == 2
+
+    def test_equivalent_weight_infinite(self):
+        from repro.core.rates import is_infinite
+
+        r = reduce_fork(F(0), [])
+        assert is_infinite(r.equivalent_weight)
+
+
+class TestCapped:
+    def test_cap_applies(self):
+        r = reduce_fork_capped(F(2), [child("a", 1, 1)], incoming_bandwidth=F(1, 2))
+        assert r.equivalent_rate == F(1, 2)
+
+    def test_cap_no_effect_when_slower(self):
+        r = reduce_fork_capped(F(1, 4), [], incoming_bandwidth=F(10))
+        assert r.equivalent_rate == F(1, 4)
+
+    def test_cap_none(self):
+        r = reduce_fork_capped(F(5), [], incoming_bandwidth=None)
+        assert r.equivalent_rate == F(5)
+
+
+class TestReduceForkTree:
+    def test_on_fig2(self, fork_tree):
+        r = reduce_fork_tree(fork_tree)
+        # children sorted P1(c=1,r=1/2), P2(c=2,r=1/3), P3(c=3,r=1), P4(c=4,r=1/4)
+        # port: 1/2 + 2/3 sums... 1·1/2=1/2; +2·1/3=2/3 → 7/6 > 1 stop at p=1
+        assert r.p == 1
+        assert r.epsilon == F(1, 2)
+        assert r.partial_child.name == "P2"
+        assert r.equivalent_rate == F(1, 2) + F(1, 2) + F(1, 2) * F(1, 2)
+
+    def test_rejects_deep_tree(self, paper_tree):
+        with pytest.raises(ScheduleError):
+            reduce_fork_tree(paper_tree)
+
+    def test_inner_fork(self, paper_tree):
+        r = reduce_fork_tree(paper_tree, "P4")  # children P8, P9 are leaves
+        assert r.equivalent_rate > 0

@@ -1,0 +1,78 @@
+"""Unit tests for the Gantt renderer and the simulation report."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.report import simulation_metrics, simulation_report
+from repro.core.bwfirst import bw_first
+from repro.sim import simulate
+from repro.sim.tracing import COMPUTE, Trace
+
+F = Fraction
+
+
+class TestGantt:
+    def test_renders_lanes(self, paper_tree):
+        result = simulate(paper_tree, horizon=36)
+        text = render_gantt(result.trace, ["P0", "P1"], start=0, end=36, width=36)
+        assert "P0 C" in text
+        assert "P0 S" in text
+        assert "P1 R" in text
+
+    def test_busy_and_idle_cells(self):
+        trace = Trace()
+        trace.add_segment("n", COMPUTE, F(0), F(5))
+        text = render_gantt(trace, ["n"], start=0, end=10, width=10)
+        lane = next(l for l in text.splitlines() if l.startswith("n C"))
+        cells = lane.split(" ", 2)[-1]
+        assert cells == "#####....."
+
+    def test_label_peers(self, paper_tree):
+        result = simulate(paper_tree, horizon=36)
+        text = render_gantt(result.trace, ["P0"], start=0, end=36,
+                            width=36, label_peers=True)
+        send_lane = next(l for l in text.splitlines() if l.startswith("P0 S"))
+        assert "1" in send_lane  # sends to P1 labelled by last char
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt(Trace(), ["n"], start=5, end=5)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_gantt(Trace(), ["n"], start=0, end=1, width=0)
+
+    def test_nodes_without_segments_skipped(self):
+        trace = Trace()
+        trace.add_segment("a", COMPUTE, F(0), F(1))
+        text = render_gantt(trace, ["a", "ghost"], start=0, end=2, width=4)
+        assert "ghost" not in text
+
+
+class TestReport:
+    def test_metrics_on_paper_tree(self, paper_tree):
+        optimal = bw_first(paper_tree).throughput
+        result = simulate(paper_tree, horizon=10 * 36)
+        metrics = simulation_metrics(result, optimal)
+        assert metrics["period"] == 36
+        assert metrics["measured_rate"] == optimal
+        assert metrics["startup_length"] is not None
+        assert 0 < metrics["startup_efficiency"] <= 1
+        assert metrics["wind_down"] > 0
+        assert metrics["peak_buffer_total"] >= 1
+
+    def test_report_renders(self, paper_tree):
+        optimal = bw_first(paper_tree).throughput
+        result = simulate(paper_tree, horizon=5 * 36)
+        text = simulation_report(result, optimal, title="test run")
+        assert text.startswith("test run")
+        assert "measured steady rate" in text
+        assert "10/9" in text
+
+    def test_bad_period_rejected(self, paper_tree):
+        optimal = bw_first(paper_tree).throughput
+        result = simulate(paper_tree, horizon=72)
+        with pytest.raises(ValueError):
+            simulation_metrics(result, optimal, period=7)  # 7·10/9 not integer

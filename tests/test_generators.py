@@ -1,0 +1,124 @@
+"""Unit tests for the synthetic platform generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform import generators, validate_tree
+
+
+class TestFork:
+    def test_structure(self):
+        t = generators.fork(weights=[1, 2, 3], costs=[3, 2, 1])
+        assert len(t) == 4
+        assert t.is_switch("P0")
+        assert all(t.is_leaf(c) for c in t.children("P0"))
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(PlatformError):
+            generators.fork(weights=[1], costs=[1, 2])
+
+    def test_root_weight(self):
+        t = generators.fork(weights=[1], costs=[1], root_w=5)
+        assert t.w("P0") == 5
+
+
+class TestChain:
+    def test_structure(self):
+        t = generators.chain(4, w=2, c=3)
+        assert len(t) == 5
+        assert t.height() == 4
+        assert t.parent("P3") == "P2"
+
+    def test_zero_length(self):
+        assert len(generators.chain(0)) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(PlatformError):
+            generators.chain(-1)
+
+
+class TestSpider:
+    def test_structure(self):
+        t = generators.spider(legs=3, leg_length=2)
+        assert len(t) == 7
+        assert len(t.children("P0")) == 3
+        assert t.height() == 2
+
+    def test_empty(self):
+        assert len(generators.spider(0, 0)) == 1
+
+
+class TestBalanced:
+    def test_structure(self):
+        t = generators.balanced(branching=2, height=3)
+        assert len(t) == 15
+        assert t.height() == 3
+
+    def test_height_zero(self):
+        assert len(generators.balanced(2, 0)) == 1
+
+    def test_bad_branching(self):
+        with pytest.raises(PlatformError):
+            generators.balanced(0, 2)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        t = generators.caterpillar(spine=3, legs_per_node=2)
+        assert len(t) == 3 + 6
+        assert t.height() == 3  # spine of 3 + one leg off the last
+
+    def test_needs_spine(self):
+        with pytest.raises(PlatformError):
+            generators.caterpillar(0, 1)
+
+
+class TestRandomTree:
+    def test_deterministic(self):
+        a = generators.random_tree(20, seed=42)
+        b = generators.random_tree(20, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generators.random_tree(20, seed=1)
+        b = generators.random_tree(20, seed=2)
+        assert a != b
+
+    def test_size(self):
+        assert len(generators.random_tree(17, seed=0)) == 17
+
+    def test_valid(self):
+        validate_tree(generators.random_tree(40, seed=7))
+
+    def test_max_children_respected(self):
+        t = generators.random_tree(50, seed=3, max_children=2)
+        assert all(len(t.children(n)) <= 2 for n in t.nodes())
+
+    def test_switches(self):
+        t = generators.random_tree(60, seed=9, switch_probability=0.5)
+        assert any(t.is_switch(n) for n in t.nodes() if n != t.root)
+
+    def test_needs_a_node(self):
+        with pytest.raises(PlatformError):
+            generators.random_tree(0, seed=0)
+
+
+class TestBandwidthLimited:
+    def test_structure(self):
+        t = generators.bandwidth_limited_tree(fanout=2, depth=3, bottleneck_c=50)
+        validate_tree(t)
+        assert t.is_switch("gate")
+        assert t.c("gate") == Fraction(50)
+        # 2 + gate subtree (2 + 4 + 8) + root
+        assert len(t) == 3 + 14
+
+    def test_bottleneck_blocks_subtree(self):
+        from repro.core import bw_first
+
+        t = generators.bandwidth_limited_tree(fanout=2, depth=3, bottleneck_c=100)
+        result = bw_first(t)
+        # the fast worker and the root dominate; the gated subtree is barely used
+        assert result.throughput < Fraction(5, 2)
+        assert len(result.visited) < len(t)

@@ -1,0 +1,132 @@
+"""End-to-end integration tests: the full pipeline on varied platforms.
+
+Each test drives platform → BW-First → allocation → periods → schedules →
+simulation → analysis, asserting the exact steady-state agreement between
+theory and execution — the strongest whole-system check the library offers.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import measured_rate, steady_state_buffer_stats
+from repro.baselines import simulate_demand_driven, simulate_greedy
+from repro.core import bottom_up_throughput, bw_first, from_bw_first, lp_throughput_exact
+from repro.platform import generators, load_tree, save_tree
+from repro.platform.tree import Tree
+from repro.protocol import run_protocol
+from repro.schedule import POLICIES, build_schedules, global_period, tree_periods
+from repro.sim import simulate
+
+F = Fraction
+
+
+def full_pipeline(tree, periods_count=10, tail=4):
+    """Return (optimal, simulated steady rate) for *tree*."""
+    result = bw_first(tree)
+    allocation = from_bw_first(result)
+    periods = tree_periods(allocation)
+    period = global_period(periods)
+    horizon = F(period) * periods_count
+    sim = simulate(tree, allocation=allocation, horizon=horizon)
+    start = F(period) * (periods_count - tail)
+    return result.throughput, measured_rate(sim.trace, start, horizon)
+
+
+PLATFORMS = {
+    "caterpillar": generators.caterpillar(spine=3, legs_per_node=2),
+    "spider": generators.spider(legs=3, leg_length=2, w=2, c=1, root_w=2),
+    "balanced": generators.balanced(branching=2, height=2, w=2, c=1, root_w=4),
+    "hetero-fork": generators.fork(
+        weights=[2, 3, 1, 4], costs=[1, 2, 3, 4], root_w=2
+    ),
+    "switchy": generators.random_tree(10, seed=11, switch_probability=0.3),
+}
+
+
+class TestTheoryMeetsExecution:
+    @pytest.mark.parametrize("name", sorted(PLATFORMS))
+    def test_simulation_achieves_optimal_rate(self, name):
+        tree = PLATFORMS[name]
+        optimal, simulated = full_pipeline(tree)
+        assert simulated == optimal, f"{name}: {simulated} != {optimal}"
+
+    @pytest.mark.parametrize("name", sorted(PLATFORMS))
+    def test_three_solvers_agree(self, name):
+        tree = PLATFORMS[name]
+        a = bw_first(tree).throughput
+        b = bottom_up_throughput(tree).throughput
+        c = lp_throughput_exact(tree)
+        assert a == b == c
+
+    @pytest.mark.parametrize("name", sorted(PLATFORMS))
+    def test_distributed_protocol_agrees(self, name):
+        tree = PLATFORMS[name]
+        assert run_protocol(tree).throughput == bw_first(tree).throughput
+
+
+class TestPolicyIndependenceOfThroughput:
+    """Section 6.3: all local schedules are equivalent in steady state."""
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_every_policy_reaches_optimal(self, paper_tree, policy):
+        allocation = from_bw_first(bw_first(paper_tree))
+        sim = simulate(
+            paper_tree, allocation=allocation,
+            policy=POLICIES[policy], horizon=12 * 36,
+        )
+        late = measured_rate(sim.trace, F(8 * 36), F(12 * 36))
+        assert late == F(10, 9), policy
+
+    def test_interleaved_buffers_at_most_block(self, paper_tree):
+        allocation = from_bw_first(bw_first(paper_tree))
+        horizon = 12 * 36
+        runs = {}
+        for policy in ("interleaved", "block"):
+            sim = simulate(paper_tree, allocation=allocation,
+                           policy=POLICIES[policy], horizon=horizon)
+            stats = steady_state_buffer_stats(sim.trace, 8 * 36, horizon)
+            runs[policy] = stats["avg_total"]
+        assert runs["interleaved"] <= runs["block"]
+
+
+class TestRoundTripPipeline:
+    def test_save_load_schedule_simulate(self, tmp_path, paper_tree):
+        path = tmp_path / "platform.json"
+        save_tree(paper_tree, path)
+        tree = load_tree(path)
+        optimal, simulated = full_pipeline(tree, periods_count=6, tail=2)
+        assert optimal == simulated == F(10, 9)
+
+
+class TestBaselineOrdering:
+    def test_strategy_ranking_on_paper_tree(self, paper_tree):
+        """optimal event-driven ≥ demand-driven ≥ greedy in steady state."""
+        horizon = 360
+        ours = simulate(paper_tree, horizon=horizon)
+        dd = simulate_demand_driven(paper_tree, horizon=horizon)
+        greedy = simulate_greedy(paper_tree, horizon=horizon)
+        window = (F(180), F(360))
+        ours_rate = measured_rate(ours.trace, *window)
+        dd_rate = measured_rate(dd.trace, *window)
+        greedy_rate = measured_rate(greedy.trace, *window)
+        assert ours_rate >= dd_rate >= greedy_rate
+        assert ours_rate == F(10, 9)
+
+
+class TestStress:
+    def test_large_random_tree_consistency(self):
+        tree = generators.random_tree(120, seed=77)
+        assert bw_first(tree).throughput == bottom_up_throughput(tree).throughput
+
+    def test_deep_chain_simulation(self):
+        tree = generators.chain(6, w=2, c=1, root_w=2)
+        optimal, simulated = full_pipeline(tree, periods_count=8, tail=2)
+        assert optimal == simulated
+
+    def test_wide_fork_simulation(self):
+        tree = generators.fork(
+            weights=[2] * 8, costs=[1, 1, 2, 2, 3, 3, 4, 4], root_w=4
+        )
+        optimal, simulated = full_pipeline(tree, periods_count=8, tail=2)
+        assert optimal == simulated

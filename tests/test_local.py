@@ -1,0 +1,90 @@
+"""Unit tests for the local schedule policies (Section 6.3, Figure 3)."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.schedule.local import (
+    POLICIES,
+    block_order,
+    interleaved_order,
+    random_order,
+    round_robin_order,
+)
+
+
+class TestInterleaved:
+    def test_paper_figure3_example(self):
+        """ψ = (P0:1, P1:2, P2:4) → P2 P1 P2 P0 P2 P1 P2."""
+        order = interleaved_order({"P0": 1, "P1": 2, "P2": 4}, ["P0", "P1", "P2"])
+        assert order == ("P2", "P1", "P2", "P0", "P2", "P1", "P2")
+
+    def test_single_destination(self):
+        assert interleaved_order({"a": 3}, ["a"]) == ("a", "a", "a")
+
+    def test_counts_preserved(self):
+        order = interleaved_order({"a": 5, "b": 3, "c": 1}, ["a", "b", "c"])
+        assert order.count("a") == 5
+        assert order.count("b") == 3
+        assert order.count("c") == 1
+
+    def test_tie_smaller_psi_wins(self):
+        # ψ=1 at 1/2; ψ=3 at 1/4,2/4,3/4 — positions 1/2 collide:
+        # the ψ=1 destination goes first
+        order = interleaved_order({"big": 3, "small": 1}, ["big", "small"])
+        assert order == ("big", "small", "big", "big")
+
+    def test_tie_equal_psi_smaller_index_wins(self):
+        order = interleaved_order({"x": 1, "y": 1}, ["x", "y"])
+        assert order == ("x", "y")
+
+    def test_zero_quantity_excluded(self):
+        order = interleaved_order({"a": 0, "b": 2}, ["a", "b"])
+        assert order == ("b", "b")
+
+    def test_spreads_majority_destination(self):
+        # no two consecutive positions of the minority when majority >> 1
+        order = interleaved_order({"self": 1, "kid": 6}, ["self", "kid"])
+        assert order.count("self") == 1
+        assert order[0] == "kid"
+        assert order[-1] == "kid"
+
+    def test_validation_wrong_priority(self):
+        with pytest.raises(ScheduleError):
+            interleaved_order({"a": 1}, ["a", "b"])
+
+    def test_validation_duplicates(self):
+        with pytest.raises(ScheduleError):
+            interleaved_order({"a": 1, "b": 1}, ["a", "a", "b"])
+
+    def test_validation_negative(self):
+        with pytest.raises(ScheduleError):
+            interleaved_order({"a": -1}, ["a"])
+
+
+class TestOtherPolicies:
+    def test_block(self):
+        order = block_order({"a": 2, "b": 3}, ["a", "b"])
+        assert order == ("a", "a", "b", "b", "b")
+
+    def test_round_robin(self):
+        order = round_robin_order({"a": 1, "b": 3}, ["a", "b"])
+        assert order == ("a", "b", "b", "b")
+
+    def test_round_robin_alternates(self):
+        order = round_robin_order({"a": 2, "b": 2}, ["a", "b"])
+        assert order == ("a", "b", "a", "b")
+
+    def test_random_is_seeded(self):
+        q = {"a": 4, "b": 4}
+        assert random_order(q, ["a", "b"], seed=7) == random_order(q, ["a", "b"], seed=7)
+
+    def test_random_counts_preserved(self):
+        order = random_order({"a": 5, "b": 2}, ["a", "b"], seed=3)
+        assert order.count("a") == 5
+        assert order.count("b") == 2
+
+    def test_registry_complete(self):
+        assert set(POLICIES) == {"interleaved", "block", "round_robin", "random"}
+        for policy in POLICIES.values():
+            order = policy({"a": 2, "b": 1}, ["a", "b"])
+            assert sorted(order) == ["a", "a", "b"]

@@ -1,0 +1,79 @@
+"""Unit tests for the throughput LP formulations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.core.lp import (
+    build_lp,
+    lp_solution_exact,
+    lp_throughput,
+    lp_throughput_exact,
+)
+from repro.platform.generators import chain, fork, random_tree
+from repro.platform.tree import Tree
+
+F = Fraction
+
+
+class TestExactLP:
+    def test_paper_tree(self, paper_tree):
+        assert lp_throughput_exact(paper_tree) == F(10, 9)
+
+    def test_single_node(self):
+        assert lp_throughput_exact(Tree("s", w=3)) == F(1, 3)
+
+    def test_fork(self):
+        t = fork(weights=[2, 3, 1, 4], costs=[1, 2, 3, 4], root_w=2)
+        assert lp_throughput_exact(t) == bw_first(t).throughput
+
+    def test_chain(self):
+        t = chain(4, w=1, c=1, root_w=1)
+        assert lp_throughput_exact(t) == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bwfirst_on_random_trees(self, seed):
+        t = random_tree(10, seed=seed)
+        assert lp_throughput_exact(t) == bw_first(t).throughput
+
+    def test_solution_allocation_is_feasible(self, sec9_merged):
+        objective, allocation = lp_solution_exact(sec9_merged)
+        assert objective == 1
+        assert allocation.throughput == 1
+        allocation.check()
+
+
+class TestFloatLP:
+    def test_paper_tree(self, paper_tree):
+        assert abs(lp_throughput(paper_tree) - 10 / 9) < 1e-9
+
+    def test_single_node(self):
+        assert abs(lp_throughput(Tree("s", w=4)) - 0.25) < 1e-12
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exact(self, seed):
+        t = random_tree(12, seed=seed + 100)
+        assert abs(lp_throughput(t) - float(lp_throughput_exact(t))) < 1e-8
+
+
+class TestBuildLP:
+    def test_variable_indexing(self, paper_tree):
+        c, a_ub, b_ub, a_eq, b_eq, alpha_index, edge_index = build_lp(paper_tree)
+        n, m = len(paper_tree), len(paper_tree) - 1
+        assert len(c) == n + m
+        assert len(alpha_index) == n
+        assert len(edge_index) == m
+        # objective selects exactly the alphas
+        assert sum(c) == n
+        assert all(c[i] == 1 for i in alpha_index.values())
+
+    def test_constraint_counts(self, paper_tree):
+        _, a_ub, b_ub, a_eq, b_eq, _, _ = build_lp(paper_tree)
+        n = len(paper_tree)
+        internal = sum(1 for x in paper_tree.nodes() if not paper_tree.is_leaf(x))
+        # capacities (n) + send ports (internal) + receive ports (n−1)
+        assert len(a_ub) == n + internal + (n - 1)
+        assert len(a_eq) == n - 1
+        assert len(a_ub) == len(b_ub)
+        assert len(a_eq) == len(b_eq)

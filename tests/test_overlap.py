@@ -1,0 +1,79 @@
+"""Tests for the overlap-capability ablation in the simulator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import measured_rate
+from repro.platform.tree import Tree
+from repro.sim import simulate
+from repro.sim.tracing import COMPUTE, RECV, SEND
+
+F = Fraction
+PERIOD = 36
+
+
+class TestOverlapAblation:
+    def test_default_is_full_overlap(self, paper_tree):
+        base = simulate(paper_tree, horizon=8 * PERIOD)
+        explicit = simulate(paper_tree, horizon=8 * PERIOD,
+                            overlap={n: True for n in paper_tree.nodes()})
+        assert base.trace.completions == explicit.trace.completions
+
+    def test_no_overlap_loses_throughput(self, paper_tree):
+        base = simulate(paper_tree, horizon=12 * PERIOD)
+        hobbled = simulate(paper_tree, horizon=12 * PERIOD,
+                           overlap={n: False for n in paper_tree.nodes()})
+        window = (F(8 * PERIOD), F(12 * PERIOD))
+        assert measured_rate(hobbled.trace, *window) < \
+            measured_rate(base.trace, *window)
+
+    def test_partial_hobbling_is_intermediate(self, paper_tree):
+        window = (F(8 * PERIOD), F(12 * PERIOD))
+        horizon = 12 * PERIOD
+        full = measured_rate(
+            simulate(paper_tree, horizon=horizon).trace, *window)
+        partial = measured_rate(
+            simulate(paper_tree, horizon=horizon,
+                     overlap={"P1": False, "P2": False}).trace, *window)
+        none = measured_rate(
+            simulate(paper_tree, horizon=horizon,
+                     overlap={n: False for n in paper_tree.nodes()}).trace,
+            *window)
+        assert none <= partial <= full
+        assert none < full
+
+    def test_tasks_conserved(self, paper_tree):
+        result = simulate(paper_tree, supply=60,
+                          overlap={n: False for n in paper_tree.nodes()})
+        assert result.completed == result.released == 60
+
+    def test_exclusion_enforced_in_trace(self):
+        """A no-overlap node's compute never overlaps its communication."""
+        tree = Tree("m", w="inf")
+        tree.add_node("a", w=2, parent="m", c=1)
+        tree.add_node("b", w=3, parent="a", c=2)
+        result = simulate(tree, horizon=60, overlap={"a": False})
+        compute = result.trace.segments_for("a", COMPUTE)
+        comm = (result.trace.segments_for("a", SEND)
+                + result.trace.segments_for("a", RECV))
+        for c_seg in compute:
+            for m_seg in comm:
+                overlap_lo = max(c_seg.start, m_seg.start)
+                overlap_hi = min(c_seg.end, m_seg.end)
+                assert overlap_hi <= overlap_lo, (c_seg, m_seg)
+
+    def test_leaf_no_overlap_serialises_receive_and_compute(self):
+        # a single worker that cannot overlap: effective time per task is
+        # c + w, so the rate is 1/(c+w) instead of min(1/c, 1/w)
+        tree = Tree("m", w="inf")
+        tree.add_node("a", w=2, parent="m", c=1)
+        result = simulate(tree, horizon=120, overlap={"a": False})
+        late = measured_rate(result.trace, 60, 120)
+        assert late == F(1, 3)  # 1/(1+2)
+
+    def test_full_overlap_same_platform(self):
+        tree = Tree("m", w="inf")
+        tree.add_node("a", w=2, parent="m", c=1)
+        result = simulate(tree, horizon=120)
+        assert measured_rate(result.trace, 60, 120) == F(1, 2)

@@ -1,0 +1,123 @@
+"""Tests for overlay-tree search on physical networks."""
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.core.rates import INFINITY
+from repro.exceptions import PlatformError
+from repro.extensions.overlay_search import (
+    enumerate_overlays,
+    hill_climb,
+    overlay_from_parents,
+)
+from repro.platform.nxinterop import overlay_shortest_path_tree
+
+F = Fraction
+
+
+def small_network():
+    """A 5-host network with several distinct spanning-tree overlays."""
+    g = nx.Graph()
+    g.add_edge("m", "a", c=1)
+    g.add_edge("m", "b", c=1)
+    g.add_edge("a", "b", c=2)
+    g.add_edge("a", "c", c=1)
+    g.add_edge("b", "c", c=1)
+    g.add_edge("b", "d", c=1)
+    weights = {"m": INFINITY, "a": 2, "b": 2, "c": 2, "d": 2}
+    return g, weights
+
+
+def random_network(n, seed):
+    g = nx.connected_watts_strogatz_graph(n, k=4, p=0.4, seed=seed)
+    rng = random.Random(seed)
+    for u, v in g.edges:
+        g.edges[u, v]["c"] = F(rng.randint(1, 6), rng.choice((1, 2)))
+    weights = {node: F(rng.randint(1, 5)) for node in g.nodes}
+    weights[0] = INFINITY
+    return g, weights
+
+
+class TestOverlayFromParents:
+    def test_valid_map(self):
+        g, weights = small_network()
+        parents = {"a": "m", "b": "m", "c": "a", "d": "b"}
+        tree = overlay_from_parents(g, "m", parents, weights)
+        assert len(tree) == 5
+        assert tree.c("c") == 1
+
+    def test_rejects_non_physical_edge(self):
+        g, weights = small_network()
+        parents = {"a": "m", "b": "m", "c": "a", "d": "a"}  # a-d not a link
+        with pytest.raises(PlatformError):
+            overlay_from_parents(g, "m", parents, weights)
+
+    def test_rejects_cycle(self):
+        g, weights = small_network()
+        parents = {"a": "b", "b": "a", "c": "a", "d": "b"}
+        with pytest.raises(PlatformError):
+            overlay_from_parents(g, "m", parents, weights)
+
+    def test_rejects_root_parent(self):
+        g, weights = small_network()
+        parents = {"m": "a", "a": "m", "b": "m", "c": "a", "d": "b"}
+        with pytest.raises(PlatformError):
+            overlay_from_parents(g, "m", parents, weights)
+
+
+class TestEnumeration:
+    def test_finds_global_optimum(self):
+        g, weights = small_network()
+        best_tree, best_value, examined = enumerate_overlays(g, "m", weights)
+        assert examined > 1
+        assert best_value == bw_first(best_tree).throughput
+        # sanity: the optimum is at least the SPT's value
+        spt = overlay_shortest_path_tree(g, "m", weights)
+        assert best_value >= bw_first(spt).throughput
+
+    def test_size_guard(self):
+        g = nx.path_graph(12)
+        for u, v in g.edges:
+            g.edges[u, v]["c"] = 1
+        with pytest.raises(PlatformError):
+            enumerate_overlays(g, 0, {n: 1 for n in g.nodes})
+
+
+class TestHillClimb:
+    def test_matches_enumeration_on_small_network(self):
+        g, weights = small_network()
+        _, optimum, _ = enumerate_overlays(g, "m", weights)
+        result = hill_climb(g, "m", weights, iterations=200,
+                            restarts=4, seed=1)
+        assert result.throughput == optimum
+
+    def test_never_worse_than_spt(self):
+        for seed in range(4):
+            g, weights = random_network(12, seed)
+            spt = overlay_shortest_path_tree(g, 0, weights)
+            result = hill_climb(g, 0, weights, iterations=150,
+                                restarts=2, seed=seed)
+            assert result.throughput >= bw_first(spt).throughput
+
+    def test_deterministic(self):
+        g, weights = small_network()
+        a = hill_climb(g, "m", weights, seed=7)
+        b = hill_climb(g, "m", weights, seed=7)
+        assert a.throughput == b.throughput
+        assert a.evaluations == b.evaluations
+
+    def test_history_monotone(self):
+        g, weights = random_network(10, seed=3)
+        result = hill_climb(g, 0, weights, iterations=100, seed=3)
+        assert list(result.history) == sorted(result.history)
+        assert result.history[-1] == result.throughput
+
+    def test_result_tree_is_schedulable(self):
+        g, weights = random_network(10, seed=9)
+        result = hill_climb(g, 0, weights, iterations=50, seed=9)
+        assert bw_first(result.tree).throughput == result.throughput
+        assert result.improvement >= 0

@@ -1,0 +1,112 @@
+"""Tests for root pacing modes, palindromic orders, and CSV export."""
+
+import csv
+import io
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import measured_rate, steady_state_buffer_stats
+from repro.analysis.export import (
+    buffer_csv,
+    completions_csv,
+    export_trace,
+    segments_csv,
+)
+from repro.exceptions import SimulationError
+from repro.schedule.local import compressed_length, interleaved_order, is_palindromic
+from repro.sim import simulate
+
+F = Fraction
+PERIOD = 36
+WINDOW = (F(8 * PERIOD), F(12 * PERIOD))
+
+
+class TestRootPacing:
+    @pytest.mark.parametrize("pacing", ["even", "marks", "burst"])
+    def test_steady_rate_identical(self, paper_tree, pacing):
+        result = simulate(paper_tree, horizon=12 * PERIOD, root_pacing=pacing)
+        assert measured_rate(result.trace, *WINDOW) == F(10, 9)
+        assert result.completed == result.released
+
+    def test_burst_buffers_most(self, paper_tree):
+        stats = {}
+        for pacing in ("even", "burst"):
+            result = simulate(paper_tree, horizon=12 * PERIOD,
+                              root_pacing=pacing)
+            stats[pacing] = steady_state_buffer_stats(result.trace, *WINDOW)
+        assert stats["burst"]["avg_total"] > stats["even"]["avg_total"]
+        assert stats["burst"]["peak_total"] > stats["even"]["peak_total"]
+
+    def test_unknown_pacing_rejected(self, paper_tree):
+        with pytest.raises(SimulationError):
+            simulate(paper_tree, horizon=36, root_pacing="jazz")
+
+    @pytest.mark.parametrize("pacing", ["marks", "burst"])
+    def test_supply_mode_conserves(self, paper_tree, pacing):
+        result = simulate(paper_tree, supply=40, root_pacing=pacing)
+        assert result.completed == 40
+
+
+class TestPalindrome:
+    def test_paper_example_is_palindromic(self):
+        order = interleaved_order({"P0": 1, "P1": 2, "P2": 4},
+                                  ["P0", "P1", "P2"])
+        assert is_palindromic(order)
+        assert compressed_length(order) == 4  # ⌈7/2⌉
+
+    def test_non_palindrome_full_length(self):
+        assert not is_palindromic(("a", "b"))
+        assert compressed_length(("a", "b")) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(counts=st.lists(st.integers(min_value=1, max_value=9),
+                           min_size=1, max_size=4))
+    def test_tie_free_interleaves_are_palindromes(self, counts):
+        """The paper's "divided by two" remark, mechanised: when no two
+        destinations share a mark position, the order is a palindrome."""
+        quantities = {f"d{i}": c for i, c in enumerate(counts)}
+        positions = set()
+        for count in quantities.values():
+            for k in range(1, count + 1):
+                pos = F(k, count + 1)
+                if pos in positions:
+                    return  # tie: the symmetry is not guaranteed
+                positions.add(pos)
+        order = interleaved_order(quantities, list(quantities))
+        assert is_palindromic(order)
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def run(self, request):
+        from repro.platform.examples import paper_figure4_tree
+
+        return simulate(paper_figure4_tree(), horizon=72)
+
+    def test_segments_csv_parses(self, run):
+        rows = list(csv.reader(io.StringIO(segments_csv(run.trace))))
+        assert rows[0][:3] == ["node", "kind", "peer"]
+        assert len(rows) == len(run.trace.segments) + 1
+
+    def test_completions_csv(self, run):
+        rows = list(csv.reader(io.StringIO(completions_csv(run.trace))))
+        assert len(rows) == run.completed + 1
+
+    def test_buffer_csv(self, run):
+        rows = list(csv.reader(io.StringIO(buffer_csv(run.trace))))
+        deltas = [int(r[3]) for r in rows[1:]]
+        assert sum(deltas) == 0  # everything drained
+
+    def test_exact_fractions_preserved(self, run):
+        text = segments_csv(run.trace)
+        assert "18/5" in text or "/" in text  # fraction rendering present
+
+    def test_export_trace_writes_files(self, run, tmp_path):
+        paths = export_trace(run.trace, tmp_path, prefix="t")
+        assert len(paths) == 3
+        for path in paths:
+            assert path.exists()
+            assert path.read_text().startswith(("node", "time"))

@@ -1,0 +1,59 @@
+"""Tests for the process-parallel sweep utility."""
+
+import os
+
+import pytest
+
+from repro.analysis.sensitivity import sensitivity_sweep
+from repro.util.parallel import default_workers, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def boom(x: int) -> int:
+    raise ValueError(f"bad item {x}")
+
+
+class TestParallelMap:
+    def test_serial_matches_comprehension(self):
+        assert parallel_map(square, range(10), workers=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_parallel_matches_serial(self):
+        serial = parallel_map(square, range(20), workers=1)
+        parallel = parallel_map(square, range(20), workers=2)
+        assert parallel == serial
+
+    def test_order_preserved(self):
+        items = [5, 1, 9, 3]
+        assert parallel_map(square, items, workers=2) == [25, 1, 81, 9]
+
+    def test_empty(self):
+        assert parallel_map(square, [], workers=4) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(square, [3], workers=8) == [9]
+
+    def test_exceptions_propagate_serial(self):
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1], workers=1)
+
+    def test_exceptions_propagate_parallel(self):
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1, 2], workers=2)
+
+    def test_lambda_works_serially(self):
+        assert parallel_map(lambda x: x + 1, [1, 2], workers=1) == [2, 3]
+
+    def test_default_workers_positive(self):
+        assert 1 <= default_workers() <= 8
+
+
+class TestParallelSensitivity:
+    def test_parallel_sweep_identical(self, paper_tree):
+        serial = sensitivity_sweep(paper_tree, workers=1)
+        parallel = sensitivity_sweep(paper_tree, workers=2)
+        assert serial == parallel

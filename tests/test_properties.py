@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the mechanised versions of the paper's propositions:
+
+* **Proposition 2** — BW-First equals the bottom-up method and the exact LP
+  optimum on arbitrary heterogeneous trees;
+* the fork reduction equals BW-First on fork graphs (**Proposition 1**);
+* conservation and single-port feasibility of every produced allocation;
+* scaling/monotonicity laws of the throughput function;
+* structural properties of the interleaved local schedule.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import from_bw_first
+from repro.core.bottomup import bottom_up_throughput
+from repro.core.bwfirst import bw_first
+from repro.core.fork import ForkChild, reduce_fork
+from repro.core.lp import lp_throughput_exact
+from repro.schedule.local import interleaved_order
+from repro.platform.tree import Tree
+
+from .conftest import fork_specs, random_trees, small_fractions
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestProposition2:
+    @RELAXED
+    @given(tree=random_trees(max_nodes=10))
+    def test_bwfirst_equals_bottomup(self, tree):
+        assert bw_first(tree).throughput == bottom_up_throughput(tree).throughput
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(tree=random_trees(max_nodes=8))
+    def test_bwfirst_equals_exact_lp(self, tree):
+        assert bw_first(tree).throughput == lp_throughput_exact(tree)
+
+    @RELAXED
+    @given(tree=random_trees(max_nodes=10, switch_probability=0.3))
+    def test_holds_with_switches(self, tree):
+        assert bw_first(tree).throughput == bottom_up_throughput(tree).throughput
+
+
+class TestAllocationInvariants:
+    @RELAXED
+    @given(tree=random_trees(max_nodes=12))
+    def test_allocation_always_feasible(self, tree):
+        allocation = from_bw_first(bw_first(tree))
+        allocation.check()  # raises on any violation
+
+    @RELAXED
+    @given(tree=random_trees(max_nodes=12))
+    def test_throughput_bounds(self, tree):
+        result = bw_first(tree)
+        assert 0 <= result.throughput <= tree.total_compute_rate()
+        assert result.throughput <= tree.root_capacity()
+
+    @RELAXED
+    @given(tree=random_trees(max_nodes=12))
+    def test_unvisited_nodes_unused(self, tree):
+        result = bw_first(tree)
+        allocation = from_bw_first(result)
+        for node in result.unvisited:
+            assert allocation.alpha[node] == 0
+            assert allocation.eta_in[node] == 0
+
+
+class TestForkProposition1:
+    @RELAXED
+    @given(spec=fork_specs())
+    def test_reduction_matches_bwfirst(self, spec):
+        parent_rate, children = spec
+        tree = Tree("root", w=1 / parent_rate if parent_rate else "inf")
+        for name, c, rate in children:
+            if rate == 0:
+                continue
+            tree.add_node(name, w=1 / rate, parent="root", c=c)
+        fork_children = [
+            ForkChild(name, c, rate) for name, c, rate in children if rate > 0
+        ]
+        reduction = reduce_fork(parent_rate, fork_children)
+        result = bw_first(tree)
+        assert result.throughput == min(
+            tree.root_capacity(), reduction.equivalent_rate
+        )
+
+    @RELAXED
+    @given(spec=fork_specs())
+    def test_deliveries_respect_port(self, spec):
+        parent_rate, children = spec
+        reduction = reduce_fork(
+            parent_rate, [ForkChild(n, c, r) for n, c, r in children]
+        )
+        assert reduction.port_utilisation <= 1
+        for child in reduction.order:
+            assert 0 <= reduction.deliveries[child.name] <= child.rate
+
+
+class TestScalingLaws:
+    @RELAXED
+    @given(tree=random_trees(max_nodes=10), factor=small_fractions)
+    def test_uniform_scaling_inverts_throughput(self, tree, factor):
+        scaled = tree.scale_weights(w_factor=factor, c_factor=factor)
+        assert bw_first(scaled).throughput == bw_first(tree).throughput / factor
+
+    @RELAXED
+    @given(tree=random_trees(max_nodes=10))
+    def test_adding_a_worker_never_hurts(self, tree):
+        before = bw_first(tree).throughput
+        grown = tree.relabel({})  # copy
+        grown.add_node("__extra__", w=1, parent=grown.root, c=1)
+        after = bw_first(grown).throughput
+        assert after >= before
+
+    @RELAXED
+    @given(tree=random_trees(max_nodes=10), factor=st.integers(2, 5))
+    def test_slowing_every_link_never_helps(self, tree, factor):
+        slower = tree.scale_weights(c_factor=factor)
+        assert bw_first(slower).throughput <= bw_first(tree).throughput
+
+
+class TestInterleaveProperties:
+    @st.composite
+    @staticmethod
+    def quantity_maps(draw):
+        k = draw(st.integers(min_value=1, max_value=5))
+        return {f"d{i}": draw(st.integers(min_value=0, max_value=8))
+                for i in range(k)}
+
+    @RELAXED
+    @given(quantities=quantity_maps())
+    def test_counts_preserved(self, quantities):
+        order = interleaved_order(quantities, list(quantities))
+        for dest, count in quantities.items():
+            assert order.count(dest) == count
+
+    @RELAXED
+    @given(quantities=quantity_maps())
+    def test_proportional_spread(self, quantities):
+        """Every prefix stays close to each destination's fair share.
+
+        This is the formal version of "disseminate the tasks along the
+        period".  Tie clusters (several marks at the same position, resolved
+        by the smaller-ψ rule) can legitimately push a destination behind by
+        up to the cluster size, so the bound is 1 + (largest cluster − 1).
+        """
+        order = interleaved_order(quantities, list(quantities))
+        total = len(order)
+        if total == 0:
+            return
+        # size of the largest group of marks sharing one position
+        positions = {}
+        for dest, count in quantities.items():
+            for k in range(1, count + 1):
+                pos = Fraction(k, count + 1)
+                positions[pos] = positions.get(pos, 0) + 1
+        slack = max(positions.values(), default=1) - 1
+        running = {d: 0 for d in quantities}
+        for k, dest in enumerate(order, start=1):
+            running[dest] += 1
+            for d, count in quantities.items():
+                fair = Fraction(count * k, total)
+                assert abs(running[d] - fair) <= 1 + slack
+
+    @RELAXED
+    @given(quantities=quantity_maps())
+    def test_deterministic(self, quantities):
+        a = interleaved_order(quantities, list(quantities))
+        b = interleaved_order(quantities, list(quantities))
+        assert a == b

@@ -1,0 +1,106 @@
+"""Property-based tests for the baselines and the result-return executor.
+
+Invariants that must hold on *any* platform:
+
+* the demand-driven protocol (both communication models) conserves tasks
+  and never exceeds the BW-First optimum in any window;
+* greedy farming conserves tasks and never exceeds the optimum;
+* the two-port result-return executor conserves tasks and never exceeds
+  the return-model LP optimum;
+* lightweight-trace mode changes nothing about completions.
+"""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import measured_rate
+from repro.baselines import simulate_demand_driven, simulate_greedy
+from repro.core.bwfirst import bw_first
+from repro.extensions.result_return import (
+    return_lp_throughput,
+    uniform_return_platform,
+)
+from repro.extensions.return_sim import simulate_with_returns
+from repro.platform.tree import Tree
+from repro.sim import simulate
+
+F = Fraction
+
+_NICE = st.sampled_from([F(1), F(2), F(3), F(4), F(1, 2)])
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def nice_trees(draw, max_nodes: int = 6):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    tree = Tree("n0", draw(_NICE))
+    for i in range(1, n):
+        parent = f"n{draw(st.integers(min_value=0, max_value=i - 1))}"
+        tree.add_node(f"n{i}", draw(_NICE), parent=parent, c=draw(_NICE))
+    return tree
+
+
+class TestDemandDrivenProperties:
+    @RELAXED
+    @given(tree=nice_trees(), interruptible=st.booleans())
+    def test_conserves_and_bounded(self, tree, interruptible):
+        optimal = bw_first(tree).throughput
+        assume(optimal > 0)
+        result = simulate_demand_driven(tree, supply=15,
+                                        interruptible=interruptible)
+        assert result.completed == result.released == 15
+        # no window can beat the optimum
+        end = result.end_time
+        assume(end > 0)
+        assert measured_rate(result.trace, 0, end) <= optimal
+
+
+class TestGreedyProperties:
+    @RELAXED
+    @given(tree=nice_trees())
+    def test_conserves_and_bounded(self, tree):
+        optimal = bw_first(tree).throughput
+        assume(optimal > 0)
+        result = simulate_greedy(tree, supply=15)
+        assert result.completed == result.released == 15
+        end = result.end_time
+        assume(end > 0)
+        assert measured_rate(result.trace, 0, end) <= optimal
+
+
+class TestReturnSimProperties:
+    @RELAXED
+    @given(tree=nice_trees(max_nodes=5), patient=st.booleans())
+    def test_conserves_and_bounded_by_lp(self, tree, patient):
+        assume(bw_first(tree).throughput > 0)
+        platform = uniform_return_platform(tree, ratio=1)
+        lp = return_lp_throughput(platform)
+        assume(lp > 0)
+        result = simulate_with_returns(platform, supply=12, patient=patient)
+        assert result.completed == result.released == 12
+        end = result.end_time
+        assert measured_rate(result.trace, 0, end) <= lp
+
+
+class TestLightweightTrace:
+    @RELAXED
+    @given(tree=nice_trees())
+    def test_completions_identical_without_segments(self, tree):
+        from repro.core.allocation import from_bw_first
+
+        assume(bw_first(tree).throughput > 0)
+        allocation = from_bw_first(bw_first(tree))
+        full = simulate(tree, allocation=allocation, supply=10)
+        lean = simulate(tree, allocation=allocation, supply=10,
+                        record_segments=False, record_buffers=False)
+        assert lean.trace.completions == full.trace.completions
+        assert lean.trace.segments == []
+        assert lean.trace.buffer_deltas == []
+        assert lean.end_time == full.end_time

@@ -1,0 +1,115 @@
+"""Property-based tests of the simulator against the theory.
+
+The strongest invariant the library offers: for *any* tree platform, running
+the reconstructed event-driven schedule in the discrete-event simulator
+yields **exactly** the BW-First throughput in every late window, and every
+released task is eventually computed.  Hypothesis generates the platforms;
+trees whose global period explodes are filtered out to keep runs fast.
+"""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import measured_rate
+from repro.core.allocation import from_bw_first
+from repro.core.bwfirst import bw_first
+from repro.platform.tree import Tree
+from repro.schedule.local import POLICIES
+from repro.schedule.periods import global_period, tree_periods
+from repro.sim import simulate
+
+F = Fraction
+
+#: weights drawn from divisors of 12 keep every lcm period small
+_NICE = st.sampled_from([F(1), F(2), F(3), F(4), F(6), F(12), F(1, 2), F(3, 2)])
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def nice_trees(draw, max_nodes: int = 7):
+    """Random small trees with lcm-friendly weights."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    tree = Tree("n0", draw(_NICE))
+    for i in range(1, n):
+        parent = f"n{draw(st.integers(min_value=0, max_value=i - 1))}"
+        tree.add_node(f"n{i}", draw(_NICE), parent=parent, c=draw(_NICE))
+    return tree
+
+
+def _period_or_skip(tree):
+    allocation = from_bw_first(bw_first(tree))
+    periods = tree_periods(allocation)
+    period = global_period(periods)
+    assume(period <= 400)  # keep the simulation horizon small
+    assume(allocation.throughput > 0)
+    return allocation, period
+
+
+class TestSimulationMatchesTheory:
+    @RELAXED
+    @given(tree=nice_trees())
+    def test_steady_rate_is_exact(self, tree):
+        allocation, period = _period_or_skip(tree)
+        horizon = F(period) * 8
+        result = simulate(tree, allocation=allocation, horizon=horizon)
+        late = measured_rate(result.trace, F(period) * 5, horizon)
+        assert late == allocation.throughput
+
+    @RELAXED
+    @given(tree=nice_trees(), policy=st.sampled_from(sorted(POLICIES)))
+    def test_all_policies_conserve_tasks(self, tree, policy):
+        allocation, period = _period_or_skip(tree)
+        result = simulate(
+            tree, allocation=allocation,
+            policy=POLICIES[policy], supply=25,
+        )
+        assert result.released == 25
+        assert result.completed == 25
+
+    @RELAXED
+    @given(tree=nice_trees())
+    def test_buffers_drain_completely(self, tree):
+        allocation, period = _period_or_skip(tree)
+        result = simulate(tree, allocation=allocation, supply=20)
+        level = {}
+        for _, node, delta in result.trace.buffer_deltas:
+            level[node] = level.get(node, 0) + delta
+        assert all(v == 0 for v in level.values())
+
+    @RELAXED
+    @given(tree=nice_trees())
+    def test_single_port_respected(self, tree):
+        """No node's send segments ever overlap (the single-port law)."""
+        allocation, period = _period_or_skip(tree)
+        result = simulate(tree, allocation=allocation,
+                          horizon=F(period) * 4)
+        from repro.sim.tracing import RECV, SEND
+
+        for kind in (SEND, RECV):
+            by_node = {}
+            for seg in result.trace.segments:
+                if seg.kind == kind:
+                    by_node.setdefault(seg.node, []).append(seg)
+            for node, segments in by_node.items():
+                segments.sort(key=lambda s: s.start)
+                for a, b in zip(segments, segments[1:]):
+                    assert a.end <= b.start, (node, kind, a, b)
+
+    @RELAXED
+    @given(tree=nice_trees())
+    def test_schedules_statically_feasible(self, tree):
+        from repro.schedule.eventdriven import build_schedules
+        from repro.schedule.verify import verify_schedules
+
+        allocation = from_bw_first(bw_first(tree))
+        periods = tree_periods(allocation)
+        assume(global_period(periods) <= 2000)
+        schedules = build_schedules(allocation, periods=periods)
+        verify_schedules(tree, schedules, periods)

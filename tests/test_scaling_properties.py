@@ -1,0 +1,105 @@
+"""Time-dilation properties of the simulator, and extra solver coverage."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import from_bw_first
+from repro.core.bwfirst import bw_first
+from repro.core.simplex import INFEASIBLE, OPTIMAL, UNBOUNDED, solve_lp
+from repro.platform.tree import Tree
+from repro.schedule.periods import global_period, tree_periods
+from repro.sim import simulate
+
+F = Fraction
+
+_NICE = st.sampled_from([F(1), F(2), F(3), F(4)])
+
+RELAXED = settings(max_examples=20, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def nice_trees(draw, max_nodes: int = 6):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    tree = Tree("n0", draw(_NICE))
+    for i in range(1, n):
+        parent = f"n{draw(st.integers(min_value=0, max_value=i - 1))}"
+        tree.add_node(f"n{i}", draw(_NICE), parent=parent, c=draw(_NICE))
+    return tree
+
+
+class TestTimeDilation:
+    @RELAXED
+    @given(tree=nice_trees(), factor=st.sampled_from([F(2), F(3), F(1, 2)]))
+    def test_scaled_platform_scaled_trace(self, tree, factor):
+        """Scaling every w and c by k scales the whole execution by k."""
+        allocation = from_bw_first(bw_first(tree))
+        assume(allocation.throughput > 0)
+        period = global_period(tree_periods(allocation))
+        assume(period <= 200)
+        horizon = F(period) * 4
+
+        base = simulate(tree, allocation=allocation, horizon=horizon)
+
+        scaled_tree = tree.scale_weights(w_factor=factor, c_factor=factor)
+        scaled_alloc = from_bw_first(bw_first(scaled_tree))
+        scaled = simulate(scaled_tree, allocation=scaled_alloc,
+                          horizon=horizon * factor)
+
+        assert scaled.released == base.released
+        assert scaled.completed == base.completed
+        assert [(t * factor, n) for t, n in base.trace.completions] == \
+            scaled.trace.completions
+
+    @RELAXED
+    @given(tree=nice_trees())
+    def test_relabeling_invariance(self, tree):
+        """Renaming nodes changes nothing about the throughput."""
+        mapping = {n: f"x_{n}" for n in tree.nodes()}
+        assert bw_first(tree.relabel(mapping)).throughput == \
+            bw_first(tree).throughput
+
+
+class TestSimplexExtraCoverage:
+    def test_equality_only_lp(self):
+        # max x+y s.t. x+y = 3 and x−y = 1 → unique point (2,1)
+        r = solve_lp(
+            [F(1), F(1)],
+            a_eq=[[F(1), F(1)], [F(1), F(-1)]],
+            b_eq=[F(3), F(1)],
+        )
+        assert r.status == OPTIMAL
+        assert r.x == [F(2), F(1)]
+
+    def test_equality_infeasible_by_sign(self):
+        # x + y = −5 with x,y ≥ 0
+        r = solve_lp([F(0), F(0)], a_eq=[[F(1), F(1)]], b_eq=[F(-5)])
+        assert r.status == INFEASIBLE
+
+    def test_unbounded_with_equality(self):
+        # max y s.t. x = 1 (y free upward)
+        r = solve_lp([F(0), F(1)], a_eq=[[F(1), F(0)]], b_eq=[F(1)])
+        assert r.status == UNBOUNDED
+
+    def test_mixed_redundant_and_binding(self):
+        r = solve_lp(
+            [F(2), F(3)],
+            a_ub=[[F(1), F(0)], [F(1), F(0)], [F(0), F(1)]],
+            b_ub=[F(4), F(9), F(2)],  # first x-bound binds, second redundant
+        )
+        assert r.status == OPTIMAL
+        assert r.objective == 2 * 4 + 3 * 2
+
+    def test_zero_rhs_equalities(self):
+        # flow-style: x − y = 0, x ≤ 5 → max x+y = 10
+        r = solve_lp(
+            [F(1), F(1)],
+            a_ub=[[F(1), F(0)]],
+            b_ub=[F(5)],
+            a_eq=[[F(1), F(-1)]],
+            b_eq=[F(0)],
+        )
+        assert r.objective == 10

@@ -1,0 +1,108 @@
+"""Tests for the bottleneck-sensitivity analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    bottlenecks,
+    edge_sensitivity,
+    node_sensitivity,
+    sensitivity_report,
+    sensitivity_sweep,
+)
+from repro.exceptions import PlatformError
+from repro.platform.tree import Tree
+
+F = Fraction
+
+
+class TestSingleResource:
+    def test_root_cpu_is_a_bottleneck(self, paper_tree):
+        s = node_sensitivity(paper_tree, "P0", speedup=2)
+        # the root computes at its full rate 1/3; doubling it helps
+        assert s.improved > s.base
+        assert s.gain > 0
+
+    def test_unused_node_gains_nothing(self, paper_tree):
+        s = node_sensitivity(paper_tree, "P10", speedup=4)
+        assert s.gain == 0
+
+    def test_switch_cpu_gains_nothing(self, fig1_tree):
+        s = node_sensitivity(fig1_tree, "P2", speedup=3)
+        assert s.gain == 0
+
+    def test_speeding_a_link_can_recruit_an_unvisited_node(self, paper_tree):
+        # P5 is never visited by the optimal schedule — but only because its
+        # link is slow; halving c recruits the fast node and lifts throughput
+        s = edge_sensitivity(paper_tree, "P5", speedup=2)
+        assert s.gain > 0
+
+    def test_non_binding_link_gains_nothing(self, paper_tree):
+        # doubling P1's link does not help: every downstream port and CPU is
+        # already the binding constraint, not the root's outlet
+        s = edge_sensitivity(paper_tree, "P1", speedup=2)
+        assert s.gain == 0
+
+    def test_mildly_faster_idle_link_gains_nothing(self, paper_tree):
+        # P9 stays behind P8 in the bandwidth-centric order at 2x, and P4's
+        # tasks are exhausted before reaching it
+        s = edge_sensitivity(paper_tree, "P9", speedup=2)
+        assert s.gain == 0
+
+    def test_root_edge_rejected(self, paper_tree):
+        with pytest.raises(PlatformError):
+            edge_sensitivity(paper_tree, "P0")
+
+    def test_slowdown_rejected(self, paper_tree):
+        with pytest.raises(PlatformError):
+            node_sensitivity(paper_tree, "P0", speedup=F(1, 2))
+
+
+class TestSweep:
+    def test_sorted_by_gain(self, paper_tree):
+        sweep = sensitivity_sweep(paper_tree)
+        gains = [s.gain for s in sweep]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_gains_never_negative(self, paper_tree):
+        # speeding a resource up can never hurt (monotonicity)
+        assert all(s.gain >= 0 for s in sensitivity_sweep(paper_tree))
+
+    def test_covers_every_resource(self, paper_tree):
+        sweep = sensitivity_sweep(paper_tree)
+        cpus = sum(1 for s in sweep if s.kind == "node")
+        links = sum(1 for s in sweep if s.kind == "edge")
+        assert cpus == 12  # no switches on this platform
+        assert links == 11
+
+    def test_bottlenecks_subset(self, paper_tree):
+        marks = bottlenecks(paper_tree)
+        assert marks
+        assert all(s.gain > 0 for s in marks)
+        assert len(marks) < len(sensitivity_sweep(paper_tree))
+
+    def test_single_worker_bottleneck_is_the_link(self):
+        tree = Tree("m", w="inf")
+        tree.add_node("a", w=1, parent="m", c=2)  # link-bound: rate 1/2
+        marks = bottlenecks(tree)
+        assert [s.kind for s in marks] == ["edge"]
+
+    def test_single_worker_bottleneck_is_the_cpu(self):
+        tree = Tree("m", w="inf")
+        tree.add_node("a", w=4, parent="m", c=1)  # CPU-bound: rate 1/4
+        marks = bottlenecks(tree)
+        assert marks[0].kind == "node"
+        assert marks[0].name == "a"
+
+
+class TestReport:
+    def test_renders(self, paper_tree):
+        text = sensitivity_report(paper_tree, top=5)
+        assert "gain" in text
+        assert len(text.splitlines()) == 2 + 5
+
+    def test_full_table(self, paper_tree):
+        text = sensitivity_report(paper_tree)
+        assert "link to P1" in text
+        assert "CPU of P0" in text

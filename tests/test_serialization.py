@@ -1,0 +1,85 @@
+"""Unit tests for JSON/DOT serialisation."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.serialization import (
+    load_tree,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+    tree_to_dot,
+)
+
+
+class TestDictRoundTrip:
+    def test_round_trip_exact(self, paper_tree):
+        data = tree_to_dict(paper_tree)
+        rebuilt = tree_from_dict(data)
+        assert rebuilt == paper_tree
+
+    def test_round_trip_preserves_fractions(self, paper_tree):
+        rebuilt = tree_from_dict(tree_to_dict(paper_tree))
+        assert rebuilt.c("P4") == Fraction(18, 5)
+
+    def test_round_trip_switch(self, fig1_tree):
+        rebuilt = tree_from_dict(tree_to_dict(fig1_tree))
+        assert rebuilt.is_switch("P2")
+
+    def test_json_compatible(self, paper_tree):
+        json.dumps(tree_to_dict(paper_tree))  # must not raise
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(PlatformError):
+            tree_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(PlatformError):
+            tree_from_dict({"format": "repro-tree", "version": 99, "nodes": []})
+
+    def test_rejects_empty(self):
+        with pytest.raises(PlatformError):
+            tree_from_dict({"format": "repro-tree", "version": 1, "nodes": []})
+
+    def test_rejects_non_root_first(self):
+        with pytest.raises(PlatformError):
+            tree_from_dict({
+                "format": "repro-tree", "version": 1,
+                "nodes": [{"name": "a", "w": "1", "parent": "b", "c": "1"}],
+            })
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(PlatformError):
+            tree_from_dict({
+                "format": "repro-tree", "version": 1,
+                "nodes": [{"name": "r", "w": "1"}, {"name": "a", "w": "1"}],
+            })
+
+
+class TestFiles:
+    def test_save_load(self, tmp_path, paper_tree):
+        path = tmp_path / "tree.json"
+        save_tree(paper_tree, path)
+        assert load_tree(path) == paper_tree
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PlatformError):
+            load_tree(path)
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self, paper_tree):
+        dot = tree_to_dot(paper_tree)
+        assert dot.startswith("digraph")
+        assert '"P0" -> "P1" [label="1"];' in dot
+        assert '"P1" -> "P4" [label="18/5"];' in dot
+
+    def test_highlight(self, paper_tree):
+        dot = tree_to_dot(paper_tree, highlight=frozenset({"P5"}))
+        line = next(l for l in dot.splitlines() if l.strip().startswith('"P5"'))
+        assert "fillcolor" in line

@@ -1,0 +1,154 @@
+"""Unit tests for the exact rational simplex solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.simplex import (
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    SimplexResult,
+    solve_lp,
+)
+from repro.exceptions import SolverError
+
+F = Fraction
+
+
+class TestBasicLPs:
+    def test_simple_bound(self):
+        # max x s.t. x ≤ 3
+        r = solve_lp([F(1)], a_ub=[[F(1)]], b_ub=[F(3)])
+        assert r.status == OPTIMAL
+        assert r.objective == 3
+        assert r.x == [F(3)]
+
+    def test_two_variables(self):
+        # max x + y s.t. x + 2y ≤ 4, 3x + y ≤ 6  → optimum at (8/5, 6/5) = 14/5
+        r = solve_lp(
+            [F(1), F(1)],
+            a_ub=[[F(1), F(2)], [F(3), F(1)]],
+            b_ub=[F(4), F(6)],
+        )
+        assert r.status == OPTIMAL
+        assert r.objective == F(14, 5)
+        assert r.x == [F(8, 5), F(6, 5)]
+
+    def test_exact_fractions(self):
+        # max x s.t. (1/3)x ≤ 1/7 → x = 3/7 exactly
+        r = solve_lp([F(1)], a_ub=[[F(1, 3)]], b_ub=[F(1, 7)])
+        assert r.objective == F(3, 7)
+
+    def test_equality_constraint(self):
+        # max x + y s.t. x + y = 2, x ≤ 1 → 2
+        r = solve_lp(
+            [F(1), F(1)],
+            a_ub=[[F(1), F(0)]],
+            b_ub=[F(1)],
+            a_eq=[[F(1), F(1)]],
+            b_eq=[F(2)],
+        )
+        assert r.status == OPTIMAL
+        assert r.objective == 2
+
+    def test_negative_objective_coefficients(self):
+        # max −x s.t. x ≥ 0 → 0
+        r = solve_lp([F(-1)], a_ub=[[F(1)]], b_ub=[F(5)])
+        assert r.objective == 0
+        assert r.x == [F(0)]
+
+    def test_no_constraints_bounded(self):
+        r = solve_lp([F(-1), F(-2)])
+        assert r.status == OPTIMAL
+        assert r.objective == 0
+
+    def test_zero_objective(self):
+        r = solve_lp([F(0)], a_ub=[[F(1)]], b_ub=[F(1)])
+        assert r.objective == 0
+
+
+class TestStatuses:
+    def test_unbounded(self):
+        # max x with no binding constraint
+        r = solve_lp([F(1)], a_ub=[[F(-1)]], b_ub=[F(1)])
+        assert r.status == UNBOUNDED
+
+    def test_unbounded_no_constraints(self):
+        assert solve_lp([F(1)]).status == UNBOUNDED
+
+    def test_infeasible_eq(self):
+        # x = −1 with x ≥ 0
+        r = solve_lp([F(1)], a_eq=[[F(1)]], b_eq=[F(-1)])
+        assert r.status == INFEASIBLE
+
+    def test_infeasible_conflicting(self):
+        # x ≤ 1 and x ≥ 2 (written as −x ≤ −2)
+        r = solve_lp([F(1)], a_ub=[[F(1)], [F(-1)]], b_ub=[F(1), F(-2)])
+        assert r.status == INFEASIBLE
+
+    def test_negative_rhs_feasible(self):
+        # −x ≤ −2 → x ≥ 2; max −x → x = 2
+        r = solve_lp([F(-1)], a_ub=[[F(-1)]], b_ub=[F(-2)])
+        assert r.status == OPTIMAL
+        assert r.objective == -2
+        assert r.x == [F(2)]
+
+    def test_require_optimal_raises(self):
+        r = SimplexResult(status=INFEASIBLE, objective=None, x=None)
+        with pytest.raises(SolverError):
+            r.require_optimal()
+
+    def test_require_optimal_passes(self):
+        r = solve_lp([F(1)], a_ub=[[F(1)]], b_ub=[F(1)])
+        assert r.require_optimal() is r
+
+
+class TestDegenerate:
+    def test_redundant_equality_rows(self):
+        # x + y = 2 stated twice
+        r = solve_lp(
+            [F(1), F(0)],
+            a_ub=[[F(1), F(0)]],
+            b_ub=[F(1)],
+            a_eq=[[F(1), F(1)], [F(1), F(1)]],
+            b_eq=[F(2), F(2)],
+        )
+        assert r.status == OPTIMAL
+        assert r.objective == 1
+
+    def test_degenerate_vertex_terminates(self):
+        # classic degeneracy: multiple constraints meet at the optimum
+        r = solve_lp(
+            [F(1), F(1)],
+            a_ub=[[F(1), F(0)], [F(0), F(1)], [F(1), F(1)]],
+            b_ub=[F(1), F(1), F(2)],
+        )
+        assert r.status == OPTIMAL
+        assert r.objective == 2
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(SolverError):
+            solve_lp([F(1)], a_ub=[[F(1), F(2)]], b_ub=[F(1)])
+
+    def test_matches_scipy_on_random_lps(self):
+        import numpy as np
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(1234)
+        for _ in range(10):
+            n, m = 4, 5
+            c = rng.integers(-4, 5, size=n)
+            a = rng.integers(-3, 4, size=(m, n))
+            b = rng.integers(1, 8, size=m)  # positive rhs → feasible at 0
+            ours = solve_lp(
+                [F(int(v)) for v in c],
+                a_ub=[[F(int(v)) for v in row] for row in a],
+                b_ub=[F(int(v)) for v in b],
+            )
+            ref = linprog(-c, A_ub=a, b_ub=b, bounds=(0, None), method="highs")
+            if ours.status == OPTIMAL:
+                assert ref.success
+                assert abs(float(ours.objective) - (-ref.fun)) < 1e-9
+            elif ours.status == UNBOUNDED:
+                assert ref.status == 3  # unbounded

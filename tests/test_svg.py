@@ -1,0 +1,82 @@
+"""Tests for the SVG renderers and the sensitivity CLI command."""
+
+import xml.etree.ElementTree as ET
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.svg import buffer_svg, gantt_svg, save_svg
+from repro.cli import main
+from repro.platform import save_tree
+from repro.platform.examples import paper_figure4_tree
+from repro.sim import simulate
+
+F = Fraction
+
+
+@pytest.fixture(scope="module")
+def run():
+    return simulate(paper_figure4_tree(), horizon=72)
+
+
+class TestGanttSvg:
+    def test_well_formed_xml(self, run):
+        svg = gantt_svg(run.trace, ["P0", "P1", "P4", "P8"], start=0, end=72)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_rects_and_labels(self, run):
+        svg = gantt_svg(run.trace, ["P0"], start=0, end=36)
+        assert "<rect" in svg
+        assert "P0 C" in svg
+        assert "P0 S" in svg
+
+    def test_titles_carry_exact_times(self, run):
+        svg = gantt_svg(run.trace, ["P0"], start=0, end=36)
+        assert "<title>" in svg
+
+    def test_empty_window_rejected(self, run):
+        with pytest.raises(ValueError):
+            gantt_svg(run.trace, ["P0"], start=5, end=5)
+
+    def test_escapes_special_names(self):
+        from repro.platform.tree import Tree
+
+        tree = Tree("a&b", w=2)
+        tree.add_node("c<d", w=2, parent="a&b", c=1)
+        result = simulate(tree, horizon=12)
+        svg = gantt_svg(result.trace, ["a&b", "c<d"], start=0, end=12)
+        ET.fromstring(svg)  # must still be valid XML
+
+
+class TestBufferSvg:
+    def test_well_formed(self, run):
+        svg = buffer_svg(run.trace, start=0, end=72)
+        ET.fromstring(svg)
+        assert "buffered tasks" in svg
+
+    def test_peak_reported(self, run):
+        svg = buffer_svg(run.trace, start=0, end=72)
+        assert "peak" in svg
+
+    def test_save(self, run, tmp_path):
+        path = tmp_path / "gantt.svg"
+        save_svg(gantt_svg(run.trace, ["P0"], start=0, end=36), path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestSensitivityCommand:
+    def test_runs(self, tmp_path, capsys):
+        path = tmp_path / "tree.json"
+        save_tree(paper_figure4_tree(), path)
+        assert main(["sensitivity", str(path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU of P0" in out
+        assert "+30.0%" in out
+
+    def test_speedup_flag(self, tmp_path, capsys):
+        path = tmp_path / "tree.json"
+        save_tree(paper_figure4_tree(), path)
+        assert main(["sensitivity", str(path), "--speedup", "4", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "x4 speedup" in out

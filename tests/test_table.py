@@ -1,0 +1,50 @@
+"""Unit tests for the Figure-4 text tables and the shared renderer."""
+
+import pytest
+
+from repro.core.allocation import from_bw_first
+from repro.core.bwfirst import bw_first
+from repro.schedule.eventdriven import build_schedules
+from repro.schedule.periods import tree_periods
+from repro.schedule.table import rate_table, schedule_table, transaction_table
+from repro.util.text import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [["xxx", "y"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("---")
+        assert "xxx" in lines[2]
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+
+class TestPaperTables:
+    def test_transaction_table(self, paper_tree):
+        text = transaction_table(bw_first(paper_tree))
+        assert "P0 -> P1" in text
+        assert "7/18" in text
+        # seven transactions + header + rule
+        assert len(text.splitlines()) == 9
+
+    def test_rate_table_lists_all_nodes(self, paper_tree):
+        text = rate_table(from_bw_first(bw_first(paper_tree)))
+        for node in paper_tree.nodes():
+            assert str(node) in text
+
+    def test_rate_table_marks_inactive(self, paper_tree):
+        text = rate_table(from_bw_first(bw_first(paper_tree)))
+        p5_line = next(l for l in text.splitlines() if l.startswith("P5 "))
+        assert "-" in p5_line
+
+    def test_schedule_table(self, paper_tree):
+        allocation = from_bw_first(bw_first(paper_tree))
+        periods = tree_periods(allocation)
+        schedules = build_schedules(allocation, periods=periods)
+        text = schedule_table(schedules, periods)
+        assert "P8 P4 P8 P4 P8" in text
+        assert "T^s" in text

@@ -1,0 +1,115 @@
+"""Tests for explicit timetable extraction and the compactness claim."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import bw_first, from_bw_first
+from repro.exceptions import ScheduleError
+from repro.platform.tree import Tree
+from repro.schedule.periods import global_period, tree_periods
+from repro.schedule.timetable import (
+    Timetable,
+    TimetableEntry,
+    description_sizes,
+    extract_timetable,
+)
+from repro.sim import simulate
+from repro.sim.tracing import COMPUTE
+
+F = Fraction
+
+
+@pytest.fixture
+def paper_run(paper_tree):
+    return simulate(paper_tree, horizon=12 * 36)
+
+
+class TestExtraction:
+    def test_extracts_valid_timetable(self, paper_run):
+        table = extract_timetable(paper_run, 36)
+        table.validate()
+        assert len(table) > 0
+        assert table.period == 36
+
+    def test_origin_past_startup(self, paper_run):
+        table = extract_timetable(paper_run, 36)
+        assert table.origin >= 36  # the first window is the start-up
+
+    def test_entries_cover_all_active_nodes(self, paper_run):
+        table = extract_timetable(paper_run, 36)
+        nodes = {e.node for e in table.entries}
+        assert nodes == set(paper_run.schedules)
+
+    def test_compute_time_matches_chi(self, paper_run, paper_tree):
+        """Per period, each node computes exactly χ_compute tasks' worth."""
+        table = extract_timetable(paper_run, 36)
+        allocation = from_bw_first(bw_first(paper_tree))
+        periods = tree_periods(allocation)
+        for node in paper_run.schedules:
+            busy = sum(
+                (e.end - e.start for e in table.entries_for(node)
+                 if e.kind == COMPUTE),
+                F(0),
+            )
+            expected_tasks = allocation.alpha[node] * 36
+            assert busy == expected_tasks * paper_tree.w(node)
+
+    def test_too_short_run_raises(self, paper_tree):
+        short = simulate(paper_tree, horizon=36)
+        with pytest.raises(ScheduleError):
+            extract_timetable(short, 36)
+
+
+class TestValidation:
+    def test_rejects_overlap(self):
+        table = Timetable(
+            period=F(10), origin=F(0),
+            entries=(
+                TimetableEntry("n", COMPUTE, F(0), F(5)),
+                TimetableEntry("n", COMPUTE, F(4), F(6)),
+            ),
+        )
+        with pytest.raises(ScheduleError):
+            table.validate()
+
+    def test_rejects_out_of_period(self):
+        table = Timetable(
+            period=F(10), origin=F(0),
+            entries=(TimetableEntry("n", COMPUTE, F(8), F(12)),),
+        )
+        with pytest.raises(ScheduleError):
+            table.validate()
+
+
+class TestCompactness:
+    def test_sizes_on_paper_tree(self, paper_run):
+        sizes = description_sizes(paper_run, 36)
+        assert sizes["timetable_entries"] > 0
+        assert sizes["event_driven_entries"] == sum(
+            s.bunch for s in paper_run.schedules.values()
+        )
+
+    def test_clock_free_nodes_win_on_coprime_chain(self):
+        """Coprime node speeds blow up the global period — and with it the
+        per-node timetable — while each *clock-free* node's event-driven
+        description stays local: it only depends on its own lcm, not the
+        global one.  (The root, the lone clocked node, is the exception.)"""
+        tree = Tree("R", w=2)
+        tree.add_node("A", w=3, parent="R", c=1)
+        tree.add_node("B", w=5, parent="A", c=1)
+        tree.add_node("C", w=7, parent="B", c=1)
+        allocation = from_bw_first(bw_first(tree))
+        periods = tree_periods(allocation)
+        period = global_period(periods)
+        assert period >= 100  # the lcm explosion (210 here)
+        result = simulate(tree, allocation=allocation, horizon=8 * period)
+        table = extract_timetable(result, period)
+        for node in ("A", "B", "C"):
+            bunch = result.schedules[node].bunch
+            entries = len(table.entries_for(node))
+            assert bunch < entries, (node, bunch, entries)
+        # the deepest node's description does not grow with the global
+        # period at all: one destination, wherever T lands
+        assert result.schedules["C"].bunch == 1
+        assert periods["C"].t_consume == 7  # local, not 210

@@ -1,0 +1,66 @@
+"""Unit tests for the trace record structures."""
+
+from fractions import Fraction
+
+from repro.sim.tracing import COMPUTE, RECV, SEND, Segment, Trace
+
+F = Fraction
+
+
+def make_trace() -> Trace:
+    trace = Trace()
+    trace.add_segment("a", COMPUTE, F(0), F(2))
+    trace.add_segment("a", SEND, F(1), F(3), peer="b")
+    trace.add_segment("b", RECV, F(1), F(3), peer="a")
+    trace.add_completion(F(2), "a")
+    trace.add_completion(F(5), "b")
+    trace.add_arrival(F(3), "b")
+    trace.add_buffer_delta(F(0), "a", +1)
+    trace.add_buffer_delta(F(2), "a", -1)
+    return trace
+
+
+class TestSegments:
+    def test_duration(self):
+        seg = Segment("a", COMPUTE, F(1, 2), F(5, 2))
+        assert seg.duration == 2
+
+    def test_segments_for_filters_node(self):
+        trace = make_trace()
+        assert len(trace.segments_for("a")) == 2
+        assert len(trace.segments_for("b")) == 1
+
+    def test_segments_for_filters_kind(self):
+        trace = make_trace()
+        sends = trace.segments_for("a", SEND)
+        assert len(sends) == 1
+        assert sends[0].peer == "b"
+
+    def test_busy_time_full_overlap(self):
+        trace = make_trace()
+        assert trace.busy_time("a", COMPUTE, F(0), F(10)) == 2
+
+    def test_busy_time_clipped(self):
+        trace = make_trace()
+        assert trace.busy_time("a", COMPUTE, F(1), F(10)) == 1
+        assert trace.busy_time("a", COMPUTE, F(5), F(10)) == 0
+
+
+class TestCompletions:
+    def test_completed(self):
+        assert make_trace().completed == 2
+
+    def test_by_node(self):
+        assert make_trace().completions_by_node() == {"a": 1, "b": 1}
+
+    def test_window_half_open(self):
+        trace = make_trace()
+        assert trace.completions_in(F(0), F(2)) == 1  # (0, 2] includes t=2
+        assert trace.completions_in(F(2), F(5)) == 1  # excludes t=2
+        assert trace.completions_in(F(5), F(9)) == 0
+
+    def test_end_time(self):
+        assert make_trace().end_time == 5
+
+    def test_end_time_empty(self):
+        assert Trace().end_time == 0

@@ -1,0 +1,103 @@
+"""Tests for the static schedule verifier (failure injection)."""
+
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.core import bw_first, from_bw_first
+from repro.exceptions import ScheduleError
+from repro.platform.generators import random_tree
+from repro.schedule import build_schedules, tree_periods
+from repro.schedule.eventdriven import NodeSchedule
+from repro.schedule.verify import is_feasible, verify_schedules
+
+
+@pytest.fixture
+def valid(paper_tree):
+    allocation = from_bw_first(bw_first(paper_tree))
+    periods = tree_periods(allocation)
+    schedules = build_schedules(allocation, periods=periods)
+    return paper_tree, schedules, periods
+
+
+class TestAcceptsValid:
+    def test_paper_tree(self, valid):
+        verify_schedules(*valid)
+        assert is_feasible(*valid)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees(self, seed):
+        tree = random_tree(10, seed=seed)
+        allocation = from_bw_first(bw_first(tree))
+        periods = tree_periods(allocation)
+        schedules = build_schedules(allocation, periods=periods)
+        verify_schedules(tree, schedules, periods)
+
+    @pytest.mark.parametrize("policy", ["block", "round_robin", "random"])
+    def test_every_policy_is_feasible(self, paper_tree, policy):
+        from repro.schedule import POLICIES
+
+        allocation = from_bw_first(bw_first(paper_tree))
+        periods = tree_periods(allocation)
+        schedules = build_schedules(allocation, policy=POLICIES[policy],
+                                    periods=periods)
+        verify_schedules(paper_tree, schedules, periods)
+
+
+def corrupt(schedules, node, **changes):
+    out = dict(schedules)
+    out[node] = replace(schedules[node], **changes)
+    return out
+
+
+class TestRejectsCorrupted:
+    def test_wrong_counts(self, valid):
+        tree, schedules, periods = valid
+        bad = corrupt(schedules, "P4", order=("P8", "P8", "P8", "P4", "P8"))
+        with pytest.raises(ScheduleError, match="bunch order"):
+            verify_schedules(tree, bad, periods)
+
+    def test_unknown_destination(self, valid):
+        tree, schedules, periods = valid
+        bad = corrupt(schedules, "P4",
+                      order=("P9", "P4", "P9", "P4", "P9"),
+                      quantities={"P4": 2, "P9": 3})
+        with pytest.raises(ScheduleError):
+            verify_schedules(tree, bad, periods)
+
+    def test_overloaded_compute(self, valid):
+        tree, schedules, periods = valid
+        # double P8's self-quantity: 2 tasks of w=6 in a 6-unit period
+        from dataclasses import replace as dreplace
+
+        p = periods["P8"]
+        bad_p = dict(periods)
+        bad_sched = dict(schedules)
+        bad_p["P8"] = dreplace(p, psi_self=2)
+        bad_sched["P8"] = NodeSchedule(
+            node="P8", quantities={"P8": 2}, order=("P8", "P8"),
+            periods=bad_p["P8"],
+        )
+        with pytest.raises(ScheduleError):
+            verify_schedules(tree, bad_sched, bad_p)
+
+    def test_flow_mismatch(self, valid):
+        tree, schedules, periods = valid
+        # P8 claims a bunch of 2 while its parent ships 3 per period
+        bad = corrupt(schedules, "P8", order=("P8", "P8"),
+                      quantities={"P8": 2})
+        with pytest.raises(ScheduleError):
+            verify_schedules(tree, bad, periods)
+
+    def test_unknown_node(self, valid):
+        tree, schedules, periods = valid
+        bad = dict(schedules)
+        bad["ghost"] = schedules["P8"]
+        with pytest.raises(ScheduleError, match="unknown node"):
+            verify_schedules(tree, bad, periods)
+
+    def test_is_feasible_false(self, valid):
+        tree, schedules, periods = valid
+        bad = corrupt(schedules, "P4", order=("P8", "P8", "P8", "P4", "P8"))
+        assert not is_feasible(tree, bad, periods)
