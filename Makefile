@@ -1,6 +1,6 @@
 # Development commands for the repro library.
 
-.PHONY: install test bench bench-tables examples outputs all clean
+.PHONY: install test bench bench-tables faults-smoke examples outputs all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,12 @@ bench:
 
 bench-tables:
 	pytest benchmarks/ -s
+
+# quick end-to-end check of the fault-injection + self-healing subsystem
+faults-smoke:
+	PYTHONPATH=src pytest benchmarks/bench_e23_fault_recovery.py \
+		tests/test_faults.py tests/test_fault_recovery.py \
+		tests/test_protocol_lossy.py -q
 
 examples:
 	@for f in examples/*.py; do \

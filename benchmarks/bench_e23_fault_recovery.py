@@ -1,0 +1,132 @@
+"""E23: fault injection + self-healing re-negotiation.
+
+The robustness experiment the paper's distributed procedure makes possible
+but never runs: crash visited nodes mid-steady-state, lose and duplicate
+control messages, stretch links — and measure how the platform heals.  The
+sweep varies the crash set, the control-plane drop rate and the detection
+timeout; in **every** cell the recovered throughput must equal the
+centralised BW-First optimum of the pruned tree *exactly* (Proposition 2 on
+the survivors), which is the subsystem's acceptance bar.
+"""
+
+from fractions import Fraction
+
+from repro.core.bwfirst import bw_first
+from repro.faults import FaultPlan, NodeCrash, resilient_run
+from repro.platform.examples import paper_figure4_tree
+from repro.protocol.retry import RetryPolicy
+from repro.util.text import render_table
+
+from .conftest import emit
+
+F = Fraction
+
+#: Crash sets to sweep (all visited nodes of the Figure-4 negotiation,
+#: P4 taking its subtree {P8, P9} with it).
+CRASH_SETS = [
+    ("P3",),
+    ("P4",),
+    ("P4", "P3"),
+]
+DROP_RATES = [F(0), F(1, 10), F(3, 10)]
+TIMEOUTS = [F(1, 4), F(1)]
+
+
+def one_cell(crashes, drop, timeout):
+    tree = paper_figure4_tree()
+    plan = FaultPlan(
+        seed=int(drop * 100) + 17 * len(crashes),
+        crashes=tuple(
+            NodeCrash(node, F(5) + i) for i, node in enumerate(crashes)
+        ),
+        drop=drop,
+        duplicate=drop / 2,
+    )
+    report = resilient_run(
+        tree,
+        plan,
+        heartbeat_interval=F(1),
+        detection_timeout=timeout,
+        retry=RetryPolicy(max_retries=10),
+    )
+    return tree, report
+
+
+def sweep():
+    rows = []
+    for crashes in CRASH_SETS:
+        for drop in DROP_RATES:
+            for timeout in TIMEOUTS:
+                tree, report = one_cell(crashes, drop, timeout)
+                pruned = tree.without_subtrees(crashes)
+                reference = bw_first(pruned).throughput
+                # the acceptance bar: exact recovery to the pruned optimum
+                assert report.rate_after == report.new_optimum == reference
+                rows.append((crashes, drop, timeout, report, reference))
+    return rows
+
+
+def test_fault_recovery_sweep(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = []
+    for crashes, drop, timeout, report, reference in rows:
+        table.append([
+            "+".join(crashes),
+            f"{float(drop):.0%}",
+            f"{float(timeout):.2f}",
+            f"{float(report.old_optimum):.3f}",
+            f"{float(report.rate_during):.3f}",
+            f"{float(report.rate_after):.3f}",
+            "yes" if report.rate_after == reference else "NO",
+            str(report.tasks_lost),
+            str(report.retransmissions),
+            str(report.dropped),
+            f"{float(report.negotiation_wallclock):.2f}",
+        ])
+    emit(
+        "E23: crash + lossy control plane → detect, prune, re-negotiate",
+        render_table(
+            ["crashes", "drop", "t/o", "before", "during", "after",
+             "exact", "lost", "retx", "dropped", "reneg wall-clock"],
+            table,
+        ),
+    )
+
+    for crashes, drop, timeout, report, reference in rows:
+        # the crash really hurt while it lasted …
+        assert report.rate_during < report.old_optimum
+        # … destroyed work in flight …
+        assert report.tasks_lost > 0
+        # … and every death was declared within one beat + timeout
+        for node, declared in report.detected_at.items():
+            crashed_at = next(c.time for c in
+                              (NodeCrash(n, F(5) + i)
+                               for i, n in enumerate(crashes)) if c.node == node)
+            assert crashed_at < declared <= crashed_at + 1 + timeout
+    # drops actually happened at the lossy settings and were healed by retry
+    lossy = [r for _c, d, _t, r, _ref in rows if d > 0]
+    assert any(r.dropped > 0 for r in lossy)
+    assert all(r.rate_after == r.new_optimum for _c, _d, _t, r, _ref in rows)
+
+
+def test_same_seed_reproduces_identical_run(benchmark):
+    def twice():
+        _tree, a = one_cell(("P4",), F(3, 10), F(1))
+        _tree, b = one_cell(("P4",), F(3, 10), F(1))
+        return a, b
+
+    a, b = benchmark.pedantic(twice, rounds=1, iterations=1)
+    assert a.timeline == b.timeline
+    assert a.detected_at == b.detected_at
+    assert a.tasks_lost == b.tasks_lost
+    assert (a.retransmissions, a.dropped, a.duplicated) == (
+        b.retransmissions, b.dropped, b.duplicated
+    )
+    assert list(a.result.trace.completions) == list(b.result.trace.completions)
+    emit(
+        "E23: determinism",
+        f"two runs, same plan: identical traces "
+        f"({len(a.result.trace.completions)} completions, "
+        f"{a.retransmissions} retransmissions, {a.dropped} drops)",
+    )

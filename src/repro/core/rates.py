@@ -135,6 +135,27 @@ def lcm_ints(values: Iterable[int]) -> int:
     return result
 
 
+def lcm_fractions(*values: FractionLike) -> Fraction:
+    """Least common multiple of positive rationals.
+
+    The lcm of ``a`` and ``b`` is the generator of ``aℤ ∩ bℤ``: the smallest
+    positive rational that is an integer multiple of both.  Used to relate
+    periods once the minimal consumption period ``T^w`` may be non-integer.
+    """
+    result = Fraction(1)
+    for v in values:
+        f = as_fraction(v)
+        if f <= 0:
+            raise ValueError(f"lcm is only defined for positive values (got {f})")
+        den = result.denominator * f.denominator // math.gcd(
+            result.denominator, f.denominator
+        )
+        a = result.numerator * (den // result.denominator)
+        b = f.numerator * (den // f.denominator)
+        result = Fraction(a * b // math.gcd(a, b), den)
+    return result
+
+
 def lcm_denominators(values: Iterable[Fraction]) -> int:
     """LCM of the denominators of *values* (in lowest terms); 1 if empty.
 

@@ -40,8 +40,40 @@ class SimulationError(ReproError):
 
 
 class ProtocolError(ReproError):
-    """The distributed BW-First protocol received an out-of-order message."""
+    """The distributed BW-First protocol received an out-of-order message.
+
+    Carries optional diagnostic context so failures under fault injection
+    are attributable: the *node* whose state machine complained, the virtual
+    *time* the transport had reached, and the *pending* transaction (child,
+    β, transaction id) the node was blocked on, if any.  The context is
+    appended to the rendered message.
+    """
+
+    def __init__(self, message: str, *, node=None, time=None, pending=None):
+        self.node = node
+        self.time = time
+        self.pending = pending
+        context = []
+        if node is not None:
+            context.append(f"node={node!r}")
+        if time is not None:
+            context.append(f"t={time}")
+        if pending is not None:
+            context.append(f"pending={pending!r}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
 
 
 class SolverError(ReproError):
     """A linear-programming solver failed or returned an infeasible status."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed or inapplicable to the given platform.
+
+    Raised for crashes of unknown nodes or of the root, probabilities
+    outside ``[0, 1)``, degradation windows that never start, and similar
+    problems — *before* any fault is injected, so a bad plan never produces
+    a half-perturbed run.
+    """

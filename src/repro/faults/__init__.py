@@ -1,0 +1,34 @@
+"""Fault injection and self-healing for the BW-First platform.
+
+The robustness layer the paper's Section 5 sketches but never builds:
+
+* :mod:`~repro.faults.plan` — deterministic, serializable
+  :class:`FaultPlan` descriptions (crashes, control-message loss and
+  duplication, transient link degradation);
+* :mod:`~repro.faults.inject` — :class:`FaultyNetwork` applying a plan to
+  the protocol transport, :func:`apply_to_simulation` applying it to the
+  steady-state simulator;
+* :mod:`~repro.faults.detect` — deterministic heartbeat failure detection;
+* :mod:`~repro.faults.recovery` — :func:`resilient_run`, the supervisor
+  staging crash → detect → prune → re-negotiate → switch and reporting the
+  exact throughput timeline.
+"""
+
+from .detect import HeartbeatMonitor, detection_time
+from .inject import FaultyNetwork, apply_to_simulation
+from .plan import FaultPlan, LinkDegradation, LinkFaults, NodeCrash, random_plan
+from .recovery import RecoveryReport, resilient_run
+
+__all__ = [
+    "FaultPlan",
+    "NodeCrash",
+    "LinkFaults",
+    "LinkDegradation",
+    "random_plan",
+    "FaultyNetwork",
+    "apply_to_simulation",
+    "HeartbeatMonitor",
+    "detection_time",
+    "RecoveryReport",
+    "resilient_run",
+]

@@ -1,0 +1,115 @@
+"""Applying a :class:`~repro.faults.plan.FaultPlan` to both execution layers.
+
+* :class:`FaultyNetwork` wraps the protocol transport: control messages
+  crossing a real tree link are dropped or duplicated according to the
+  plan's per-link probabilities, and their latency is stretched inside
+  degradation windows.  Each decision is addressed by the link and the
+  per-link message ordinal, so a run is bit-for-bit reproducible from the
+  plan alone.
+* :func:`apply_to_simulation` arms the steady-state simulator: node crashes
+  are scheduled at their virtual times and the plan's degradation windows
+  are installed as the simulator's link-time factor.
+
+The virtual-parent link that seeds the root is **never** perturbed — it
+models the application invoking its local root, not a network link.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..exceptions import ProtocolError
+from ..platform.tree import Tree
+from ..protocol.messages import Message, wire_size
+from ..protocol.network import Network
+from ..sim.simulator import Simulation
+from .plan import FaultPlan
+
+
+class FaultyNetwork(Network):
+    """A :class:`~repro.protocol.network.Network` with a lossy control plane.
+
+    Counts the injected faults in ``dropped`` and ``duplicated`` (picked up
+    by :class:`~repro.protocol.runner.ProtocolResult`).  Dropped messages
+    still count toward ``messages_sent``/``bytes_sent`` — the sender paid
+    for the transmission; the receiver just never saw it.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        plan: FaultPlan,
+        latency_factor=Fraction(1, 100),
+        fixed_latency=0,
+        time_offset=0,
+    ):
+        """*time_offset* anchors the network's local clock (which starts at
+        0) in the plan's virtual timeline, so degradation windows line up —
+        a re-negotiation launched at virtual time ``t`` passes
+        ``time_offset=t``."""
+        super().__init__(
+            tree, latency_factor=latency_factor, fixed_latency=fixed_latency
+        )
+        self.plan = plan
+        self.time_offset = Fraction(time_offset)
+        self.dropped = 0
+        self.duplicated = 0
+        #: per-directed-link message ordinals addressing the plan decisions
+        self._ordinals: Dict[Tuple[Hashable, Hashable], int] = {}
+
+    def _child_endpoint(self, a: Hashable, b: Hashable) -> Optional[Hashable]:
+        """The child side of link ``a↔b``, or ``None`` off the tree."""
+        if a not in self.tree or b not in self.tree:
+            return None  # virtual-parent traffic: never perturbed
+        if self.tree.parent(b) == a:
+            return b
+        if self.tree.parent(a) == b:
+            return a
+        return None
+
+    def send(self, message: Message) -> None:
+        a, b = message.sender, message.receiver
+        child = self._child_endpoint(a, b)
+        if child is None:
+            super().send(message)
+            return
+        if b not in self._handlers:
+            raise ProtocolError(f"no handler registered for {b!r}")
+        ordinal = self._ordinals.get((a, b), 0)
+        self._ordinals[(a, b)] = ordinal + 1
+        # the sender transmitted, whatever the link then does to the message
+        self.messages_sent += 1
+        self.bytes_sent += wire_size(message)
+        if self.plan.decision("drop", a, b, ordinal) < self.plan.link_drop(child):
+            self.dropped += 1
+            return
+        latency = self.link_latency(a, b) * self.plan.degradation_factor(
+            child, self.time_offset + self.engine.now
+        )
+        handler = self._handlers[b]
+        self.engine.schedule_in(latency, lambda: handler(message))
+        if (
+            self.plan.decision("duplicate", a, b, ordinal)
+            < self.plan.link_duplicate(child)
+        ):
+            # the spurious copy arrives right behind the original
+            self.duplicated += 1
+            self.engine.schedule_in(latency, lambda: handler(message))
+
+
+def apply_to_simulation(sim: Simulation, plan: FaultPlan) -> None:
+    """Arm *sim* with the plan's crashes and degradation windows.
+
+    Validates the plan against the simulation's tree first, so a bad plan
+    never half-perturbs a run.  Control-plane loss probabilities do not
+    apply here — the simulator moves *tasks*, whose transfers are reliable;
+    loss affects the negotiation transport (:class:`FaultyNetwork`).
+    """
+    plan.validate(sim.tree)
+    for crash in plan.crashes:
+        sim.schedule_failure(crash.node, crash.time)
+    if plan.degradations:
+        sim.set_link_time_factor(
+            lambda parent, child, now: plan.degradation_factor(child, now)
+        )

@@ -1,0 +1,325 @@
+"""Deterministic, serializable fault plans.
+
+A :class:`FaultPlan` is a *pure description* of every fault a run will
+suffer: node crashes at given virtual times, per-link control-message drop
+and duplication probabilities, and transient link-degradation windows.  It
+contains **no randomness state** — every probabilistic decision is derived
+on demand from the plan's seed and the decision's coordinates
+(:meth:`FaultPlan.decision`), so
+
+* the same plan produces the *identical* fault trace on every run, on every
+  machine, regardless of import order or interleaving (no shared RNG whose
+  stream could be consumed in a different order);
+* a plan round-trips through JSON (:meth:`FaultPlan.to_json` /
+  :meth:`FaultPlan.from_json`) without loss — probabilities and times are
+  exact :class:`~fractions.Fraction` values serialized as strings.
+
+Plans are validated against a platform before use
+(:meth:`FaultPlan.validate`): crashing the root or an unknown node, or a
+probability of 1 (which no retry policy can beat), is rejected up front.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Optional, Tuple
+
+from ..core.rates import as_fraction
+from ..exceptions import FaultError
+from ..platform.tree import Tree
+
+
+def _prob(value) -> Fraction:
+    p = as_fraction(value)
+    if p < 0 or p >= 1:
+        raise FaultError(f"probability must be in [0, 1), got {p}")
+    return p
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop crash of *node* at virtual *time*."""
+
+    node: Hashable
+    time: Fraction
+
+    def __post_init__(self):
+        object.__setattr__(self, "time", as_fraction(self.time))
+        if self.time < 0:
+            raise FaultError(f"crash time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link override of the control-plane loss model.
+
+    The link is identified by its *child* endpoint (every tree link is
+    ``parent(child) ↔ child``).  Omitted links use the plan's global
+    probabilities.
+    """
+
+    child: Hashable
+    drop: Fraction = Fraction(0)
+    duplicate: Fraction = Fraction(0)
+
+    def __post_init__(self):
+        object.__setattr__(self, "drop", _prob(self.drop))
+        object.__setattr__(self, "duplicate", _prob(self.duplicate))
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Transient slow-down of the link above *child*.
+
+    Between *start* and *end* (virtual time, half-open ``[start, end)``)
+    every transfer beginning on the link takes *factor* times as long —
+    task transfers in the simulator and control messages in a
+    :class:`~repro.faults.inject.FaultyNetwork` alike.
+    """
+
+    child: Hashable
+    factor: Fraction
+    start: Fraction
+    end: Fraction
+
+    def __post_init__(self):
+        object.__setattr__(self, "factor", as_fraction(self.factor))
+        object.__setattr__(self, "start", as_fraction(self.start))
+        object.__setattr__(self, "end", as_fraction(self.end))
+        if self.factor < 1:
+            raise FaultError(
+                f"degradation factor must be >= 1, got {self.factor}"
+            )
+        if not self.start < self.end:
+            raise FaultError(
+                f"degradation window [{self.start}, {self.end}) is empty"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run, deterministically.
+
+    * *seed* drives every probabilistic decision (see :meth:`decision`);
+    * *crashes* are fail-stop node crashes at virtual times;
+    * *drop* / *duplicate* are the global per-message probabilities that a
+      control message is lost / delivered twice, overridable per link via
+      *links*;
+    * *degradations* are transient link slow-down windows.
+    """
+
+    seed: int = 0
+    crashes: Tuple[NodeCrash, ...] = ()
+    drop: Fraction = Fraction(0)
+    duplicate: Fraction = Fraction(0)
+    links: Tuple[LinkFaults, ...] = ()
+    degradations: Tuple[LinkDegradation, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "drop", _prob(self.drop))
+        object.__setattr__(self, "duplicate", _prob(self.duplicate))
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(self, "degradations", tuple(self.degradations))
+        seen = set()
+        for crash in self.crashes:
+            if crash.node in seen:
+                raise FaultError(f"{crash.node!r} crashes twice")
+            seen.add(crash.node)
+        overridden = set()
+        for link in self.links:
+            if link.child in overridden:
+                raise FaultError(f"link {link.child!r} overridden twice")
+            overridden.add(link.child)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def crashed_nodes(self) -> Tuple[Hashable, ...]:
+        return tuple(crash.node for crash in self.crashes)
+
+    def crash_time(self, node: Hashable) -> Optional[Fraction]:
+        for crash in self.crashes:
+            if crash.node == node:
+                return crash.time
+        return None
+
+    def _link(self, child: Hashable) -> Optional[LinkFaults]:
+        for link in self.links:
+            if link.child == child:
+                return link
+        return None
+
+    def link_drop(self, child: Hashable) -> Fraction:
+        """Drop probability on the link above *child*."""
+        override = self._link(child)
+        return override.drop if override is not None else self.drop
+
+    def link_duplicate(self, child: Hashable) -> Fraction:
+        """Duplication probability on the link above *child*."""
+        override = self._link(child)
+        return override.duplicate if override is not None else self.duplicate
+
+    def degradation_factor(self, child: Hashable, now) -> Fraction:
+        """Transfer-time multiplier of the link above *child* at time *now*.
+
+        Overlapping windows compound (factors multiply)."""
+        t = as_fraction(now)
+        factor = Fraction(1)
+        for window in self.degradations:
+            if window.child == child and window.start <= t < window.end:
+                factor *= window.factor
+        return factor
+
+    @property
+    def lossy(self) -> bool:
+        """Whether any link can drop or duplicate control messages."""
+        if self.drop > 0 or self.duplicate > 0:
+            return True
+        return any(l.drop > 0 or l.duplicate > 0 for l in self.links)
+
+    # ------------------------------------------------------------------
+    # deterministic decisions
+    # ------------------------------------------------------------------
+    def decision(self, *coordinates) -> float:
+        """A uniform ``[0, 1)`` draw addressed by *coordinates*.
+
+        The draw is a pure function of ``(seed, coordinates)`` — e.g.
+        ``plan.decision("drop", parent, child, n)`` for the n-th message on
+        a link — so callers never share RNG state and the fault trace is
+        reproducible however the run is interleaved.
+        """
+        key = f"{self.seed}|" + "|".join(repr(c) for c in coordinates)
+        return random.Random(key).random()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, tree: Tree) -> "FaultPlan":
+        """Check the plan is applicable to *tree*; return the plan.
+
+        Rejects crashes of the root or of unknown nodes, and link faults or
+        degradations naming nodes without a parent link.
+        """
+        for crash in self.crashes:
+            if crash.node not in tree:
+                raise FaultError(f"crash of unknown node {crash.node!r}")
+            if crash.node == tree.root:
+                raise FaultError(
+                    "the root cannot crash: it owns the task supply and "
+                    "initiates every negotiation — a dead root is a dead "
+                    "application, not a recoverable fault"
+                )
+        for link in self.links:
+            if link.child not in tree or tree.parent(link.child) is None:
+                raise FaultError(
+                    f"link faults name {link.child!r}, which has no parent link"
+                )
+        for window in self.degradations:
+            if window.child not in tree or tree.parent(window.child) is None:
+                raise FaultError(
+                    f"degradation names {window.child!r}, which has no parent link"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize losslessly (Fractions as ``"p/q"`` strings)."""
+
+        def frac(x: Fraction) -> str:
+            return str(x)
+
+        payload = {
+            "seed": self.seed,
+            "crashes": [
+                {"node": c.node, "time": frac(c.time)} for c in self.crashes
+            ],
+            "drop": frac(self.drop),
+            "duplicate": frac(self.duplicate),
+            "links": [
+                {
+                    "child": l.child,
+                    "drop": frac(l.drop),
+                    "duplicate": frac(l.duplicate),
+                }
+                for l in self.links
+            ],
+            "degradations": [
+                {
+                    "child": d.child,
+                    "factor": frac(d.factor),
+                    "start": frac(d.start),
+                    "end": frac(d.end),
+                }
+                for d in self.degradations
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        return cls(
+            seed=payload.get("seed", 0),
+            crashes=tuple(
+                NodeCrash(node=c["node"], time=Fraction(c["time"]))
+                for c in payload.get("crashes", ())
+            ),
+            drop=Fraction(payload.get("drop", 0)),
+            duplicate=Fraction(payload.get("duplicate", 0)),
+            links=tuple(
+                LinkFaults(
+                    child=l["child"],
+                    drop=Fraction(l.get("drop", 0)),
+                    duplicate=Fraction(l.get("duplicate", 0)),
+                )
+                for l in payload.get("links", ())
+            ),
+            degradations=tuple(
+                LinkDegradation(
+                    child=d["child"],
+                    factor=Fraction(d["factor"]),
+                    start=Fraction(d["start"]),
+                    end=Fraction(d["end"]),
+                )
+                for d in payload.get("degradations", ())
+            ),
+        )
+
+
+def random_plan(
+    tree: Tree,
+    seed: int,
+    n_crashes: int = 1,
+    crash_span=Fraction(10),
+    drop=Fraction(0),
+    duplicate=Fraction(0),
+) -> FaultPlan:
+    """A reproducible plan crashing *n_crashes* non-root nodes of *tree*.
+
+    Crash victims and times are drawn from ``random.Random(seed)`` — the
+    same seed always produces the same plan.  Crash times are uniform
+    rationals (granularity 1/64) in ``(0, crash_span)``.
+    """
+    candidates = [n for n in tree.nodes() if n != tree.root]
+    if n_crashes > len(candidates):
+        raise FaultError(
+            f"cannot crash {n_crashes} of {len(candidates)} non-root nodes"
+        )
+    rng = random.Random(seed)
+    victims = rng.sample(candidates, n_crashes)
+    span = as_fraction(crash_span)
+    crashes = tuple(
+        NodeCrash(node=v, time=span * Fraction(rng.randint(1, 63), 64))
+        for v in victims
+    )
+    return FaultPlan(
+        seed=seed, crashes=crashes, drop=drop, duplicate=duplicate
+    ).validate(tree)

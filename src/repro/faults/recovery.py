@@ -1,0 +1,249 @@
+"""Self-healing supervision: crash → detect → prune → re-negotiate → switch.
+
+:func:`resilient_run` stages the full fault-recovery story inside one
+discrete-event simulation of the paper's platform:
+
+1. the platform runs the schedule negotiated for the full tree (the initial
+   negotiation itself crosses the lossy control plane of the fault plan,
+   surviving drops and duplicates through at-least-once retransmission);
+2. at the plan's crash times, nodes fail fail-stop — their buffered tasks
+   are destroyed, their subtrees starve, and the achieved rate degrades;
+3. the root's :class:`~repro.faults.detect.HeartbeatMonitor` declares each
+   dead node ``interval·⌈crash/interval⌉ + timeout`` into the run;
+4. once every crash is declared, the root prunes the dead subtrees
+   (:meth:`~repro.platform.tree.Tree.without_subtrees`) and re-runs the
+   BW-First negotiation on the survivors — over the same lossy control
+   plane, with the negotiation's control messages occupying the very send
+   ports that carry tasks;
+5. when the root's acknowledgment arrives, every surviving node switches to
+   the new event-driven schedule in place, and the throughput recovers to
+   **exactly** the BW-First optimum of the pruned tree (Proposition 2 on
+   the survivors — asserted by the protocol runner, measured again by the
+   report).
+
+The run is deterministic end to end: the same plan (same seed) produces the
+identical trace, detection times, message counts and recovery timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, List, Mapping, Optional, Tuple
+
+from ..analysis.throughput import measured_rate
+from ..core.allocation import from_bw_first
+from ..core.bwfirst import bw_first
+from ..core.rates import as_fraction
+from ..exceptions import FaultError
+from ..platform.tree import Tree
+from ..protocol.retry import RetryPolicy
+from ..protocol.runner import ProtocolResult, run_protocol
+from ..schedule.eventdriven import build_schedules
+from ..schedule.periods import global_period, tree_periods
+from ..sim.simulator import Simulation
+from .detect import HeartbeatMonitor, detection_time
+from .inject import FaultyNetwork, apply_to_simulation
+from .plan import FaultPlan
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Everything one self-healing run produced.
+
+    Rates are exact rationals measured on the trace; ``rate_after`` equals
+    ``new_optimum`` once the switched schedule reaches steady state.
+    """
+
+    old_optimum: Fraction  # BW-First throughput of the full tree
+    new_optimum: Fraction  # BW-First throughput of the pruned tree
+    rate_before: Optional[Fraction]  # achieved rate before the first crash
+    rate_during: Fraction  # achieved rate from first crash to the switch
+    rate_after: Fraction  # achieved rate of the settled new schedule
+    t_first_crash: Fraction
+    t_detect: Fraction  # when the last crash was declared
+    t_switched: Fraction  # when the new schedule took over
+    detected_at: Mapping[Hashable, Fraction]  # declaration time per crash
+    tasks_lost: int  # tasks destroyed by the crashes (incl. in flight)
+    heartbeats: int  # monitoring rounds the detector ran
+    renegotiation_messages: int
+    renegotiation_bytes: int
+    retransmissions: int  # proposals retransmitted across both negotiations
+    dropped: int  # control messages the fault plan destroyed
+    duplicated: int  # control messages the fault plan duplicated
+    survivors: Tree
+    timeline: Tuple[Tuple[Fraction, Fraction], ...]  # (window start, rate)
+    result: object = None  # the full SimulationResult (trace inspection)
+
+    @property
+    def negotiation_wallclock(self) -> Fraction:
+        """Time between declaring the last death and switching schedules."""
+        return self.t_switched - self.t_detect
+
+    @property
+    def recovery(self) -> Fraction:
+        """Recovered rate as a fraction of the pruned tree's optimum."""
+        if self.new_optimum == 0:
+            return Fraction(1)
+        return self.rate_after / self.new_optimum
+
+
+def resilient_run(
+    tree: Tree,
+    plan: FaultPlan,
+    heartbeat_interval=Fraction(1),
+    detection_timeout=Fraction(1, 2),
+    retry: Optional[RetryPolicy] = None,
+    latency_factor=Fraction(1, 100),
+    settle_periods: int = 2,
+    after_periods: int = 6,
+    window=None,
+    max_events: int = 5_000_000,
+) -> RecoveryReport:
+    """Run *tree* under *plan* with automatic detection and re-negotiation.
+
+    * *heartbeat_interval* / *detection_timeout* parameterize the
+      :class:`~repro.faults.detect.HeartbeatMonitor`;
+    * *retry* is the at-least-once policy for both negotiations (default:
+      :class:`~repro.protocol.retry.RetryPolicy()`);
+    * the run continues for *settle_periods* + *after_periods* global
+      periods of the **new** schedule after the switch; ``rate_after`` is
+      measured over the last *after_periods* of them (the settle periods
+      absorb the drain of stale in-flight tasks);
+    * *window* sets the timeline resolution (default: the old global
+      period);
+    * *max_events* bounds the supervised simulation.  Exact measurement
+      costs whole global periods of the pruned tree, and global periods
+      are LCMs — on adversarial rational rates they (and hence the event
+      count) can explode.  Raise the bound for such platforms, or lower
+      *after_periods* / *settle_periods* to shorten the horizon.
+
+    The plan must contain at least one crash — with nothing to recover
+    from, use :func:`~repro.sim.simulator.simulate` directly.
+    """
+    plan.validate(tree)
+    if not plan.crashes:
+        raise FaultError("the plan crashes nothing — nothing to recover from")
+    policy = retry if retry is not None else RetryPolicy()
+    interval = as_fraction(heartbeat_interval)
+    timeout = as_fraction(detection_timeout)
+
+    # ------------------------------------------------------------------
+    # negotiations (latency-modelled, over the lossy control plane)
+    # ------------------------------------------------------------------
+    initial = run_protocol(
+        tree,
+        network=FaultyNetwork(tree, plan, latency_factor=latency_factor),
+        retry=policy,
+    )
+
+    old_allocation = from_bw_first(bw_first(tree))
+    old_periods = tree_periods(old_allocation)
+    old_schedules = build_schedules(old_allocation, periods=old_periods)
+    old_t = global_period(old_periods)
+
+    crashed = list(plan.crashed_nodes)
+    t_first_crash = min(crash.time for crash in plan.crashes)
+    planned_detection = {
+        crash.node: detection_time(crash.time, interval, timeout)
+        for crash in plan.crashes
+    }
+    t_detect = max(planned_detection.values())
+
+    survivors = tree.without_subtrees(crashed)
+    renegotiation = run_protocol(
+        survivors,
+        network=FaultyNetwork(
+            survivors, plan, latency_factor=latency_factor,
+            time_offset=t_detect,
+        ),
+        retry=policy,
+    )
+
+    new_allocation = from_bw_first(bw_first(survivors))
+    new_periods = tree_periods(new_allocation)
+    new_schedules = build_schedules(new_allocation, periods=new_periods)
+    new_t = global_period(new_periods)
+
+    t_switched = t_detect + renegotiation.completion_time
+    horizon = t_switched + new_t * (settle_periods + after_periods)
+
+    # ------------------------------------------------------------------
+    # the supervised simulation
+    # ------------------------------------------------------------------
+    sim = Simulation(
+        tree, dict(old_schedules), dict(old_periods), horizon=horizon,
+        max_events=max_events,
+    )
+    apply_to_simulation(sim, plan)  # crashes + degradation windows
+    monitor = HeartbeatMonitor(
+        sim, interval, timeout, until=horizon
+    ).start()
+
+    def occupy_ports() -> None:
+        # every re-negotiation transaction costs one control job on the
+        # proposing parent's send port and one on the acknowledging child's
+        for node, actor in renegotiation.actors.items():
+            for child, _beta, _theta in actor.transactions:
+                latency = survivors.c(child) * Fraction(latency_factor)
+                sim.inject_control(node, latency)
+                sim.inject_control(child, latency)
+
+    sim.engine.schedule_at(t_detect, occupy_ports)
+    sim.engine.schedule_at(
+        t_switched, lambda: sim.reconfigure(new_schedules, new_periods)
+    )
+
+    result = sim.run()
+
+    # the analytically planned detection must match the live detector —
+    # a mismatch means the fault model and the monitor disagree (a bug)
+    if dict(monitor.detected) != planned_detection:
+        raise FaultError(
+            f"detector declared {dict(monitor.detected)}, "
+            f"planned {planned_detection}"
+        )
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def rate(lo: Fraction, hi: Fraction) -> Optional[Fraction]:
+        if hi <= lo:
+            return None
+        return measured_rate(result.trace, lo, hi)
+
+    rate_before = rate(Fraction(0), t_first_crash)
+    rate_during = measured_rate(result.trace, t_first_crash, t_switched)
+    rate_after = measured_rate(
+        result.trace, horizon - new_t * after_periods, horizon
+    )
+
+    w = as_fraction(window) if window is not None else old_t
+    timeline: List[Tuple[Fraction, Fraction]] = []
+    start = Fraction(0)
+    stop = result.stop_time if result.stop_time is not None else result.end_time
+    while start + w <= stop:  # the wind-down tail is not part of the story
+        timeline.append((start, measured_rate(result.trace, start, start + w)))
+        start += w
+
+    return RecoveryReport(
+        old_optimum=old_allocation.throughput,
+        new_optimum=new_allocation.throughput,
+        rate_before=rate_before,
+        rate_during=rate_during,
+        rate_after=rate_after,
+        t_first_crash=t_first_crash,
+        t_detect=t_detect,
+        t_switched=t_switched,
+        detected_at=dict(monitor.detected),
+        tasks_lost=result.tasks_lost,
+        heartbeats=monitor.heartbeats,
+        renegotiation_messages=renegotiation.messages,
+        renegotiation_bytes=renegotiation.bytes,
+        retransmissions=initial.retransmissions + renegotiation.retransmissions,
+        dropped=initial.dropped + renegotiation.dropped,
+        duplicated=initial.duplicated + renegotiation.duplicated,
+        survivors=survivors,
+        timeline=tuple(timeline),
+        result=result,
+    )

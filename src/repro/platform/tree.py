@@ -235,6 +235,30 @@ class Tree:
             stack.extend((child, d + 1) for child in self._children[node])
         return best
 
+    def without_subtrees(self, names: Iterable[NodeId]) -> "Tree":
+        """A copy of the tree with every named node's whole subtree removed.
+
+        This is the *surviving platform* after the nodes in *names* fail
+        fail-stop: a dead node takes its entire subtree with it, since its
+        descendants can only be reached through it.  Names must be existing
+        non-root nodes; an empty *names* returns an equal copy.
+        """
+        dead = frozenset(names)
+        if self._root in dead:
+            raise PlatformError("cannot remove the root's subtree")
+        for name in dead:
+            if name not in self._weights:
+                raise PlatformError(f"unknown node {name!r}")
+        out = Tree(self._root, self.w(self._root))
+        for node in self.nodes():
+            if node == self._root or node in dead:
+                continue
+            parent = self.parent(node)
+            if parent not in out:  # an ancestor was removed
+                continue
+            out.add_node(node, self.w(node), parent=parent, c=self.c(node))
+        return out
+
     def subtree(self, name: NodeId) -> "Tree":
         """A copy of the subtree rooted at *name* as a standalone :class:`Tree`."""
         sub = Tree(name, self.w(name))

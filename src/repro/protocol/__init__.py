@@ -10,6 +10,7 @@
 from .actor import NodeActor
 from .messages import Acknowledgment, Proposal, wire_size
 from .network import Network
+from .retry import RetryPolicy
 from .runner import VIRTUAL_PARENT, ProtocolResult, run_protocol
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "Acknowledgment",
     "wire_size",
     "Network",
+    "RetryPolicy",
     "ProtocolResult",
     "run_protocol",
     "VIRTUAL_PARENT",

@@ -15,12 +15,24 @@ Actors know *only* local information (their ``w``, their children's link
 costs, their parent's name): the semi-autonomy property of Section 5.  The
 actor layer is deliberately independent of the transport so the tests can
 drive it synchronously.
+
+The state machine is **idempotent under duplicate delivery**, which makes
+at-least-once retransmission over a lossy control plane safe:
+
+* a duplicate of the proposal currently being worked on is ignored — the
+  acknowledgment will go out once the sub-negotiation completes;
+* a duplicate of an already-answered proposal (recognised by its ``xid``)
+  is answered again from the cached θ, so a lost acknowledgment is healed
+  by the parent's retransmission;
+* a late or duplicate acknowledgment of an already-settled transaction is
+  ignored, so a child declared dead by timeout cannot corrupt the parent's
+  state when its answer finally arrives.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..core.rates import ONE, ZERO
 from ..exceptions import ProtocolError
@@ -59,7 +71,15 @@ class NodeActor:
         self.delta = ZERO
         self.tau = ONE
         self._cursor = 0
-        self._pending: Optional[Tuple[Hashable, Fraction]] = None
+        self._next_xid = 0
+        #: the transaction awaiting its child's answer: (child, β, xid)
+        self._pending: Optional[Tuple[Hashable, Fraction, Optional[int]]] = None
+        #: xid of the proposal this node is currently answering (child role)
+        self._proposal_xid: Optional[int] = None
+        #: answered proposals, xid → θ (child role; duplicate → re-ack)
+        self._answered: Dict[int, Fraction] = {}
+        #: settled transaction xids (parent role; late/duplicate ack → drop)
+        self._settled: Set[int] = set()
         self.transactions: List[Tuple[Hashable, Fraction, Fraction]] = []
 
     # ------------------------------------------------------------------
@@ -70,45 +90,83 @@ class NodeActor:
         elif isinstance(message, Acknowledgment):
             self._on_ack(message)
         else:
-            raise ProtocolError(f"{self.name!r}: unknown message {message!r}")
+            raise ProtocolError(
+                f"{self.name!r}: unknown message {message!r}", node=self.name
+            )
 
     # ------------------------------------------------------------------
     def _on_proposal(self, message: Proposal) -> None:
-        if self.state != IDLE:
-            raise ProtocolError(
-                f"{self.name!r} received a proposal while {self.state}"
-            )
         if message.sender != self.parent:
             raise ProtocolError(
                 f"{self.name!r} received a proposal from non-parent "
-                f"{message.sender!r}"
+                f"{message.sender!r}",
+                node=self.name,
+                pending=self._pending,
+            )
+        if message.xid is not None and message.xid in self._answered:
+            # retransmission of a proposal already answered: our ack was
+            # lost — answer again with the cached θ
+            self._send(
+                Acknowledgment(
+                    sender=self.name,
+                    receiver=self.parent,
+                    theta=self._answered[message.xid],
+                    xid=message.xid,
+                )
+            )
+            return
+        if self.state != IDLE:
+            if message.xid is not None and message.xid == self._proposal_xid:
+                return  # duplicate of the proposal we are working on
+            raise ProtocolError(
+                f"{self.name!r} received a proposal while {self.state}",
+                node=self.name,
+                pending=self._pending,
             )
         if message.beta < 0:
-            raise ProtocolError(f"{self.name!r}: negative proposal {message.beta}")
+            raise ProtocolError(
+                f"{self.name!r}: negative proposal {message.beta}", node=self.name
+            )
         self.lam = message.beta
         self.alpha = min(self.rate, message.beta)
         self.delta = message.beta - self.alpha
         self.tau = ONE
         self._cursor = 0
+        self._proposal_xid = message.xid
         self._advance()
 
     def _on_ack(self, message: Acknowledgment) -> None:
+        if message.xid is not None and message.xid in self._settled:
+            return  # late or duplicate answer to a closed transaction
         if self.state != AWAITING_CHILD or self._pending is None:
             raise ProtocolError(
-                f"{self.name!r} received an unexpected acknowledgment"
+                f"{self.name!r} received an unexpected acknowledgment",
+                node=self.name,
             )
-        child, beta = self._pending
-        if message.sender != child:
+        child, beta, xid = self._pending
+        if message.sender != child or (
+            xid is not None and message.xid != xid
+        ):
             raise ProtocolError(
                 f"{self.name!r} expected an ack from {child!r}, "
-                f"got one from {message.sender!r}"
+                f"got one from {message.sender!r}",
+                node=self.name,
+                pending=self._pending,
             )
         theta = message.theta
         if theta < 0 or theta > beta:
             raise ProtocolError(
-                f"{self.name!r}: child {child!r} acked {theta} of {beta}"
+                f"{self.name!r}: child {child!r} acked {theta} of {beta}",
+                node=self.name,
+                pending=self._pending,
             )
+        self._settle(theta)
+
+    def _settle(self, theta: Fraction) -> None:
+        child, beta, xid = self._pending
         self._pending = None
+        if xid is not None:
+            self._settled.add(xid)
         accepted = beta - theta
         self.delta -= accepted
         cost = dict(self.children)[child]
@@ -116,22 +174,39 @@ class NodeActor:
         self.transactions.append((child, beta, theta))
         self._advance()
 
-    def on_timeout(self, child: Hashable) -> None:
-        """The pending transaction with *child* timed out (dead subtree).
+    # ------------------------------------------------------------------
+    def is_pending(self, child: Hashable, xid: Optional[int] = None) -> bool:
+        """Whether the transaction with *child* (and *xid*) is still open."""
+        if self.state != AWAITING_CHILD or self._pending is None:
+            return False
+        pending_child, _beta, pending_xid = self._pending
+        if pending_child != child:
+            return False
+        return xid is None or pending_xid == xid
+
+    def resend_pending(self) -> None:
+        """Retransmit the pending proposal verbatim (same β, same xid)."""
+        if self.state != AWAITING_CHILD or self._pending is None:
+            return
+        child, beta, xid = self._pending
+        self._send(Proposal(sender=self.name, receiver=child, beta=beta, xid=xid))
+
+    def on_timeout(self, child: Hashable, xid: Optional[int] = None) -> None:
+        """The pending transaction with *child* ran out of retries (dead
+        subtree).
 
         The parent closes the transaction as if the child acknowledged the
         full proposal (θ = β — the subtree consumes nothing) and moves on.
-        Stale timeouts (the ack arrived meanwhile, or the pending child is a
-        different one) are ignored, so timers can be armed unconditionally.
+        Stale timeouts (the ack arrived meanwhile, or the pending child or
+        transaction is a different one) are ignored, so timers can be armed
+        unconditionally.  The transaction id is recorded as settled, so an
+        answer from a merely-slow child arriving after the give-up is
+        dropped instead of corrupting the state machine.
         """
-        if self.state != AWAITING_CHILD or self._pending is None:
+        if not self.is_pending(child, xid):
             return
-        pending_child, beta = self._pending
-        if pending_child != child:
-            return
-        self._pending = None
-        self.transactions.append((child, beta, beta))
-        self._advance()
+        _child, beta, _xid = self._pending
+        self._settle(beta)
 
     def _advance(self) -> None:
         """Open the next child transaction, or acknowledge the parent."""
@@ -141,13 +216,27 @@ class NodeActor:
             child, cost = self.children[self._cursor]
             self._cursor += 1
             beta = min(self.delta, self.tau / cost)
-            self._pending = (child, beta)
+            xid: Optional[int] = None
+            if self._proposal_xid is not None:
+                # numbered negotiation: number our own transactions too
+                xid = self._next_xid
+                self._next_xid += 1
+            self._pending = (child, beta, xid)
             self.state = AWAITING_CHILD
-            self._send(Proposal(sender=self.name, receiver=child, beta=beta))
+            self._send(
+                Proposal(sender=self.name, receiver=child, beta=beta, xid=xid)
+            )
             return
         self.state = DONE
+        if self._proposal_xid is not None:
+            self._answered[self._proposal_xid] = self.delta
         self._send(
-            Acknowledgment(sender=self.name, receiver=self.parent, theta=self.delta)
+            Acknowledgment(
+                sender=self.name,
+                receiver=self.parent,
+                theta=self.delta,
+                xid=self._proposal_xid,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -155,12 +244,12 @@ class NodeActor:
     def theta(self) -> Fraction:
         """The acknowledgment this node returned (valid once DONE)."""
         if self.state != DONE:
-            raise ProtocolError(f"{self.name!r} has not finished")
+            raise ProtocolError(f"{self.name!r} has not finished", node=self.name)
         return self.delta
 
     @property
     def accepted(self) -> Fraction:
         """λ − θ: the rate this node's subtree absorbs (valid once DONE)."""
         if self.state != DONE or self.lam is None:
-            raise ProtocolError(f"{self.name!r} has not finished")
+            raise ProtocolError(f"{self.name!r} has not finished", node=self.name)
         return self.lam - self.delta

@@ -6,13 +6,21 @@ and an :class:`Acknowledgment` carrying the single number θ travels back.
 Both payloads are one rational number — the paper's argument for calling the
 protocol *lightweight* — and :func:`wire_size` estimates their encoded size
 so the benchmark can report protocol bytes, not just message counts.
+
+For at-least-once delivery over a lossy control plane, both message types
+carry an optional transaction id ``xid``.  A retransmitted proposal reuses
+its original ``xid``, and the acknowledgment echoes the ``xid`` of the
+proposal it answers, so receivers can recognise duplicates and senders can
+match late acknowledgments to closed transactions.  ``xid=None`` marks a
+message of the original fire-and-forget protocol; its wire size is
+unchanged, while numbered messages pay one extra varint.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Hashable
+from typing import Hashable, Optional
 
 
 @dataclass(frozen=True)
@@ -22,6 +30,7 @@ class Proposal:
     sender: Hashable
     receiver: Hashable
     beta: Fraction
+    xid: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -31,21 +40,26 @@ class Acknowledgment:
     sender: Hashable
     receiver: Hashable
     theta: Fraction
+    xid: Optional[int] = None
 
 
 Message = object  # Proposal | Acknowledgment
+
+
+def _varint(n: int) -> int:
+    n = abs(int(n))
+    return max((n.bit_length() + 6) // 7, 1)
 
 
 def wire_size(message: Message) -> int:
     """Bytes to encode the message: 8-byte header + the rational payload.
 
     The payload is a numerator/denominator pair, each varint-encoded; we
-    charge one byte per 7 bits, with a 1-byte minimum per integer.
+    charge one byte per 7 bits, with a 1-byte minimum per integer.  A
+    transaction id, when present, is one more varint.
     """
     value = message.beta if isinstance(message, Proposal) else message.theta
-
-    def varint(n: int) -> int:
-        n = abs(int(n))
-        return max((n.bit_length() + 6) // 7, 1)
-
-    return 8 + varint(value.numerator) + varint(value.denominator)
+    size = 8 + _varint(value.numerator) + _varint(value.denominator)
+    if message.xid is not None:
+        size += _varint(message.xid)
+    return size

@@ -11,6 +11,16 @@ parent's proposal ``t_max``, and drains the event queue.  The result carries
 * the protocol's wall-clock completion time under the latency model —
   the quantity Section 5 argues is negligible against task communication
   times, measured by experiment E8.
+
+Fault tolerance comes in two layers:
+
+* *failed* declares fail-stop nodes that silently swallow every message;
+  parents detect them by ack timeout and negotiate on the surviving tree;
+* *retry* (a :class:`~repro.protocol.retry.RetryPolicy`) turns the timeout
+  into at-least-once retransmission, so the negotiation also survives a
+  **lossy control plane** — dropped or duplicated Proposals and
+  Acknowledgments, e.g. injected by
+  :class:`~repro.faults.inject.FaultyNetwork` passed as *network*.
 """
 
 from __future__ import annotations
@@ -20,27 +30,20 @@ from fractions import Fraction
 from typing import Dict, Hashable, Optional
 
 from ..core.bwfirst import bw_first, root_proposal
-from ..exceptions import ProtocolError
+from ..exceptions import ProtocolError, SimulationError
 from ..platform.tree import Tree
 from .actor import DONE, NodeActor
 from .messages import Acknowledgment, Message, Proposal
 from .network import Network
+from .retry import RetryPolicy
 
 #: Name of the virtual parent that seeds the root (never a real node).
 VIRTUAL_PARENT = "__virtual_parent__"
 
 
 def _prune(tree: Tree, failed: frozenset) -> Tree:
-    """The surviving platform: *tree* minus every failed node's subtree."""
-    out = Tree(tree.root, tree.w(tree.root))
-    for node in tree.nodes():
-        if node == tree.root or node in failed:
-            continue
-        parent = tree.parent(node)
-        if parent not in out:  # an ancestor was failed
-            continue
-        out.add_node(node, tree.w(node), parent=parent, c=tree.c(node))
-    return out
+    """The surviving platform (kept as an alias of the public API)."""
+    return tree.without_subtrees(n for n in failed if n in tree)
 
 
 @dataclass(frozen=True)
@@ -54,6 +57,9 @@ class ProtocolResult:
     messages: int
     bytes: int
     actors: Dict[Hashable, NodeActor]
+    retransmissions: int = 0
+    dropped: int = 0
+    duplicated: int = 0
 
     @property
     def visited(self) -> frozenset:
@@ -71,6 +77,8 @@ def run_protocol(
     verify: bool = True,
     failed: frozenset = frozenset(),
     ack_timeout: Optional[Fraction] = None,
+    retry: Optional[RetryPolicy] = None,
+    network: Optional[Network] = None,
 ) -> ProtocolResult:
     """Execute BW-First as a distributed message-passing protocol.
 
@@ -91,17 +99,28 @@ def run_protocol(
     its dead descendants, so each edge gets the recursive budget
     ``B(X) = 2·latency(X) + Σ_children B(Y) + slack``.  *ack_timeout*
     overrides the slack (the ``+1`` per edge) when given.
+
+    *retry* arms the same timers but retransmits the proposal (same β, same
+    transaction id, timeout multiplied by the policy's backoff) before
+    giving up, making the negotiation robust to message loss.  *network*
+    substitutes the transport — pass a
+    :class:`~repro.faults.inject.FaultyNetwork` to negotiate over a lossy
+    control plane.
     """
     if VIRTUAL_PARENT in tree:
         raise ProtocolError(f"{VIRTUAL_PARENT!r} is reserved")
     if tree.root in failed:
         raise ProtocolError("the root cannot be failed: nothing can negotiate")
-    network = Network(tree, latency_factor=latency_factor,
-                      fixed_latency=fixed_latency)
+    if network is None:
+        network = Network(tree, latency_factor=latency_factor,
+                          fixed_latency=fixed_latency)
+    elif network.tree is not tree and set(network.tree.nodes()) != set(tree.nodes()):
+        raise ProtocolError("the supplied network transports a different tree")
 
     budgets: Dict[Hashable, Fraction] = {}
-    if failed:
-        slack = Fraction(ack_timeout) if ack_timeout is not None else Fraction(1)
+    if failed or retry is not None:
+        slack = (Fraction(ack_timeout) if ack_timeout is not None
+                 else (retry.slack if retry is not None else Fraction(1)))
         for node in reversed(list(tree.nodes())):  # children before parents
             parent = tree.parent(node)
             if parent is None:
@@ -113,6 +132,9 @@ def run_protocol(
             )
 
     actors: Dict[Hashable, NodeActor] = {}
+    policy = retry if retry is not None else RetryPolicy(max_retries=0)
+    attempts: Dict[tuple, int] = {}  # (sender, child, xid) → transmissions
+    retransmissions = [0]
 
     def make_send(sender: Hashable):
         if not budgets:
@@ -120,11 +142,24 @@ def run_protocol(
 
         def send_with_timer(message: Message) -> None:
             network.send(message)
-            if isinstance(message, Proposal) and message.receiver in budgets:
-                network.engine.schedule_in(
-                    budgets[message.receiver],
-                    lambda: actors[sender].on_timeout(message.receiver),
-                )
+            if not isinstance(message, Proposal) or message.receiver not in budgets:
+                return
+            child, xid = message.receiver, message.xid
+            key = (sender, child, xid)
+            attempt = attempts.get(key, 0)
+            attempts[key] = attempt + 1
+
+            def fire() -> None:
+                actor = actors[sender]
+                if not actor.is_pending(child, xid):
+                    return  # answered (or superseded) in the meantime
+                if attempts[key] <= policy.max_retries:
+                    retransmissions[0] += 1
+                    actor.resend_pending()  # re-enters send_with_timer
+                else:
+                    actor.on_timeout(child, xid)
+
+            network.engine.schedule_in(policy.timeout(budgets[child], attempt), fire)
 
         return send_with_timer
 
@@ -155,11 +190,29 @@ def run_protocol(
     network.register(VIRTUAL_PARENT, virtual_handler)
 
     lam = root_proposal(tree) if proposal is None else proposal
-    network.send(Proposal(sender=VIRTUAL_PARENT, receiver=tree.root, beta=lam))
-    completion = network.run(max_events=40 * len(tree) + 200)
+    network.send(Proposal(sender=VIRTUAL_PARENT, receiver=tree.root, beta=lam,
+                          xid=0))
+    max_events = 40 * len(tree) + 200
+    if retry is not None:
+        # every transaction may be retransmitted and every copy duplicated
+        max_events *= 2 * (policy.max_retries + 1)
+    try:
+        completion = network.run(max_events=max_events)
+    except SimulationError as exc:
+        raise ProtocolError(
+            f"negotiation exceeded {max_events} events — likely a retry loop "
+            "(drop rate too high for the retry budget, or timeouts shorter "
+            "than the sub-negotiations they guard)",
+            time=network.engine.now,
+        ) from exc
 
     if "theta" not in final:
-        raise ProtocolError("the protocol did not terminate with a root ack")
+        raise ProtocolError(
+            "the protocol did not terminate with a root ack",
+            node=tree.root,
+            time=network.engine.now,
+            pending=actors[tree.root]._pending,
+        )
     throughput = lam - final["theta"]
 
     if verify:
@@ -177,7 +230,7 @@ def run_protocol(
                     actor.state == DONE and actor.theta != outcome.theta
                 ):
                     raise ProtocolError(
-                        f"actor {node!r} diverged from Algorithm 1"
+                        f"actor {node!r} diverged from Algorithm 1", node=node
                     )
 
     return ProtocolResult(
@@ -188,4 +241,7 @@ def run_protocol(
         messages=network.messages_sent,
         bytes=network.bytes_sent,
         actors=actors,
+        retransmissions=retransmissions[0],
+        dropped=getattr(network, "dropped", 0),
+        duplicated=getattr(network, "duplicated", 0),
     )

@@ -13,16 +13,29 @@ the node can *desynchronize* its three activities (Section 6.1):
 Their lcm ``T = lcm{T^s, T^c, T^r}`` is the full local period of equation
 set (3), over which the conservation law holds with integers
 (``χ_{-1} = Σ χ_i``).  Equation set (4) adds the *consumption period*
-``T^w = lcm{T^s, T^c}`` and the bunch quantities ``ψ_i = η_i·T^w`` that
-drive the event-driven schedule of Section 6.2.
+``T^w`` and the bunch quantities ``ψ_i = η_i·T^w`` that drive the
+event-driven schedule of Section 6.2.
 
-Everything here is exact: the η rates are rationals in lowest terms, so the
-periods are true minima, and all task counts are integers by construction
-(checked by :func:`~repro.core.rates.scaled_integer`).
+``T^w`` is the **true minimal** consumption period: ``lcm{T^s, T^c}``
+reduced by the gcd of the resulting bunch counts.  The reduction matters
+for covariance — uniformly scaling every ``w`` and ``c`` by ``k`` scales
+all rates by ``1/k``, and the minimal period scales by exactly ``k`` while
+the ψ counts stay fixed, so the event-driven schedule (and hence the whole
+simulated trace) dilates uniformly.  The unreduced integer lcm does *not*
+have this property: doubling every rate can leave the integer period
+unchanged and double the bunch instead, producing a structurally different
+(though equally optimal) schedule.  ``T^w`` may therefore be a non-integer
+rational; the periods of equation (3) (``T^s``, ``T^c``, ``T``) remain the
+paper's integer lcms.
+
+Everything here is exact: the η rates are rationals in lowest terms, and
+all task counts are integers by construction (checked by
+:func:`~repro.core.rates.scaled_integer`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Hashable, Mapping, Optional, Tuple
@@ -53,7 +66,7 @@ class NodePeriods:
     t_compute: int
     t_receive: Optional[int]  # None for the root (it receives nothing)
     t_full: int
-    t_consume: int  # T^w = lcm(T^c, T^s)
+    t_consume: Fraction  # minimal T^w: lcm(T^c, T^s) / gcd(ψ counts)
 
     phi_children: Mapping[Hashable, int]
     rho: int
@@ -108,8 +121,6 @@ def node_periods(
             raise ScheduleError(f"non-root node {node!r} needs its parent's T^s")
         t_receive = parent_send_period
         t_full = lcm_ints([t_send, t_compute, t_receive])
-    t_consume = lcm_ints([t_send, t_compute])
-
     phi_children = {ch: scaled_integer(etas[ch], t_send) for ch in children}
     rho = scaled_integer(alpha, t_compute)
     phi_in = None if t_receive is None else scaled_integer(eta_in, t_receive)
@@ -118,8 +129,16 @@ def node_periods(
     chi_compute = scaled_integer(alpha, t_full)
     chi_children = {ch: scaled_integer(etas[ch], t_full) for ch in children}
 
-    psi_self = scaled_integer(alpha, t_consume)
-    psi_children = {ch: scaled_integer(etas[ch], t_consume) for ch in children}
+    t_cs = lcm_ints([t_send, t_compute])
+    psi_self = scaled_integer(alpha, t_cs)
+    psi_children = {ch: scaled_integer(etas[ch], t_cs) for ch in children}
+    # reduce to the minimal consumption period: a shared factor in the ψ
+    # counts means the bunch repeats inside lcm(T^c, T^s)
+    reduction = math.gcd(psi_self, *psi_children.values()) or 1
+    if reduction > 1:
+        psi_self //= reduction
+        psi_children = {ch: n // reduction for ch, n in psi_children.items()}
+    t_consume = Fraction(t_cs, reduction)
 
     periods = NodePeriods(
         node=node,

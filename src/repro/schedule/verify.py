@@ -24,6 +24,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, Hashable, List, Mapping
 
+from ..core.rates import lcm_fractions
 from ..exceptions import ScheduleError
 from ..platform.tree import Tree
 from .eventdriven import NodeSchedule
@@ -104,10 +105,10 @@ def verify_schedules(
                 f"{tree.c(node)} time units exceeds the parent period "
                 f"{parent_p.t_send}"
             )
-        # flow consistency over the common period
-        common = _lcm(parent_p.t_send, p.t_consume)
-        inbound = shipped * (common // parent_p.t_send)
-        consumed = schedule.bunch * (common // p.t_consume)
+        # flow consistency over the common period (T^w may be rational)
+        common = lcm_fractions(parent_p.t_send, p.t_consume)
+        inbound = shipped * int(common / parent_p.t_send)
+        consumed = schedule.bunch * int(common / p.t_consume)
         if inbound != consumed:
             raise ScheduleError(
                 f"{node!r}: receives {inbound} but routes {consumed} tasks "
@@ -126,9 +127,3 @@ def is_feasible(
     except ScheduleError:
         return False
     return True
-
-
-def _lcm(a: int, b: int) -> int:
-    import math
-
-    return a * b // math.gcd(a, b)

@@ -24,12 +24,37 @@ from ..exceptions import SimulationError
 Event = Callable[[], None]
 
 
+class Timer:
+    """Handle for a scheduled event; :meth:`cancel` prevents it from firing.
+
+    A cancelled event is silently skipped by the loop: it does not run, does
+    not count as processed, and does not advance the clock.  Cancelling an
+    already-fired or already-cancelled timer is a no-op, so callers can
+    cancel unconditionally (e.g. a retry timer whose acknowledgment arrived,
+    or a heartbeat chain stopped after a failure was detected).
+    """
+
+    __slots__ = ("_cancelled", "_fired")
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event can still fire."""
+        return not (self._cancelled or self._fired)
+
+
 class Engine:
     """Heap-based event loop over exact rational time."""
 
     def __init__(self) -> None:
         self._now: Fraction = Fraction(0)
-        self._heap: List[Tuple[Fraction, int, Event]] = []
+        self._heap: List[Tuple[Fraction, int, Event, Timer]] = []
         self._seq = 0
         self._processed = 0
 
@@ -40,7 +65,7 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still scheduled."""
+        """Number of events still scheduled (cancelled ones included)."""
         return len(self._heap)
 
     @property
@@ -48,30 +73,35 @@ class Engine:
         """Number of events executed so far."""
         return self._processed
 
-    def schedule_at(self, time, fn: Event) -> None:
-        """Schedule *fn* to run at absolute *time* (≥ now)."""
+    def schedule_at(self, time, fn: Event) -> Timer:
+        """Schedule *fn* to run at absolute *time* (≥ now); return its handle."""
         t = as_fraction(time)
         if t < self._now:
             raise SimulationError(f"cannot schedule at {t} < now {self._now}")
-        heapq.heappush(self._heap, (t, self._seq, fn))
+        timer = Timer()
+        heapq.heappush(self._heap, (t, self._seq, fn, timer))
         self._seq += 1
+        return timer
 
-    def schedule_in(self, delay, fn: Event) -> None:
+    def schedule_in(self, delay, fn: Event) -> Timer:
         """Schedule *fn* to run *delay* time units from now (delay ≥ 0)."""
         d = as_fraction(delay)
         if d < 0:
             raise SimulationError(f"negative delay {d}")
-        self.schedule_at(self._now + d, fn)
+        return self.schedule_at(self._now + d, fn)
 
     def step(self) -> bool:
-        """Run the single next event; return ``False`` when none remain."""
-        if not self._heap:
-            return False
-        time, _, fn = heapq.heappop(self._heap)
-        self._now = time
-        self._processed += 1
-        fn()
-        return True
+        """Run the single next live event; return ``False`` when none remain."""
+        while self._heap:
+            time, _, fn, timer = heapq.heappop(self._heap)
+            if timer._cancelled:
+                continue
+            timer._fired = True
+            self._now = time
+            self._processed += 1
+            fn()
+            return True
+        return False
 
     def run_until(self, time) -> None:
         """Run every event with timestamp ≤ *time*; leave later ones queued.
@@ -82,7 +112,11 @@ class Engine:
         horizon = as_fraction(time)
         if horizon < self._now:
             raise SimulationError(f"cannot run backwards to {horizon}")
-        while self._heap and self._heap[0][0] <= horizon:
+        while self._heap:
+            while self._heap and self._heap[0][3]._cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap or self._heap[0][0] > horizon:
+                break
             self.step()
         self._now = horizon
 

@@ -57,7 +57,7 @@ class _SimNode:
 
     __slots__ = (
         "name", "w", "compute_queue", "send_queue", "computing", "sending",
-        "receiving", "arrivals", "buffered", "overlap",
+        "receiving", "arrivals", "buffered", "overlap", "dead",
     )
 
     def __init__(self, name: Hashable, w, overlap: bool = True) -> None:
@@ -71,6 +71,7 @@ class _SimNode:
         self.arrivals = 0  # tasks received (or released, for the root)
         self.buffered = 0  # tasks currently held at the node
         self.overlap = overlap  # can compute and communicate simultaneously
+        self.dead = False  # crashed: drops everything, does nothing
 
 
 class Controller:
@@ -135,6 +136,8 @@ class SimulationResult:
     released: int
     stop_time: Optional[Fraction]  # when the root stopped releasing
     end_time: Fraction
+    tasks_lost: int = 0  # tasks destroyed by node crashes (incl. in flight)
+    failed_at: Mapping[Hashable, Fraction] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -192,6 +195,11 @@ class Simulation:
         self._stop_time: Optional[Fraction] = None
         self._generation = 0  # bumped by reconfigure() to retire old chains
         self._control_jobs: Dict[Hashable, Deque] = {}
+        self.tasks_lost = 0
+        self.failed_at: Dict[Hashable, Fraction] = {}
+        #: optional (parent, child, now) → Fraction multiplier on transfer
+        #: times, used by fault injection for transient link degradation
+        self._link_factor: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # root release driver
@@ -301,6 +309,9 @@ class Simulation:
     def _deliver(self, node: Hashable) -> None:
         """A task transfer to *node* just completed."""
         state = self.nodes[node]
+        if state.dead:
+            self.tasks_lost += 1  # delivered into a crashed node
+            return
         index = state.arrivals
         state.arrivals += 1
         state.buffered += 1
@@ -314,6 +325,8 @@ class Simulation:
 
     def _try_start_compute(self, node: Hashable) -> None:
         state = self.nodes[node]
+        if state.dead:
+            return
         if state.computing or state.compute_queue == 0:
             return
         if not state.overlap and (state.sending or state.receiving):
@@ -329,6 +342,8 @@ class Simulation:
 
     def _compute_done(self, node: Hashable) -> None:
         state = self.nodes[node]
+        if state.dead:
+            return  # the task died with the node (already counted lost)
         state.computing = False
         state.buffered -= 1
         now = self.engine.now
@@ -345,7 +360,7 @@ class Simulation:
 
     def _try_start_send(self, node: Hashable) -> None:
         state = self.nodes[node]
-        if state.sending:
+        if state.dead or state.sending:
             return
         if not state.overlap and state.computing:
             return  # a no-overlap node cannot send while computing
@@ -379,6 +394,8 @@ class Simulation:
         self.nodes[child].receiving = True
         start = self.engine.now
         cost = self.tree.edge_cost(node, child)
+        if self._link_factor is not None:
+            cost = cost * Fraction(self._link_factor(node, child, start))
         end = start + cost
         self.trace.add_segment(node, SEND, start, end, peer=child)
         self.trace.add_segment(child, RECV, start, end, peer=node)
@@ -386,6 +403,11 @@ class Simulation:
 
     def _send_done(self, node: Hashable, child: Hashable) -> None:
         state = self.nodes[node]
+        if state.dead:
+            # the sender crashed mid-transfer: the task was counted lost at
+            # crash time; just release the child's receive port
+            self.nodes[child].receiving = False
+            return
         state.sending = False
         state.buffered -= 1
         self.nodes[child].receiving = False
@@ -396,6 +418,54 @@ class Simulation:
         self._try_start_compute(node)
 
     # ------------------------------------------------------------------
+    # fault injection (used by repro.faults)
+    # ------------------------------------------------------------------
+    def fail_node(self, node: Hashable) -> None:
+        """Crash *node* right now (fail-stop).
+
+        Everything the node holds is destroyed and counted in
+        ``tasks_lost``: its buffered tasks (including the one being
+        computed and the one its port is pushing out), its compute queue
+        and its send queue.  A transfer *into* the node that is already on
+        the wire completes at the parent — single-port sends are
+        non-interruptible — and the task is lost on delivery.  The node's
+        descendants keep running; until a recovery prunes them they starve,
+        which is exactly the behaviour :func:`~repro.faults.recovery.resilient_run`
+        measures.  The root cannot fail (it owns the task supply; a dead
+        root is a dead application, not a recoverable fault).
+        """
+        if node == self.tree.root:
+            raise SimulationError("the root cannot fail: it owns the supply")
+        if node not in self.nodes:
+            raise SimulationError(f"cannot fail unknown node {node!r}")
+        state = self.nodes[node]
+        if state.dead:
+            return
+        now = self.engine.now
+        state.dead = True
+        self.failed_at[node] = now
+        if state.buffered > 0:
+            self.tasks_lost += state.buffered
+            self.trace.add_buffer_delta(now, node, -state.buffered)
+            state.buffered = 0
+        state.compute_queue = 0
+        state.send_queue.clear()
+        state.computing = False
+        state.sending = False  # _send_done's dead-sender guard frees the child
+        self._control_jobs.pop(node, None)
+
+    def schedule_failure(self, node: Hashable, time) -> None:
+        """Arrange for *node* to crash at virtual *time*."""
+        self.engine.schedule_at(Fraction(time), lambda: self.fail_node(node))
+
+    def set_link_time_factor(self, factor: Optional[Callable]) -> None:
+        """Install a ``(parent, child, start_time) → Fraction`` multiplier
+        applied to every task-transfer duration — transient link
+        degradation.  ``None`` removes it.  Transfers already in progress
+        keep their original duration."""
+        self._link_factor = factor
+
+    # ------------------------------------------------------------------
     # online reconfiguration (used by repro.extensions.online)
     # ------------------------------------------------------------------
     def inject_control(self, node: Hashable, duration,
@@ -404,8 +474,11 @@ class Simulation:
 
         Control jobs model negotiation messages: they pre-empt queued task
         transfers (they are tiny but must cross the same port) and are
-        recorded as ``CTRL`` segments.
+        recorded as ``CTRL`` segments.  Jobs for a dead node are dropped —
+        its port no longer exists (the callback never fires).
         """
+        if self.nodes[node].dead:
+            return
         self._control_jobs.setdefault(node, deque()).append(
             (Fraction(duration), callback)
         )
@@ -464,6 +537,8 @@ class Simulation:
             released=self._released,
             stop_time=stop,
             end_time=self.trace.end_time,
+            tasks_lost=self.tasks_lost,
+            failed_at=dict(self.failed_at),
         )
 
 

@@ -103,3 +103,69 @@ class TestRunControl:
         engine.schedule_at(F(0), forever)
         with pytest.raises(SimulationError):
             engine.run_all(max_events=100)
+
+
+class TestTimers:
+    """Cancellable timer handles (used by retries and heartbeat monitors)."""
+
+    def test_cancelled_timer_never_fires(self):
+        engine = Engine()
+        out = []
+        timer = engine.schedule_at(F(1), lambda: out.append("x"))
+        timer.cancel()
+        engine.run_all()
+        assert out == []
+        assert engine.now == 0  # a cancelled head does not advance the clock
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        timer = engine.schedule_at(F(1), lambda: None)
+        timer.cancel()
+        timer.cancel()
+        engine.run_all()
+
+    def test_cancelling_one_of_many(self):
+        engine = Engine()
+        out = []
+        engine.schedule_at(F(1), lambda: out.append("a"))
+        doomed = engine.schedule_at(F(2), lambda: out.append("b"))
+        engine.schedule_at(F(3), lambda: out.append("c"))
+        doomed.cancel()
+        engine.run_all()
+        assert out == ["a", "c"]
+        assert engine.now == 3
+
+    def test_active_flag(self):
+        engine = Engine()
+        timer = engine.schedule_at(F(1), lambda: None)
+        assert timer.active
+        engine.run_all()
+        assert not timer.active  # fired
+        other = engine.schedule_at(F(2), lambda: None)
+        other.cancel()
+        assert not other.active  # cancelled
+
+    def test_cancelled_events_do_not_count_as_processed(self):
+        engine = Engine()
+        engine.schedule_at(F(1), lambda: None).cancel()
+        engine.schedule_at(F(2), lambda: None)
+        engine.run_all()
+        assert engine.processed == 1
+
+    def test_run_until_skips_cancelled_beyond_horizon(self):
+        engine = Engine()
+        out = []
+        engine.schedule_at(F(1), lambda: out.append("a")).cancel()
+        engine.schedule_at(F(5), lambda: out.append("late"))
+        engine.run_until(F(2))
+        assert out == []  # nothing before the horizon survived
+        engine.run_all()
+        assert out == ["late"]
+
+    def test_cancel_from_within_an_event(self):
+        engine = Engine()
+        out = []
+        later = engine.schedule_at(F(2), lambda: out.append("b"))
+        engine.schedule_at(F(1), lambda: later.cancel())
+        engine.run_all()
+        assert out == []

@@ -1,4 +1,8 @@
-"""Tests for protocol fault tolerance (dead nodes + hierarchical timeouts)."""
+"""Tests for protocol fault tolerance (dead nodes + hierarchical timeouts).
+
+Pruning itself is the public :meth:`Tree.without_subtrees` API (its
+dedicated tests live in ``tests/test_tree.py``-adjacent suites); here it
+provides the reference optimum for failed negotiations."""
 
 import random
 from fractions import Fraction
@@ -9,33 +13,32 @@ from repro.core.bwfirst import bw_first
 from repro.exceptions import ProtocolError
 from repro.platform.generators import chain, random_tree
 from repro.protocol import run_protocol
-from repro.protocol.runner import _prune
 
 F = Fraction
 
 
 class TestPrune:
     def test_removes_subtree(self, paper_tree):
-        pruned = _prune(paper_tree, frozenset({"P1"}))
+        pruned = paper_tree.without_subtrees({"P1"})
         assert "P1" not in pruned
         assert "P4" not in pruned  # descendant goes too
         assert "P8" not in pruned
         assert "P2" in pruned
 
     def test_multiple_failures(self, paper_tree):
-        pruned = _prune(paper_tree, frozenset({"P4", "P3"}))
+        pruned = paper_tree.without_subtrees({"P4", "P3"})
         assert set(pruned.nodes()) == {
             "P0", "P1", "P5", "P2", "P6", "P7", "P10", "P11"
         }
 
     def test_no_failures_is_identity(self, paper_tree):
-        assert _prune(paper_tree, frozenset()) == paper_tree
+        assert paper_tree.without_subtrees(()) == paper_tree
 
 
 class TestFailedNegotiation:
     def test_single_failure_matches_pruned_optimum(self, paper_tree):
         result = run_protocol(paper_tree, failed=frozenset({"P4"}))
-        expected = bw_first(_prune(paper_tree, frozenset({"P4"}))).throughput
+        expected = bw_first(paper_tree.without_subtrees({"P4"})).throughput
         assert result.throughput == expected
 
     def test_failing_best_child(self, paper_tree):
@@ -51,7 +54,7 @@ class TestFailedNegotiation:
     def test_deep_chain_cascading_timeouts(self):
         tree = chain(6, w=4, c=1, root_w=4)
         result = run_protocol(tree, failed=frozenset({"P4"}))
-        expected = bw_first(_prune(tree, frozenset({"P4"}))).throughput
+        expected = bw_first(tree.without_subtrees({"P4"})).throughput
         assert result.throughput == expected
 
     @pytest.mark.parametrize("seed", range(6))
@@ -77,7 +80,7 @@ class TestFailedNegotiation:
     def test_explicit_slack(self, paper_tree):
         result = run_protocol(paper_tree, failed=frozenset({"P4"}),
                               ack_timeout=F(5))
-        expected = bw_first(_prune(paper_tree, frozenset({"P4"}))).throughput
+        expected = bw_first(paper_tree.without_subtrees({"P4"})).throughput
         assert result.throughput == expected
 
     def test_failure_negotiation_slower_than_nominal(self, paper_tree):

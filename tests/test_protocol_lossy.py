@@ -1,0 +1,290 @@
+"""The at-least-once control plane: retries, idempotence, lossy negotiation.
+
+The load-bearing property (mechanised below with hypothesis): for **any**
+seeded fault plan with per-link drop rate < 1 and a bounded retry policy,
+the distributed negotiation terminates and still returns exactly the
+centralised BW-First throughput — Proposition 2 survives a lossy control
+plane.  ``run_protocol(verify=True)`` re-checks the equality internally, so
+every passing run is itself the proof.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bwfirst import bw_first
+from repro.exceptions import ProtocolError
+from repro.faults import FaultPlan, FaultyNetwork
+from repro.platform.generators import chain, random_tree
+from repro.protocol import (
+    Acknowledgment,
+    NodeActor,
+    Proposal,
+    RetryPolicy,
+    run_protocol,
+)
+
+F = Fraction
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 8
+        assert policy.timeout(F(3), 0) == 3
+        assert policy.timeout(F(3), 2) == 12  # ×2 per attempt
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=F(1, 2))
+        with pytest.raises(ValueError):
+            RetryPolicy(slack=F(0))
+
+    def test_zero_retries_is_fail_stop(self):
+        policy = RetryPolicy(max_retries=0)
+        assert policy.timeout(F(5), 0) == 5
+
+
+# ----------------------------------------------------------------------
+# actor idempotence (driven synchronously, no transport)
+# ----------------------------------------------------------------------
+class TestActorIdempotence:
+    def make(self, sent, children=()):
+        return NodeActor(name="n", rate=F(1), parent="p",
+                         children=list(children), send=sent.append)
+
+    def test_duplicate_of_answered_proposal_reacks_cached_theta(self):
+        sent = []
+        actor = self.make(sent)
+        proposal = Proposal(sender="p", receiver="n", beta=F(3), xid=7)
+        actor.handle(proposal)
+        actor.handle(proposal)  # retransmission: our ack was lost
+        assert len(sent) == 2
+        assert all(isinstance(m, Acknowledgment) for m in sent)
+        assert sent[0].theta == sent[1].theta == F(2)
+        assert sent[0].xid == sent[1].xid == 7
+
+    def test_duplicate_of_in_progress_proposal_is_ignored(self):
+        sent = []
+        actor = self.make(sent, children=[("c", F(1))])
+        proposal = Proposal(sender="p", receiver="n", beta=F(3), xid=1)
+        actor.handle(proposal)
+        assert len(sent) == 1  # proposal to the child, awaiting its answer
+        actor.handle(proposal)  # duplicate while mid-transaction
+        assert len(sent) == 1  # nothing new: no double-proposal downstream
+        actor.handle(Acknowledgment(sender="c", receiver="n",
+                                    theta=F(1), xid=sent[0].xid))
+        assert isinstance(sent[-1], Acknowledgment)
+
+    def test_duplicate_ack_is_dropped(self):
+        sent = []
+        actor = self.make(sent, children=[("c", F(1))])
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(3), xid=1))
+        # the child consumes its whole proposal (θ = 0): δ drops 2 → 1
+        ack = Acknowledgment(sender="c", receiver="n",
+                             theta=F(0), xid=sent[0].xid)
+        actor.handle(ack)
+        done = len(sent)
+        actor.handle(ack)  # the duplicate must not corrupt the state machine
+        assert len(sent) == done
+        assert actor.theta == F(1)
+
+    def test_ack_after_timeout_giveup_is_dropped(self):
+        sent = []
+        actor = self.make(sent, children=[("c", F(1))])
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(3), xid=1))
+        xid = sent[0].xid
+        actor.on_timeout("c", xid)  # give up: child presumed dead
+        assert actor.theta == F(2)  # nothing consumed downstream
+        late = Acknowledgment(sender="c", receiver="n", theta=F(0), xid=xid)
+        actor.handle(late)  # the child was merely slow — too late
+        assert actor.theta == F(2)
+
+    def test_stale_timeout_is_ignored(self):
+        sent = []
+        actor = self.make(sent, children=[("c", F(1))])
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(3), xid=1))
+        xid = sent[0].xid
+        actor.handle(Acknowledgment(sender="c", receiver="n",
+                                    theta=F(0), xid=xid))
+        actor.on_timeout("c", xid)  # fires after the answer arrived
+        assert actor.theta == F(1)  # unchanged (a give-up would say 2)
+
+    def test_resend_pending_repeats_same_beta_and_xid(self):
+        sent = []
+        actor = self.make(sent, children=[("c", F(1))])
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(3), xid=1))
+        actor.resend_pending()
+        assert sent[0] == sent[1]
+
+    def test_unnumbered_messages_still_work(self):
+        # the legacy synchronous path: no xids anywhere
+        sent = []
+        actor = self.make(sent)
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(2)))
+        assert sent[0].theta == F(1)
+        assert sent[0].xid is None
+
+    def test_is_pending_tracks_transaction(self):
+        sent = []
+        actor = self.make(sent, children=[("c", F(1))])
+        assert not actor.is_pending("c")
+        actor.handle(Proposal(sender="p", receiver="n", beta=F(3), xid=1))
+        xid = sent[0].xid
+        assert actor.is_pending("c")
+        assert actor.is_pending("c", xid)
+        assert not actor.is_pending("c", xid + 1)
+        assert not actor.is_pending("other")
+
+
+# ----------------------------------------------------------------------
+# error context
+# ----------------------------------------------------------------------
+class TestProtocolErrorContext:
+    def test_context_rendered_and_attached(self):
+        err = ProtocolError("boom", node="P4", time=F(3, 2),
+                            pending=("c", F(1), 7))
+        assert err.node == "P4"
+        assert err.time == F(3, 2)
+        assert err.pending == ("c", F(1), 7)
+        text = str(err)
+        assert "node='P4'" in text and "t=3/2" in text and "pending=" in text
+
+    def test_plain_error_unchanged(self):
+        assert str(ProtocolError("boom")) == "boom"
+
+    def test_actor_errors_carry_node(self):
+        actor = NodeActor(name="n", rate=F(1), parent="p", children=[],
+                          send=lambda m: None)
+        with pytest.raises(ProtocolError) as info:
+            actor.handle(Proposal(sender="stranger", receiver="n", beta=F(1)))
+        assert info.value.node == "n"
+
+    def test_hopeless_loss_is_caught_by_verification(self):
+        # with near-certain loss and one retry, parents give their children
+        # up for dead; the negotiated value then diverges from the full-tree
+        # optimum and verify raises — the failure is loud, never silent
+        tree = chain(3, w=2, c=1, root_w=2)
+        plan = FaultPlan(seed=1, drop=F(97, 100))
+        with pytest.raises(ProtocolError) as info:
+            run_protocol(
+                tree,
+                network=FaultyNetwork(tree, plan),
+                retry=RetryPolicy(max_retries=1),
+            )
+        assert "centralised" in str(info.value)
+
+    def test_event_explosion_names_the_retry_loop(self):
+        # a transport whose queue never drains trips the event guard, and
+        # the error explains the likely cause instead of a bare count
+        tree = chain(2, w=2, c=1, root_w=2)
+        plan = FaultPlan()
+
+        class StuckNetwork(FaultyNetwork):
+            def run(self, max_events=None):
+                from repro.exceptions import SimulationError
+                raise SimulationError(f"exceeded {max_events} events")
+
+        with pytest.raises(ProtocolError) as info:
+            run_protocol(tree, network=StuckNetwork(tree, plan),
+                         retry=RetryPolicy())
+        assert "retry loop" in str(info.value)
+
+
+# ----------------------------------------------------------------------
+# end-to-end lossy negotiations
+# ----------------------------------------------------------------------
+class TestLossyNegotiation:
+    def run_lossy(self, tree, plan, retries=16):
+        return run_protocol(
+            tree,
+            network=FaultyNetwork(tree, plan),
+            retry=RetryPolicy(max_retries=retries),
+        )
+
+    def test_drops_are_healed_by_retransmission(self):
+        tree = random_tree(12, seed=4)
+        plan = FaultPlan(seed=4, drop=F(3, 10))
+        result = self.run_lossy(tree, plan)
+        assert result.throughput == bw_first(tree).throughput
+        assert result.dropped > 0
+        assert result.retransmissions >= result.dropped // 2
+
+    def test_duplicates_are_harmless(self):
+        tree = random_tree(12, seed=5)
+        plan = FaultPlan(seed=5, duplicate=F(4, 10))
+        result = self.run_lossy(tree, plan)
+        assert result.throughput == bw_first(tree).throughput
+        assert result.duplicated > 0
+
+    def test_lossless_plan_costs_nothing_extra(self):
+        tree = random_tree(10, seed=6)
+        nominal = run_protocol(tree)
+        lossy = self.run_lossy(tree, FaultPlan())
+        assert lossy.throughput == nominal.throughput
+        assert lossy.retransmissions == 0
+        assert lossy.messages == nominal.messages
+
+    def test_loss_and_dead_nodes_compose(self):
+        tree = random_tree(14, seed=7)
+        rng = random.Random(7)
+        dead = frozenset(rng.sample(
+            [n for n in tree.nodes() if n != tree.root], 2))
+        plan = FaultPlan(seed=7, drop=F(15, 100))
+        result = run_protocol(
+            tree,
+            network=FaultyNetwork(tree, plan),
+            retry=RetryPolicy(max_retries=16),
+            failed=dead,
+        )
+        expected = bw_first(
+            tree.without_subtrees(n for n in dead)).throughput
+        assert result.throughput == expected
+
+    def test_same_plan_same_message_trace(self):
+        tree = random_tree(12, seed=8)
+        plan = FaultPlan(seed=8, drop=F(2, 10), duplicate=F(1, 10))
+        a = self.run_lossy(tree, plan)
+        b = self.run_lossy(tree, plan)
+        assert (a.messages, a.bytes, a.retransmissions,
+                a.dropped, a.duplicated, a.completion_time) == (
+            b.messages, b.bytes, b.retransmissions,
+            b.dropped, b.duplicated, b.completion_time)
+
+    @RELAXED
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        tree_seed=st.integers(min_value=0, max_value=2**20),
+        plan_seed=st.integers(min_value=0, max_value=2**20),
+        drop=st.fractions(min_value=0, max_value=F(45, 100)),
+        duplicate=st.fractions(min_value=0, max_value=F(3, 10)),
+    )
+    def test_any_survivable_plan_terminates_exactly(
+        self, n, tree_seed, plan_seed, drop, duplicate
+    ):
+        """drop < 1 + bounded retries ⇒ termination with the exact optimum.
+
+        verify=True inside run_protocol asserts equality with the
+        centralised bw_first; ProtocolError would fail the test."""
+        tree = random_tree(n, seed=tree_seed)
+        plan = FaultPlan(seed=plan_seed, drop=drop, duplicate=duplicate)
+        result = run_protocol(
+            tree,
+            network=FaultyNetwork(tree, plan),
+            retry=RetryPolicy(max_retries=32),
+        )
+        assert result.throughput == bw_first(tree).throughput
