@@ -1,6 +1,6 @@
 # Development commands for the repro library.
 
-.PHONY: install test bench bench-tables faults-smoke examples outputs all clean
+.PHONY: install test bench bench-tables faults-smoke telemetry-smoke examples outputs all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,20 @@ faults-smoke:
 	PYTHONPATH=src pytest benchmarks/bench_e23_fault_recovery.py \
 		tests/test_faults.py tests/test_fault_recovery.py \
 		tests/test_protocol_lossy.py -q
+
+# quick end-to-end check of the telemetry layer: exporters via the CLI,
+# then the telemetry suite + the E24 disabled-overhead bar
+telemetry-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	tree='P0(w=3)[P1(w=2,c=1),P2(w=2,c=2)]'; \
+	PYTHONPATH=src python -m repro metrics "$$tree" --dsl --horizon 12 \
+		> $$tmp/metrics.txt && \
+	PYTHONPATH=src python -m repro trace "$$tree" --dsl \
+		--out $$tmp/trace.json && \
+	PYTHONPATH=src python -m repro trace "$$tree" --dsl --format jsonl \
+		--out $$tmp/trace.jsonl && \
+	PYTHONPATH=src pytest tests/test_telemetry.py \
+		benchmarks/bench_e24_telemetry_overhead.py -q
 
 examples:
 	@for f in examples/*.py; do \

@@ -1,0 +1,111 @@
+"""E24: telemetry is free when off, cheap when on.
+
+Times the distributed negotiation (the E8 workload: random trees at the
+E8 sizes) in three configurations:
+
+* **baseline** — ``telemetry=None``, the seed code path (unwrapped
+  ``network.send``, unwrapped actor handlers, no per-message bookkeeping);
+* **null** — the shared :data:`~repro.telemetry.NULL`-style registry,
+  i.e. a :class:`~repro.telemetry.NullRegistry`: ``enabled`` is false, so
+  the runner still takes the seed path — the cost is one flag check;
+* **enabled** — a live :class:`~repro.telemetry.Registry` recording a
+  span per transaction plus the protocol counters.
+
+The acceptance bar is the disabled overhead: with telemetry off the
+negotiation must run within 5% of the seed.  One negotiation lasts well
+under a millisecond, so naive timing drowns in scheduler noise; the
+harness therefore **batches** several negotiations per sample,
+**interleaves** the variants (so clock drift hits all three equally) and
+keeps the **best** sample per variant, asserting on the size-summed
+totals.  The enabled column is informational — it is allowed to cost
+more, and the table shows how much.
+"""
+
+import time
+
+from repro.platform.generators import random_tree
+from repro.protocol import run_protocol
+from repro.telemetry import NullRegistry, Registry
+from repro.util.text import render_table
+
+from .conftest import emit
+
+SIZES = (50, 200)
+REPEATS = 15
+BATCH = 3
+
+
+def timed_batch(fn) -> float:
+    t0 = time.perf_counter()
+    for _ in range(BATCH):
+        fn()
+    return time.perf_counter() - t0
+
+
+def best_interleaved(*fns) -> list:
+    """Best batch time per variant, variants interleaved round-robin."""
+    best = [float("inf")] * len(fns)
+    for _ in range(REPEATS):
+        for i, fn in enumerate(fns):
+            best[i] = min(best[i], timed_batch(fn))
+    return best
+
+
+def test_disabled_overhead_table():
+    rows = []
+    totals = [0.0, 0.0, 0.0]
+    for size in SIZES:
+        tree = random_tree(size, seed=size)
+        run_protocol(tree)  # warm caches before timing anything
+        baseline, null, enabled = best_interleaved(
+            lambda: run_protocol(tree),
+            lambda: run_protocol(tree, telemetry=NullRegistry()),
+            lambda: run_protocol(tree, telemetry=Registry()),
+        )
+        totals = [t + v for t, v in zip(totals, (baseline, null, enabled))]
+        rows.append([
+            str(size),
+            f"{baseline / BATCH * 1e3:.2f}",
+            f"{null / BATCH * 1e3:.2f}",
+            f"{(null / baseline - 1) * 100:+.1f}%",
+            f"{enabled / BATCH * 1e3:.2f}",
+            f"{(enabled / baseline - 1) * 100:+.1f}%",
+        ])
+    ratio = totals[1] / totals[0]
+    rows.append([
+        "total",
+        f"{totals[0] / BATCH * 1e3:.2f}",
+        f"{totals[1] / BATCH * 1e3:.2f}",
+        f"{(ratio - 1) * 100:+.1f}%",
+        f"{totals[2] / BATCH * 1e3:.2f}",
+        f"{(totals[2] / totals[0] - 1) * 100:+.1f}%",
+    ])
+    emit(
+        "E24: telemetry overhead on the E8 workload "
+        f"(best of {REPEATS} batches of {BATCH}, ms per run)",
+        render_table(
+            ["nodes", "baseline", "disabled", "overhead",
+             "enabled", "overhead"],
+            rows,
+        ),
+    )
+    assert ratio <= 1.05, (
+        f"disabled telemetry costs {(ratio - 1) * 100:.1f}% "
+        "over the seed path — the bar is 5%"
+    )
+
+
+def test_enabled_records_everything_it_promises():
+    """The enabled column above pays for exactly this much data."""
+    tree = random_tree(200, seed=200)
+    reg = Registry()
+    result = run_protocol(tree, telemetry=reg)
+    assert len(reg.spans_named("transaction")) == result.transactions
+    assert reg.value("protocol.messages") == result.messages
+
+
+def test_null_registry_records_nothing():
+    tree = random_tree(50, seed=50)
+    reg = NullRegistry()
+    run_protocol(tree, telemetry=reg)
+    assert reg.spans == []

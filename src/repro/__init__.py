@@ -28,6 +28,10 @@ The package layers:
 * :mod:`repro.baselines` — Kreaseck-style demand-driven, synchronized and
   greedy baselines;
 * :mod:`repro.analysis` — throughput/buffer/phase analysis and ASCII Gantt;
+* :mod:`repro.telemetry` — unified observability: counters/gauges/
+  histograms/spans behind a :class:`~repro.telemetry.Registry`, with
+  Chrome-trace, Prometheus and JSONL exporters (pass ``telemetry=`` to the
+  protocol runner, the simulator or ``resilient_run``);
 * :mod:`repro.extensions` — result-return model (Section 9), dynamic
   adaptation, finite-N makespan, infinite trees.
 """
@@ -54,8 +58,9 @@ from .exceptions import (
     SolverError,
 )
 from .platform import Tree, TreeBuilder, load_tree, save_tree, tree_from_nested
+from .telemetry import NullRegistry, Registry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -75,6 +80,8 @@ __all__ = [
     "lp_throughput_exact",
     "reduce_fork",
     "reduce_fork_tree",
+    "Registry",
+    "NullRegistry",
     "ReproError",
     "PlatformError",
     "ScheduleError",

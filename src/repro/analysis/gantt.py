@@ -4,6 +4,9 @@ Each node gets up to three lanes — R (receive), C (compute), S (send) —
 sampled on a regular grid.  A cell shows the activity occupying the lane at
 the *start* of its sampling interval (``#`` when busy, ``.`` when idle; the
 S lane shows the first letter of the destination child when unambiguous).
+Control-plane jobs (negotiation messages crossing the send port, recorded
+as ``ctrl`` segments) share the S lane and render as ``*`` — they occupy
+the same physical port as task transfers.
 
 The rendering is deliberately terminal-friendly: the benchmark harness
 prints it for the start-up window of the reconstructed example so the
@@ -15,9 +18,12 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Hashable, List, Optional, Sequence
 
-from ..sim.tracing import COMPUTE, RECV, SEND, Trace
+from ..sim.tracing import COMPUTE, CTRL, RECV, SEND, Trace
 
 _LANES = ((RECV, "R"), (COMPUTE, "C"), (SEND, "S"))
+
+#: glyph for a control-plane job occupying the send port
+CTRL_CELL = "*"
 
 
 def render_gantt(
@@ -32,6 +38,8 @@ def render_gantt(
 
     *width* is the number of sampling cells.  With *label_peers* the send
     lane prints the first character of the receiving child instead of ``#``.
+    Control segments always render as ``*`` in the send lane, so a port
+    stolen by negotiation traffic is visibly different from a task send.
     """
     lo = Fraction(start)
     hi = Fraction(end) if end is not None else trace.end_time
@@ -50,6 +58,10 @@ def render_gantt(
     for node in nodes:
         for kind, code in _LANES:
             segments = trace.segments_for(node, kind)
+            if kind == SEND:
+                # control jobs occupy the same physical port: same lane
+                segments = sorted(segments + trace.segments_for(node, CTRL),
+                                  key=lambda s: (s.start, s.end))
             if not segments:
                 continue
             cells = []
@@ -58,6 +70,8 @@ def render_gantt(
                 seg = _segment_at(segments, t)
                 if seg is None:
                     cells.append(".")
+                elif seg.kind == CTRL:
+                    cells.append(CTRL_CELL)
                 elif label_peers and kind == SEND and seg.peer is not None:
                     cells.append(str(seg.peer)[-1])
                 else:

@@ -6,7 +6,9 @@ external dependency — the SVG is assembled as text.
 
 * :func:`gantt_svg` — the Figure-5 view: one row of lanes (receive /
   compute / send) per node, exact segment boundaries, send lanes coloured
-  by destination child;
+  by destination child; control-plane jobs (``ctrl`` segments — the
+  negotiation messages that steal the send port) share the send lane and
+  are drawn hatched-red with a ``ctrl`` hover title;
 * :func:`buffer_svg` — the total buffered-task step curve over time.
 
 Colours are a fixed qualitative palette cycled over peers.
@@ -17,14 +19,16 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Hashable, List, Optional, Sequence
 
-from ..sim.tracing import COMPUTE, RECV, SEND, Trace
+from ..sim.tracing import COMPUTE, CTRL, RECV, SEND, Trace
 from .buffers import total_occupancy_series
 
 _PALETTE = (
     "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
     "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
 )
-_KIND_FILL = {COMPUTE: "#59a14f", RECV: "#bab0ac", SEND: "#4e79a7"}
+CTRL_FILL = "#d62728"  # control traffic: red, never used for a peer
+_KIND_FILL = {COMPUTE: "#59a14f", RECV: "#bab0ac", SEND: "#4e79a7",
+              CTRL: CTRL_FILL}
 _LANES = (RECV, COMPUTE, SEND)
 
 
@@ -60,10 +64,12 @@ def gantt_svg(
     y = 20
     for node in nodes:
         for kind in _LANES:
-            segments = [
-                s for s in trace.segments_for(node, kind)
-                if s.end > lo and s.start < hi
-            ]
+            lane_kinds = (SEND, CTRL) if kind == SEND else (kind,)
+            segments = sorted(
+                (s for k in lane_kinds for s in trace.segments_for(node, k)
+                 if s.end > lo and s.start < hi),
+                key=lambda s: (s.start, s.end),
+            )
             if not segments:
                 continue
             rows.append(

@@ -12,8 +12,16 @@ Sub-commands:
 * ``compare TREE.json`` — run every built-in strategy (bandwidth-centric,
   synchronized, demand-driven ×2, greedy) and rank them;
 * ``dot TREE.json`` — Graphviz rendering with unvisited nodes greyed out;
+* ``metrics TREE.json`` — negotiate (and optionally simulate) with
+  telemetry enabled and print the Prometheus text exposition;
+* ``trace TREE.json --format chrome|jsonl`` — export the negotiation's
+  transaction-span tree as a Chrome trace-event JSON (open it in Perfetto
+  or ``chrome://tracing``) or as structured JSONL;
 * ``example`` — the whole pipeline on the built-in reconstruction of the
   paper's Section 8 tree.
+
+``simulate --trace-out PATH`` saves the run's full :class:`Trace` plus its
+telemetry as JSONL without writing a script.
 
 Tree files use the JSON schema of :mod:`repro.platform.serialization`;
 with ``--dsl`` the TREE argument is instead parsed as the compact text
@@ -88,17 +96,24 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .telemetry import Registry, write_run_jsonl
+
     tree = _load_platform(args)
     result = bw_first(tree)
+    registry = Registry() if args.trace_out else None
     sim = simulate(
         tree,
         policy=POLICIES[args.policy],
         horizon=Fraction(args.horizon) if args.horizon else None,
         supply=args.supply,
         compute_during_startup=not args.buffered_start,
+        telemetry=registry,
     )
     print(simulation_report(sim, result.throughput,
                             title=f"simulation of {args.tree}"))
+    if args.trace_out:
+        write_run_jsonl(sim.trace, args.trace_out, registry)
+        print(f"wrote {args.trace_out}")
     return 0
 
 
@@ -172,6 +187,45 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .protocol import run_protocol
+    from .telemetry import Registry, prometheus_text
+
+    tree = _load_platform(args)
+    registry = Registry()
+    run_protocol(tree, telemetry=registry)
+    if args.horizon or args.supply:
+        simulate(
+            tree,
+            horizon=Fraction(args.horizon) if args.horizon else None,
+            supply=args.supply,
+            telemetry=registry,
+        )
+    print(prometheus_text(registry), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .protocol import run_protocol
+    from .telemetry import Registry, chrome_trace_json, jsonl_lines
+
+    tree = _load_platform(args)
+    registry = Registry()
+    run_protocol(tree, telemetry=registry)
+    if args.format == "chrome":
+        text = chrome_trace_json(registry)
+    else:
+        text = "\n".join(jsonl_lines(registry)) + "\n"
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(registry.spans)} spans)")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     tree = paper_figure4_tree()
     result = bw_first(tree)
@@ -221,6 +275,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=sorted(POLICIES), default="interleaved")
     p.add_argument("--buffered-start", action="store_true",
                    help="use the traditional no-compute start-up baseline")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="save the run's trace + telemetry as JSONL")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("gantt", help="ASCII Gantt chart")
@@ -261,6 +317,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("dot", help="Graphviz DOT with unvisited nodes greyed")
     tree_arg(p)
     p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("metrics",
+                       help="negotiate (and optionally simulate) with "
+                            "telemetry; print Prometheus metrics")
+    tree_arg(p)
+    p.add_argument("--horizon", help="also simulate up to this time")
+    p.add_argument("--supply", type=int, help="also simulate N tasks")
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser("trace",
+                       help="export the negotiation's span tree "
+                            "(Chrome trace-event JSON or JSONL)")
+    tree_arg(p)
+    p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome")
+    p.add_argument("--out", help="output file (default: stdout)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("example", help="run the built-in paper example")
     p.set_defaults(func=_cmd_example)

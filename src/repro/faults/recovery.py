@@ -27,7 +27,7 @@ identical trace, detection times, message counts and recovery timeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Hashable, List, Mapping, Optional, Tuple
 
@@ -42,6 +42,7 @@ from ..protocol.runner import ProtocolResult, run_protocol
 from ..schedule.eventdriven import build_schedules
 from ..schedule.periods import global_period, tree_periods
 from ..sim.simulator import Simulation
+from ..telemetry.core import Registry
 from .detect import HeartbeatMonitor, detection_time
 from .inject import FaultyNetwork, apply_to_simulation
 from .plan import FaultPlan
@@ -53,6 +54,10 @@ class RecoveryReport:
 
     Rates are exact rationals measured on the trace; ``rate_after`` equals
     ``new_optimum`` once the switched schedule reaches steady state.
+
+    The run's tallies (tasks lost, heartbeat rounds, re-negotiation
+    messages/bytes, retransmissions, control-plane faults) are telemetry
+    counters in ``telemetry``; the historical attributes read from it.
     """
 
     old_optimum: Fraction  # BW-First throughput of the full tree
@@ -64,16 +69,43 @@ class RecoveryReport:
     t_detect: Fraction  # when the last crash was declared
     t_switched: Fraction  # when the new schedule took over
     detected_at: Mapping[Hashable, Fraction]  # declaration time per crash
-    tasks_lost: int  # tasks destroyed by the crashes (incl. in flight)
-    heartbeats: int  # monitoring rounds the detector ran
-    renegotiation_messages: int
-    renegotiation_bytes: int
-    retransmissions: int  # proposals retransmitted across both negotiations
-    dropped: int  # control messages the fault plan destroyed
-    duplicated: int  # control messages the fault plan duplicated
     survivors: Tree
     timeline: Tuple[Tuple[Fraction, Fraction], ...]  # (window start, rate)
     result: object = None  # the full SimulationResult (trace inspection)
+    telemetry: Registry = field(default_factory=Registry, repr=False)
+
+    @property
+    def tasks_lost(self) -> int:
+        """Tasks destroyed by the crashes (incl. in flight)."""
+        return self.telemetry.value("recovery.tasks_lost")
+
+    @property
+    def heartbeats(self) -> int:
+        """Monitoring rounds the detector ran."""
+        return self.telemetry.value("recovery.heartbeats")
+
+    @property
+    def renegotiation_messages(self) -> int:
+        return self.telemetry.value("recovery.renegotiation_messages")
+
+    @property
+    def renegotiation_bytes(self) -> int:
+        return self.telemetry.value("recovery.renegotiation_bytes")
+
+    @property
+    def retransmissions(self) -> int:
+        """Proposals retransmitted across both negotiations."""
+        return self.telemetry.value("recovery.retransmissions")
+
+    @property
+    def dropped(self) -> int:
+        """Control messages the fault plan destroyed."""
+        return self.telemetry.value("recovery.dropped")
+
+    @property
+    def duplicated(self) -> int:
+        """Control messages the fault plan duplicated."""
+        return self.telemetry.value("recovery.duplicated")
 
     @property
     def negotiation_wallclock(self) -> Fraction:
@@ -99,6 +131,7 @@ def resilient_run(
     after_periods: int = 6,
     window=None,
     max_events: int = 5_000_000,
+    telemetry: Optional[Registry] = None,
 ) -> RecoveryReport:
     """Run *tree* under *plan* with automatic detection and re-negotiation.
 
@@ -120,6 +153,14 @@ def resilient_run(
 
     The plan must contain at least one crash — with nothing to recover
     from, use :func:`~repro.sim.simulator.simulate` directly.
+
+    *telemetry* threads one :class:`~repro.telemetry.core.Registry` through
+    the whole story: both negotiations record their transaction spans into
+    it (the re-negotiation's nested under the ``renegotiate`` phase and
+    shifted to its virtual start time), the supervised simulation its
+    per-node counters, and the recovery itself a span tree
+    ``recovery → detect / prune / renegotiate / switch`` whose boundaries
+    are the report's ``t_first_crash`` / ``t_detect`` / ``t_switched``.
     """
     plan.validate(tree)
     if not plan.crashes:
@@ -131,10 +172,13 @@ def resilient_run(
     # ------------------------------------------------------------------
     # negotiations (latency-modelled, over the lossy control plane)
     # ------------------------------------------------------------------
+    spans_on = telemetry is not None and telemetry.enabled
+
     initial = run_protocol(
         tree,
         network=FaultyNetwork(tree, plan, latency_factor=latency_factor),
         retry=policy,
+        telemetry=telemetry,
     )
 
     old_allocation = from_bw_first(bw_first(tree))
@@ -151,6 +195,27 @@ def resilient_run(
     t_detect = max(planned_detection.values())
 
     survivors = tree.without_subtrees(crashed)
+
+    recovery_span = renegotiate_span = None
+    if spans_on:
+        recovery_span = telemetry.begin_span(
+            "recovery", start=t_first_crash, node=tree.root,
+            crashes=len(crashed),
+        )
+        telemetry.record_span(
+            "detect", t_first_crash, t_detect, node=tree.root,
+            parent=recovery_span,
+            crashed=" ".join(sorted(str(n) for n in crashed)),
+        )
+        telemetry.record_span(
+            "prune", t_detect, t_detect, node=tree.root,
+            parent=recovery_span, removed=len(tree) - len(survivors),
+        )
+        renegotiate_span = telemetry.begin_span(
+            "renegotiate", start=t_detect, node=tree.root,
+            parent=recovery_span,
+        )
+
     renegotiation = run_protocol(
         survivors,
         network=FaultyNetwork(
@@ -158,6 +223,8 @@ def resilient_run(
             time_offset=t_detect,
         ),
         retry=policy,
+        telemetry=telemetry,
+        span_parent=renegotiate_span,
     )
 
     new_allocation = from_bw_first(bw_first(survivors))
@@ -168,12 +235,20 @@ def resilient_run(
     t_switched = t_detect + renegotiation.completion_time
     horizon = t_switched + new_t * (settle_periods + after_periods)
 
+    if spans_on:
+        telemetry.end_span(renegotiate_span, end=t_switched,
+                           messages=renegotiation.messages)
+        telemetry.record_span("switch", t_switched, t_switched,
+                              node=tree.root, parent=recovery_span,
+                              throughput=new_allocation.throughput)
+        telemetry.end_span(recovery_span, end=t_switched)
+
     # ------------------------------------------------------------------
     # the supervised simulation
     # ------------------------------------------------------------------
     sim = Simulation(
         tree, dict(old_schedules), dict(old_periods), horizon=horizon,
-        max_events=max_events,
+        max_events=max_events, telemetry=telemetry,
     )
     apply_to_simulation(sim, plan)  # crashes + degradation windows
     monitor = HeartbeatMonitor(
@@ -226,6 +301,24 @@ def resilient_run(
         timeline.append((start, measured_rate(result.trace, start, start + w)))
         start += w
 
+    view = Registry()  # per-report backing store for the tally attributes
+    tallies = (
+        ("recovery.tasks_lost", result.tasks_lost),
+        ("recovery.heartbeats", monitor.heartbeats),
+        ("recovery.renegotiation_messages", renegotiation.messages),
+        ("recovery.renegotiation_bytes", renegotiation.bytes),
+        ("recovery.retransmissions",
+         initial.retransmissions + renegotiation.retransmissions),
+        ("recovery.dropped", initial.dropped + renegotiation.dropped),
+        ("recovery.duplicated", initial.duplicated + renegotiation.duplicated),
+    )
+    for registry in ((view,) if telemetry is None else (view, telemetry)):
+        for name, amount in tallies:
+            registry.counter(name).inc(amount)
+        registry.gauge("recovery.t_first_crash").set(t_first_crash)
+        registry.gauge("recovery.t_detect").set(t_detect)
+        registry.gauge("recovery.t_switched").set(t_switched)
+
     return RecoveryReport(
         old_optimum=old_allocation.throughput,
         new_optimum=new_allocation.throughput,
@@ -236,14 +329,8 @@ def resilient_run(
         t_detect=t_detect,
         t_switched=t_switched,
         detected_at=dict(monitor.detected),
-        tasks_lost=result.tasks_lost,
-        heartbeats=monitor.heartbeats,
-        renegotiation_messages=renegotiation.messages,
-        renegotiation_bytes=renegotiation.bytes,
-        retransmissions=initial.retransmissions + renegotiation.retransmissions,
-        dropped=initial.dropped + renegotiation.dropped,
-        duplicated=initial.duplicated + renegotiation.duplicated,
         survivors=survivors,
         timeline=tuple(timeline),
         result=result,
+        telemetry=view,
     )

@@ -12,6 +12,18 @@ parent's proposal ``t_max``, and drains the event queue.  The result carries
   the quantity Section 5 argues is negligible against task communication
   times, measured by experiment E8.
 
+All of those tallies live as counters in a per-result telemetry
+:class:`~repro.telemetry.core.Registry` (``result.telemetry``); the
+``messages`` / ``bytes`` / ``completion_time`` attributes are thin views
+over it.  Passing ``telemetry=`` additionally records every
+Proposal→Acknowledgment **transaction as a span**: the span's owner is the
+proposed-to child, its parent is the transaction that activated the
+proposer, and its tags carry β, θ, the transaction id, retransmission
+counts and the outcome (``acked`` or ``timeout``).  The span tree of a
+negotiation is therefore exactly the set of visited nodes (experiment E6)
+and its size exactly the transaction count — the paper's procedural
+efficiency claims, made inspectable.
+
 Fault tolerance comes in two layers:
 
 * *failed* declares fail-stop nodes that silently swallow every message;
@@ -25,13 +37,14 @@ Fault tolerance comes in two layers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, Hashable, Optional
 
 from ..core.bwfirst import bw_first, root_proposal
 from ..exceptions import ProtocolError, SimulationError
 from ..platform.tree import Tree
+from ..telemetry.core import Registry, Span
 from .actor import DONE, NodeActor
 from .messages import Acknowledgment, Message, Proposal
 from .network import Network
@@ -48,18 +61,58 @@ def _prune(tree: Tree, failed: frozenset) -> Tree:
 
 @dataclass(frozen=True)
 class ProtocolResult:
-    """Outcome of one distributed BW-First negotiation."""
+    """Outcome of one distributed BW-First negotiation.
+
+    The run's tallies are telemetry counters in ``telemetry`` (a per-result
+    :class:`~repro.telemetry.core.Registry`); the historical attributes
+    below read from it, so existing callers and benchmarks keep working.
+    """
 
     tree: Tree
     throughput: Fraction
     t_max: Fraction
-    completion_time: Fraction
-    messages: int
-    bytes: int
     actors: Dict[Hashable, NodeActor]
-    retransmissions: int = 0
-    dropped: int = 0
-    duplicated: int = 0
+    telemetry: Registry = field(default_factory=Registry, repr=False)
+
+    @property
+    def completion_time(self) -> Fraction:
+        """Protocol wall-clock under the latency model."""
+        return self.telemetry.value("protocol.completion_time")
+
+    @property
+    def messages(self) -> int:
+        """Control messages transmitted (retransmissions included)."""
+        return self.telemetry.value("protocol.messages")
+
+    @property
+    def bytes(self) -> int:
+        """Control bytes transmitted."""
+        return self.telemetry.value("protocol.bytes")
+
+    @property
+    def retransmissions(self) -> int:
+        """Proposals retransmitted by retry timers."""
+        return self.telemetry.value("protocol.retransmissions")
+
+    @property
+    def timeouts(self) -> int:
+        """Transactions closed by giving up on a silent child."""
+        return self.telemetry.value("protocol.timeouts")
+
+    @property
+    def dropped(self) -> int:
+        """Control messages destroyed by the (faulty) transport."""
+        return self.telemetry.value("protocol.dropped")
+
+    @property
+    def duplicated(self) -> int:
+        """Control messages duplicated by the (faulty) transport."""
+        return self.telemetry.value("protocol.duplicated")
+
+    @property
+    def transactions(self) -> int:
+        """Completed transactions, the virtual parent's included."""
+        return self.telemetry.value("protocol.transactions")
 
     @property
     def visited(self) -> frozenset:
@@ -79,6 +132,8 @@ def run_protocol(
     ack_timeout: Optional[Fraction] = None,
     retry: Optional[RetryPolicy] = None,
     network: Optional[Network] = None,
+    telemetry: Optional[Registry] = None,
+    span_parent: Optional[Span] = None,
 ) -> ProtocolResult:
     """Execute BW-First as a distributed message-passing protocol.
 
@@ -106,6 +161,15 @@ def run_protocol(
     substitutes the transport — pass a
     :class:`~repro.faults.inject.FaultyNetwork` to negotiate over a lossy
     control plane.
+
+    *telemetry* enables span instrumentation: every transaction is recorded
+    as a hierarchical span in the given registry (timestamped in the
+    network's virtual time, shifted by the network's ``time_offset`` when it
+    has one), and the final tallies are accumulated into the registry's
+    ``protocol.*`` counters.  *span_parent* nests the whole negotiation
+    under an outer span (:func:`~repro.faults.recovery.resilient_run` hangs
+    re-negotiations off their recovery phase).  Without a registry the
+    seed's exact code path runs — no per-message bookkeeping at all.
     """
     if VIRTUAL_PARENT in tree:
         raise ProtocolError(f"{VIRTUAL_PARENT!r} is reserved")
@@ -116,6 +180,42 @@ def run_protocol(
                           fixed_latency=fixed_latency)
     elif network.tree is not tree and set(network.tree.nodes()) != set(tree.nodes()):
         raise ProtocolError("the supplied network transports a different tree")
+
+    spans_on = telemetry is not None and telemetry.enabled
+    offset = Fraction(getattr(network, "time_offset", 0))
+    #: open transaction spans keyed by (proposer, child, xid)
+    open_spans: Dict[tuple, Span] = {}
+    #: per node: the span of the transaction that activated it
+    inbound: Dict[Hashable, Span] = {}
+
+    def now() -> Fraction:
+        return offset + network.engine.now
+
+    def note_proposal(sender: Hashable, message: Proposal) -> None:
+        """A proposal left *sender*: open its span, or count a retry."""
+        key = (sender, message.receiver, message.xid)
+        span = open_spans.get(key)
+        if span is None:
+            open_spans[key] = telemetry.begin_span(
+                "transaction",
+                start=now(),
+                node=message.receiver,
+                parent=inbound.get(sender, span_parent),
+                proposer=sender,
+                beta=message.beta,
+                xid=message.xid,
+            )
+        else:
+            span.tags["retries"] = span.tags.get("retries", 0) + 1
+
+    def close_span(key: tuple, outcome: str, theta=None) -> None:
+        span = open_spans.pop(key, None)
+        if span is not None:
+            if theta is None:
+                telemetry.end_span(span, end=now(), outcome=outcome)
+            else:
+                telemetry.end_span(span, end=now(), outcome=outcome,
+                                   theta=theta)
 
     budgets: Dict[Hashable, Fraction] = {}
     if failed or retry is not None:
@@ -135,12 +235,23 @@ def run_protocol(
     policy = retry if retry is not None else RetryPolicy(max_retries=0)
     attempts: Dict[tuple, int] = {}  # (sender, child, xid) → transmissions
     retransmissions = [0]
+    timeouts = [0]
 
     def make_send(sender: Hashable):
         if not budgets:
-            return network.send
+            if not spans_on:
+                return network.send
+
+            def send_traced(message: Message) -> None:
+                if isinstance(message, Proposal):
+                    note_proposal(sender, message)
+                network.send(message)
+
+            return send_traced
 
         def send_with_timer(message: Message) -> None:
+            if spans_on and isinstance(message, Proposal):
+                note_proposal(sender, message)
             network.send(message)
             if not isinstance(message, Proposal) or message.receiver not in budgets:
                 return
@@ -157,11 +268,31 @@ def run_protocol(
                     retransmissions[0] += 1
                     actor.resend_pending()  # re-enters send_with_timer
                 else:
+                    timeouts[0] += 1
                     actor.on_timeout(child, xid)
+                    if spans_on:
+                        close_span(key, "timeout")
 
             network.engine.schedule_in(policy.timeout(budgets[child], attempt), fire)
 
         return send_with_timer
+
+    def make_observed_handler(node: Hashable, actor: NodeActor):
+        """Close/link spans on delivery, then run the actor unchanged."""
+
+        def handle(message: Message) -> None:
+            if isinstance(message, Proposal):
+                if actor.lam is None:
+                    span = open_spans.get((message.sender, node, message.xid))
+                    if span is not None:
+                        inbound[node] = span
+            elif isinstance(message, Acknowledgment):
+                if actor.is_pending(message.sender, message.xid):
+                    close_span((node, message.sender, message.xid),
+                               "acked", theta=message.theta)
+            actor.handle(message)
+
+        return handle
 
     for node in tree.nodes():
         parent = tree.parent(node)
@@ -177,6 +308,8 @@ def run_protocol(
         )
         if node in failed:
             network.register(node, lambda message: None)  # a dead node
+        elif spans_on:
+            network.register(node, make_observed_handler(node, actors[node]))
         else:
             network.register(node, actors[node].handle)
 
@@ -186,10 +319,18 @@ def run_protocol(
         if not isinstance(message, Acknowledgment):
             raise ProtocolError("virtual parent expected an acknowledgment")
         final["theta"] = message.theta
+        if spans_on:
+            close_span((VIRTUAL_PARENT, tree.root, message.xid),
+                       "acked", theta=message.theta)
 
     network.register(VIRTUAL_PARENT, virtual_handler)
 
     lam = root_proposal(tree) if proposal is None else proposal
+    if spans_on:
+        open_spans[(VIRTUAL_PARENT, tree.root, 0)] = telemetry.begin_span(
+            "transaction", start=now(), node=tree.root, parent=span_parent,
+            proposer=VIRTUAL_PARENT, beta=lam, xid=0,
+        )
     network.send(Proposal(sender=VIRTUAL_PARENT, receiver=tree.root, beta=lam,
                           xid=0))
     max_events = 40 * len(tree) + 200
@@ -233,15 +374,32 @@ def run_protocol(
                         f"actor {node!r} diverged from Algorithm 1", node=node
                     )
 
+    # the virtual parent's transaction plus every settled child transaction
+    transactions = 1 + sum(len(actor.transactions) for actor in actors.values())
+    view = Registry()  # per-result backing store for the tally attributes
+    tallies = (
+        ("protocol.messages", network.messages_sent),
+        ("protocol.bytes", network.bytes_sent),
+        ("protocol.transactions", transactions),
+        ("protocol.retransmissions", retransmissions[0]),
+        ("protocol.timeouts", timeouts[0]),
+        ("protocol.dropped", getattr(network, "dropped", 0)),
+        ("protocol.duplicated", getattr(network, "duplicated", 0)),
+    )
+    registries = (view,) if telemetry is None else (view, telemetry)
+    for registry in registries:
+        for name, amount in tallies:
+            registry.counter(name).inc(amount)
+        registry.gauge("protocol.completion_time").set(completion)
+        registry.gauge("protocol.throughput").set(throughput)
+        registry.gauge("protocol.visited_nodes").set(
+            sum(1 for actor in actors.values() if actor.lam is not None)
+        )
+
     return ProtocolResult(
         tree=tree,
         throughput=throughput,
         t_max=lam,
-        completion_time=completion,
-        messages=network.messages_sent,
-        bytes=network.bytes_sent,
         actors=actors,
-        retransmissions=retransmissions[0],
-        dropped=getattr(network, "dropped", 0),
-        duplicated=getattr(network, "duplicated", 0),
+        telemetry=view,
     )

@@ -48,6 +48,7 @@ from ..platform.tree import Tree
 from ..schedule.eventdriven import NodeSchedule, build_schedules
 from ..schedule.local import interleaved_order
 from ..schedule.periods import NodePeriods, tree_periods
+from ..telemetry.core import Registry
 from .engine import Engine
 from .tracing import COMPUTE, CTRL, RECV, SEND, Trace
 
@@ -167,6 +168,7 @@ class Simulation:
         record_segments: bool = True,
         record_buffers: bool = True,
         max_events: int = 5_000_000,
+        telemetry: Optional[Registry] = None,
     ):
         if horizon is None and supply is None:
             raise SimulationError("give a horizon, a supply, or both")
@@ -191,6 +193,9 @@ class Simulation:
             n: _SimNode(n, tree.w(n), overlap=overlap.get(n, True))
             for n in tree.nodes()
         }
+        #: optional live metrics: per-node task/busy/buffer counters land in
+        #: this registry as the run unfolds (None = seed behaviour, no cost)
+        self.telemetry = telemetry
         self._released = 0
         self._stop_time: Optional[Fraction] = None
         self._generation = 0  # bumped by reconfigure() to retire old chains
@@ -200,6 +205,15 @@ class Simulation:
         #: optional (parent, child, now) → Fraction multiplier on transfer
         #: times, used by fault injection for transient link degradation
         self._link_factor: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _tel_buffer(self, node: Hashable, level: int) -> None:
+        """Track a node's buffer occupancy (gauge: current; histogram:
+        distribution of levels seen)."""
+        self.telemetry.gauge("sim.buffer", node=node).set(level)
+        self.telemetry.histogram("sim.buffer_levels", node=node).observe(level)
 
     # ------------------------------------------------------------------
     # root release driver
@@ -288,6 +302,9 @@ class Simulation:
         state.buffered += 1
         self.trace.add_release(self.engine.now, dest)
         self.trace.add_buffer_delta(self.engine.now, root, +1)
+        if self.telemetry is not None:
+            self.telemetry.counter("sim.tasks_released", node=root).inc()
+            self._tel_buffer(root, state.buffered)
         self._route(root, dest)
 
     # ------------------------------------------------------------------
@@ -311,6 +328,8 @@ class Simulation:
         state = self.nodes[node]
         if state.dead:
             self.tasks_lost += 1  # delivered into a crashed node
+            if self.telemetry is not None:
+                self.telemetry.counter("sim.tasks_lost", node=node).inc()
             return
         index = state.arrivals
         state.arrivals += 1
@@ -318,6 +337,9 @@ class Simulation:
         now = self.engine.now
         self.trace.add_arrival(now, node)
         self.trace.add_buffer_delta(now, node, +1)
+        if self.telemetry is not None:
+            self.telemetry.counter("sim.tasks_received", node=node).inc()
+            self._tel_buffer(node, state.buffered)
         dest = self.controller.destination(node, index)
         self._route(node, dest)
         # a threshold controller may have just unblocked computing
@@ -338,6 +360,9 @@ class Simulation:
         start = self.engine.now
         end = start + state.w
         self.trace.add_segment(node, COMPUTE, start, end)
+        if self.telemetry is not None:
+            self.telemetry.counter("sim.busy_time", node=node,
+                                   resource="cpu").inc(state.w)
         self.engine.schedule_at(end, lambda: self._compute_done(node))
 
     def _compute_done(self, node: Hashable) -> None:
@@ -349,6 +374,9 @@ class Simulation:
         now = self.engine.now
         self.trace.add_completion(now, node)
         self.trace.add_buffer_delta(now, node, -1)
+        if self.telemetry is not None:
+            self.telemetry.counter("sim.tasks_computed", node=node).inc()
+            self._tel_buffer(node, state.buffered)
         # communication gets priority at a no-overlap node: first release a
         # parent transfer held back by our computing, then our own port,
         # then (if still allowed) the next local task
@@ -372,6 +400,10 @@ class Simulation:
             start = self.engine.now
             end = start + duration
             self.trace.add_segment(node, CTRL, start, end)
+            if self.telemetry is not None:
+                self.telemetry.counter("sim.ctrl_jobs", node=node).inc()
+                self.telemetry.counter("sim.busy_time", node=node,
+                                       resource="send").inc(duration)
 
             def ctrl_done() -> None:
                 state.sending = False
@@ -399,6 +431,11 @@ class Simulation:
         end = start + cost
         self.trace.add_segment(node, SEND, start, end, peer=child)
         self.trace.add_segment(child, RECV, start, end, peer=node)
+        if self.telemetry is not None:
+            self.telemetry.counter("sim.busy_time", node=node,
+                                   resource="send").inc(cost)
+            self.telemetry.counter("sim.busy_time", node=child,
+                                   resource="recv").inc(cost)
         self.engine.schedule_at(end, lambda: self._send_done(node, child))
 
     def _send_done(self, node: Hashable, child: Hashable) -> None:
@@ -412,6 +449,10 @@ class Simulation:
         state.buffered -= 1
         self.nodes[child].receiving = False
         self.trace.add_buffer_delta(self.engine.now, node, -1)
+        if self.telemetry is not None:
+            self.telemetry.counter("sim.tasks_forwarded", node=node,
+                                   child=child).inc()
+            self._tel_buffer(node, state.buffered)
         self._deliver(child)
         self._try_start_send(node)
         # a no-overlap node's CPU may have been waiting on the port
@@ -444,9 +485,17 @@ class Simulation:
         now = self.engine.now
         state.dead = True
         self.failed_at[node] = now
+        if self.telemetry is not None:
+            self.telemetry.counter("sim.crashes", node=node).inc()
+            self.telemetry.record_span("crash", now, now, node=node,
+                                       buffered=state.buffered)
         if state.buffered > 0:
             self.tasks_lost += state.buffered
             self.trace.add_buffer_delta(now, node, -state.buffered)
+            if self.telemetry is not None:
+                self.telemetry.counter("sim.tasks_lost",
+                                       node=node).inc(state.buffered)
+                self._tel_buffer(node, 0)
             state.buffered = 0
         state.compute_queue = 0
         state.send_queue.clear()
@@ -554,6 +603,7 @@ def simulate(
     record_segments: bool = True,
     record_buffers: bool = True,
     max_events: int = 5_000_000,
+    telemetry: Optional[Registry] = None,
 ) -> SimulationResult:
     """One-call simulation of *tree* running its optimal event-driven schedule.
 
@@ -572,6 +622,14 @@ def simulate(
     schedule on such nodes measures what the overlap capability is worth —
     experiment E18 — not the optimum of the non-overlap model, which is a
     different scheduling problem.
+
+    *telemetry* attaches a :class:`~repro.telemetry.core.Registry`: the run
+    then maintains per-node counters (``sim.tasks_released`` /
+    ``sim.tasks_received`` / ``sim.tasks_computed`` / ``sim.tasks_lost``,
+    per-link ``sim.tasks_forwarded``), port/CPU busy-time counters
+    (``sim.busy_time{node,resource}``) and buffer-occupancy gauges and
+    histograms, live as the simulation unfolds.  ``None`` (the default)
+    runs the exact uninstrumented code path.
     """
     if allocation is None:
         from ..core.allocation import from_bw_first
@@ -597,5 +655,6 @@ def simulate(
         record_segments=record_segments,
         record_buffers=record_buffers,
         max_events=max_events,
+        telemetry=telemetry,
     )
     return sim.run()

@@ -1,0 +1,54 @@
+"""repro.telemetry — the unified observability layer.
+
+One model for everything the stack can report about itself:
+
+* :class:`Registry` — process-local home of counters, gauges, histograms
+  and hierarchical :class:`Span`\\ s (:mod:`repro.telemetry.core`);
+* exporters — Chrome trace-event JSON (Perfetto / ``chrome://tracing``),
+  Prometheus text exposition, and structured JSONL event logs
+  (:mod:`repro.telemetry.exporters`).
+
+Instrumentation hooks live in the layers themselves: pass ``telemetry=``
+to :func:`repro.protocol.runner.run_protocol` (negotiation transaction
+spans + protocol counters), :func:`repro.sim.simulator.simulate` /
+:class:`~repro.sim.simulator.Simulation` (per-node task/busy/buffer
+metrics) and :func:`repro.faults.recovery.resilient_run` (recovery phase
+spans over everything above).  With no registry the hooks vanish: a
+disabled run executes the seed code path bit-for-bit.
+"""
+
+from .core import (
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    Span,
+)
+from .exporters import (
+    chrome_trace,
+    chrome_trace_json,
+    jsonl_lines,
+    prometheus_text,
+    run_jsonl_lines,
+    write_jsonl,
+    write_run_jsonl,
+)
+
+__all__ = [
+    "Registry",
+    "NullRegistry",
+    "NULL",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "chrome_trace",
+    "chrome_trace_json",
+    "prometheus_text",
+    "jsonl_lines",
+    "write_jsonl",
+    "run_jsonl_lines",
+    "write_run_jsonl",
+]

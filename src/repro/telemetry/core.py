@@ -1,0 +1,275 @@
+"""Zero-dependency instrumentation primitives: counters, gauges, histograms
+and hierarchical spans behind a process-local :class:`Registry`.
+
+Design constraints, in order:
+
+* **exactness** — metric values and span timestamps are whatever numeric
+  type the instrumented code produces (usually :class:`~fractions.Fraction`
+  of *virtual* simulation time); nothing is rounded until an exporter
+  serialises it;
+* **negligible overhead when disabled** — instrumented code either keeps a
+  ``telemetry is None`` guard around its hooks or calls the shared
+  :data:`NULL` registry, whose methods are no-ops returning shared inert
+  instruments.  Either way a disabled run executes the exact seed code
+  path: the tier-1 suite asserts bit-identical traces;
+* **explicit time** — spans carry explicit ``start``/``end`` timestamps
+  instead of reading a wall clock, because the interesting clock here is
+  the discrete-event engine's.  A span therefore works equally for a live
+  negotiation (ended when the acknowledgment arrives) and for a recovery
+  phase whose boundaries are computed analytically.
+
+The model is deliberately Prometheus/Chrome-trace shaped so the exporters
+(:mod:`repro.telemetry.exporters`) are straight serialisations:
+
+* a **Counter** only goes up (messages, bytes, tasks computed, busy time);
+* a **Gauge** holds the latest value (buffer occupancy, completion time);
+* a **Histogram** keeps count/sum/min/max of observations (buffer levels);
+* a **Span** is a named ``[start, end]`` interval owned by a *node*, with
+  an optional parent span — transactions nest under the transaction that
+  activated their proposer, recovery phases under the recovery span.
+
+Instruments are identified by ``(name, labels)``; label values are
+stringified on creation so lookups are stable across hashable node types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing tally (ints or exact rationals)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """The latest value of a quantity that can move both ways."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Count/sum/min/max summary of a stream of observations."""
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[Any] = None
+        self.max: Optional[Any] = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+
+class Span:
+    """One named interval of virtual time, owned by *node*.
+
+    ``end`` is ``None`` while the span is open; :meth:`Registry.end_span`
+    closes it.  ``parent_id`` links spans into a tree (the negotiation's
+    transaction hierarchy, or recovery phases under their recovery span).
+    """
+
+    __slots__ = ("id", "name", "node", "start", "end", "parent_id", "tags")
+
+    def __init__(self, id: int, name: str, node, start,
+                 parent_id: Optional[int], tags: Dict[str, Any]):
+        self.id = id
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end: Optional[Any] = None
+        self.parent_id = parent_id
+        self.tags = tags
+
+    @property
+    def duration(self):
+        """Span length (``None`` while still open)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"[{self.start}, {self.end}]" if self.end is not None else f"[{self.start}, …)"
+        return f"<Span #{self.id} {self.name} node={self.node!r} {state}>"
+
+
+class Registry:
+    """Process-local home of every instrument produced by one run (or one
+    logical group of runs — a recovery supervises two negotiations and a
+    simulation into a single registry)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self.spans: List[Span] = []
+        self._next_span_id = 1
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1])
+        return instrument
+
+    def value(self, name: str, **labels):
+        """Current value of a counter or gauge (0 when never touched)."""
+        key = (name, _label_key(labels))
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return 0
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def gauges(self) -> Iterator[Gauge]:
+        return iter(self._gauges.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def begin_span(self, name: str, start, node=None,
+                   parent: Optional[Span] = None, **tags) -> Span:
+        span = Span(self._next_span_id, name, node, start,
+                    parent.id if parent is not None else None, tags)
+        self._next_span_id += 1
+        self.spans.append(span)
+        return span
+
+    def end_span(self, span: Span, end, **tags) -> Span:
+        """Close *span* at *end*, merging any extra *tags*."""
+        span.end = end
+        if tags:
+            span.tags.update(tags)
+        return span
+
+    def record_span(self, name: str, start, end, node=None,
+                    parent: Optional[Span] = None, **tags) -> Span:
+        """Record an already-bounded interval (e.g. an analytically
+        computed recovery phase) in one call."""
+        return self.end_span(self.begin_span(name, start, node=node,
+                                             parent=parent, **tags), end)
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def span_children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.id]
+
+
+class _NullInstrument:
+    """Shared inert counter/gauge/histogram: every mutation is a no-op."""
+
+    __slots__ = ()
+    name = "null"
+    labels: LabelKey = ()
+    value = 0
+    count = 0
+    sum = 0
+    min = None
+    max = None
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = Span(0, "null", None, 0, None, {})
+
+
+class NullRegistry(Registry):
+    """The disabled fast path: accepts every call, records nothing.
+
+    Instrumented code that prefers unconditional calls over ``is None``
+    guards can hold :data:`NULL` instead of a real registry; the cost per
+    hook is one attribute lookup and an empty method call.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def begin_span(self, name: str, start, node=None, parent=None, **tags):
+        return _NULL_SPAN
+
+    def end_span(self, span: Span, end, **tags) -> Span:
+        return span
+
+    def record_span(self, name: str, start, end, node=None, parent=None,
+                    **tags) -> Span:
+        return _NULL_SPAN
+
+
+#: Shared disabled registry (see :class:`NullRegistry`).
+NULL = NullRegistry()

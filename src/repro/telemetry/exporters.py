@@ -1,0 +1,244 @@
+"""Serialising a :class:`~repro.telemetry.core.Registry` for external tools.
+
+Three formats, all dependency-free:
+
+* :func:`chrome_trace` / :func:`chrome_trace_json` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``) loadable in Perfetto or
+  ``chrome://tracing``: one track per span-owning node, one complete
+  (``"ph": "X"``) event per span, span/parent ids in ``args`` so the
+  negotiation hierarchy survives the flattening into tracks;
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# TYPE`` comments + ``name{labels} value`` samples); histograms are
+  flattened into ``_count``/``_sum``/``_min``/``_max`` samples;
+* :func:`jsonl_lines` / :func:`write_jsonl` — structured JSONL event
+  logs: one JSON object per span and per metric sample.  Exact rationals
+  are emitted twice — a lossless string and a float — so downstream
+  tooling can pick precision or convenience.
+
+:func:`run_jsonl_lines` additionally interleaves a simulation
+:class:`~repro.sim.tracing.Trace` (segments, completions, releases,
+buffer deltas) with the registry's events, backing ``repro simulate
+--trace-out``.  The trace argument is duck-typed to keep this module free
+of imports from the simulation layer.
+
+Virtual time is unitless; :func:`chrome_trace` maps one time unit to one
+millisecond (Perfetto's display granularity is the microsecond) via
+*time_scale*.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from fractions import Fraction
+from typing import Any, Dict, Iterator, List, Optional
+
+from .core import Registry, Span
+
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """A raw instrument name as a legal Prometheus metric name."""
+    sanitised = _METRIC_NAME.sub("_", name)
+    if not sanitised or not (sanitised[0].isalpha() or sanitised[0] in "_:"):
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _num(value) -> float:
+    return float(value)
+
+
+def _plain(value) -> Any:
+    """A tag/label value as a JSON-serialisable plain type."""
+    if isinstance(value, Fraction):
+        return str(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _exact(value) -> Dict[str, Any]:
+    """A timestamp/amount as ``{"exact": "5/3", "float": 1.666…}``."""
+    if isinstance(value, Fraction) and value.denominator != 1:
+        return {"exact": str(value), "float": float(value)}
+    return {"exact": str(value), "float": float(value)}
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(registry: Registry, time_scale: int = 1000) -> Dict[str, Any]:
+    """The registry's spans as a Chrome trace-event document (a dict).
+
+    *time_scale* converts virtual time units to trace microseconds
+    (default 1000: one time unit renders as one millisecond).
+    """
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+
+    def tid_for(node) -> int:
+        key = str(node) if node is not None else "(anonymous)"
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                "args": {"name": key},
+            })
+        return tid
+
+    for span in registry.spans:
+        end = span.end if span.end is not None else span.start
+        args = {k: _plain(v) for k, v in span.tags.items()}
+        args["span_id"] = span.id
+        if span.parent_id is not None:
+            args["parent_span_id"] = span.parent_id
+        if span.end is None:
+            args["unfinished"] = True
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "pid": 1,
+            "tid": tid_for(span.node),
+            "ts": float(span.start * time_scale),
+            "dur": float((end - span.start) * time_scale),
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(registry: Registry, time_scale: int = 1000) -> str:
+    """:func:`chrome_trace` serialised to a JSON string."""
+    return json.dumps(chrome_trace(registry, time_scale=time_scale))
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _label_text(labels) -> str:
+    if not labels:
+        return ""
+    quoted = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in labels
+    )
+    return "{" + quoted + "}"
+
+
+def prometheus_text(registry: Registry) -> str:
+    """Every metric in the Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: Dict[str, str] = {}
+
+    def sample(raw_name: str, kind: str, labels, value) -> None:
+        name = _metric_name(raw_name)
+        if name not in typed:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name}{_label_text(labels)} {_num(value)}")
+
+    for counter in sorted(registry.counters(), key=lambda c: (c.name, c.labels)):
+        sample(counter.name, "counter", counter.labels, counter.value)
+    for gauge in sorted(registry.gauges(), key=lambda g: (g.name, g.labels)):
+        sample(gauge.name, "gauge", gauge.labels, gauge.value)
+    for hist in sorted(registry.histograms(), key=lambda h: (h.name, h.labels)):
+        sample(hist.name + ".count", "counter", hist.labels, hist.count)
+        sample(hist.name + ".sum", "counter", hist.labels, hist.sum)
+        if hist.count:
+            sample(hist.name + ".min", "gauge", hist.labels, hist.min)
+            sample(hist.name + ".max", "gauge", hist.labels, hist.max)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# structured JSONL event logs
+# ----------------------------------------------------------------------
+def _span_record(span: Span) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "type": "span",
+        "id": span.id,
+        "name": span.name,
+        "node": _plain(span.node),
+        "start": _exact(span.start),
+        "tags": {k: _plain(v) for k, v in span.tags.items()},
+    }
+    if span.parent_id is not None:
+        record["parent"] = span.parent_id
+    if span.end is not None:
+        record["end"] = _exact(span.end)
+    return record
+
+
+def jsonl_lines(registry: Registry) -> Iterator[str]:
+    """One JSON object per span and per metric sample."""
+    for span in registry.spans:
+        yield json.dumps(_span_record(span))
+    for counter in registry.counters():
+        yield json.dumps({
+            "type": "counter", "name": counter.name,
+            "labels": dict(counter.labels), "value": _exact(counter.value),
+        })
+    for gauge in registry.gauges():
+        yield json.dumps({
+            "type": "gauge", "name": gauge.name,
+            "labels": dict(gauge.labels), "value": _exact(gauge.value),
+        })
+    for hist in registry.histograms():
+        yield json.dumps({
+            "type": "histogram", "name": hist.name,
+            "labels": dict(hist.labels), "count": hist.count,
+            "sum": _exact(hist.sum),
+            "min": None if hist.min is None else _exact(hist.min),
+            "max": None if hist.max is None else _exact(hist.max),
+        })
+
+
+def write_jsonl(registry: Registry, path) -> None:
+    """Write :func:`jsonl_lines` to *path*."""
+    from pathlib import Path
+
+    Path(path).write_text("".join(line + "\n" for line in jsonl_lines(registry)))
+
+
+def run_jsonl_lines(trace, registry: Optional[Registry] = None) -> Iterator[str]:
+    """A simulation run — its :class:`~repro.sim.tracing.Trace` plus the
+    run's telemetry — as JSONL.
+
+    Emits ``segment`` / ``completion`` / ``arrival`` / ``release`` /
+    ``buffer`` records from the trace, then the registry's spans and
+    metrics (when a registry is given).
+    """
+    for seg in trace.segments:
+        record = {
+            "type": "segment", "node": _plain(seg.node), "kind": seg.kind,
+            "start": _exact(seg.start), "end": _exact(seg.end),
+        }
+        if seg.peer is not None:
+            record["peer"] = _plain(seg.peer)
+        yield json.dumps(record)
+    for time, node in trace.completions:
+        yield json.dumps({"type": "completion", "time": _exact(time),
+                          "node": _plain(node)})
+    for time, node in trace.arrivals:
+        yield json.dumps({"type": "arrival", "time": _exact(time),
+                          "node": _plain(node)})
+    for time, dest in trace.releases:
+        yield json.dumps({"type": "release", "time": _exact(time),
+                          "dest": _plain(dest)})
+    for time, node, delta in trace.buffer_deltas:
+        yield json.dumps({"type": "buffer", "time": _exact(time),
+                          "node": _plain(node), "delta": delta})
+    if registry is not None:
+        yield from jsonl_lines(registry)
+
+
+def write_run_jsonl(trace, path, registry: Optional[Registry] = None) -> None:
+    """Write :func:`run_jsonl_lines` to *path*."""
+    from pathlib import Path
+
+    Path(path).write_text(
+        "".join(line + "\n" for line in run_jsonl_lines(trace, registry))
+    )

@@ -1,0 +1,492 @@
+"""Tests for the unified telemetry layer.
+
+Covers the observability PR's acceptance bar:
+
+* the **E6 invariant** — on the paper's Figure 4 example the span count
+  equals ``ProtocolResult.transactions`` and the span-owning nodes equal
+  ``ProtocolResult.visited``;
+* telemetry-disabled runs are **bit-identical** to the seed behaviour
+  (protocol tallies, simulation traces, recovery reports);
+* exporter round-trips — Chrome trace JSON parses with the required keys,
+  Prometheus text is well-formed, JSONL lines parse;
+* recovery phase spans (detect → prune → renegotiate → switch) and the
+  report's counter-backed views;
+* control-segment rendering in the ASCII and SVG Gantt charts;
+* the ``metrics`` / ``trace`` / ``simulate --trace-out`` CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.gantt import CTRL_CELL, render_gantt
+from repro.analysis.svg import CTRL_FILL, gantt_svg
+from repro.cli import main
+from repro.faults import FaultPlan, NodeCrash, resilient_run
+from repro.platform import save_tree
+from repro.platform.examples import paper_figure4_tree
+from repro.platform.tree import Tree
+from repro.protocol import VIRTUAL_PARENT, run_protocol
+from repro.protocol.retry import RetryPolicy
+from repro.sim import simulate
+from repro.sim.tracing import CTRL, SEND, Trace
+from repro.telemetry import (
+    NULL,
+    NullRegistry,
+    Registry,
+    chrome_trace,
+    chrome_trace_json,
+    jsonl_lines,
+    prometheus_text,
+    run_jsonl_lines,
+    write_jsonl,
+)
+
+F = Fraction
+
+
+def small_tree() -> Tree:
+    t = Tree("root", w=2)
+    t.add_node("a", 2, parent="root", c=F(1, 2))
+    t.add_node("b", 3, parent="root", c=1)
+    t.add_node("a1", 2, parent="a", c=1)
+    t.add_node("b1", 3, parent="b", c=1)
+    return t
+
+
+# ----------------------------------------------------------------------
+# the instrumentation core
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        reg = Registry()
+        assert reg.counter("m") is reg.counter("m")
+        reg.counter("m").inc()
+        reg.counter("m").inc(F(3, 2))
+        assert reg.value("m") == F(5, 2)
+
+    def test_counter_labels_distinguish(self):
+        reg = Registry()
+        reg.counter("tasks", node="P1").inc(2)
+        reg.counter("tasks", node="P2").inc(5)
+        assert reg.value("tasks", node="P1") == 2
+        assert reg.value("tasks", node="P2") == 5
+        assert reg.value("tasks") == 0  # unlabelled is a third instrument
+
+    def test_counter_is_monotonic(self):
+        with pytest.raises(ValueError):
+            Registry().counter("m").inc(-1)
+
+    def test_gauge_keeps_latest(self):
+        reg = Registry()
+        reg.gauge("buf", node="x").set(3)
+        reg.gauge("buf", node="x").set(1)
+        assert reg.value("buf", node="x") == 1
+
+    def test_histogram_summary(self):
+        reg = Registry()
+        h = reg.histogram("levels")
+        for v in (3, 1, 2):
+            h.observe(v)
+        assert (h.count, h.sum, h.min, h.max) == (3, 6, 1, 3)
+
+    def test_label_values_stringified(self):
+        reg = Registry()
+        reg.counter("m", xid=7).inc()
+        assert reg.value("m", xid="7") == 1  # int and str label keys agree
+
+    def test_span_lifecycle_and_children(self):
+        reg = Registry()
+        outer = reg.begin_span("outer", start=F(1), node="R")
+        inner = reg.record_span("inner", F(2), F(3), node="A", parent=outer)
+        reg.end_span(outer, end=F(4), outcome="done")
+        assert outer.duration == 3 and inner.duration == 1
+        assert outer.tags["outcome"] == "done"
+        assert reg.span_children(outer) == [inner]
+        assert reg.spans_named("inner") == [inner]
+
+    def test_null_registry_records_nothing(self):
+        NULL.counter("m").inc(5)
+        NULL.gauge("g").set(1)
+        NULL.histogram("h").observe(2)
+        span = NULL.begin_span("s", start=0)
+        NULL.end_span(span, end=1)
+        NULL.record_span("s", 0, 1)
+        assert not NULL.enabled
+        assert NULL.spans == []
+        assert NULL.value("m") == 0
+        assert isinstance(NULL, NullRegistry)
+
+
+# ----------------------------------------------------------------------
+# negotiation spans: the E6 invariant on the paper's example
+# ----------------------------------------------------------------------
+class TestNegotiationSpans:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        reg = Registry()
+        result = run_protocol(paper_figure4_tree(), telemetry=reg)
+        return reg, result
+
+    def test_span_count_equals_transactions(self, traced):
+        reg, result = traced
+        spans = reg.spans_named("transaction")
+        assert len(spans) == result.transactions
+
+    def test_span_owners_equal_visited(self, traced):
+        reg, result = traced
+        owners = {s.node for s in reg.spans_named("transaction")}
+        assert owners == set(result.visited)
+
+    def test_all_spans_closed_and_acked(self, traced):
+        reg, _ = traced
+        for span in reg.spans_named("transaction"):
+            assert span.end is not None and span.end > span.start
+            assert span.tags["outcome"] == "acked"
+            assert span.tags["theta"] <= span.tags["beta"]
+
+    def test_hierarchy_follows_proposers(self, traced):
+        """Each span's parent is the transaction that activated its
+        proposer; the root's proposer is the virtual parent (no parent)."""
+        reg, _ = traced
+        spans = {s.id: s for s in reg.spans_named("transaction")}
+        roots = 0
+        for span in spans.values():
+            if span.parent_id is None:
+                roots += 1
+                assert span.tags["proposer"] == VIRTUAL_PARENT
+            else:
+                assert spans[span.parent_id].node == span.tags["proposer"]
+        assert roots == 1
+
+    def test_counters_mirror_result_views(self, traced):
+        reg, result = traced
+        for name in ("messages", "bytes", "transactions"):
+            assert reg.value(f"protocol.{name}") == getattr(result, name)
+        assert reg.value("protocol.completion_time") == result.completion_time
+        assert reg.value("protocol.throughput") == result.throughput
+
+    def test_timeout_span_for_failed_child(self):
+        tree = small_tree()
+        reg = Registry()
+        result = run_protocol(tree, failed=frozenset({"b"}), telemetry=reg)
+        by_node = {s.node: s for s in reg.spans_named("transaction")}
+        assert by_node["b"].tags["outcome"] == "timeout"
+        assert "theta" not in by_node["b"].tags
+        assert result.timeouts == 1
+        # the dead child's span exists even though the node was never visited
+        assert set(by_node) == set(result.visited) | {"b"}
+
+    def test_retries_tagged_on_lossy_plane(self):
+        from repro.faults.inject import FaultyNetwork
+
+        tree = small_tree()
+        plan = FaultPlan(seed=3, drop=F(1, 4))
+        reg = Registry()
+        result = run_protocol(
+            tree, network=FaultyNetwork(tree, plan), retry=RetryPolicy(),
+            telemetry=reg,
+        )
+        retried = sum(
+            s.tags.get("retries", 0) for s in reg.spans_named("transaction")
+        )
+        assert result.dropped > 0  # the seed actually exercises loss
+        assert retried == result.retransmissions > 0
+
+    def test_result_without_registry_still_has_views(self):
+        result = run_protocol(small_tree())
+        assert result.transactions == 5  # virtual parent + 4 children
+        assert result.messages == 2 * result.transactions
+        assert result.telemetry.spans == []  # the view holds tallies only
+
+
+# ----------------------------------------------------------------------
+# disabled runs are bit-identical to the seed behaviour
+# ----------------------------------------------------------------------
+class TestDisabledBitIdentical:
+    def test_protocol_tallies_identical(self):
+        base = run_protocol(paper_figure4_tree())
+        traced = run_protocol(paper_figure4_tree(), telemetry=Registry())
+        for name in ("throughput", "t_max", "completion_time", "messages",
+                     "bytes", "transactions", "visited"):
+            assert getattr(base, name) == getattr(traced, name)
+
+    def test_simulation_trace_identical(self):
+        base = simulate(paper_figure4_tree(), horizon=24)
+        traced = simulate(paper_figure4_tree(), horizon=24,
+                          telemetry=Registry())
+        assert base.trace.segments == traced.trace.segments
+        assert base.trace.completions == traced.trace.completions
+        assert base.trace.buffer_deltas == traced.trace.buffer_deltas
+        assert base.trace.releases == traced.trace.releases
+
+    def test_null_registry_counts_as_disabled(self):
+        reg = NullRegistry()
+        result = run_protocol(small_tree(), telemetry=reg)
+        assert reg.spans == []
+        assert result.messages == 2 * result.transactions
+
+
+# ----------------------------------------------------------------------
+# simulator counters
+# ----------------------------------------------------------------------
+class TestSimulatorMetrics:
+    def test_task_counters_match_trace(self):
+        reg = Registry()
+        run = simulate(paper_figure4_tree(), horizon=24, telemetry=reg)
+        for node, done in run.trace.completions_by_node().items():
+            assert reg.value("sim.tasks_computed", node=node) == done
+        total_forwarded = sum(
+            c.value for c in reg.counters() if c.name == "sim.tasks_forwarded"
+        )
+        assert total_forwarded == len(run.trace.arrivals)
+
+    def test_busy_time_matches_trace(self):
+        reg = Registry()
+        run = simulate(paper_figure4_tree(), horizon=24, telemetry=reg)
+        t = run.trace
+        for node in ("P0", "P1", "P4"):
+            assert reg.value("sim.busy_time", node=node, resource="cpu") == (
+                t.busy_time(node, "compute", 0, t.end_time)
+            )
+
+    def test_crash_records_tasks_lost(self):
+        reg = Registry()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(5)),), seed=1)
+        report = resilient_run(small_tree(), plan, telemetry=reg)
+        crash_spans = reg.spans_named("crash")
+        assert [s.node for s in crash_spans] == ["a"]
+        assert reg.value("sim.crashes", node="a") == 1
+        assert reg.value("recovery.tasks_lost") == report.tasks_lost
+
+
+# ----------------------------------------------------------------------
+# recovery phase spans and report views
+# ----------------------------------------------------------------------
+class TestRecoveryPhases:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        reg = Registry()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(5)),), seed=1,
+                         drop=F(1, 10))
+        report = resilient_run(small_tree(), plan, telemetry=reg)
+        return reg, report
+
+    def test_phase_tree(self, traced):
+        reg, report = traced
+        (recovery,) = reg.spans_named("recovery")
+        phases = reg.span_children(recovery)
+        assert [p.name for p in phases] == ["detect", "prune", "renegotiate",
+                                            "switch"]
+        assert recovery.start == report.t_first_crash
+        assert recovery.end == report.t_switched
+
+    def test_phase_boundaries_match_report(self, traced):
+        reg, report = traced
+        by_name = {s.name: s for s in reg.spans}
+        assert by_name["detect"].start == report.t_first_crash
+        assert by_name["detect"].end == report.t_detect
+        assert by_name["renegotiate"].start == report.t_detect
+        assert by_name["renegotiate"].end == report.t_switched
+        assert by_name["switch"].start == report.t_switched
+
+    def test_renegotiation_nested_and_time_shifted(self, traced):
+        """The re-negotiation's transaction spans hang off the renegotiate
+        phase and start at the detection time, not at virtual zero."""
+        reg, report = traced
+        (renegotiate,) = reg.spans_named("renegotiate")
+        nested = [s for s in reg.span_children(renegotiate)
+                  if s.name == "transaction"]
+        assert len(nested) == 1  # the re-negotiation's root transaction
+        assert nested[0].start >= report.t_detect
+
+    def test_report_views_read_from_registry(self, traced):
+        reg, report = traced
+        assert report.renegotiation_messages == reg.value(
+            "recovery.renegotiation_messages") > 0
+        assert report.heartbeats == reg.value("recovery.heartbeats") > 0
+        assert reg.value("recovery.t_detect") == report.t_detect
+
+    def test_disabled_recovery_identical(self):
+        plan = FaultPlan(crashes=(NodeCrash("a", F(5)),), seed=1)
+        base = resilient_run(small_tree(), plan)
+        traced = resilient_run(small_tree(), plan, telemetry=Registry())
+        for name in ("rate_after", "t_detect", "t_switched", "tasks_lost",
+                     "timeline", "renegotiation_messages"):
+            assert getattr(base, name) == getattr(traced, name)
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        reg = Registry()
+        run_protocol(paper_figure4_tree(), telemetry=reg)
+        simulate(paper_figure4_tree(), horizon=24, telemetry=reg)
+        return reg
+
+    def test_chrome_trace_round_trip(self, registry):
+        doc = json.loads(chrome_trace_json(registry))
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        names = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == len(registry.spans)
+        assert {e["args"]["name"] for e in names} >= {"P0", "P1"}
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["pid"] == 1 and "span_id" in event["args"]
+
+    def test_chrome_trace_time_scale(self, registry):
+        span = registry.spans[0]
+        doc = chrome_trace(registry, time_scale=10)
+        event = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert event["ts"] == pytest.approx(float(span.start * 10))
+
+    def test_prometheus_text_well_formed(self, registry):
+        text = prometheus_text(registry)
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:.]*(\{[^{}]*\})? -?[0-9.e+-]+(inf)?$')
+        seen_types = set()
+        for line in text.rstrip("\n").split("\n"):
+            if line.startswith("# TYPE "):
+                name = line.split()[2]
+                assert name not in seen_types  # one TYPE comment per metric
+                seen_types.add(name)
+            else:
+                assert sample.match(line), line
+        assert "protocol_messages" in text  # dots sanitised to underscores
+        assert "sim_tasks_computed" in text
+
+    def test_prometheus_values_match(self, registry):
+        text = prometheus_text(registry)
+        line = next(l for l in text.splitlines()
+                    if l.startswith("protocol_messages "))
+        assert float(line.split()[-1]) == registry.value("protocol.messages")
+
+    def test_jsonl_round_trip(self, registry, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(registry, path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == len(registry.spans)
+        ids = {s["id"] for s in spans}
+        assert all(s["parent"] in ids for s in spans if "parent" in s)
+        kinds = {r["type"] for r in records}
+        assert {"span", "counter", "gauge", "histogram"} <= kinds
+
+    def test_jsonl_exact_rationals(self):
+        reg = Registry()
+        reg.gauge("g").set(F(5, 3))
+        (line,) = list(jsonl_lines(reg))
+        record = json.loads(line)
+        assert record["value"]["exact"] == "5/3"
+        assert record["value"]["float"] == pytest.approx(5 / 3)
+
+    def test_run_jsonl_interleaves_trace(self, registry):
+        run = simulate(paper_figure4_tree(), horizon=24)
+        records = [json.loads(line)
+                   for line in run_jsonl_lines(run.trace, registry)]
+        kinds = {r["type"] for r in records}
+        assert {"segment", "completion", "release", "span"} <= kinds
+        segs = [r for r in records if r["type"] == "segment"]
+        assert len(segs) == len(run.trace.segments)
+
+
+# ----------------------------------------------------------------------
+# control-segment rendering (satellite: Gantt/SVG draw CTRL)
+# ----------------------------------------------------------------------
+class TestCtrlRendering:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        t = Trace()
+        t.add_segment("R", SEND, F(0), F(2), peer="A")
+        t.add_segment("R", CTRL, F(2), F(4))
+        t.add_segment("R", "compute", F(0), F(4))
+        return t
+
+    def test_ascii_ctrl_cells(self, trace):
+        chart = render_gantt(trace, ["R"], start=0, end=4, width=8)
+        send_lane = next(l for l in chart.splitlines() if l.startswith("R S"))
+        assert CTRL_CELL in send_lane  # ctrl drawn
+        assert "#" in send_lane  # task send still drawn
+
+    def test_ascii_ctrl_with_peer_labels(self, trace):
+        chart = render_gantt(trace, ["R"], start=0, end=4, width=8,
+                             label_peers=True)
+        send_lane = next(l for l in chart.splitlines() if l.startswith("R S"))
+        assert CTRL_CELL in send_lane and "A" in send_lane
+
+    def test_svg_ctrl_rects(self, trace):
+        svg = gantt_svg(trace, ["R"], start=0, end=4)
+        assert CTRL_FILL in svg  # ctrl drawn in the reserved colour
+        assert "ctrl" in svg  # hover title labels the segment kind
+
+    def test_recovery_run_shows_ctrl(self):
+        """End to end: a resilient run's negotiation jobs appear as ctrl
+        cells on the root's send lane around the switch."""
+        plan = FaultPlan(crashes=(NodeCrash("a", F(5)),), seed=1)
+        report = resilient_run(small_tree(), plan)
+        trace = report.result.trace
+        ctrl_segments = trace.segments_for("root", CTRL)
+        assert ctrl_segments
+        # control jobs are slivers (latency-sized); zoom the chart onto one
+        ctrl = ctrl_segments[0]
+        chart = render_gantt(trace, ["root"], start=ctrl.start, end=ctrl.end,
+                             width=4)
+        assert CTRL_CELL in chart
+        svg = gantt_svg(trace, ["root"], start=report.t_detect,
+                        end=report.t_switched + 1)
+        assert CTRL_FILL in svg
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    @pytest.fixture(scope="class")
+    def tree_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("telemetry") / "tree.json"
+        save_tree(paper_figure4_tree(), path)
+        return str(path)
+
+    def test_metrics_command(self, tree_file, capsys):
+        assert main(["metrics", tree_file]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE protocol_messages counter" in out
+        assert "protocol_throughput" in out
+
+    def test_metrics_with_simulation(self, tree_file, capsys):
+        assert main(["metrics", tree_file, "--horizon", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "sim_tasks_computed" in out
+
+    def test_trace_chrome(self, tree_file, capsys):
+        assert main(["trace", tree_file]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+        assert any(e.get("name") == "transaction" for e in doc["traceEvents"])
+
+    def test_trace_jsonl_to_file(self, tree_file, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["trace", tree_file, "--format", "jsonl",
+                     "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line)
+                   for line in out_path.read_text().splitlines()]
+        assert any(r["type"] == "span" for r in records)
+
+    def test_simulate_trace_out(self, tree_file, tmp_path, capsys):
+        out_path = tmp_path / "run.jsonl"
+        assert main(["simulate", tree_file, "--horizon", "24",
+                     "--trace-out", str(out_path)]) == 0
+        capsys.readouterr()
+        records = [json.loads(line)
+                   for line in out_path.read_text().splitlines()]
+        kinds = {r["type"] for r in records}
+        assert {"segment", "completion", "counter"} <= kinds
