@@ -1,6 +1,6 @@
 # Development commands for the repro library.
 
-.PHONY: install test bench bench-tables faults-smoke telemetry-smoke examples outputs all clean
+.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke examples outputs all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -33,6 +33,23 @@ telemetry-smoke:
 		--out $$tmp/trace.jsonl && \
 	PYTHONPATH=src pytest tests/test_telemetry.py \
 		benchmarks/bench_e24_telemetry_overhead.py -q
+
+# quick end-to-end check of the distributed runtime: negotiate the Fig. 4
+# tree over in-process queues and over real loopback TCP sockets, then the
+# runtime suite + the E25 cross-substrate bench.  `timeout` hard-bounds the
+# wall clock so a hung socket fails fast instead of wedging CI.
+runtime-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	timeout 300 sh -c "\
+		PYTHONPATH=src python -c 'from repro.platform import save_tree; \
+			from repro.platform.examples import paper_figure4_tree; \
+			save_tree(paper_figure4_tree(), \"$$tmp/fig4.json\")' && \
+		PYTHONPATH=src python -m repro runtime $$tmp/fig4.json \
+			--transport inproc && \
+		PYTHONPATH=src python -m repro runtime $$tmp/fig4.json \
+			--transport tcp && \
+		PYTHONPATH=src pytest tests/test_runtime.py \
+			benchmarks/bench_e25_runtime.py -q"
 
 examples:
 	@for f in examples/*.py; do \

@@ -33,7 +33,7 @@ output unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, Hashable, Optional
 
@@ -42,19 +42,35 @@ from ..exceptions import SimulationError
 from ..platform.tree import Tree
 from ..sim.engine import Engine
 from ..sim.tracing import COMPUTE, RECV, SEND, Trace
+from ..telemetry.core import Registry
 
 
 @dataclass
 class DemandDrivenResult:
-    """Outcome of a demand-driven run (mirrors ``SimulationResult``)."""
+    """Outcome of a demand-driven run (mirrors ``SimulationResult``).
+
+    The run's tallies live as ``baseline.*`` counters in ``telemetry`` (a
+    per-result :class:`~repro.telemetry.core.Registry`); the historical
+    ``request_messages`` / ``interruptions`` attributes are thin views
+    over it, so existing callers and benchmarks keep working.
+    """
 
     trace: Trace
     tree: Tree
     released: int
     stop_time: Optional[Fraction]
     end_time: Fraction
-    request_messages: int
-    interruptions: int = 0
+    telemetry: Registry = field(default_factory=Registry, repr=False)
+
+    @property
+    def request_messages(self) -> int:
+        """Single-task request messages that travelled up the tree."""
+        return self.telemetry.value("baseline.request_messages")
+
+    @property
+    def interruptions(self) -> int:
+        """In-flight transfers preempted (interruptible mode only)."""
+        return self.telemetry.value("baseline.interruptions")
 
     @property
     def completed(self) -> int:
@@ -97,6 +113,7 @@ class DemandDrivenSimulation:
         supply: Optional[int] = None,
         interruptible: bool = False,
         max_events: int = 5_000_000,
+        telemetry: Optional[Registry] = None,
     ):
         if horizon is None and supply is None:
             raise SimulationError("give a horizon, a supply, or both")
@@ -116,9 +133,24 @@ class DemandDrivenSimulation:
         for n in tree.nodes():
             self.states[n].pending = {c: 0 for c in tree.children(n)}
         self.released = 0
-        self.request_messages = 0
-        self.interruptions = 0
+        # the run's own registry backs the result's attribute views; an
+        # external registry (telemetry=) additionally receives every tally
+        self.registry = Registry()
+        self._external = telemetry
         self._stop_time: Optional[Fraction] = None
+
+    def _count(self, name: str, **labels) -> None:
+        self.registry.counter(name, **labels).inc()
+        if self._external is not None:
+            self._external.counter(name, **labels).inc()
+
+    @property
+    def request_messages(self) -> int:
+        return self.registry.value("baseline.request_messages")
+
+    @property
+    def interruptions(self) -> int:
+        return self.registry.value("baseline.interruptions")
 
     # ------------------------------------------------------------------
     def _supply_open(self) -> bool:
@@ -198,7 +230,7 @@ class DemandDrivenSimulation:
             shortfall = desired - state.stock - state.outstanding
             for _ in range(max(shortfall, 0)):
                 state.outstanding += 1
-                self.request_messages += 1
+                self._count("baseline.request_messages")
                 parent = self.tree.parent(node)
                 latency = self.tree.c(node) * self.latency_factor
                 self.engine.schedule_in(
@@ -231,7 +263,7 @@ class DemandDrivenSimulation:
         state.sending = False
         state.transfer = None
         state.send_token += 1  # invalidate the scheduled completion event
-        self.interruptions += 1
+        self._count("baseline.interruptions")
 
     def _compute_done(self, node: Hashable) -> None:
         state = self.states[node]
@@ -279,8 +311,7 @@ class DemandDrivenSimulation:
             released=self.released,
             stop_time=stop,
             end_time=self.trace.end_time,
-            request_messages=self.request_messages,
-            interruptions=self.interruptions,
+            telemetry=self.registry,
         )
 
 
@@ -291,13 +322,15 @@ def simulate_demand_driven(
     horizon=None,
     supply: Optional[int] = None,
     interruptible: bool = False,
+    telemetry: Optional[Registry] = None,
 ) -> DemandDrivenResult:
     """Convenience wrapper mirroring :func:`repro.sim.simulate`.
 
     ``interruptible=True`` selects Kreaseck et al.'s second communication
     model: a request from a faster-link child preempts an in-flight
     transfer to a slower-link child; the preempted transfer resumes later
-    from where it stopped.
+    from where it stopped.  Pass ``telemetry=`` to mirror the run's
+    ``baseline.*`` counters into an external registry.
     """
     sim = DemandDrivenSimulation(
         tree,
@@ -306,5 +339,6 @@ def simulate_demand_driven(
         horizon=horizon,
         supply=supply,
         interruptible=interruptible,
+        telemetry=telemetry,
     )
     return sim.run()

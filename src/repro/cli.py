@@ -17,6 +17,11 @@ Sub-commands:
 * ``trace TREE.json --format chrome|jsonl`` — export the negotiation's
   transaction-span tree as a Chrome trace-event JSON (open it in Perfetto
   or ``chrome://tracing``) or as structured JSONL;
+* ``runtime TREE.json --transport inproc|tcp`` — execute the negotiation
+  on the **real** asyncio runtime (concurrent actors over in-process
+  queues or loopback TCP sockets) and report the negotiated throughput,
+  message tallies and wall-clock; ``--trace-out`` streams the transaction
+  spans to JSONL as they close;
 * ``example`` — the whole pipeline on the built-in reconstruction of the
   paper's Section 8 tree.
 
@@ -226,6 +231,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    from .protocol.retry import RetryPolicy
+    from .runtime import negotiate
+    from .telemetry import Registry, stream_jsonl
+
+    tree = _load_platform(args)
+    registry = Registry()
+    retry = RetryPolicy() if args.retry else None
+    stream = stream_jsonl(registry, args.trace_out) if args.trace_out else None
+    try:
+        result = negotiate(
+            tree,
+            transport=args.transport,
+            telemetry=registry,
+            retry=retry,
+            base_timeout=args.base_timeout,
+            deadline=args.deadline,
+        )
+    finally:
+        if stream is not None:
+            stream.close()
+    print(f"transport:            {args.transport}")
+    print(f"negotiated throughput: {format_fraction(result.throughput)} "
+          f"({float(result.throughput):.6f} tasks/time unit)")
+    print("verified == bw_first:  True")  # negotiate() asserts it
+    print(f"visited nodes:         {len(result.visited)}/{len(tree)}")
+    print(f"transactions:          {result.transactions}")
+    print(f"messages / bytes:      {result.messages} / {result.bytes}")
+    if result.retransmissions or result.timeouts or result.dropped:
+        print(f"retransmissions:       {result.retransmissions}")
+        print(f"timeouts:              {result.timeouts}")
+        print(f"dropped:               {result.dropped}")
+    octets = registry.value("runtime.tcp.octets")
+    if octets:
+        print(f"tcp octets on wire:    {octets}")
+    print(f"wall-clock:            {float(result.completion_time):.6f} s")
+    if args.trace_out:
+        print(f"wrote {args.trace_out} ({len(registry.spans)} spans)")
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     tree = paper_figure4_tree()
     result = bw_first(tree)
@@ -333,6 +379,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome")
     p.add_argument("--out", help="output file (default: stdout)")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("runtime",
+                       help="negotiate on the real asyncio runtime "
+                            "(concurrent actors, pluggable transport)")
+    tree_arg(p)
+    p.add_argument("--transport", choices=("inproc", "tcp"),
+                   default="inproc")
+    p.add_argument("--retry", action="store_true",
+                   help="arm wall-clock at-least-once retry timers")
+    p.add_argument("--base-timeout", type=float, default=0.05,
+                   help="per-edge patience in seconds (default 0.05)")
+    p.add_argument("--deadline", type=float, default=60.0,
+                   help="overall wall-clock bound in seconds (default 60)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="stream transaction spans + metrics to JSONL")
+    p.set_defaults(func=_cmd_runtime)
 
     p = sub.add_parser("example", help="run the built-in paper example")
     p.set_defaults(func=_cmd_example)

@@ -27,7 +27,7 @@ platform's exact optimum, as the tests assert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import List, Optional, Tuple
 
@@ -40,11 +40,15 @@ from ..protocol.runner import run_protocol
 from ..schedule.eventdriven import build_schedules
 from ..schedule.periods import global_period, tree_periods
 from ..sim.simulator import Simulation
+from ..telemetry.core import Registry
 
 
 @dataclass(frozen=True)
 class OnlineReport:
-    """Outcome of one online drift-and-renegotiate run."""
+    """Outcome of one online drift-and-renegotiate run.
+
+    The re-negotiation's tallies live as ``online.*`` counters in
+    ``telemetry``; ``negotiation_messages`` is a thin view over it."""
 
     old_optimum: Fraction
     new_optimum: Fraction
@@ -54,9 +58,14 @@ class OnlineReport:
     t_drift: Fraction
     t_renegotiate: Fraction
     t_switched: Fraction
-    negotiation_messages: int
     timeline: Tuple[Tuple[Fraction, Fraction], ...]  # (window start, rate)
     result: object = None  # the full SimulationResult (trace inspection)
+    telemetry: Registry = field(default_factory=Registry, repr=False)
+
+    @property
+    def negotiation_messages(self) -> int:
+        """Protocol messages exchanged during the re-negotiation."""
+        return self.telemetry.value("online.negotiation_messages")
 
     @property
     def negotiation_wallclock(self) -> Fraction:
@@ -79,6 +88,7 @@ def online_renegotiation(
     recovery_periods: int = 8,
     latency_factor=Fraction(1, 100),
     window: Optional[int] = None,
+    telemetry: Optional[Registry] = None,
 ) -> OnlineReport:
     """Run the full online scenario and measure the throughput timeline.
 
@@ -86,7 +96,8 @@ def online_renegotiation(
     ``drift_periods``, the root reacts after another ``degraded_periods``,
     and the run continues for ``recovery_periods`` of the **new** schedule's
     global period after the switch.  *window* (default: the believed global
-    period) is the timeline resolution.
+    period) is the timeline resolution.  Pass ``telemetry=`` to mirror the
+    run's ``online.*`` counters into an external registry.
     """
     if set(believed.nodes()) != set(actual.nodes()):
         raise SimulationError("believed and actual platforms must share topology")
@@ -106,6 +117,16 @@ def online_renegotiation(
 
     # the negotiation against the actual platform (messages + wall-clock)
     negotiation = run_protocol(actual, latency_factor=latency_factor)
+    registry = Registry()
+
+    def count(name: str, amount: int) -> None:
+        if amount:
+            registry.counter(name).inc(amount)
+            if telemetry is not None:
+                telemetry.counter(name).inc(amount)
+
+    count("online.negotiation_messages", negotiation.messages)
+    count("online.transactions", negotiation.transactions)
     t_switched = t_renegotiate + negotiation.completion_time
     horizon = t_switched + Fraction(new_t * recovery_periods)
 
@@ -156,7 +177,7 @@ def online_renegotiation(
         t_drift=t_drift,
         t_renegotiate=t_renegotiate,
         t_switched=t_switched,
-        negotiation_messages=negotiation.messages,
         timeline=tuple(timeline),
         result=result,
+        telemetry=registry,
     )

@@ -15,7 +15,7 @@ The robustness layer the paper's Section 5 sketches but never builds:
 """
 
 from .detect import HeartbeatMonitor, detection_time
-from .inject import FaultyNetwork, apply_to_simulation
+from .inject import FaultyNetwork, LinkFaultDecider, apply_to_simulation
 from .plan import FaultPlan, LinkDegradation, LinkFaults, NodeCrash, random_plan
 from .recovery import RecoveryReport, resilient_run
 
@@ -26,6 +26,7 @@ __all__ = [
     "LinkDegradation",
     "random_plan",
     "FaultyNetwork",
+    "LinkFaultDecider",
     "apply_to_simulation",
     "HeartbeatMonitor",
     "detection_time",

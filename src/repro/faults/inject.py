@@ -1,11 +1,18 @@
 """Applying a :class:`~repro.faults.plan.FaultPlan` to both execution layers.
 
+* :class:`LinkFaultDecider` turns the plan's probabilities into concrete
+  per-message verdicts.  Decisions for **numbered** messages are addressed
+  by the message's transaction id (``xid``) and its per-``xid`` occurrence
+  count — a retransmission is a fresh draw, but delivery *order* plays no
+  part in the address, so a reordering or genuinely concurrent transport
+  (:mod:`repro.runtime`) suffers the identical fault trace as the
+  deterministic simulated one.  Unnumbered messages (``xid=None``, the
+  original fire-and-forget protocol) fall back to the per-link send
+  ordinal.
 * :class:`FaultyNetwork` wraps the protocol transport: control messages
   crossing a real tree link are dropped or duplicated according to the
   plan's per-link probabilities, and their latency is stretched inside
-  degradation windows.  Each decision is addressed by the link and the
-  per-link message ordinal, so a run is bit-for-bit reproducible from the
-  plan alone.
+  degradation windows.
 * :func:`apply_to_simulation` arms the steady-state simulator: node crashes
   are scheduled at their virtual times and the plan's degradation windows
   are installed as the simulator's link-time factor.
@@ -25,6 +32,56 @@ from ..protocol.messages import Message, wire_size
 from ..protocol.network import Network
 from ..sim.simulator import Simulation
 from .plan import FaultPlan
+
+
+class LinkFaultDecider:
+    """Stateful addressing of a plan's per-message fault decisions.
+
+    One decider serves one run of one transport.  For every message
+    crossing a real tree link it produces a ``(drop, duplicate)`` verdict
+    pair; both verdicts of a message share one address, so the plan's
+    independent ``"drop"`` / ``"duplicate"`` streams line up exactly as
+    they did when decisions were keyed by send ordinal.
+
+    The address of a numbered message is
+    ``(sender, receiver, "xid", xid, occurrence)`` where *occurrence*
+    counts prior transmissions of the same ``xid`` on the same directed
+    link — a pure function of the message's own retransmission history,
+    immune to cross-transaction reordering.  Unnumbered messages use the
+    legacy per-link ordinal address ``(sender, receiver, ordinal)``.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        #: per-directed-link ordinals for unnumbered (xid=None) messages
+        self._ordinals: Dict[Tuple[Hashable, Hashable], int] = {}
+        #: per-(link, xid) transmission counts for numbered messages
+        self._occurrences: Dict[Tuple[Hashable, Hashable, int], int] = {}
+
+    def coordinates(self, message: Message) -> tuple:
+        """The decision address of this transmission (consumes one slot)."""
+        a, b = message.sender, message.receiver
+        xid = getattr(message, "xid", None)
+        if xid is None:
+            ordinal = self._ordinals.get((a, b), 0)
+            self._ordinals[(a, b)] = ordinal + 1
+            return (a, b, ordinal)
+        occurrence = self._occurrences.get((a, b, xid), 0)
+        self._occurrences[(a, b, xid)] = occurrence + 1
+        return (a, b, "xid", xid, occurrence)
+
+    def verdict(self, child: Hashable, message: Message) -> Tuple[bool, bool]:
+        """``(drop, duplicate)`` for this transmission over *child*'s link."""
+        coordinates = self.coordinates(message)
+        drop = (
+            self.plan.decision("drop", *coordinates)
+            < self.plan.link_drop(child)
+        )
+        duplicate = (
+            self.plan.decision("duplicate", *coordinates)
+            < self.plan.link_duplicate(child)
+        )
+        return drop, duplicate
 
 
 class FaultyNetwork(Network):
@@ -55,8 +112,7 @@ class FaultyNetwork(Network):
         self.time_offset = Fraction(time_offset)
         self.dropped = 0
         self.duplicated = 0
-        #: per-directed-link message ordinals addressing the plan decisions
-        self._ordinals: Dict[Tuple[Hashable, Hashable], int] = {}
+        self._decider = LinkFaultDecider(plan)
 
     def _child_endpoint(self, a: Hashable, b: Hashable) -> Optional[Hashable]:
         """The child side of link ``a↔b``, or ``None`` off the tree."""
@@ -76,12 +132,11 @@ class FaultyNetwork(Network):
             return
         if b not in self._handlers:
             raise ProtocolError(f"no handler registered for {b!r}")
-        ordinal = self._ordinals.get((a, b), 0)
-        self._ordinals[(a, b)] = ordinal + 1
         # the sender transmitted, whatever the link then does to the message
         self.messages_sent += 1
         self.bytes_sent += wire_size(message)
-        if self.plan.decision("drop", a, b, ordinal) < self.plan.link_drop(child):
+        drop, duplicate = self._decider.verdict(child, message)
+        if drop:
             self.dropped += 1
             return
         latency = self.link_latency(a, b) * self.plan.degradation_factor(
@@ -89,10 +144,7 @@ class FaultyNetwork(Network):
         )
         handler = self._handlers[b]
         self.engine.schedule_in(latency, lambda: handler(message))
-        if (
-            self.plan.decision("duplicate", a, b, ordinal)
-            < self.plan.link_duplicate(child)
-        ):
+        if duplicate:
             # the spurious copy arrives right behind the original
             self.duplicated += 1
             self.engine.schedule_in(latency, lambda: handler(message))

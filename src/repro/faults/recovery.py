@@ -132,6 +132,7 @@ def resilient_run(
     window=None,
     max_events: int = 5_000_000,
     telemetry: Optional[Registry] = None,
+    runtime: Optional[str] = None,
 ) -> RecoveryReport:
     """Run *tree* under *plan* with automatic detection and re-negotiation.
 
@@ -161,6 +162,25 @@ def resilient_run(
     per-node counters, and the recovery itself a span tree
     ``recovery → detect / prune / renegotiate / switch`` whose boundaries
     are the report's ``t_first_crash`` / ``t_detect`` / ``t_switched``.
+
+    *runtime* (``"inproc"`` or ``"tcp"``) routes the **re-negotiation**
+    through the real asyncio runtime of :mod:`repro.runtime` instead of
+    the virtual-time simulation: the survivors negotiate as genuinely
+    concurrent actors over actual queues or loopback sockets, and the
+    recovered schedule is built from that live result.  The supervised
+    simulation still needs a *virtual* duration for the negotiation
+    window, so the switch time is derived analytically
+    (:func:`~repro.runtime.runtime.sequential_completion_time` under this
+    run's latency model) — the exact virtual time at which the loss-free
+    sequential protocol delivers the root's acknowledgment, so the
+    recovery timeline stays deterministic.  Note the simulated path's
+    ``t_switched`` is *later* than this: its event queue also drains the
+    retry timers armed for proposals that were answered normally, and the
+    switch waits for the queue, not just the ack.  The initial
+    negotiation keeps crossing the plan's lossy simulated control plane
+    either way.  Transaction spans of a runtime re-negotiation are not
+    recorded into *telemetry* (their wall-clock timestamps would not lie
+    on the virtual timeline); its tallies still are.
     """
     plan.validate(tree)
     if not plan.crashes:
@@ -216,23 +236,37 @@ def resilient_run(
             parent=recovery_span,
         )
 
-    renegotiation = run_protocol(
-        survivors,
-        network=FaultyNetwork(
-            survivors, plan, latency_factor=latency_factor,
-            time_offset=t_detect,
-        ),
-        retry=policy,
-        telemetry=telemetry,
-        span_parent=renegotiate_span,
-    )
+    if runtime is not None:
+        # the survivors re-negotiate on the real asyncio runtime; map the
+        # result back onto the virtual timeline analytically (loss-free
+        # sequential protocol: the sum of its message latencies)
+        from ..runtime import Runtime, sequential_completion_time
+
+        renegotiation = Runtime(
+            survivors, transport=runtime, retry=policy
+        ).run()
+        renegotiation_virtual_time = sequential_completion_time(
+            renegotiation, latency_factor=latency_factor
+        )
+    else:
+        renegotiation = run_protocol(
+            survivors,
+            network=FaultyNetwork(
+                survivors, plan, latency_factor=latency_factor,
+                time_offset=t_detect,
+            ),
+            retry=policy,
+            telemetry=telemetry,
+            span_parent=renegotiate_span,
+        )
+        renegotiation_virtual_time = renegotiation.completion_time
 
     new_allocation = from_bw_first(bw_first(survivors))
     new_periods = tree_periods(new_allocation)
     new_schedules = build_schedules(new_allocation, periods=new_periods)
     new_t = global_period(new_periods)
 
-    t_switched = t_detect + renegotiation.completion_time
+    t_switched = t_detect + renegotiation_virtual_time
     horizon = t_switched + new_t * (settle_periods + after_periods)
 
     if spans_on:

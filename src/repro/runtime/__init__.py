@@ -1,0 +1,46 @@
+"""repro.runtime — the asyncio distributed runtime for BW-First.
+
+Executes the paper's negotiation as genuinely concurrent peers instead of
+a virtual-time simulation:
+
+* :mod:`~repro.runtime.codec` — length-prefixed JSON wire frames carrying
+  exact rationals;
+* :mod:`~repro.runtime.transport` — the pluggable :class:`Transport` ABC
+  with :class:`InProcTransport` (asyncio queues, optional seeded
+  delay/loss) and :class:`TcpTransport` (one loopback socket per tree
+  edge, drain-and-close shutdown);
+* :mod:`~repro.runtime.runtime` — the :class:`Runtime` orchestrator:
+  mailbox-driven actor fleet, wall-clock
+  :class:`~repro.protocol.retry.RetryPolicy` timeouts, verification
+  against :func:`~repro.core.bwfirst.bw_first`, the same telemetry schema
+  as the simulated runner.
+
+Quick use::
+
+    from repro.runtime import negotiate
+    result = negotiate(tree, transport="tcp")
+    assert result.throughput == bw_first(tree).throughput
+"""
+
+from .codec import decode_message, encode_frame, encode_message, read_frame
+from .runtime import (
+    TRANSPORTS,
+    Runtime,
+    negotiate,
+    sequential_completion_time,
+)
+from .transport import InProcTransport, TcpTransport, Transport
+
+__all__ = [
+    "Runtime",
+    "negotiate",
+    "sequential_completion_time",
+    "Transport",
+    "InProcTransport",
+    "TcpTransport",
+    "TRANSPORTS",
+    "encode_message",
+    "decode_message",
+    "encode_frame",
+    "read_frame",
+]

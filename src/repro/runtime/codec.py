@@ -1,0 +1,117 @@
+"""Wire codec of the distributed runtime: length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian length followed by a compact JSON object:
+
+.. code-block:: text
+
+    {"t": "prop", "s": "P0", "r": "P1", "v": "5/3", "x": 2}
+    {"t": "ack",  "s": "P1", "r": "P0", "v": "1/3", "x": 2}
+
+* ``t`` — message type, ``"prop"`` (:class:`~repro.protocol.messages.Proposal`)
+  or ``"ack"`` (:class:`~repro.protocol.messages.Acknowledgment`);
+* ``s`` / ``r`` — sender / receiver node names.  TCP transport requires
+  names JSON can round-trip losslessly (strings, ints, bools, None) — the
+  in-proc transport has no such restriction because it never serialises;
+* ``v`` — the payload rational (β of a proposal, θ of an acknowledgment)
+  as an exact ``"numerator/denominator"`` string, so no precision is lost
+  on the wire (the paper's protocol is exact arithmetic end to end);
+* ``x`` — the transaction id, omitted when ``xid`` is ``None``.
+
+The 4-byte prefix bounds frames at 4 GiB; real frames are tens of bytes —
+the paper's "one rational number per message" lightweightness claim
+survives serialisation.  :func:`read_frame` enforces ``MAX_FRAME`` so a
+corrupt or adversarial peer cannot make the reader allocate unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from fractions import Fraction
+from typing import Optional
+
+from ..exceptions import ProtocolError
+from ..protocol.messages import Acknowledgment, Message, Proposal
+
+#: struct format of the frame length prefix (4-byte big-endian unsigned).
+LENGTH_PREFIX = struct.Struct(">I")
+
+#: Upper bound on an accepted frame body, in bytes.
+MAX_FRAME = 1 << 20
+
+
+def _check_name(name) -> None:
+    if not isinstance(name, (str, int, bool, type(None))):
+        raise ProtocolError(
+            f"node name {name!r} does not survive JSON; use str/int names "
+            "with the TCP transport"
+        )
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise one Proposal/Acknowledgment to a JSON frame body."""
+    if isinstance(message, Proposal):
+        kind, value = "prop", message.beta
+    elif isinstance(message, Acknowledgment):
+        kind, value = "ack", message.theta
+    else:
+        raise ProtocolError(f"cannot encode {message!r}")
+    _check_name(message.sender)
+    _check_name(message.receiver)
+    payload = {
+        "t": kind,
+        "s": message.sender,
+        "r": message.receiver,
+        "v": str(Fraction(value)),
+    }
+    if message.xid is not None:
+        payload["x"] = message.xid
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def decode_message(body: bytes) -> Message:
+    """Inverse of :func:`encode_message`."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+        kind = payload["t"]
+        value = Fraction(payload["v"])
+        sender, receiver = payload["s"], payload["r"]
+        xid = payload.get("x")
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ProtocolError(f"undecodable frame {body[:80]!r}") from exc
+    if kind == "prop":
+        return Proposal(sender=sender, receiver=receiver, beta=value, xid=xid)
+    if kind == "ack":
+        return Acknowledgment(sender=sender, receiver=receiver, theta=value,
+                              xid=xid)
+    raise ProtocolError(f"unknown frame type {kind!r}")
+
+
+def encode_frame(message: Message) -> bytes:
+    """The full wire frame: length prefix + JSON body."""
+    body = encode_message(message)
+    return LENGTH_PREFIX.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Message]:
+    """Read one frame from *reader*; ``None`` on clean EOF.
+
+    A connection closed mid-frame, an oversized length, or an undecodable
+    body raise :class:`~repro.exceptions.ProtocolError` — the stream is
+    unrecoverable after any of them.
+    """
+    try:
+        prefix = await reader.readexactly(LENGTH_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise ProtocolError("connection closed mid-prefix") from exc
+    (length,) = LENGTH_PREFIX.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_message(body)

@@ -1,0 +1,480 @@
+"""The asyncio runtime: genuinely concurrent peers negotiating BW-First.
+
+Where :func:`repro.protocol.runner.run_protocol` *simulates* the
+distributed procedure inside one virtual-time event queue, the
+:class:`Runtime` *executes* it: every platform node becomes an
+:class:`~repro.protocol.actor.NodeActor` wrapped in an asyncio task that
+blocks on its own mailbox, and messages travel through a pluggable
+:class:`~repro.runtime.transport.Transport` — in-process queues or real
+loopback TCP sockets.  The actor state machines are byte-for-byte the ones
+the simulator drives, so Proposition 2 carries over: the negotiated
+throughput is **exactly** ``bw_first()``'s (asserted when *verify* is on),
+and with telemetry enabled the transaction span tree is structurally
+identical to the simulated runner's — same spans, same tags, same
+parent-child activation edges — only the timestamps are wall-clock
+seconds instead of virtual time.
+
+Timeouts are wall-clock here.  A parent arms a timer per proposal with the
+same hierarchical shape as the simulated runner's budgets — the allowance
+for a child must outlast the child's entire sub-negotiation, so
+``B(X) = base_timeout + Σ_children B(Y)`` — and the
+:class:`~repro.protocol.retry.RetryPolicy` multiplies it by ``backoff``
+per attempt before giving the child up for dead.  The state machine's
+idempotence makes the at-least-once retransmissions safe over a transport
+that drops frames (an :class:`~repro.runtime.transport.InProcTransport`
+or :class:`~repro.runtime.transport.TcpTransport` armed with a
+:class:`~repro.faults.plan.FaultPlan`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from fractions import Fraction
+from typing import Dict, Hashable, Optional, Union
+
+from ..core.bwfirst import bw_first, root_proposal
+from ..core.rates import ZERO, as_fraction
+from ..exceptions import ProtocolError
+from ..platform.tree import Tree
+from ..protocol.actor import DONE, NodeActor
+from ..protocol.messages import Acknowledgment, Message, Proposal
+from ..protocol.retry import RetryPolicy
+from ..protocol.runner import VIRTUAL_PARENT, ProtocolResult, _prune
+from ..telemetry.core import Registry, Span
+from .transport import InProcTransport, TcpTransport, Transport
+
+#: Registered transport factories for ``transport="name"`` shorthand.
+TRANSPORTS = {
+    "inproc": InProcTransport,
+    "tcp": TcpTransport,
+}
+
+#: Nanoseconds per second, for exact wall-clock Fractions.
+_NS = 10**9
+
+
+def _make_transport(transport: Union[str, Transport]) -> Transport:
+    if isinstance(transport, Transport):
+        return transport
+    try:
+        factory = TRANSPORTS[transport]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown transport {transport!r}; "
+            f"choose from {sorted(TRANSPORTS)} or pass a Transport"
+        ) from None
+    return factory()
+
+
+class Runtime:
+    """Boot an actor fleet from a :class:`~repro.platform.tree.Tree`, run
+    the depth-first negotiation to quiescence, return a
+    :class:`~repro.protocol.runner.ProtocolResult`.
+
+    * *transport* — ``"inproc"`` (default), ``"tcp"``, or a ready
+      :class:`~repro.runtime.transport.Transport` instance (e.g. one armed
+      with a fault plan);
+    * *retry* — wall-clock at-least-once policy; without it no timers are
+      armed and a lossy transport would hang (callers staging loss must
+      pass one);
+    * *base_timeout* — seconds of patience per edge before the
+      hierarchical budget of its subtree is added on top;
+    * *failed* — fail-stop nodes: their mailboxes swallow everything, and
+      parents prune them by wall-clock timeout exactly as the simulated
+      runner prunes by virtual-time timeout (requires *retry* or uses a
+      no-retry policy);
+    * *deadline* — overall wall-clock bound on the run; exceeding it
+      raises :class:`~repro.exceptions.ProtocolError` instead of hanging a
+      CI job on a dead socket;
+    * *telemetry* — span + counter instrumentation, same schema as the
+      simulated runner (``protocol.*`` counters, one ``transaction`` span
+      per Proposal→Ack exchange, tagged proposer/β/θ/xid/outcome).
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        transport: Union[str, Transport] = "inproc",
+        *,
+        proposal: Optional[Fraction] = None,
+        verify: bool = True,
+        failed: frozenset = frozenset(),
+        retry: Optional[RetryPolicy] = None,
+        base_timeout: float = 0.05,
+        deadline: float = 60.0,
+        telemetry: Optional[Registry] = None,
+    ):
+        if VIRTUAL_PARENT in tree:
+            raise ProtocolError(f"{VIRTUAL_PARENT!r} is reserved")
+        if tree.root in failed:
+            raise ProtocolError(
+                "the root cannot be failed: nothing can negotiate"
+            )
+        if base_timeout <= 0:
+            raise ProtocolError("base_timeout must be positive")
+        self.tree = tree
+        self.transport = _make_transport(transport)
+        self.proposal = proposal
+        self.verify = verify
+        self.failed = frozenset(failed)
+        self.retry = retry
+        self._policy = retry if retry is not None else RetryPolicy(
+            max_retries=0
+        )
+        self.base_timeout = base_timeout
+        self.deadline = deadline
+        self.telemetry = telemetry
+
+        self.actors: Dict[Hashable, NodeActor] = {}
+        self._mailboxes: Dict[Hashable, asyncio.Queue] = {}
+        self._outbox: Optional[asyncio.Queue] = None
+        self._tasks: list = []
+        self._timers: set = set()
+        self._attempts: Dict[tuple, int] = {}
+        self._retransmissions = 0
+        self._timeouts = 0
+        self._done: Optional[asyncio.Future] = None
+        self._t0 = 0
+
+        spans_on = telemetry is not None and telemetry.enabled
+        self._spans_on = spans_on
+        self._open_spans: Dict[tuple, Span] = {}
+        self._inbound: Dict[Hashable, Span] = {}
+
+        #: wall-clock timeout budgets, children before parents (see module
+        #: docstring): the parent's patience for an edge must outlast the
+        #: child's whole sub-negotiation
+        self._budgets: Dict[Hashable, float] = {}
+        if retry is not None or self.failed:
+            for node in reversed(list(tree.nodes())):
+                if tree.parent(node) is None:
+                    continue
+                self._budgets[node] = base_timeout + sum(
+                    self._budgets[ch] for ch in tree.children(node)
+                )
+
+    # ------------------------------------------------------------------
+    # time + spans
+    # ------------------------------------------------------------------
+    def _now(self) -> Fraction:
+        """Wall-clock seconds since the run started, exact."""
+        return Fraction(time.monotonic_ns() - self._t0, _NS)
+
+    def _note_proposal(self, sender: Hashable, message: Proposal) -> None:
+        key = (sender, message.receiver, message.xid)
+        span = self._open_spans.get(key)
+        if span is None:
+            self._open_spans[key] = self.telemetry.begin_span(
+                "transaction",
+                start=self._now(),
+                node=message.receiver,
+                parent=self._inbound.get(sender),
+                proposer=sender,
+                beta=message.beta,
+                xid=message.xid,
+            )
+        else:
+            span.tags["retries"] = span.tags.get("retries", 0) + 1
+
+    def _close_span(self, key: tuple, outcome: str, theta=None) -> None:
+        span = self._open_spans.pop(key, None)
+        if span is not None:
+            if theta is None:
+                self.telemetry.end_span(span, end=self._now(), outcome=outcome)
+            else:
+                self.telemetry.end_span(span, end=self._now(), outcome=outcome,
+                                        theta=theta)
+
+    # ------------------------------------------------------------------
+    # sending, timers
+    # ------------------------------------------------------------------
+    def _make_send(self, sender: Hashable):
+        def send(message: Message) -> None:
+            if self._spans_on and isinstance(message, Proposal):
+                self._note_proposal(sender, message)
+            self._outbox.put_nowait(message)
+            if (
+                self._budgets
+                and isinstance(message, Proposal)
+                and message.receiver in self._budgets
+            ):
+                self._arm_timer(sender, message.receiver, message.xid)
+
+        return send
+
+    def _arm_timer(self, sender: Hashable, child: Hashable, xid) -> None:
+        key = (sender, child, xid)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        patience = self._budgets[child] * float(self._policy.backoff) ** attempt
+        task = asyncio.ensure_future(
+            self._timer_fires(sender, child, xid, patience)
+        )
+        self._timers.add(task)
+        task.add_done_callback(self._timers.discard)
+
+    async def _timer_fires(self, sender: Hashable, child: Hashable, xid,
+                           patience: float) -> None:
+        await asyncio.sleep(patience)
+        actor = self.actors[sender]
+        if not actor.is_pending(child, xid):
+            return  # answered (or superseded) in the meantime
+        if self._attempts[(sender, child, xid)] <= self._policy.max_retries:
+            self._retransmissions += 1
+            actor.resend_pending()  # re-enters _make_send → new timer
+        else:
+            self._timeouts += 1
+            actor.on_timeout(child, xid)
+            if self._spans_on:
+                self._close_span((sender, child, xid), "timeout")
+
+    # ------------------------------------------------------------------
+    # actor + pump loops
+    # ------------------------------------------------------------------
+    async def _actor_loop(self, node: Hashable) -> None:
+        actor = self.actors[node]
+        mailbox = self._mailboxes[node]
+        while True:
+            message = await mailbox.get()
+            if self._spans_on:
+                if isinstance(message, Proposal):
+                    if actor.lam is None:
+                        span = self._open_spans.get(
+                            (message.sender, node, message.xid)
+                        )
+                        if span is not None:
+                            self._inbound[node] = span
+                elif isinstance(message, Acknowledgment):
+                    if actor.is_pending(message.sender, message.xid):
+                        self._close_span(
+                            (node, message.sender, message.xid),
+                            "acked", theta=message.theta,
+                        )
+            actor.handle(message)
+
+    async def _dead_loop(self, node: Hashable) -> None:
+        """A failed node: swallow every message, answer nothing."""
+        mailbox = self._mailboxes[node]
+        while True:
+            await mailbox.get()
+
+    async def _pump(self) -> None:
+        """Single ordered writer: actors enqueue, the pump transmits."""
+        while True:
+            message = await self._outbox.get()
+            await self.transport.send(message)
+
+    async def _virtual_parent(self) -> None:
+        mailbox = self._mailboxes[VIRTUAL_PARENT]
+        while True:
+            message = await mailbox.get()
+            if not isinstance(message, Acknowledgment):
+                self._done.set_exception(ProtocolError(
+                    "virtual parent expected an acknowledgment"
+                ))
+                return
+            if self._spans_on:
+                self._close_span(
+                    (VIRTUAL_PARENT, self.tree.root, message.xid),
+                    "acked", theta=message.theta,
+                )
+            if not self._done.done():
+                self._done.set_result(message.theta)
+            # keep draining: a duplicated root ack must not pile up
+
+    # ------------------------------------------------------------------
+    # orchestration
+    # ------------------------------------------------------------------
+    async def arun(self) -> ProtocolResult:
+        """Async entry point: negotiate once, return the result."""
+        loop = asyncio.get_running_loop()
+        self._done = loop.create_future()
+        self._outbox = asyncio.Queue()
+        self._t0 = time.monotonic_ns()
+
+        tree = self.tree
+        self._mailboxes = {node: asyncio.Queue() for node in tree.nodes()}
+        self._mailboxes[VIRTUAL_PARENT] = asyncio.Queue()
+        await self.transport.start(tree, self._mailboxes)
+
+        for node in tree.nodes():
+            children = [
+                (child, tree.c(child))
+                for child in tree.children_by_bandwidth(node)
+            ]
+            parent = tree.parent(node)
+            self.actors[node] = NodeActor(
+                name=node,
+                rate=tree.rate(node),
+                parent=parent if parent is not None else VIRTUAL_PARENT,
+                children=children,
+                send=self._make_send(node),
+            )
+
+        def guarded(coroutine):
+            task = asyncio.ensure_future(self._guard(coroutine))
+            self._tasks.append(task)
+            return task
+
+        for node in tree.nodes():
+            if node in self.failed:
+                guarded(self._dead_loop(node))
+            else:
+                guarded(self._actor_loop(node))
+        guarded(self._virtual_parent())
+        guarded(self._pump())
+
+        lam = root_proposal(tree) if self.proposal is None else self.proposal
+        seed = Proposal(sender=VIRTUAL_PARENT, receiver=tree.root,
+                        beta=lam, xid=0)
+        if self._spans_on:
+            self._open_spans[(VIRTUAL_PARENT, tree.root, 0)] = (
+                self.telemetry.begin_span(
+                    "transaction", start=self._now(), node=tree.root,
+                    parent=None, proposer=VIRTUAL_PARENT, beta=lam, xid=0,
+                )
+            )
+        self._outbox.put_nowait(seed)
+
+        try:
+            theta = await asyncio.wait_for(
+                asyncio.shield(self._done), timeout=self.deadline
+            )
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                f"negotiation did not converge within {self.deadline}s of "
+                "wall clock — a hung transport, a lossy plan without a "
+                "retry policy, or timeouts longer than the deadline"
+            ) from None
+        finally:
+            completion = self._now()
+            await self._shutdown()
+
+        throughput = lam - theta
+        if self.verify:
+            self._check(throughput)
+        return self._result(lam, throughput, completion)
+
+    def run(self) -> ProtocolResult:
+        """Synchronous entry point (owns a fresh event loop)."""
+        return asyncio.run(self.arun())
+
+    async def _guard(self, coroutine) -> None:
+        """Propagate an actor/pump crash into the completion future."""
+        try:
+            await coroutine
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - fail the whole run
+            if not self._done.done():
+                self._done.set_exception(exc)
+
+    async def _shutdown(self) -> None:
+        for task in self._timers | set(self._tasks):
+            task.cancel()
+        pending = list(self._timers) + self._tasks
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._timers.clear()
+        self._tasks.clear()
+        await self.transport.close()
+
+    # ------------------------------------------------------------------
+    # verification + result assembly (mirrors the simulated runner)
+    # ------------------------------------------------------------------
+    def _check(self, throughput: Fraction) -> None:
+        reference_tree = (
+            _prune(self.tree, self.failed) if self.failed else self.tree
+        )
+        reference = bw_first(reference_tree, proposal=self.proposal)
+        if reference.throughput != throughput:
+            raise ProtocolError(
+                f"distributed runtime negotiated {throughput}, centralised "
+                f"BW-First computes {reference.throughput}"
+            )
+        if not self.failed:
+            for node, outcome in reference.outcomes.items():
+                actor = self.actors[node]
+                if actor.lam != outcome.lam or (
+                    actor.state == DONE and actor.theta != outcome.theta
+                ):
+                    raise ProtocolError(
+                        f"actor {node!r} diverged from Algorithm 1", node=node
+                    )
+
+    def _result(self, lam: Fraction, throughput: Fraction,
+                completion: Fraction) -> ProtocolResult:
+        transport = self.transport
+        transactions = 1 + sum(
+            len(actor.transactions) for actor in self.actors.values()
+        )
+        view = Registry()
+        tallies = (
+            ("protocol.messages", transport.messages_sent),
+            ("protocol.bytes", transport.bytes_sent),
+            ("protocol.transactions", transactions),
+            ("protocol.retransmissions", self._retransmissions),
+            ("protocol.timeouts", self._timeouts),
+            ("protocol.dropped", transport.dropped),
+            ("protocol.duplicated", transport.duplicated),
+        )
+        registries = (view,) if self.telemetry is None else (
+            view, self.telemetry
+        )
+        octets = getattr(transport, "octets_sent", None)
+        for registry in registries:
+            for name, amount in tallies:
+                registry.counter(name).inc(amount)
+            registry.gauge("protocol.completion_time").set(completion)
+            registry.gauge("protocol.throughput").set(throughput)
+            registry.gauge("protocol.visited_nodes").set(
+                sum(1 for a in self.actors.values() if a.lam is not None)
+            )
+            if octets is not None:
+                registry.counter("runtime.tcp.octets").inc(octets)
+        return ProtocolResult(
+            tree=self.tree,
+            throughput=throughput,
+            t_max=lam,
+            actors=self.actors,
+            telemetry=view,
+        )
+
+
+def negotiate(
+    tree: Tree,
+    transport: Union[str, Transport] = "inproc",
+    **kwargs,
+) -> ProtocolResult:
+    """One-shot convenience: ``Runtime(tree, transport, **kwargs).run()``."""
+    return Runtime(tree, transport, **kwargs).run()
+
+
+def sequential_completion_time(
+    result: ProtocolResult,
+    latency_factor=Fraction(1, 100),
+    fixed_latency=0,
+) -> Fraction:
+    """The *virtual* wall-clock a loss-free simulated run of this
+    negotiation would take.
+
+    The depth-first protocol keeps exactly one message in flight, so the
+    simulated completion time is the plain sum of every message's link
+    latency: two crossings (Proposal + Acknowledgment) per settled
+    transaction, at ``c(child)·latency_factor + fixed_latency`` each; the
+    virtual-parent link is free.  This maps a runtime negotiation — whose
+    own ``completion_time`` is wall seconds — back onto a virtual
+    timeline, which is how :func:`repro.faults.recovery.resilient_run`
+    schedules the post-recovery switch when the re-negotiation ran over a
+    real transport.  Only valid for runs without drops or timeouts (a
+    retransmission would add waiting time the sum cannot see).
+    """
+    factor = as_fraction(latency_factor)
+    fixed = as_fraction(fixed_latency)
+    tree = result.tree
+    total = ZERO
+    for actor in result.actors.values():
+        for child, _beta, _theta in actor.transactions:
+            total += 2 * (tree.c(child) * factor + fixed)
+    return total

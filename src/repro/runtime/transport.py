@@ -1,0 +1,312 @@
+"""Pluggable message transports for the distributed runtime.
+
+A :class:`Transport` moves :mod:`repro.protocol.messages` between actor
+mailboxes (one :class:`asyncio.Queue` per node, owned by the
+:class:`~repro.runtime.runtime.Runtime`).  Two implementations:
+
+* :class:`InProcTransport` — pure asyncio queues.  Optionally applies a
+  :class:`~repro.faults.plan.FaultPlan`'s control-plane loss model and a
+  seeded per-message delivery delay, giving drop/duplication/reordering
+  parity with the simulated :class:`~repro.faults.inject.FaultyNetwork`
+  while running genuinely concurrently;
+* :class:`TcpTransport` — one loopback TCP socket per tree edge, carrying
+  the length-prefixed JSON frames of :mod:`repro.runtime.codec`.  The
+  child endpoint of every edge dials its parent's listener and introduces
+  itself with a hello frame; after the handshake both directions of the
+  edge ride the same socket.  ``close()`` drains every writer before
+  closing, so no ack is lost to shutdown.
+
+Both transports tally ``messages_sent`` / ``bytes_sent`` (the *model*
+bytes of :func:`~repro.protocol.messages.wire_size`, so counters are
+comparable across the simulated and real paths) and ``dropped`` /
+``duplicated`` (faults they injected themselves).  The TCP transport
+additionally counts the real octets written in ``octets_sent``.
+
+The virtual-parent link that seeds the root is process-local on every
+transport — never serialised, never perturbed — mirroring the simulated
+network's convention.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+from ..exceptions import ProtocolError
+from ..faults.inject import LinkFaultDecider
+from ..faults.plan import FaultPlan
+from ..platform.tree import Tree
+from ..protocol.messages import Message, wire_size
+from .codec import LENGTH_PREFIX, MAX_FRAME, encode_frame, read_frame
+
+
+class Transport(ABC):
+    """Delivers protocol messages between the runtime's actor mailboxes."""
+
+    def __init__(self) -> None:
+        self.tree: Optional[Tree] = None
+        self.mailboxes: Dict[Hashable, asyncio.Queue] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.dropped = 0
+        self.duplicated = 0
+
+    async def start(self, tree: Tree,
+                    mailboxes: Dict[Hashable, asyncio.Queue]) -> None:
+        """Bind to the platform; must complete before the first send."""
+        self.tree = tree
+        self.mailboxes = mailboxes
+
+    @abstractmethod
+    async def send(self, message: Message) -> None:
+        """Route one message toward its receiver's mailbox."""
+
+    async def close(self) -> None:
+        """Graceful shutdown: flush in-flight traffic, release resources."""
+
+    # ------------------------------------------------------------------
+    def _deliver_local(self, message: Message) -> None:
+        mailbox = self.mailboxes.get(message.receiver)
+        if mailbox is None:
+            raise ProtocolError(f"no mailbox for {message.receiver!r}")
+        mailbox.put_nowait(message)
+
+    def _on_tree_link(self, message: Message) -> Optional[Hashable]:
+        """The child endpoint of the message's link, ``None`` off-tree."""
+        tree = self.tree
+        a, b = message.sender, message.receiver
+        if a not in tree or b not in tree:
+            return None  # virtual-parent traffic: always local, never faulty
+        if tree.parent(b) == a:
+            return b
+        if tree.parent(a) == b:
+            return a
+        raise ProtocolError(f"{a!r} and {b!r} are not adjacent")
+
+
+class InProcTransport(Transport):
+    """Asyncio-queue transport, optionally lossy and delayed.
+
+    *plan* applies the fault plan's per-link drop/duplication model; its
+    decisions are keyed by message ``xid`` and occurrence
+    (:class:`~repro.faults.inject.LinkFaultDecider`), so the fault trace is
+    the same one :class:`~repro.faults.inject.FaultyNetwork` injects into
+    the simulated negotiation — concurrency cannot change which messages
+    die.  *max_delay* (wall seconds) adds a seeded uniform delivery delay
+    per message, exercising reordering; with ``max_delay=0`` delivery is
+    immediate and in send order.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None,
+                 max_delay: float = 0.0, seed: int = 0):
+        super().__init__()
+        if max_delay < 0:
+            raise ProtocolError("max_delay must be >= 0")
+        self.plan = plan
+        self.max_delay = max_delay
+        self._decision_plan = plan if plan is not None else FaultPlan(seed=seed)
+        self._decider = LinkFaultDecider(self._decision_plan)
+        self._pending: Set[asyncio.Task] = set()
+
+    async def send(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += wire_size(message)
+        child = self._on_tree_link(message)
+        copies = 1
+        coordinates = None
+        if child is not None and (self.plan is not None or self.max_delay):
+            coordinates = self._decider.coordinates(message)
+        if child is not None and self.plan is not None and self.plan.lossy:
+            drop = (
+                self._decision_plan.decision("drop", *coordinates)
+                < self._decision_plan.link_drop(child)
+            )
+            duplicate = (
+                self._decision_plan.decision("duplicate", *coordinates)
+                < self._decision_plan.link_duplicate(child)
+            )
+            if drop:
+                self.dropped += 1
+                return
+            if duplicate:
+                self.duplicated += 1
+                copies = 2
+        for copy in range(copies):
+            if child is not None and self.max_delay:
+                delay = self.max_delay * self._decision_plan.decision(
+                    "delay", copy, *coordinates
+                )
+                task = asyncio.ensure_future(self._deliver_late(message, delay))
+                self._pending.add(task)
+                task.add_done_callback(self._pending.discard)
+            else:
+                self._deliver_local(message)
+
+    async def _deliver_late(self, message: Message, delay: float) -> None:
+        await asyncio.sleep(delay)
+        self._deliver_local(message)
+
+    async def close(self) -> None:
+        for task in list(self._pending):
+            task.cancel()
+        if self._pending:
+            await asyncio.gather(*self._pending, return_exceptions=True)
+        self._pending.clear()
+
+
+class TcpTransport(Transport):
+    """One loopback TCP socket per tree edge, length-prefixed JSON frames.
+
+    Every node runs a listener; during :meth:`start`, the child endpoint
+    of each edge dials its parent and sends a hello frame naming itself.
+    Start returns only once every edge is connected in both directions, so
+    the negotiation never races the handshake.
+
+    *plan* injects the fault plan's drop model **at the sender**, before
+    the frame reaches the socket — TCP itself never loses data, so this is
+    how a lossy control plane is staged for wall-clock retry testing.
+    Duplication writes the frame twice.
+    """
+
+    def __init__(self, host: str = "127.0.0.1",
+                 plan: Optional[FaultPlan] = None):
+        super().__init__()
+        self.host = host
+        self.plan = plan
+        self._decider = LinkFaultDecider(plan) if plan is not None else None
+        self.octets_sent = 0
+        self._servers: Dict[Hashable, asyncio.AbstractServer] = {}
+        self._writers: Dict[Tuple[Hashable, Hashable],
+                            asyncio.StreamWriter] = {}
+        self._readers: Set[asyncio.Task] = set()
+        self._edges_ready: Optional[asyncio.Event] = None
+        self._expected_edges = 0
+        self._failure: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    async def start(self, tree: Tree,
+                    mailboxes: Dict[Hashable, asyncio.Queue]) -> None:
+        await super().start(tree, mailboxes)
+        self._edges_ready = asyncio.Event()
+        edges = [(tree.parent(n), n) for n in tree.nodes()
+                 if tree.parent(n) is not None]
+        self._expected_edges = len(edges)
+        ports: Dict[Hashable, int] = {}
+        for node in tree.nodes():
+            server = await asyncio.start_server(
+                self._make_accept_handler(node), host=self.host, port=0
+            )
+            self._servers[node] = server
+            ports[node] = server.sockets[0].getsockname()[1]
+        for parent, child in edges:
+            reader, writer = await asyncio.open_connection(
+                self.host, ports[parent]
+            )
+            hello = json.dumps({"hello": child},
+                               separators=(",", ":")).encode("utf-8")
+            writer.write(LENGTH_PREFIX.pack(len(hello)) + hello)
+            await writer.drain()
+            self._writers[(child, parent)] = writer
+            self._spawn_reader(child, reader)
+        if self._expected_edges == 0:
+            self._edges_ready.set()
+        await self._edges_ready.wait()
+        if self._failure is not None:
+            raise self._failure
+
+    def _make_accept_handler(self, owner: Hashable):
+        async def accept(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+            try:
+                prefix = await reader.readexactly(LENGTH_PREFIX.size)
+                (length,) = LENGTH_PREFIX.unpack(prefix)
+                if length > MAX_FRAME:
+                    raise ProtocolError("oversized hello frame")
+                hello = json.loads(
+                    (await reader.readexactly(length)).decode("utf-8")
+                )
+                peer = hello["hello"]
+            except (asyncio.IncompleteReadError, ValueError, KeyError) as exc:
+                self._failure = ProtocolError(
+                    f"bad handshake on {owner!r}'s listener"
+                )
+                self._failure.__cause__ = exc
+                self._edges_ready.set()
+                writer.close()
+                return
+            self._writers[(owner, peer)] = writer
+            self._spawn_reader(owner, reader)
+            if len(self._writers) >= 2 * self._expected_edges:
+                self._edges_ready.set()
+
+        return accept
+
+    def _spawn_reader(self, owner: Hashable,
+                      reader: asyncio.StreamReader) -> None:
+        task = asyncio.ensure_future(self._read_loop(owner, reader))
+        self._readers.add(task)
+        task.add_done_callback(self._readers.discard)
+
+    async def _read_loop(self, owner: Hashable,
+                         reader: asyncio.StreamReader) -> None:
+        """Decode frames arriving at *owner*'s end of one edge."""
+        mailbox = self.mailboxes[owner]
+        while True:
+            message = await read_frame(reader)
+            if message is None:
+                return  # peer drained and closed: clean shutdown
+            mailbox.put_nowait(message)
+
+    # ------------------------------------------------------------------
+    async def send(self, message: Message) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += wire_size(message)
+        child = self._on_tree_link(message)
+        if child is None:
+            self._deliver_local(message)
+            return
+        writer = self._writers.get((message.sender, message.receiver))
+        if writer is None:
+            raise ProtocolError(
+                f"no socket for edge {message.sender!r}→{message.receiver!r}"
+            )
+        copies = 1
+        if self._decider is not None:
+            drop, duplicate = self._decider.verdict(child, message)
+            if drop:
+                self.dropped += 1
+                return
+            if duplicate:
+                self.duplicated += 1
+                copies = 2
+        frame = encode_frame(message)
+        for _ in range(copies):
+            writer.write(frame)
+            self.octets_sent += len(frame)
+        await writer.drain()
+
+    async def close(self) -> None:
+        """Drain-and-close: flush every socket, then tear down listeners."""
+        for writer in self._writers.values():
+            try:
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, RuntimeError):
+                pass
+        for writer in self._writers.values():
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+        self._writers.clear()
+        for task in list(self._readers):
+            task.cancel()
+        if self._readers:
+            await asyncio.gather(*self._readers, return_exceptions=True)
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            await server.wait_closed()
+        self._servers.clear()

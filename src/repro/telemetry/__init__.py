@@ -27,11 +27,13 @@ from .core import (
     Span,
 )
 from .exporters import (
+    JsonlStream,
     chrome_trace,
     chrome_trace_json,
     jsonl_lines,
     prometheus_text,
     run_jsonl_lines,
+    stream_jsonl,
     write_jsonl,
     write_run_jsonl,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "chrome_trace_json",
     "prometheus_text",
     "jsonl_lines",
+    "JsonlStream",
+    "stream_jsonl",
     "write_jsonl",
     "run_jsonl_lines",
     "write_run_jsonl",

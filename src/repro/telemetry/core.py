@@ -140,6 +140,7 @@ class Registry:
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
         self.spans: List[Span] = []
         self._next_span_id = 1
+        self._span_observers: List = []
 
     # ------------------------------------------------------------------
     # metrics
@@ -199,7 +200,25 @@ class Registry:
         span.end = end
         if tags:
             span.tags.update(tags)
+        if self._span_observers:
+            for observer in self._span_observers:
+                observer(span)
         return span
+
+    def on_span_close(self, observer) -> None:
+        """Call *observer(span)* whenever a span closes.
+
+        The hook behind streaming exporters
+        (:func:`~repro.telemetry.exporters.stream_jsonl`): a long run can
+        flush events incrementally instead of serialising the whole
+        registry at the end.  Observers run synchronously inside
+        :meth:`end_span`, so they should be cheap (a write + flush)."""
+        self._span_observers.append(observer)
+
+    def remove_span_observer(self, observer) -> None:
+        """Detach an observer added by :meth:`on_span_close`."""
+        if observer in self._span_observers:
+            self._span_observers.remove(observer)
 
     def record_span(self, name: str, start, end, node=None,
                     parent: Optional[Span] = None, **tags) -> Span:

@@ -13,7 +13,10 @@ Three formats, all dependency-free:
 * :func:`jsonl_lines` / :func:`write_jsonl` — structured JSONL event
   logs: one JSON object per span and per metric sample.  Exact rationals
   are emitted twice — a lossless string and a float — so downstream
-  tooling can pick precision or convenience.
+  tooling can pick precision or convenience.  :func:`stream_jsonl`
+  produces the same records **incrementally** — each span flushes to disk
+  the moment it closes — for long runtime or simulation sessions that
+  should leave a usable log even when interrupted.
 
 :func:`run_jsonl_lines` additionally interleaves a simulation
 :class:`~repro.sim.tracing.Trace` (segments, completions, releases,
@@ -176,6 +179,84 @@ def jsonl_lines(registry: Registry) -> Iterator[str]:
     """One JSON object per span and per metric sample."""
     for span in registry.spans:
         yield json.dumps(_span_record(span))
+    yield from _metric_lines(registry)
+
+
+def write_jsonl(registry: Registry, path) -> None:
+    """Write :func:`jsonl_lines` to *path*."""
+    from pathlib import Path
+
+    Path(path).write_text("".join(line + "\n" for line in jsonl_lines(registry)))
+
+
+class JsonlStream:
+    """Incremental JSONL exporter: spans flush to the sink as they close.
+
+    Attach with :func:`stream_jsonl` (or construct directly with an open
+    file object).  Every span closed while the stream is attached is
+    serialised and flushed immediately, so a long runtime or simulation
+    session leaves a usable event log even if it never completes.
+    :meth:`close` emits whatever only exists at the end of a run — spans
+    that never closed, then every metric sample — detaches from the
+    registry, and closes the file if the stream opened it.
+
+    The streamed output carries exactly the records of the batch
+    :func:`jsonl_lines` export (the unit tests assert it); only the order
+    differs — streamed spans appear in *close* order, the batch export in
+    *creation* order.
+    """
+
+    def __init__(self, registry: Registry, sink, owns_sink: bool = False):
+        self.registry = registry
+        self._sink = sink
+        self._owns_sink = owns_sink
+        self._emitted: set = set()
+        self._closed = False
+        registry.on_span_close(self._on_span_close)
+
+    def _write(self, line: str) -> None:
+        self._sink.write(line + "\n")
+        self._sink.flush()
+
+    def _on_span_close(self, span: Span) -> None:
+        if span.id in self._emitted:
+            return  # a span closed twice keeps its first record
+        self._emitted.add(span.id)
+        self._write(json.dumps(_span_record(span)))
+
+    def close(self) -> None:
+        """Flush the endgame records and detach; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.registry.remove_span_observer(self._on_span_close)
+        for span in self.registry.spans:
+            if span.id not in self._emitted:
+                self._emitted.add(span.id)
+                self._write(json.dumps(_span_record(span)))
+        for line in _metric_lines(self.registry):
+            self._write(line)
+        if self._owns_sink:
+            self._sink.close()
+
+    def __enter__(self) -> "JsonlStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def stream_jsonl(registry: Registry, path) -> JsonlStream:
+    """Open *path* and stream the registry's events to it incrementally.
+
+    Returns the attached :class:`JsonlStream`; call ``close()`` (or use it
+    as a context manager) once the instrumented run finishes."""
+    sink = open(path, "w", encoding="utf-8")
+    return JsonlStream(registry, sink, owns_sink=True)
+
+
+def _metric_lines(registry: Registry) -> Iterator[str]:
+    """The metric-sample tail shared by batch and streaming exports."""
     for counter in registry.counters():
         yield json.dumps({
             "type": "counter", "name": counter.name,
@@ -194,13 +275,6 @@ def jsonl_lines(registry: Registry) -> Iterator[str]:
             "min": None if hist.min is None else _exact(hist.min),
             "max": None if hist.max is None else _exact(hist.max),
         })
-
-
-def write_jsonl(registry: Registry, path) -> None:
-    """Write :func:`jsonl_lines` to *path*."""
-    from pathlib import Path
-
-    Path(path).write_text("".join(line + "\n" for line in jsonl_lines(registry)))
 
 
 def run_jsonl_lines(trace, registry: Optional[Registry] = None) -> Iterator[str]:

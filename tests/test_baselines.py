@@ -128,3 +128,30 @@ class TestGreedy:
         result = simulate_greedy(t, horizon=400)
         late = measured_rate(result.trace, 200, 400)
         assert late < optimal
+
+
+class TestBaselineTelemetry:
+    """The tallies are ``baseline.*`` telemetry counters; the result's
+    attributes are thin views over them (satellite of the runtime PR)."""
+
+    def test_attributes_are_counter_views(self, paper_tree):
+        result = simulate_demand_driven(paper_tree, horizon=100)
+        assert result.request_messages == result.telemetry.value(
+            "baseline.request_messages") > 0
+        assert result.interruptions == result.telemetry.value(
+            "baseline.interruptions") == 0
+
+    def test_interruptions_counted(self, paper_tree):
+        result = simulate_demand_driven(
+            paper_tree, horizon=100, interruptible=True)
+        assert result.interruptions == result.telemetry.value(
+            "baseline.interruptions") > 0
+
+    def test_external_registry_mirrors(self, paper_tree):
+        from repro.telemetry import Registry
+
+        external = Registry()
+        result = simulate_demand_driven(
+            paper_tree, horizon=100, telemetry=external)
+        assert external.value("baseline.request_messages") == \
+            result.request_messages

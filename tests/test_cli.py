@@ -92,3 +92,38 @@ class TestExampleCommand:
         assert "10/9" in out
         assert "P0 -> P1" in out
         assert "10-period simulation" in out
+
+
+class TestRuntimeCommand:
+    def test_inproc(self, tree_file, capsys):
+        assert main(["runtime", tree_file]) == 0
+        out = capsys.readouterr().out
+        assert "transport:            inproc" in out
+        assert "10/9" in out
+        assert "verified == bw_first:  True" in out
+        assert "transactions:          8" in out
+
+    def test_tcp_transport(self, tree_file, capsys):
+        assert main(["runtime", tree_file, "--transport", "tcp"]) == 0
+        out = capsys.readouterr().out
+        assert "transport:            tcp" in out
+        assert "10/9" in out
+        assert "tcp octets on wire:" in out
+
+    def test_dsl_source(self, capsys):
+        assert main(["runtime", "--dsl", "R(w=2)[A(w=2,c=1)]"]) == 0
+        out = capsys.readouterr().out
+        assert "visited nodes:         2/2" in out
+
+    def test_trace_out(self, tree_file, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "runtime.jsonl"
+        assert main(["runtime", tree_file, "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == 8  # one per Figure 4 transaction
+        assert all(s["tags"]["outcome"] == "acked" for s in spans)

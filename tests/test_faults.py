@@ -410,3 +410,84 @@ class TestWithoutSubtrees:
         tree = two_level()
         tree.without_subtrees({"a"})
         assert set(tree.nodes()) == {"root", "a", "b", "a1"}
+
+
+# ----------------------------------------------------------------------
+# xid-keyed fault decisions (the runtime's reordering guarantee)
+# ----------------------------------------------------------------------
+class TestLinkFaultDecider:
+    """Fault decisions for numbered messages are addressed by ``xid`` and
+    occurrence, not by send ordinal — so concurrency reordering the sends
+    cannot change which messages die."""
+
+    def messages(self):
+        return [
+            Proposal(sender="root", receiver="a", beta=F(1), xid=x)
+            for x in (1, 2, 3, 4, 5)
+        ]
+
+    def test_reordering_does_not_change_verdicts(self):
+        from repro.faults import LinkFaultDecider
+
+        plan = FaultPlan(seed=7, drop=F(1, 3), duplicate=F(1, 8))
+        in_order = self.messages()
+        shuffled = [in_order[i] for i in (3, 0, 4, 2, 1)]
+
+        first = LinkFaultDecider(plan)
+        verdicts_in_order = {
+            m.xid: first.verdict("a", m) for m in in_order
+        }
+        second = LinkFaultDecider(plan)
+        verdicts_shuffled = {
+            m.xid: second.verdict("a", m) for m in shuffled
+        }
+        assert verdicts_in_order == verdicts_shuffled
+        assert any(drop for drop, _ in verdicts_in_order.values())
+
+    def test_retransmissions_get_fresh_decisions(self):
+        from repro.faults import LinkFaultDecider
+
+        plan = FaultPlan(seed=0, drop=F(1, 2))
+        decider = LinkFaultDecider(plan)
+        message = Proposal(sender="root", receiver="a", beta=F(1), xid=9)
+        verdicts = [decider.verdict("a", message) for _ in range(20)]
+        # occurrence advances per transmission: not all draws are equal
+        assert len(set(verdicts)) > 1
+
+    def test_unnumbered_messages_keep_the_legacy_ordinal_path(self):
+        from repro.faults import LinkFaultDecider
+
+        plan = FaultPlan(seed=3, drop=F(1, 2))
+        decider = LinkFaultDecider(plan)
+        message = Proposal(sender="root", receiver="a", beta=F(1))
+        coordinates = [decider.coordinates(message) for _ in range(3)]
+        assert coordinates == [
+            ("root", "a", 0), ("root", "a", 1), ("root", "a", 2),
+        ]
+
+    def test_network_and_decider_agree(self):
+        """FaultyNetwork's injected trace is exactly what a standalone
+        decider predicts for the same plan and traffic."""
+        from repro.faults import LinkFaultDecider
+
+        tree = two_level()
+        plan = FaultPlan(seed=11, drop=F(1, 4), duplicate=F(1, 10))
+        network = FaultyNetwork(tree, plan)
+        network.register("a", lambda m: None)
+        network.register("root", lambda m: None)
+        traffic = [
+            Proposal(sender="root", receiver="a", beta=F(1), xid=x)
+            for x in range(40)
+        ]
+        for message in traffic:
+            network.send(message)
+        network.run()
+
+        decider = LinkFaultDecider(plan)
+        expected_drop = expected_dup = 0
+        for message in traffic:
+            drop, duplicate = decider.verdict("a", message)
+            expected_drop += drop
+            expected_dup += not drop and duplicate
+        assert network.dropped == expected_drop
+        assert network.duplicated == expected_dup

@@ -98,3 +98,24 @@ class TestControlPlaneTraffic:
         report = online_renegotiation(believed, faster)
         assert report.new_optimum >= report.old_optimum
         assert report.recovery == 1
+
+
+class TestOnlineTelemetry:
+    """``negotiation_messages`` is a thin view over the report's
+    ``online.*`` counters (satellite of the runtime PR)."""
+
+    def test_attribute_is_a_counter_view(self, scenario):
+        _, _, report = scenario
+        assert report.negotiation_messages == report.telemetry.value(
+            "online.negotiation_messages") > 0
+        assert report.telemetry.value("online.transactions") > 0
+
+    def test_external_registry_mirrors(self):
+        from repro.telemetry import Registry
+
+        believed = paper_figure4_tree()
+        actual = perturb(believed, edge_factors={"P1": 3})
+        external = Registry()
+        report = online_renegotiation(believed, actual, telemetry=external)
+        assert external.value("online.negotiation_messages") == \
+            report.negotiation_messages

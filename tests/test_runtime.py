@@ -1,0 +1,368 @@
+"""Tests for repro.runtime: the asyncio distributed runtime.
+
+The headline property (claims experiment E6 extended): on the Figure 4
+tree and on a population of random trees, the *executed* negotiation —
+over in-process queues or real loopback TCP sockets — returns exactly the
+throughput of the centralised ``bw_first()`` and of the *simulated*
+``run_protocol()``, with the same visited set, the same tally counters,
+and (on the reference tree) a structurally identical transaction span
+tree.  Proposition 2 does not care whether the messages are virtual.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.exceptions import ProtocolError
+from repro.faults.plan import FaultPlan
+from repro.platform.generators import random_tree
+from repro.platform.tree import Tree
+from repro.protocol.messages import Acknowledgment, Proposal
+from repro.protocol.retry import RetryPolicy
+from repro.protocol.runner import VIRTUAL_PARENT, run_protocol
+from repro.runtime import (
+    InProcTransport,
+    Runtime,
+    TcpTransport,
+    decode_message,
+    encode_frame,
+    encode_message,
+    negotiate,
+    sequential_completion_time,
+)
+from repro.telemetry import Registry
+
+
+def span_fingerprint(registry: Registry):
+    """The transaction span tree minus timestamps: for every span, the
+    chain of (node, proposer, beta, xid, outcome, theta) tuples up to the
+    root.  Equal fingerprints mean structurally identical negotiations."""
+    spans = {s.id: s for s in registry.spans_named("transaction")}
+
+    def describe(span):
+        return (
+            str(span.node),
+            str(span.tags.get("proposer")),
+            span.tags.get("beta"),
+            span.tags.get("xid"),
+            span.tags.get("outcome"),
+            span.tags.get("theta"),
+        )
+
+    def chain(span):
+        out = [describe(span)]
+        while span.parent_id is not None:
+            span = spans[span.parent_id]
+            out.append(describe(span))
+        return tuple(out)
+
+    return frozenset(chain(s) for s in spans.values())
+
+
+# ----------------------------------------------------------------------
+# wire codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_proposal_round_trip(self):
+        message = Proposal(sender="P0", receiver="P1",
+                           beta=Fraction(10, 9), xid=3)
+        assert decode_message(encode_message(message)) == message
+
+    def test_ack_round_trip(self):
+        message = Acknowledgment(sender="P1", receiver="P0",
+                                 theta=Fraction(0), xid=7)
+        assert decode_message(encode_message(message)) == message
+
+    def test_fractions_stay_exact(self):
+        beta = Fraction(123456789, 987654321)
+        message = Proposal(sender="a", receiver="b", beta=beta, xid=0)
+        assert decode_message(encode_message(message)).beta == beta
+
+    def test_frame_is_length_prefixed(self):
+        message = Proposal(sender="a", receiver="b", beta=Fraction(1), xid=0)
+        frame = encode_frame(message)
+        payload = encode_message(message)
+        assert frame[4:] == payload
+        assert int.from_bytes(frame[:4], "big") == len(payload)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b'{"t":"nope"}')
+
+    def test_read_frame_handles_clean_eof(self):
+        import asyncio
+
+        async def scenario():
+            from repro.runtime import read_frame
+
+            reader = asyncio.StreamReader()
+            message = Proposal(sender="a", receiver="b",
+                               beta=Fraction(5, 3), xid=1)
+            reader.feed_data(encode_frame(message))
+            reader.feed_eof()
+            assert await read_frame(reader) == message
+            assert await read_frame(reader) is None  # clean EOF
+
+        asyncio.run(scenario())
+
+    def test_read_frame_rejects_truncation(self):
+        import asyncio
+
+        async def scenario():
+            from repro.runtime import read_frame
+
+            reader = asyncio.StreamReader()
+            message = Proposal(sender="a", receiver="b",
+                               beta=Fraction(1), xid=0)
+            reader.feed_data(encode_frame(message)[:-2])
+            reader.feed_eof()
+            with pytest.raises(ProtocolError):
+                await read_frame(reader)
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# cross-path equivalence (E6 extended)
+# ----------------------------------------------------------------------
+class TestEquivalenceFigure4:
+    @pytest.fixture(params=["inproc", "tcp"])
+    def transport(self, request):
+        return request.param
+
+    def test_throughput_is_exact(self, paper_tree, transport):
+        result = negotiate(paper_tree, transport=transport)
+        assert result.throughput == bw_first(paper_tree).throughput
+        assert result.throughput == Fraction(10, 9)
+
+    def test_matches_simulated_runner(self, paper_tree, transport):
+        simulated = run_protocol(paper_tree)
+        executed = negotiate(paper_tree, transport=transport)
+        assert executed.throughput == simulated.throughput
+        assert executed.visited == simulated.visited
+        assert executed.transactions == simulated.transactions
+        assert executed.messages == simulated.messages
+        assert executed.bytes == simulated.bytes
+
+    def test_span_tree_is_structurally_identical(self, paper_tree, transport):
+        sim_registry = Registry()
+        run_protocol(paper_tree, telemetry=sim_registry)
+        rt_registry = Registry()
+        negotiate(paper_tree, transport=transport, telemetry=rt_registry)
+        assert span_fingerprint(rt_registry) == span_fingerprint(sim_registry)
+
+
+class TestEquivalenceRandomTrees:
+    """Both transports against the simulator on ≥25 seeded random trees."""
+
+    SEEDS = list(range(26))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_inproc_equals_simulated(self, seed):
+        tree = random_tree(n=2 + seed % 13, seed=seed)
+        simulated = run_protocol(tree)
+        executed = negotiate(tree, transport="inproc")
+        assert executed.throughput == simulated.throughput
+        assert executed.throughput == bw_first(tree).throughput
+        assert executed.visited == simulated.visited
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tcp_equals_simulated(self, seed):
+        tree = random_tree(n=2 + seed % 13, seed=seed)
+        simulated = run_protocol(tree)
+        executed = negotiate(tree, transport="tcp")
+        assert executed.throughput == simulated.throughput
+        assert executed.visited == simulated.visited
+
+
+# ----------------------------------------------------------------------
+# wall-clock retry over lossy transports
+# ----------------------------------------------------------------------
+class TestLossyTransports:
+    def test_tcp_survives_dropped_proposals(self, paper_tree):
+        """A dropped frame stalls the negotiation until the wall-clock
+        retry timer fires and retransmits — and the result is still
+        exact (acceptance criterion: injected drop + wall-clock retry)."""
+        plan = FaultPlan(seed=1, drop=Fraction(1, 4))
+        result = negotiate(
+            paper_tree,
+            transport=TcpTransport(plan=plan),
+            retry=RetryPolicy(max_retries=6),
+            base_timeout=0.05,
+        )
+        assert result.dropped > 0
+        assert result.retransmissions > 0
+        assert result.throughput == bw_first(paper_tree).throughput
+
+    def test_inproc_survives_dropped_proposals(self, paper_tree):
+        plan = FaultPlan(seed=2, drop=Fraction(1, 4))
+        result = negotiate(
+            paper_tree,
+            transport=InProcTransport(plan=plan),
+            retry=RetryPolicy(max_retries=6),
+            base_timeout=0.05,
+        )
+        assert result.dropped > 0
+        assert result.throughput == bw_first(paper_tree).throughput
+
+    def test_inproc_reordering_delays_are_harmless(self, paper_tree):
+        """Seeded delivery delays reorder nothing the state machine cannot
+        absorb: the result stays exact."""
+        result = negotiate(
+            paper_tree,
+            transport=InProcTransport(max_delay=0.01, seed=5),
+        )
+        assert result.throughput == bw_first(paper_tree).throughput
+
+    def test_lossy_without_retry_hits_the_deadline(self, two_level_tree):
+        plan = FaultPlan(seed=0, drop=Fraction(99, 100))  # ~every frame dies
+        with pytest.raises(ProtocolError, match="did not converge"):
+            negotiate(
+                two_level_tree,
+                transport=InProcTransport(plan=plan),
+                deadline=0.3,
+            )
+
+
+# ----------------------------------------------------------------------
+# fail-stop nodes pruned by wall-clock timeout
+# ----------------------------------------------------------------------
+class TestFailedNodes:
+    def test_silent_child_is_pruned(self, paper_tree):
+        from repro.protocol.runner import _prune
+
+        failed = frozenset({"P2"})
+        result = negotiate(
+            paper_tree,
+            failed=failed,
+            retry=RetryPolicy(max_retries=1),
+            base_timeout=0.02,
+        )
+        pruned = _prune(paper_tree, failed)
+        assert result.throughput == bw_first(pruned).throughput
+        assert result.timeouts > 0
+        assert "P2" not in result.visited
+
+    def test_failed_root_rejected(self, paper_tree):
+        with pytest.raises(ProtocolError, match="root"):
+            Runtime(paper_tree, failed=frozenset({"P0"}))
+
+
+# ----------------------------------------------------------------------
+# runtime → virtual timeline mapping
+# ----------------------------------------------------------------------
+class TestSequentialCompletionTime:
+    def test_equals_simulated_completion(self, paper_tree):
+        """Loss-free, the depth-first protocol keeps one message in
+        flight, so the virtual completion time is the plain sum of the
+        message latencies — which is what the simulated runner measures."""
+        simulated = run_protocol(paper_tree)
+        executed = negotiate(paper_tree)
+        assert (
+            sequential_completion_time(executed)
+            == simulated.completion_time
+        )
+
+    @pytest.mark.parametrize("seed", [0, 7, 19])
+    def test_equals_simulated_on_random_trees(self, seed):
+        tree = random_tree(n=2 + seed % 11, seed=seed)
+        simulated = run_protocol(tree)
+        executed = negotiate(tree)
+        assert (
+            sequential_completion_time(executed)
+            == simulated.completion_time
+        )
+
+    def test_fixed_latency_term(self, two_level_tree):
+        executed = negotiate(two_level_tree)
+        base = sequential_completion_time(executed)
+        padded = sequential_completion_time(
+            executed, fixed_latency=Fraction(1, 10)
+        )
+        per_transaction = 2 * Fraction(1, 10)
+        settled = sum(
+            len(a.transactions) for a in executed.actors.values()
+        )
+        assert padded - base == settled * per_transaction
+
+
+# ----------------------------------------------------------------------
+# telemetry parity + construction errors
+# ----------------------------------------------------------------------
+class TestRuntimeTelemetry:
+    def test_result_counters_match_attributes(self, paper_tree):
+        result = negotiate(paper_tree)
+        registry = result.telemetry
+        assert registry.value("protocol.messages") == result.messages
+        assert registry.value("protocol.transactions") == result.transactions
+        assert registry.value("protocol.throughput") == result.throughput
+
+    def test_external_registry_mirrors_tallies(self, paper_tree):
+        external = Registry()
+        result = negotiate(paper_tree, telemetry=external)
+        for name in ("protocol.messages", "protocol.bytes",
+                     "protocol.transactions"):
+            assert external.value(name) == result.telemetry.value(name)
+
+    def test_tcp_counts_real_octets(self, paper_tree):
+        external = Registry()
+        result = negotiate(paper_tree, transport="tcp", telemetry=external)
+        octets = external.value("runtime.tcp.octets")
+        assert octets > 0
+        # framed JSON is bulkier than the 11-byte model messages
+        assert octets > result.bytes
+
+
+class TestConstruction:
+    def test_unknown_transport_rejected(self, paper_tree):
+        with pytest.raises(ProtocolError, match="unknown transport"):
+            Runtime(paper_tree, transport="carrier-pigeon")
+
+    def test_reserved_name_rejected(self):
+        tree = Tree(VIRTUAL_PARENT, w=1)
+        with pytest.raises(ProtocolError, match="reserved"):
+            Runtime(tree)
+
+    def test_nonpositive_timeout_rejected(self, paper_tree):
+        with pytest.raises(ProtocolError, match="base_timeout"):
+            Runtime(paper_tree, base_timeout=0)
+
+    def test_verify_catches_wrong_proposal_claim(self, paper_tree):
+        # negotiating from a non-default proposal still verifies against
+        # bw_first at that proposal — the check must pass, not misfire
+        from repro.core.bwfirst import root_proposal
+
+        lam = root_proposal(paper_tree) + 5
+        result = negotiate(paper_tree, proposal=lam)
+        assert result.throughput == bw_first(
+            paper_tree, proposal=lam
+        ).throughput
+
+
+# ----------------------------------------------------------------------
+# recovery integration: re-negotiation over the real runtime
+# ----------------------------------------------------------------------
+class TestRecoveryOverRuntime:
+    @pytest.mark.parametrize("transport", ["inproc", "tcp"])
+    def test_resilient_run_routes_through_runtime(self, paper_tree,
+                                                  transport):
+        from repro.faults.plan import NodeCrash
+        from repro.faults.recovery import resilient_run
+
+        plan = FaultPlan(crashes=(NodeCrash("P4", Fraction(9)),))
+        report = resilient_run(paper_tree, plan, runtime=transport)
+        assert report.rate_after == report.new_optimum
+        assert "P4" not in report.survivors
+
+    def test_runtime_and_simulated_paths_agree_on_rates(self, paper_tree):
+        from repro.faults.plan import NodeCrash
+        from repro.faults.recovery import resilient_run
+
+        plan = FaultPlan(crashes=(NodeCrash("P4", Fraction(9)),))
+        over_runtime = resilient_run(paper_tree, plan, runtime="inproc")
+        simulated = resilient_run(paper_tree, plan)
+        assert over_runtime.new_optimum == simulated.new_optimum
+        assert over_runtime.rate_after == simulated.rate_after

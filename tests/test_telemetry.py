@@ -36,6 +36,7 @@ from repro.sim import simulate
 from repro.sim.tracing import CTRL, SEND, Trace
 from repro.telemetry import (
     NULL,
+    JsonlStream,
     NullRegistry,
     Registry,
     chrome_trace,
@@ -43,6 +44,7 @@ from repro.telemetry import (
     jsonl_lines,
     prometheus_text,
     run_jsonl_lines,
+    stream_jsonl,
     write_jsonl,
 )
 
@@ -490,3 +492,95 @@ class TestCli:
                    for line in out_path.read_text().splitlines()]
         kinds = {r["type"] for r in records}
         assert {"segment", "completion", "counter"} <= kinds
+
+
+# ----------------------------------------------------------------------
+# streaming JSONL exporter (satellite: incremental export == batch)
+# ----------------------------------------------------------------------
+class TestStreamingJsonl:
+    def test_streamed_records_equal_batch(self, tmp_path):
+        """An instrumented run exported incrementally produces exactly the
+        records of the batch export — only the order may differ."""
+        streamed = Registry()
+        path = tmp_path / "stream.jsonl"
+        with stream_jsonl(streamed, path):
+            run_protocol(paper_figure4_tree(), telemetry=streamed)
+            simulate(paper_figure4_tree(), horizon=24, telemetry=streamed)
+        batch = sorted(jsonl_lines(streamed))
+        assert sorted(path.read_text().splitlines()) == batch
+
+    def test_spans_flush_as_they_close(self, tmp_path):
+        registry = Registry()
+        path = tmp_path / "stream.jsonl"
+        stream = stream_jsonl(registry, path)
+        registry.record_span("phase", start=F(0), end=F(1), node="n")
+        # already on disk, before close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "phase"
+        stream.close()
+
+    def test_close_emits_unclosed_spans_and_metrics(self, tmp_path):
+        registry = Registry()
+        registry.counter("c").inc(3)
+        path = tmp_path / "stream.jsonl"
+        stream = stream_jsonl(registry, path)
+        registry.begin_span("open-forever", start=F(0), node="n")
+        stream.close()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        kinds = [r["type"] for r in records]
+        assert kinds.count("span") == 1
+        assert "end" not in records[kinds.index("span")]
+        assert any(r["type"] == "counter" and r["value"]["float"] == 3.0
+                   for r in records)
+
+    def test_close_is_idempotent_and_detaches(self, tmp_path):
+        registry = Registry()
+        path = tmp_path / "stream.jsonl"
+        stream = stream_jsonl(registry, path)
+        registry.record_span("a", start=F(0), end=F(1))
+        stream.close()
+        stream.close()
+        size = path.stat().st_size
+        registry.record_span("b", start=F(1), end=F(2))  # after detach
+        assert path.stat().st_size == size
+
+    def test_double_close_of_a_span_keeps_first_record(self, tmp_path):
+        registry = Registry()
+        path = tmp_path / "stream.jsonl"
+        with stream_jsonl(registry, path) as stream:
+            span = registry.begin_span("s", start=F(0))
+            registry.end_span(span, end=F(1))
+            registry.end_span(span, end=F(2))
+        spans = [json.loads(line) for line in path.read_text().splitlines()
+                 if json.loads(line)["type"] == "span"]
+        assert len(spans) == 1
+
+    def test_works_with_any_sink(self):
+        import io
+
+        registry = Registry()
+        sink = io.StringIO()
+        stream = JsonlStream(registry, sink)
+        registry.record_span("s", start=F(0), end=F(1))
+        stream.close()
+        assert not sink.closed  # stream does not own the sink
+        records = [json.loads(line)
+                   for line in sink.getvalue().splitlines()]
+        assert records[0]["name"] == "s"
+
+    def test_runtime_negotiation_streams(self, tmp_path):
+        """The runtime CLI path: a distributed negotiation streamed live."""
+        from repro.runtime import negotiate
+
+        registry = Registry()
+        path = tmp_path / "runtime.jsonl"
+        with stream_jsonl(registry, path):
+            result = negotiate(paper_figure4_tree(), telemetry=registry)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == result.transactions
+        assert sorted(path.read_text().splitlines()) == \
+            sorted(jsonl_lines(registry))
