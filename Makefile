@@ -1,6 +1,6 @@
 # Development commands for the repro library.
 
-.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke examples outputs all clean
+.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke perf-smoke bench-record examples outputs all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -50,6 +50,22 @@ runtime-smoke:
 			--transport tcp && \
 		PYTHONPATH=src pytest tests/test_runtime.py \
 			benchmarks/bench_e25_runtime.py -q"
+
+# perf regression gate for the incremental solver: the E26 gate test plus
+# the incremental unit suite, hard-bounded by `timeout` so a pathological
+# cache regression fails fast instead of wedging CI.  The gate asserts
+# node_evals(incremental) < node_evals(full) on a single-leaf mutation —
+# a count, not a wall-clock, so it cannot flake on slow runners.
+perf-smoke:
+	timeout 300 sh -c "\
+		PYTHONPATH=src pytest \
+			'benchmarks/bench_e26_incremental.py::test_e26_perf_smoke_gate' \
+			tests/test_incremental.py -q && \
+		PYTHONPATH=src python -m repro bench-incr --nodes 200 --mutations 5"
+
+# re-record the committed perf baselines (BENCH_*.json at the repo root)
+bench-record:
+	PYTHONPATH=src python benchmarks/record_baseline.py
 
 examples:
 	@for f in examples/*.py; do \

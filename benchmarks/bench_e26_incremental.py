@@ -1,0 +1,158 @@
+"""E26: incremental BW-First — subtree caching beats full re-solves.
+
+The re-negotiation paths (crash recovery, rejoin, drift) used to re-run
+``bw_first`` on the whole tree after every platform change.
+:class:`~repro.core.incremental.IncrementalSolver` re-fingerprints only the
+dirty root-to-change path and answers every clean subtree from cache, so a
+single-leaf mutation of a 1000-node tree costs a small fraction of the
+node evaluations — with *exactly* equal rational throughput, outcomes and
+transaction log (asserted at every step).
+
+The acceptance bar (ISSUE 4): on the 1000-node E26 family, a single-leaf
+prune + re-solve must evaluate **≥5× fewer** nodes than full ``bw_first``
+on average.  ``test_e26_perf_smoke_gate`` is the coarse CI gate on a small
+tree: strictly fewer evals, no wall-clock threshold.  The recorded
+baselines live in ``BENCH_e26_incremental.json`` (see
+``benchmarks/record_baseline.py`` and ``docs/perf.md``).
+"""
+
+import random
+
+from repro.core.bwfirst import bw_first
+from repro.core.incremental import IncrementalSolver
+from repro.platform.generators import random_tree
+from repro.util.text import render_table
+
+from .conftest import emit
+
+#: the E26 platform family: communication-rich trees (large w, small c)
+#: where the optimal schedule uses essentially every node, so the full
+#: solver has no visit economy left to hide behind
+E26_PARAMS = dict(max_children=4, w_numerator_range=(2000, 6000),
+                  c_numerator_range=(1, 2))
+E26_NODES = 1000
+E26_SEED = 1
+E26_MUTATIONS = 20
+
+
+def e26_tree(nodes=E26_NODES, seed=E26_SEED):
+    return random_tree(nodes, seed=seed, **E26_PARAMS)
+
+
+def prune_churn(solver, mutations, rng):
+    """Prune *mutations* random leaves; yield (victim, full_evals, incr_evals)
+    asserting exact equality against a fresh ``bw_first`` at every step."""
+    for _ in range(mutations):
+        victim = rng.choice(
+            [n for n in solver.tree.leaves() if n != solver.tree.root])
+        solver.prune(victim)
+        got = solver.solve()
+        ref = bw_first(solver.tree)
+        assert got.throughput == ref.throughput
+        assert got.outcomes == ref.outcomes
+        assert got.transactions == ref.transactions
+        yield victim, len(ref.outcomes), solver.last_evals
+
+
+def test_e26_single_leaf_prune_1000_nodes():
+    """The acceptance criterion: ≥5× fewer node evals at exact equality."""
+    tree = e26_tree()
+    solver = IncrementalSolver(tree)
+    full = bw_first(tree)
+    assert len(full.outcomes) == E26_NODES  # the family visits everything
+    solver.solve()
+
+    rng = random.Random(E26_SEED)
+    rows, ratios = [], []
+    for victim, full_evals, incr_evals in prune_churn(
+            solver, E26_MUTATIONS, rng):
+        assert incr_evals < full_evals  # never worse, on any single step
+        ratio = full_evals / max(incr_evals, 1)
+        ratios.append(ratio)
+        rows.append([str(victim), str(full_evals), str(incr_evals),
+                     f"{ratio:.1f}x"])
+    mean = sum(ratios) / len(ratios)
+    emit(
+        f"E26: single-leaf prunes of a {E26_NODES}-node tree "
+        f"(seed {E26_SEED})",
+        render_table(["pruned", "full evals", "incr evals", "ratio"], rows)
+        + f"\nmean reduction: {mean:.1f}x (bar: >=5x)",
+    )
+    assert mean >= 5, f"mean eval reduction {mean:.1f}x below the 5x bar"
+
+
+def test_e26_crash_rejoin_churn():
+    """Crash/rejoin churn: a rejoined branch re-interns to its pre-crash
+    fingerprints, so the cache answers almost everything."""
+    tree = e26_tree(nodes=500, seed=2)
+    solver = IncrementalSolver(tree)
+    solver.solve()
+    rng = random.Random(2)
+    total_full, total_incr = 0, 0
+    for round_no in range(6):
+        candidates = [n for n in solver.tree.nodes()
+                      if solver.tree.parent(n) == solver.tree.root]
+        victim = rng.choice(candidates)
+        branch = solver.tree.subtree(victim)
+        cost = solver.tree.c(victim)
+        parent = solver.tree.parent(victim)
+
+        solver.prune(victim)  # crash …
+        got = solver.solve()
+        ref = bw_first(solver.tree)
+        assert got.outcomes == ref.outcomes
+        total_full += len(ref.outcomes)
+        total_incr += solver.last_evals
+
+        solver.graft(parent, cost, branch)  # … and rejoin
+        got = solver.solve()
+        ref = bw_first(solver.tree)
+        assert got.outcomes == ref.outcomes
+        total_full += len(ref.outcomes)
+        total_incr += solver.last_evals
+        # the rejoin restores the original structure: only the root path
+        # (plus any forced re-proposals) can miss
+        assert solver.last_evals < len(ref.outcomes) // 2
+    emit("E26: crash/rejoin churn (500 nodes, 6 rounds)",
+         f"aggregate node evals: full={total_full} incremental={total_incr} "
+         f"({total_full / max(total_incr, 1):.1f}x)")
+    assert total_incr * 5 <= total_full
+
+
+def test_e26_rate_drift_churn():
+    """w/c drift: a changed rate dirties one root path; everything else
+    answers from cache."""
+    tree = e26_tree(nodes=500, seed=3)
+    solver = IncrementalSolver(tree)
+    solver.solve()
+    rng = random.Random(3)
+    for _ in range(10):
+        node = rng.choice([n for n in solver.tree.nodes()
+                           if n != solver.tree.root])
+        if rng.random() < 0.5:
+            solver.set_w(node, solver.tree.w(node) * rng.choice([2, 3]))
+        else:
+            solver.set_c(node, solver.tree.c(node) * rng.choice([2, 3]))
+        got = solver.solve()
+        ref = bw_first(solver.tree)
+        assert got.outcomes == ref.outcomes
+        assert got.transactions == ref.transactions
+        assert solver.last_evals < len(ref.outcomes)
+
+
+def test_e26_perf_smoke_gate():
+    """The CI regression gate: on a small tree, a single-leaf prune must
+    cost strictly fewer node evaluations than a full solve — no wall-clock
+    thresholds, so it cannot flake on slow runners."""
+    tree = e26_tree(nodes=120, seed=E26_SEED)
+    solver = IncrementalSolver(tree)
+    solver.solve()
+    victim = [n for n in solver.tree.leaves() if n != solver.tree.root][0]
+    solver.prune(victim)
+    got = solver.solve()
+    ref = bw_first(solver.tree)
+    assert got.throughput == ref.throughput
+    assert got.outcomes == ref.outcomes
+    assert solver.last_evals < len(ref.outcomes), (
+        f"node_evals(incremental)={solver.last_evals} must be < "
+        f"node_evals(full)={len(ref.outcomes)}")

@@ -1,0 +1,148 @@
+"""Record perf baselines as committed ``BENCH_*.json`` files.
+
+Run from the repo root (or via ``make bench-record``)::
+
+    PYTHONPATH=src python benchmarks/record_baseline.py
+
+Each file shares one schema so tooling can diff any of them::
+
+    {
+      "bench": "e26_incremental",
+      "schema": 1,
+      "records": [
+        {"params": {...}, "wall_s": 0.0123, "node_evals": 42},
+        ...
+      ]
+    }
+
+``node_evals`` is the machine-independent cost metric (BW-First node
+evaluations actually executed); ``wall_s`` is informational and varies by
+host.  Regression gating uses ``node_evals`` only — see
+``make perf-smoke`` and ``docs/perf.md``.
+"""
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core.bwfirst import bw_first
+from repro.core.incremental import IncrementalSolver
+from repro.platform.examples import paper_figure4_tree
+from repro.platform.generators import random_tree
+from repro.protocol import run_protocol
+from repro.runtime import negotiate
+
+E26_PARAMS = dict(max_children=4, w_numerator_range=(2000, 6000),
+                  c_numerator_range=(1, 2))
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def record_e26(nodes=1000, seeds=(1, 2, 3), mutations=20):
+    """Single-leaf prune churn: full vs incremental node evals per step."""
+    records = []
+    for seed in seeds:
+        tree = random_tree(nodes, seed=seed, **E26_PARAMS)
+        solver = IncrementalSolver(tree)
+        solver.solve()
+        rng = random.Random(seed)
+        full_evals = incr_evals = 0
+        wall_full = wall_incr = 0.0
+        for _ in range(mutations):
+            victim = rng.choice(
+                [n for n in solver.tree.leaves() if n != solver.tree.root])
+            solver.prune(victim)
+            got, dt = timed(solver.solve)
+            wall_incr += dt
+            incr_evals += solver.last_evals
+            ref, dt = timed(lambda t=solver.tree: bw_first(t))
+            wall_full += dt
+            full_evals += len(ref.outcomes)
+            assert got.throughput == ref.throughput
+            assert got.outcomes == ref.outcomes
+        params = dict(nodes=nodes, seed=seed, mutations=mutations,
+                      family="e26", mutation="single_leaf_prune")
+        records.append(dict(params=dict(params, solver="full"),
+                            wall_s=round(wall_full, 6),
+                            node_evals=full_evals))
+        records.append(dict(params=dict(params, solver="incremental"),
+                            wall_s=round(wall_incr, 6),
+                            node_evals=incr_evals))
+        ratio = full_evals / max(incr_evals, 1)
+        print(f"e26 seed={seed}: {full_evals} vs {incr_evals} node evals "
+              f"({ratio:.1f}x), wall {wall_full*1e3:.1f}ms vs "
+              f"{wall_incr*1e3:.1f}ms")
+        assert ratio >= 5, f"seed {seed} fell below the 5x bar"
+    return records
+
+
+def record_e8(sizes=(10, 50, 200)):
+    """Protocol negotiation cost across platform sizes."""
+    records = []
+    for size in sizes:
+        tree = random_tree(size, seed=size)
+        result, wall = timed(lambda t=tree: run_protocol(t))
+        records.append(dict(
+            params=dict(nodes=size, seed=size, path="simulated"),
+            wall_s=round(wall, 6),
+            node_evals=len(result.visited),
+        ))
+        print(f"e8 n={size}: {result.messages} msgs, {wall*1e3:.2f}ms")
+    return records
+
+
+def record_e25(sizes=(14, 50)):
+    """Executed-runtime negotiation across the three substrates."""
+    records = []
+    for label, tree in (
+        ("fig4", paper_figure4_tree()),
+        *((f"random{n}", random_tree(n, seed=n)) for n in sizes),
+    ):
+        for path, run in (
+            ("simulated", lambda t=tree: run_protocol(t)),
+            ("inproc", lambda t=tree: negotiate(t)),
+            ("tcp", lambda t=tree: negotiate(t, transport="tcp")),
+        ):
+            result, wall = timed(run)
+            records.append(dict(
+                params=dict(platform=label, nodes=len(tree), path=path),
+                wall_s=round(wall, 6),
+                node_evals=len(result.visited),
+            ))
+            print(f"e25 {label}/{path}: {wall*1e3:.2f}ms")
+    return records
+
+
+BENCHES = {
+    "e26_incremental": record_e26,
+    "e8_protocol_scaling": record_e8,
+    "e25_runtime": record_e25,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="directory for BENCH_*.json (default: repo root)")
+    parser.add_argument("--only", choices=sorted(BENCHES),
+                        help="record just one benchmark")
+    args = parser.parse_args(argv)
+
+    for name, recorder in BENCHES.items():
+        if args.only and name != args.only:
+            continue
+        payload = dict(bench=name, schema=1, records=recorder())
+        out = args.out_dir / f"BENCH_{name}.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,9 @@ Sub-commands:
   queues or loopback TCP sockets) and report the negotiated throughput,
   message tallies and wall-clock; ``--trace-out`` streams the transaction
   spans to JSONL as they close;
+* ``bench-incr --nodes N --mutations M`` — churn a random tree with
+  single-leaf prunes and compare the incremental solver's node
+  evaluations against full ``bw_first`` re-solves (experiment E26);
 * ``example`` — the whole pipeline on the built-in reconstruction of the
   paper's Section 8 tree.
 
@@ -272,6 +275,61 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_incr(args: argparse.Namespace) -> int:
+    import random as _random
+    import time as _time
+
+    from .core.incremental import IncrementalSolver
+    from .platform.generators import random_tree
+    from .util.text import render_table
+
+    tree = random_tree(
+        args.nodes, seed=args.seed, max_children=4,
+        w_numerator_range=(2000, 6000), c_numerator_range=(1, 2),
+    )
+    solver = IncrementalSolver(tree)
+
+    t0 = _time.perf_counter()
+    full = bw_first(solver.tree)
+    wall_full = _time.perf_counter() - t0
+    solver.solve()  # warm the cache with the initial negotiation
+
+    rng = _random.Random(args.seed)
+    rows = []
+    ratios = []
+    for step in range(args.mutations):
+        victim = rng.choice(
+            [n for n in solver.tree.leaves() if n != solver.tree.root])
+        solver.prune(victim)
+        t0 = _time.perf_counter()
+        result = solver.solve()
+        wall = _time.perf_counter() - t0
+        full_evals = len(bw_first(solver.tree).outcomes)
+        assert result.throughput == bw_first(solver.tree).throughput
+        ratio = full_evals / max(solver.last_evals, 1)
+        ratios.append(ratio)
+        rows.append([
+            str(step), str(victim), str(full_evals), str(solver.last_evals),
+            f"{ratio:.1f}x", f"{wall * 1000:.2f}",
+        ])
+    print(render_table(
+        ["step", "pruned leaf", "full evals", "incr evals", "ratio", "ms"],
+        rows))
+    mean = sum(ratios) / len(ratios)
+    info = solver.cache_info()
+    print(f"\nfull solve of the {args.nodes}-node tree: "
+          f"{len(full.outcomes)} node evals, {wall_full * 1000:.1f} ms")
+    print(f"mean eval reduction over {args.mutations} single-leaf prunes: "
+          f"{mean:.1f}x (min {min(ratios):.1f}x, max {max(ratios):.1f}x)")
+    print(f"cache: {info['entries']} entries, "
+          f"{info['saturated_memos']} saturated, "
+          f"{info['exact_memos']} exact memos, "
+          f"hits {info['hits_saturated']}/{info['hits_absorbed']}"
+          f"/{info['hits_exact']} (sat/abs/exact), "
+          f"{info['misses']} misses")
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     tree = paper_figure4_tree()
     result = bw_first(tree)
@@ -395,6 +453,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="PATH",
                    help="stream transaction spans + metrics to JSONL")
     p.set_defaults(func=_cmd_runtime)
+
+    p = sub.add_parser(
+        "bench-incr",
+        help="incremental vs full BW-First on single-leaf prune churn",
+    )
+    p.add_argument("--nodes", type=int, default=1000,
+                   help="tree size (default 1000, the E26 family)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--mutations", type=int, default=20,
+                   help="number of single-leaf prunes (default 20)")
+    p.set_defaults(func=_cmd_bench_incr)
 
     p = sub.add_parser("example", help="run the built-in paper example")
     p.set_defaults(func=_cmd_example)

@@ -4,6 +4,7 @@
 * :mod:`~repro.core.fork` — Proposition 1 fork reduction;
 * :mod:`~repro.core.bottomup` — the Beaumont et al. bottom-up method;
 * :mod:`~repro.core.bwfirst` — the BW-First procedure (Algorithm 1);
+* :mod:`~repro.core.incremental` — BW-First with subtree solution caching;
 * :mod:`~repro.core.allocation` — steady-state rate assignments;
 * :mod:`~repro.core.lp` / :mod:`~repro.core.simplex` — LP oracles.
 """
@@ -12,6 +13,7 @@ from .allocation import Allocation, from_bw_first
 from .bottomup import BottomUpResult, bottom_up_throughput
 from .bwfirst import BWFirstResult, NodeOutcome, Transaction, bw_first, root_proposal
 from .fork import ForkChild, ForkReduction, reduce_fork, reduce_fork_capped, reduce_fork_tree
+from .incremental import IncrementalSolver, resolve_solver
 from .lp import lp_solution_exact, lp_throughput, lp_throughput_exact
 from .rates import INFINITY, as_fraction, format_fraction, rate_of, time_of
 
@@ -25,6 +27,8 @@ __all__ = [
     "Transaction",
     "bw_first",
     "root_proposal",
+    "IncrementalSolver",
+    "resolve_solver",
     "ForkChild",
     "ForkReduction",
     "reduce_fork",

@@ -38,7 +38,7 @@ from ..platform.tree import Tree
 from .rates import ONE, ZERO
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transaction:
     """One closed parent→child transaction.
 
@@ -59,7 +59,7 @@ class Transaction:
         return self.proposal - self.ack
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeOutcome:
     """Everything BW-First decided at one visited node.
 

@@ -23,8 +23,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Hashable, Mapping, Optional
 
-from ..core.allocation import from_bw_first
+from ..core.allocation import Allocation, from_bw_first
 from ..core.bwfirst import bw_first
+from ..core.incremental import resolve_solver
 from ..core.rates import as_cost, as_weight
 from ..exceptions import PlatformError
 from ..platform.tree import Tree
@@ -73,14 +74,18 @@ def degraded_rate(
     actual: Tree,
     periods_to_run: int = 12,
     measure_tail: int = 4,
+    allocation: Optional[Allocation] = None,
 ) -> Fraction:
     """The rate the *believed* schedule actually achieves on *actual*.
 
     Runs the believed optimal event-driven schedule on the actual platform
     for ``periods_to_run`` believed global periods and measures the average
-    rate over the last ``measure_tail`` of them.
+    rate over the last ``measure_tail`` of them.  *allocation* supplies an
+    already-computed believed allocation so :func:`adapt` does not solve
+    the believed platform twice.
     """
-    allocation = from_bw_first(bw_first(believed))
+    if allocation is None:
+        allocation = from_bw_first(bw_first(believed))
     periods = tree_periods(allocation)
     period = global_period(periods)
     horizon = Fraction(period) * periods_to_run
@@ -125,15 +130,37 @@ def adapt(
     actual: Tree,
     latency_factor=Fraction(1, 100),
     periods_to_run: int = 12,
+    solver=None,
 ) -> AdaptationReport:
-    """Quantify a drift scenario end to end (see the module docstring)."""
-    old = bw_first(believed).throughput
-    new = bw_first(actual).throughput
-    degraded = degraded_rate(believed, actual, periods_to_run=periods_to_run)
-    renegotiation = run_protocol(actual, latency_factor=latency_factor)
+    """Quantify a drift scenario end to end (see the module docstring).
+
+    The believed and actual platforms are each solved exactly **once**:
+    the believed solution is reused by :func:`degraded_rate` (via its
+    ``allocation=``) and the actual one is handed to
+    :func:`~repro.protocol.runner.run_protocol` as its verification
+    reference — the seed version solved each platform twice.  *solver*
+    (see :func:`~repro.core.incremental.resolve_solver`) additionally
+    makes the actual-platform solve incremental over the believed one by
+    default; ``"full"`` keeps the two independent ``bw_first`` runs.
+    """
+    inc = resolve_solver(solver, believed)
+    old_result = bw_first(believed) if inc is None else inc.solve()
+    if inc is None:
+        new_result = bw_first(actual)
+    else:
+        try:
+            inc.apply_platform(actual)
+        except PlatformError:  # drifted topology: fall back to a full solve
+            new_result = bw_first(actual)
+        else:
+            new_result = inc.solve()
+    degraded = degraded_rate(believed, actual, periods_to_run=periods_to_run,
+                             allocation=from_bw_first(old_result))
+    renegotiation = run_protocol(actual, latency_factor=latency_factor,
+                                 reference=new_result)
     return AdaptationReport(
-        old_throughput=old,
-        new_throughput=new,
+        old_throughput=old_result.throughput,
+        new_throughput=new_result.throughput,
         degraded_throughput=degraded,
         renegotiation=renegotiation,
     )

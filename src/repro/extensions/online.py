@@ -34,6 +34,7 @@ from typing import List, Optional, Tuple
 from ..analysis.throughput import measured_rate
 from ..core.allocation import from_bw_first
 from ..core.bwfirst import bw_first
+from ..core.incremental import resolve_solver
 from ..exceptions import SimulationError
 from ..platform.tree import Tree
 from ..protocol.runner import run_protocol
@@ -89,6 +90,7 @@ def online_renegotiation(
     latency_factor=Fraction(1, 100),
     window: Optional[int] = None,
     telemetry: Optional[Registry] = None,
+    solver=None,
 ) -> OnlineReport:
     """Run the full online scenario and measure the throughput timeline.
 
@@ -98,16 +100,30 @@ def online_renegotiation(
     global period after the switch.  *window* (default: the believed global
     period) is the timeline resolution.  Pass ``telemetry=`` to mirror the
     run's ``online.*`` counters into an external registry.
+
+    *solver* picks the centralised solver (see
+    :func:`~repro.core.incremental.resolve_solver`): the default
+    ``"incremental"`` solves the believed platform once, applies the drift
+    as in-place ``w``/``c`` edits and re-solves only the dirty paths from
+    cache, also handing the re-negotiation its verification reference;
+    ``"full"`` restores the two from-scratch ``bw_first`` runs.
     """
     if set(believed.nodes()) != set(actual.nodes()):
         raise SimulationError("believed and actual platforms must share topology")
 
-    old_allocation = from_bw_first(bw_first(believed))
+    inc = resolve_solver(solver, believed, telemetry=telemetry)
+    old_result = bw_first(believed) if inc is None else inc.solve()
+    old_allocation = from_bw_first(old_result)
     old_periods = tree_periods(old_allocation)
     old_schedules = build_schedules(old_allocation, periods=old_periods)
     old_t = global_period(old_periods)
 
-    new_allocation = from_bw_first(bw_first(actual))
+    if inc is None:
+        new_result = bw_first(actual)
+    else:
+        inc.apply_platform(actual)  # dirty-path re-fingerprint, cache kept
+        new_result = inc.solve()
+    new_allocation = from_bw_first(new_result)
     new_periods = tree_periods(new_allocation)
     new_schedules = build_schedules(new_allocation, periods=new_periods)
     new_t = global_period(new_periods)
@@ -116,7 +132,8 @@ def online_renegotiation(
     t_renegotiate = t_drift + old_t * degraded_periods
 
     # the negotiation against the actual platform (messages + wall-clock)
-    negotiation = run_protocol(actual, latency_factor=latency_factor)
+    negotiation = run_protocol(actual, latency_factor=latency_factor,
+                               reference=new_result)
     registry = Registry()
 
     def count(name: str, amount: int) -> None:

@@ -34,6 +34,7 @@ from typing import Hashable, List, Mapping, Optional, Tuple
 from ..analysis.throughput import measured_rate
 from ..core.allocation import from_bw_first
 from ..core.bwfirst import bw_first
+from ..core.incremental import IncrementalSolver, resolve_solver
 from ..core.rates import as_fraction
 from ..exceptions import FaultError
 from ..platform.tree import Tree
@@ -133,6 +134,7 @@ def resilient_run(
     max_events: int = 5_000_000,
     telemetry: Optional[Registry] = None,
     runtime: Optional[str] = None,
+    solver=None,
 ) -> RecoveryReport:
     """Run *tree* under *plan* with automatic detection and re-negotiation.
 
@@ -181,6 +183,16 @@ def resilient_run(
     either way.  Transaction spans of a runtime re-negotiation are not
     recorded into *telemetry* (their wall-clock timestamps would not lie
     on the virtual timeline); its tallies still are.
+
+    *solver* picks the centralised reference solver (see
+    :func:`~repro.core.incremental.resolve_solver`): the default
+    ``"incremental"`` solves the full tree once, **prunes the crashed
+    subtrees in place** and re-solves only the dirty path from cache —
+    also handing both negotiations their verification reference so neither
+    re-runs ``bw_first``.  ``"full"`` restores the two from-scratch solves;
+    an :class:`~repro.core.incremental.IncrementalSolver` instance (seeded
+    with *tree*) carries its cache across calls.  Either way the rates are
+    exactly equal — the solvers are interchangeable by construction.
     """
     plan.validate(tree)
     if not plan.crashes:
@@ -194,14 +206,18 @@ def resilient_run(
     # ------------------------------------------------------------------
     spans_on = telemetry is not None and telemetry.enabled
 
+    inc = resolve_solver(solver, tree, telemetry=telemetry)
+    old_result = bw_first(tree) if inc is None else inc.solve()
+
     initial = run_protocol(
         tree,
         network=FaultyNetwork(tree, plan, latency_factor=latency_factor),
         retry=policy,
         telemetry=telemetry,
+        reference=old_result,
     )
 
-    old_allocation = from_bw_first(bw_first(tree))
+    old_allocation = from_bw_first(old_result)
     old_periods = tree_periods(old_allocation)
     old_schedules = build_schedules(old_allocation, periods=old_periods)
     old_t = global_period(old_periods)
@@ -215,6 +231,11 @@ def resilient_run(
     t_detect = max(planned_detection.values())
 
     survivors = tree.without_subtrees(crashed)
+    if inc is None:
+        new_result = bw_first(survivors)
+    else:
+        inc.prune(*crashed)  # dirty-path re-fingerprint, cache kept
+        new_result = inc.solve()
 
     recovery_span = renegotiate_span = None
     if spans_on:
@@ -258,10 +279,11 @@ def resilient_run(
             retry=policy,
             telemetry=telemetry,
             span_parent=renegotiate_span,
+            reference=new_result,
         )
         renegotiation_virtual_time = renegotiation.completion_time
 
-    new_allocation = from_bw_first(bw_first(survivors))
+    new_allocation = from_bw_first(new_result)
     new_periods = tree_periods(new_allocation)
     new_schedules = build_schedules(new_allocation, periods=new_periods)
     new_t = global_period(new_periods)

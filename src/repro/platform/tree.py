@@ -101,6 +101,65 @@ class Tree:
                 self.add_node(node, subtree.w(node), parent=sub_parent, c=subtree.c(node))
 
     # ------------------------------------------------------------------
+    # in-place mutation (the incremental solver's dirty-path interface)
+    # ------------------------------------------------------------------
+    def remove_subtree(self, name: NodeId) -> List[NodeId]:
+        """Remove *name* and its whole subtree **in place**.
+
+        The in-place counterpart of :meth:`without_subtrees` for a single
+        node, used by :class:`repro.core.incremental.IncrementalSolver` to
+        mutate its working copy without rebuilding the tree.  Returns the
+        removed nodes in pre-order.  The root cannot be removed.
+        """
+        if name == self._root:
+            raise PlatformError("cannot remove the root's subtree")
+        if name not in self._weights:
+            raise PlatformError(f"unknown node {name!r}")
+        parent = self._parent[name]
+        self._children[parent].remove(name)
+        removed: List[NodeId] = []
+        stack = [name]
+        while stack:
+            node = stack.pop()
+            removed.append(node)
+            stack.extend(reversed(self._children[node]))
+        for node in removed:
+            del self._weights[node]
+            del self._children[node]
+            p = self._parent.pop(node)
+            del self._edge_cost[(p, node)]
+        return removed
+
+    def set_w(self, name: NodeId, w: FractionLike) -> None:
+        """Change the processing weight of *name* in place."""
+        if name not in self._weights:
+            raise PlatformError(f"unknown node {name!r}")
+        self._weights[name] = as_weight(w)
+
+    def set_c(self, name: NodeId, c: FractionLike) -> None:
+        """Change the communication cost of the edge into *name* in place."""
+        parent = self.parent(name)
+        if parent is None:
+            raise PlatformError(f"the root {name!r} has no incoming edge")
+        self._edge_cost[(parent, name)] = as_cost(c)
+
+    def copy(self) -> "Tree":
+        """An independent deep copy (same names, weights and child order).
+
+        Copies the internal maps directly — the weights were validated when
+        they entered this tree, so re-validating through :meth:`add_node`
+        (as :meth:`subtree` does) would only burn time on the hot
+        snapshot-per-solve path of the incremental solver.
+        """
+        out = Tree.__new__(Tree)
+        out._root = self._root
+        out._weights = dict(self._weights)
+        out._parent = dict(self._parent)
+        out._children = {node: list(kids) for node, kids in self._children.items()}
+        out._edge_cost = dict(self._edge_cost)
+        return out
+
+    # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
     @property

@@ -23,7 +23,7 @@ from fractions import Fraction
 from typing import Hashable, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Proposal:
     """Phase one: parent offers ``beta`` tasks per time unit to child."""
 
@@ -33,7 +33,7 @@ class Proposal:
     xid: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Acknowledgment:
     """Phase two: child returns the ``theta`` tasks/unit it could not use."""
 

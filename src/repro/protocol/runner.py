@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, Hashable, Optional
 
-from ..core.bwfirst import bw_first, root_proposal
+from ..core.bwfirst import BWFirstResult, bw_first, root_proposal
 from ..exceptions import ProtocolError, SimulationError
 from ..platform.tree import Tree
 from ..telemetry.core import Registry, Span
@@ -134,6 +134,7 @@ def run_protocol(
     network: Optional[Network] = None,
     telemetry: Optional[Registry] = None,
     span_parent: Optional[Span] = None,
+    reference: Optional[BWFirstResult] = None,
 ) -> ProtocolResult:
     """Execute BW-First as a distributed message-passing protocol.
 
@@ -170,6 +171,14 @@ def run_protocol(
     under an outer span (:func:`~repro.faults.recovery.resilient_run` hangs
     re-negotiations off their recovery phase).  Without a registry the
     seed's exact code path runs — no per-message bookkeeping at all.
+
+    *reference* supplies an already-computed centralised
+    :class:`~repro.core.bwfirst.BWFirstResult` for the negotiated platform
+    (e.g. from an :class:`~repro.core.incremental.IncrementalSolver`), so
+    *verify* checks against it instead of re-running ``bw_first`` from
+    scratch — the duplicate solve the re-negotiation entry points used to
+    pay.  It must describe the same platform and proposal; a ``t_max``
+    mismatch raises :class:`~repro.exceptions.ProtocolError`.
     """
     if VIRTUAL_PARENT in tree:
         raise ProtocolError(f"{VIRTUAL_PARENT!r} is reserved")
@@ -357,8 +366,14 @@ def run_protocol(
     throughput = lam - final["theta"]
 
     if verify:
-        reference_tree = _prune(tree, failed) if failed else tree
-        reference = bw_first(reference_tree, proposal=proposal)
+        if reference is None:
+            reference_tree = _prune(tree, failed) if failed else tree
+            reference = bw_first(reference_tree, proposal=proposal)
+        elif reference.t_max != lam:
+            raise ProtocolError(
+                f"verification reference was solved for t_max={reference.t_max}, "
+                f"this negotiation proposed {lam}"
+            )
         if reference.throughput != throughput:
             raise ProtocolError(
                 f"distributed protocol negotiated {throughput}, centralised "

@@ -52,6 +52,8 @@ class Timer:
 class Engine:
     """Heap-based event loop over exact rational time."""
 
+    __slots__ = ("_now", "_heap", "_seq", "_processed")
+
     def __init__(self) -> None:
         self._now: Fraction = Fraction(0)
         self._heap: List[Tuple[Fraction, int, Event, Timer]] = []

@@ -42,7 +42,7 @@ from fractions import Fraction
 from typing import Callable, Deque, Dict, Hashable, Mapping, Optional
 
 from ..core.allocation import Allocation
-from ..core.rates import is_infinite
+from ..core.rates import ZERO, is_infinite
 from ..exceptions import SimulationError
 from ..platform.tree import Tree
 from ..schedule.eventdriven import NodeSchedule, build_schedules
@@ -149,7 +149,7 @@ class SimulationResult:
         """Time from supply cut-off to the last task completion."""
         if self.stop_time is None or not self.trace.completions:
             return None
-        return max(self.end_time - self.stop_time, Fraction(0))
+        return max(self.end_time - self.stop_time, ZERO)
 
 
 class Simulation:
@@ -240,7 +240,7 @@ class Simulation:
             spacing = t_w / bunch
             return [j * spacing for j in range(bunch)]
         if self.root_pacing == "burst":
-            return [Fraction(0)] * bunch
+            return [ZERO] * bunch
         if self.root_pacing == "marks":
             marks = []
             for i, dest in enumerate(
@@ -254,7 +254,7 @@ class Simulation:
             return [pos * t_w for pos, _, _ in marks]
         raise SimulationError(f"unknown root pacing {self.root_pacing!r}")
 
-    def _schedule_period(self, k: int, origin: Fraction = Fraction(0),
+    def _schedule_period(self, k: int, origin: Fraction = ZERO,
                          generation: int = 0) -> None:
         """Lazily schedule the k-th bunch of root releases.
 

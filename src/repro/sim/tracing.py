@@ -26,7 +26,7 @@ RECV = "recv"
 CTRL = "ctrl"  # control-plane traffic occupying a send port
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """One busy interval of one resource of one node."""
 

@@ -1,0 +1,370 @@
+"""Tests for the incremental BW-First solver (subtree solution caching).
+
+The contract under test is *exact* equivalence: after any sequence of
+mutations, :meth:`IncrementalSolver.solve` must reproduce a fresh
+``bw_first`` run outcome by outcome and transaction by transaction — same
+rational throughput, same visited set, same Figure 4(b) indices — while
+evaluating only the dirty part of the tree.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.core.incremental import IncrementalSolver, resolve_solver
+from repro.exceptions import PlatformError, ProtocolError, ScheduleError
+from repro.extensions.dynamic import adapt, perturb
+from repro.extensions.online import online_renegotiation
+from repro.faults import FaultPlan, NodeCrash, resilient_run
+from repro.platform.examples import paper_figure4_tree
+from repro.platform.generators import random_tree
+from repro.platform.tree import Tree
+from repro.protocol.runner import run_protocol
+from repro.telemetry.core import Registry
+
+F = Fraction
+
+
+def assert_exact_equal(solver, tree, tag=""):
+    """solve() must equal bw_first() on every observable, not just rate."""
+    ref = bw_first(tree)
+    got = solver.solve()
+    assert got.throughput == ref.throughput, tag
+    assert got.t_max == ref.t_max, tag
+    assert got.visited == ref.visited, tag
+    assert got.outcomes == ref.outcomes, tag
+    assert got.transactions == ref.transactions, tag
+    assert got.tree == tree, tag
+
+
+def random_mutation(solver, rng, salt):
+    """Apply one random mutation through the solver; returns its kind."""
+    tree = solver.tree
+    nonroot = [n for n in tree.nodes() if n != tree.root]
+    op = rng.choice(["prune", "graft", "set_w", "set_c"])
+    if op == "prune" and len(nonroot) > 1:
+        solver.prune(rng.choice(nonroot))
+    elif op == "graft":
+        sub = random_tree(rng.randrange(2, 7), seed=salt,
+                          w_numerator_range=(1, 30), c_numerator_range=(1, 5))
+        sub = sub.relabel({n: f"g{salt}_{n}" for n in sub.nodes()})
+        solver.graft(rng.choice(list(tree.nodes())),
+                     F(rng.randrange(1, 5), rng.choice([1, 2, 3])), sub)
+    elif op == "set_w" and nonroot:
+        solver.set_w(rng.choice(nonroot),
+                     F(rng.randrange(1, 40), rng.choice([1, 2, 3])))
+    elif op == "set_c" and nonroot:
+        solver.set_c(rng.choice(nonroot),
+                     F(rng.randrange(1, 6), rng.choice([1, 2, 3])))
+    return op
+
+
+class TestExactEquality:
+    def test_paper_tree(self):
+        tree = paper_figure4_tree()
+        assert_exact_equal(IncrementalSolver(tree), tree)
+
+    def test_single_node(self):
+        tree = Tree("solo", w=3)
+        assert_exact_equal(IncrementalSolver(tree), tree)
+
+    def test_proposal_override_matches(self):
+        tree = paper_figure4_tree()
+        solver = IncrementalSolver(tree)
+        for p in (F(0), F(1, 2), F(3), bw_first(tree).t_max * 2):
+            ref = bw_first(tree, proposal=p)
+            got = solver.solve(proposal=p)
+            assert got.outcomes == ref.outcomes
+            assert got.transactions == ref.transactions
+            assert got.throughput == ref.throughput
+
+    def test_negative_proposal_rejected(self):
+        solver = IncrementalSolver(paper_figure4_tree())
+        with pytest.raises(ScheduleError):
+            solver.solve(proposal=F(-1))
+
+    def test_property_random_trees_and_mutation_sequences(self):
+        """~50 random trees × random mutation sequences: exact equality
+        after *every* step (the ISSUE's cache-correctness property)."""
+        for seed in range(50):
+            rng = random.Random(seed)
+            tree = random_tree(
+                rng.randrange(5, 45), seed=seed,
+                max_children=rng.choice([2, 3, 4]),
+                w_numerator_range=(1, 40), c_numerator_range=(1, 6),
+                switch_probability=0.15 if seed % 4 == 0 else 0.0,
+            )
+            solver = IncrementalSolver(tree)
+            assert_exact_equal(solver, solver.tree, f"seed {seed} initial")
+            assert_exact_equal(solver, solver.tree, f"seed {seed} warm")
+            for step in range(6):
+                random_mutation(solver, rng, salt=1000 * seed + step)
+                assert_exact_equal(
+                    solver, solver.tree, f"seed {seed} step {step}")
+
+
+class TestFingerprints:
+    def test_differing_w_never_collides(self):
+        # ids are interned per solver over exact-rational keys, so within
+        # one interner a w change — however tiny — must move the root id,
+        # and restoring the value must restore the exact same id
+        base = random_tree(12, seed=7)
+        solver = IncrementalSolver(base)
+        for node in base.nodes():
+            before = solver._fp[base.root]
+            old_w = solver.tree.w(node)
+            solver.set_w(node, old_w + F(1, 1_000_000_007))
+            assert solver._fp[base.root] != before, node
+            solver.set_w(node, old_w)
+            assert solver._fp[base.root] == before, node
+
+    def test_differing_c_never_collides(self):
+        base = random_tree(12, seed=7)
+        solver = IncrementalSolver(base)
+        for node in base.nodes():
+            if node == base.root:
+                continue
+            before = solver._fp[base.root]
+            old_c = solver.tree.c(node)
+            solver.set_c(node, old_c + F(1, 1_000_000_007))
+            assert solver._fp[base.root] != before, node
+            solver.set_c(node, old_c)
+            assert solver._fp[base.root] == before, node
+
+    def test_equal_trees_share_fingerprints(self):
+        a = IncrementalSolver(random_tree(20, seed=3))
+        b = IncrementalSolver(random_tree(20, seed=3))
+        # interner ids are per-solver, but within one solver two structurally
+        # identical subtrees must share an id
+        tree = Tree("r", w=10)
+        for branch in ("x", "y"):
+            tree.add_node(branch, 4, parent="r", c=1)
+            tree.add_node(f"{branch}1", 6, parent=branch, c=2)
+        solver = IncrementalSolver(tree)
+        assert solver._fp["x"] == solver._fp["y"]
+        assert solver._fp["x1"] == solver._fp["y1"]
+        del a, b
+
+    def test_incoming_edge_is_parents_business(self):
+        # changing a child's incoming c dirties the parent's fingerprint,
+        # not the child's own (θ(β) does not depend on the incoming edge)
+        tree = paper_figure4_tree()
+        solver = IncrementalSolver(tree)
+        fp_before = dict(solver._fp)
+        child = "P4"
+        solver.set_c(child, tree.c(child) + F(1, 7))
+        assert solver._fp[child] == fp_before[child]
+        assert solver._fp[tree.parent(child)] != fp_before[tree.parent(child)]
+
+
+class TestCacheBehaviour:
+    def test_warm_resolve_costs_zero_evals(self):
+        solver = IncrementalSolver(random_tree(60, seed=11))
+        solver.solve()
+        first = solver.last_evals
+        assert first > 0
+        solver.solve()
+        assert solver.last_evals == 0
+        assert solver.stats["hits_saturated"] + solver.stats["hits_absorbed"] \
+            + solver.stats["hits_exact"] > 0
+        info = solver.cache_info()
+        # hash-consing: identical subtrees share ids, so unique fingerprints
+        # can only be fewer than nodes, never more
+        assert 0 < info["fingerprints"] <= len(solver.tree)
+        assert info["entries"] > 0
+
+    def test_single_leaf_prune_beats_full(self):
+        tree = random_tree(200, seed=5, max_children=4,
+                           w_numerator_range=(2000, 6000),
+                           c_numerator_range=(1, 2))
+        solver = IncrementalSolver(tree)
+        solver.solve()
+        victim = [n for n in tree.leaves() if n != tree.root][0]
+        solver.prune(victim)
+        got = solver.solve()
+        full_evals = len(bw_first(solver.tree).outcomes)
+        assert got.throughput == bw_first(solver.tree).throughput
+        assert 0 < solver.last_evals < full_evals
+
+    def test_telemetry_counters_mirrored(self):
+        registry = Registry()
+        solver = IncrementalSolver(random_tree(40, seed=2), telemetry=registry)
+        solver.solve()
+        solver.solve()
+        names = {m.name for m in registry.counters()}
+        assert any(n.startswith("incr.hit.") for n in names)
+        assert registry.value("incr.evals") == solver.stats["evals"]
+
+    def test_clear_cache_forces_full_resolve(self):
+        solver = IncrementalSolver(random_tree(30, seed=9))
+        solver.solve()
+        solver.clear_cache()
+        solver.solve()
+        assert solver.last_evals > 0
+
+    def test_rejoin_restores_cached_fingerprints(self):
+        tree = random_tree(80, seed=13, max_children=4,
+                           w_numerator_range=(2000, 6000),
+                           c_numerator_range=(1, 2))
+        solver = IncrementalSolver(tree)
+        solver.solve()
+        victim = [n for n in solver.tree.nodes()
+                  if solver.tree.parent(n) == tree.root][0]
+        branch = solver.tree.subtree(victim)
+        cost = solver.tree.c(victim)
+        parent = solver.tree.parent(victim)
+        solver.prune(victim)
+        solver.solve()
+        solver.graft(parent, cost, branch)  # exact rejoin
+        got = solver.solve()
+        # the rejoined structure re-interns to its old fingerprints, so the
+        # pre-crash cache answers and only the root path re-evaluates
+        assert solver.last_evals <= solver.tree.depth(victim) + 1
+        assert_exact_equal(solver, solver.tree, "rejoin")
+        del got
+
+
+class TestMutators:
+    def test_prune_root_rejected(self):
+        solver = IncrementalSolver(paper_figure4_tree())
+        with pytest.raises(PlatformError):
+            solver.prune("P0")
+
+    def test_prune_unknown_rejected(self):
+        solver = IncrementalSolver(paper_figure4_tree())
+        with pytest.raises(PlatformError):
+            solver.prune("nope")
+
+    def test_prune_nested_names_match_without_subtrees(self):
+        tree = paper_figure4_tree()
+        solver = IncrementalSolver(tree)
+        solver.prune("P4", "P6")  # P6 may sit inside P4's subtree or not
+        assert solver.tree == tree.without_subtrees({"P4", "P6"})
+
+    def test_tree_remove_subtree_matches_without_subtrees(self):
+        tree = paper_figure4_tree()
+        removed = tree.copy()
+        gone = removed.remove_subtree("P2")
+        assert removed == tree.without_subtrees({"P2"})
+        assert set(gone) == set(tree.nodes()) - set(removed.nodes())
+
+    def test_tree_copy_is_independent(self):
+        tree = paper_figure4_tree()
+        dup = tree.copy()
+        assert dup == tree
+        dup.set_w("P1", 99)
+        assert dup != tree
+
+    def test_apply_platform_topology_mismatch(self):
+        solver = IncrementalSolver(paper_figure4_tree())
+        other = Tree("P0", w=3)
+        with pytest.raises(PlatformError):
+            solver.apply_platform(other)
+
+    def test_result_tree_is_a_snapshot(self):
+        solver = IncrementalSolver(paper_figure4_tree())
+        result = solver.solve()
+        before = result.tree.copy()
+        solver.prune("P4")
+        assert result.tree == before  # later mutations cannot corrupt it
+
+
+class TestResolveSolver:
+    def test_defaults_and_strings(self):
+        tree = paper_figure4_tree()
+        assert isinstance(resolve_solver(None, tree), IncrementalSolver)
+        assert isinstance(resolve_solver("incremental", tree), IncrementalSolver)
+        assert resolve_solver("full", tree) is None
+
+    def test_instance_passthrough_and_mismatch(self):
+        tree = paper_figure4_tree()
+        solver = IncrementalSolver(tree)
+        assert resolve_solver(solver, tree) is solver
+        with pytest.raises(ScheduleError):
+            resolve_solver(solver, perturb(tree, node_factors={"P1": 2}))
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ScheduleError):
+            resolve_solver("turbo", paper_figure4_tree())
+
+
+class TestWiringParity:
+    """solver="incremental" (the default) must be observationally identical
+    to solver="full" in every re-negotiation entry point."""
+
+    def small_tree(self):
+        t = Tree("root", w=2)
+        t.add_node("a", 2, parent="root", c=F(1, 2))
+        t.add_node("b", 3, parent="root", c=1)
+        t.add_node("a1", 2, parent="a", c=1)
+        t.add_node("b1", 3, parent="b", c=1)
+        return t
+
+    def test_resilient_run_parity(self):
+        tree = self.small_tree()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(5)),), seed=1)
+        fast = resilient_run(tree, plan)  # default: incremental
+        full = resilient_run(tree, plan, solver="full")
+        assert fast.old_optimum == full.old_optimum
+        assert fast.new_optimum == full.new_optimum
+        assert fast.rate_after == full.rate_after
+        assert fast.t_switched == full.t_switched
+        assert fast.timeline == full.timeline
+        assert fast.survivors == full.survivors
+
+    def test_resilient_run_accepts_caller_managed_solver(self):
+        tree = self.small_tree()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(5)),), seed=1)
+        solver = IncrementalSolver(tree)
+        report = resilient_run(tree, plan, solver=solver)
+        assert report.new_optimum == bw_first(
+            tree.without_subtrees({"a"})).throughput
+        assert "a" not in solver.tree  # pruned in place
+
+    def test_online_renegotiation_parity(self):
+        believed = paper_figure4_tree()
+        actual = perturb(believed, edge_factors={"P1": 3},
+                         node_factors={"P8": 2})
+        fast = online_renegotiation(believed, actual)
+        full = online_renegotiation(believed, actual, solver="full")
+        assert fast.old_optimum == full.old_optimum
+        assert fast.new_optimum == full.new_optimum
+        assert fast.rate_recovered == full.rate_recovered
+        assert fast.timeline == full.timeline
+
+    def test_adapt_parity_and_single_solve(self):
+        believed = paper_figure4_tree()
+        actual = perturb(believed, edge_factors={"P2": 2})
+        fast = adapt(believed, actual)
+        full = adapt(believed, actual, solver="full")
+        assert fast.old_throughput == full.old_throughput
+        assert fast.new_throughput == full.new_throughput
+        assert fast.degraded_throughput == full.degraded_throughput
+
+
+class TestRunProtocolReference:
+    def test_reference_skips_nothing_observable(self):
+        tree = paper_figure4_tree()
+        reference = bw_first(tree)
+        result = run_protocol(tree, reference=reference)
+        assert result.throughput == reference.throughput
+
+    def test_reference_mismatch_raises(self):
+        tree = paper_figure4_tree()
+        wrong = bw_first(tree, proposal=F(1, 2))
+        with pytest.raises(ProtocolError):
+            run_protocol(tree, reference=wrong)
+
+    def test_reference_still_catches_divergence(self):
+        tree = paper_figure4_tree()
+        good = bw_first(tree)
+        # a tampered reference must make verification fail loudly
+        bad = type(good)(
+            tree=good.tree, t_max=good.t_max,
+            throughput=good.throughput + 1,
+            outcomes=good.outcomes, transactions=good.transactions,
+        )
+        with pytest.raises(ProtocolError):
+            run_protocol(tree, reference=bad)
