@@ -51,17 +51,23 @@ runtime-smoke:
 		PYTHONPATH=src pytest tests/test_runtime.py \
 			benchmarks/bench_e25_runtime.py -q"
 
-# perf regression gate for the incremental solver: the E26 gate test plus
-# the incremental unit suite, hard-bounded by `timeout` so a pathological
-# cache regression fails fast instead of wedging CI.  The gate asserts
-# node_evals(incremental) < node_evals(full) on a single-leaf mutation —
-# a count, not a wall-clock, so it cannot flake on slow runners.
+# perf regression gate for the incremental solver + the integer timeline
+# kernel: the E26 and E27 gate tests plus their unit suites, hard-bounded
+# by `timeout` so a pathological regression fails fast instead of wedging
+# CI.  The E26 gate asserts node_evals(incremental) < node_evals(full) on
+# a single-leaf mutation (a count, so it cannot flake on slow runners);
+# the E27 gate asserts the int kernel's best-of-3 run() CPU time strictly
+# beats the Fraction kernel's (an expected ~2-3x gap, so noise cannot
+# invert it) and that a leaf mutation recomputes strictly fewer schedule
+# fragments than a full rebuild.
 perf-smoke:
-	timeout 300 sh -c "\
+	timeout 540 sh -c "\
 		PYTHONPATH=src pytest \
 			'benchmarks/bench_e26_incremental.py::test_e26_perf_smoke_gate' \
-			tests/test_incremental.py -q && \
-		PYTHONPATH=src python -m repro bench-incr --nodes 200 --mutations 5"
+			'benchmarks/bench_e27_timeline.py::test_e27_perf_smoke_gate' \
+			tests/test_incremental.py tests/test_timeline.py -q && \
+		PYTHONPATH=src python -m repro bench-incr --nodes 200 --mutations 5 && \
+		PYTHONPATH=src python -m repro bench-timeline --nodes 200"
 
 # re-record the committed perf baselines (BENCH_*.json at the repo root)
 bench-record:

@@ -25,14 +25,19 @@ import argparse
 import json
 import random
 import time
+from fractions import Fraction
 from pathlib import Path
 
+from repro.core.allocation import from_bw_first
 from repro.core.bwfirst import bw_first
 from repro.core.incremental import IncrementalSolver
 from repro.platform.examples import paper_figure4_tree
-from repro.platform.generators import random_tree
+from repro.platform.generators import random_tree, smooth_tree
 from repro.protocol import run_protocol
 from repro.runtime import negotiate
+from repro.schedule.eventdriven import build_schedules
+from repro.schedule.periods import global_period, tree_periods
+from repro.sim.simulator import Simulation
 
 E26_PARAMS = dict(max_children=4, w_numerator_range=(2000, 6000),
                   c_numerator_range=(1, 2))
@@ -119,10 +124,88 @@ def record_e25(sizes=(14, 50)):
     return records
 
 
+def record_e27(nodes=1000, seed=1, periods=3, repeats=3, mutations=10):
+    """Integer-timeline kernel: simulator run() wall-clock per kernel, and
+    fragment recomputations per single-leaf mutation (full vs incremental
+    schedule reconstruction)."""
+    import gc
+
+    records = []
+
+    tree = smooth_tree(nodes, seed)
+    allocation = from_bw_first(bw_first(tree))
+    period_map = tree_periods(allocation)
+    schedules = build_schedules(allocation, periods=period_map)
+    horizon = Fraction(global_period(period_map)) * periods
+    wall = {}
+    for kernel in ("int", "fraction"):
+        best, result = None, None
+        for _ in range(repeats):
+            sim = Simulation(tree, dict(schedules), dict(period_map),
+                             horizon=horizon, kernel=kernel,
+                             record_segments=False, record_buffers=False)
+            gc.collect()
+            gc.disable()  # keep cycle-GC pauses off the timed run
+            try:
+                t0 = time.process_time()
+                result = sim.run()
+                dt = time.process_time() - t0
+            finally:
+                gc.enable()
+            best = dt if best is None else min(best, dt)
+        wall[kernel] = best
+        records.append(dict(
+            params=dict(nodes=nodes, seed=seed, periods=periods,
+                        family="e27", phase="simulate", kernel=kernel),
+            wall_s=round(best, 6),
+            node_evals=result.trace.completed,
+        ))
+    sim_ratio = wall["fraction"] / wall["int"]
+    print(f"e27 simulate n={nodes}: fraction {wall['fraction']*1e3:.1f}ms "
+          f"vs int {wall['int']*1e3:.1f}ms ({sim_ratio:.2f}x)")
+    assert sim_ratio >= 3, f"int-kernel speedup {sim_ratio:.2f}x below 3x"
+
+    solver = IncrementalSolver(smooth_tree(nodes, seed))
+    builder = solver.schedule_builder()
+    builder.build(from_bw_first(solver.solve()))
+    rng = random.Random(seed)
+    full_frags = incr_frags = 0
+    wall_full = wall_incr = 0.0
+    for _ in range(mutations):
+        victim = rng.choice(
+            [n for n in solver.tree.leaves() if n != solver.tree.root])
+        solver.prune(victim)
+        alloc = from_bw_first(solver.solve())
+        (got_p, got_s), dt = timed(lambda a=alloc: builder.build(a))
+        wall_incr += dt
+        incr_frags += builder.last_recomputed
+        ref_p, dt = timed(lambda a=alloc: tree_periods(a))
+        wall_full += dt
+        ref_s, dt = timed(
+            lambda a=alloc, p=ref_p: build_schedules(a, periods=p))
+        wall_full += dt
+        full_frags += len(ref_p)
+        assert got_p == ref_p and got_s == ref_s
+    params = dict(nodes=nodes, seed=seed, mutations=mutations,
+                  family="e27", phase="reconstruct",
+                  mutation="single_leaf_prune")
+    records.append(dict(params=dict(params, builder="full"),
+                        wall_s=round(wall_full, 6), node_evals=full_frags))
+    records.append(dict(params=dict(params, builder="incremental"),
+                        wall_s=round(wall_incr, 6), node_evals=incr_frags))
+    frag_ratio = full_frags / max(incr_frags, 1)
+    print(f"e27 reconstruct n={nodes}: {full_frags} vs {incr_frags} "
+          f"fragments ({frag_ratio:.1f}x), wall {wall_full*1e3:.1f}ms vs "
+          f"{wall_incr*1e3:.1f}ms")
+    assert frag_ratio >= 5, f"fragment reduction {frag_ratio:.1f}x below 5x"
+    return records
+
+
 BENCHES = {
     "e26_incremental": record_e26,
     "e8_protocol_scaling": record_e8,
     "e25_runtime": record_e25,
+    "e27_timeline": record_e27,
 }
 
 

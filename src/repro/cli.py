@@ -25,6 +25,10 @@ Sub-commands:
 * ``bench-incr --nodes N --mutations M`` — churn a random tree with
   single-leaf prunes and compare the incremental solver's node
   evaluations against full ``bw_first`` re-solves (experiment E26);
+* ``bench-timeline --nodes N [--json]`` — time the scaled-integer
+  simulation kernel against the ``Fraction`` reference and count the
+  schedule fragments the incremental builder splices from cache on
+  single-leaf prune churn (experiment E27);
 * ``example`` — the whole pipeline on the built-in reconstruction of the
   paper's Section 8 tree.
 
@@ -330,6 +334,84 @@ def _cmd_bench_incr(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_timeline(args: argparse.Namespace) -> int:
+    import gc as _gc
+    import json as _json
+    import random as _random
+    import time as _time
+
+    from .core.incremental import IncrementalSolver
+    from .platform.generators import smooth_tree
+    from .sim.simulator import Simulation
+    from .util.text import render_table
+
+    tree = smooth_tree(args.nodes, args.seed)
+    allocation = from_bw_first(bw_first(tree))
+    periods = tree_periods(allocation)
+    schedules = build_schedules(allocation, periods=periods)
+    horizon = Fraction(global_period(periods)) * args.periods
+
+    wall = {}
+    tasks = {}
+    for kernel in ("int", "fraction"):
+        best = None
+        for _ in range(args.repeats):
+            sim = Simulation(tree, dict(schedules), dict(periods),
+                             horizon=horizon, kernel=kernel,
+                             record_segments=False, record_buffers=False)
+            _gc.collect()
+            _gc.disable()  # keep cycle-GC pauses off the timed run
+            try:
+                t0 = _time.process_time()
+                result = sim.run()
+                dt = _time.process_time() - t0
+            finally:
+                _gc.enable()
+            best = dt if best is None else min(best, dt)
+        wall[kernel] = best
+        tasks[kernel] = result.trace.completed
+    speedup = wall["fraction"] / max(wall["int"], 1e-12)
+
+    solver = IncrementalSolver(smooth_tree(args.nodes, args.seed))
+    builder = solver.schedule_builder()
+    builder.build(from_bw_first(solver.solve()))
+    rng = _random.Random(args.seed)
+    full_frags = incr_frags = 0
+    for _ in range(args.mutations):
+        victim = rng.choice(
+            [n for n in solver.tree.leaves() if n != solver.tree.root])
+        solver.prune(victim)
+        churn_allocation = from_bw_first(solver.solve())
+        builder.build(churn_allocation)
+        full_frags += len(list(solver.tree.nodes()))
+        incr_frags += builder.last_recomputed
+    frag_ratio = full_frags / max(incr_frags, 1)
+
+    if args.json:
+        print(_json.dumps(dict(
+            nodes=args.nodes, seed=args.seed, periods=args.periods,
+            repeats=args.repeats, mutations=args.mutations,
+            wall_s_fraction=round(wall["fraction"], 6),
+            wall_s_int=round(wall["int"], 6),
+            tasks=tasks["int"],
+            simulator_speedup=round(speedup, 3),
+            fragments_full=full_frags,
+            fragments_recomputed=incr_frags,
+            fragment_ratio=round(frag_ratio, 2),
+        ), indent=2))
+        return 0
+    print(render_table(
+        ["kernel", f"best-of-{args.repeats} run() s", "tasks"],
+        [["fraction", f"{wall['fraction']:.4f}", str(tasks["fraction"])],
+         ["int", f"{wall['int']:.4f}", str(tasks["int"])]]))
+    print(f"\nsimulator speedup over {args.periods} global period(s): "
+          f"{speedup:.2f}x")
+    print(f"schedule fragments over {args.mutations} single-leaf prunes: "
+          f"{full_frags} full vs {incr_frags} recomputed "
+          f"({frag_ratio:.1f}x spliced from cache)")
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     tree = paper_figure4_tree()
     result = bw_first(tree)
@@ -464,6 +546,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mutations", type=int, default=20,
                    help="number of single-leaf prunes (default 20)")
     p.set_defaults(func=_cmd_bench_incr)
+
+    p = sub.add_parser(
+        "bench-timeline",
+        help="int vs Fraction simulation kernels + fragment-cached "
+             "schedule rebuilds (experiment E27)",
+    )
+    p.add_argument("--nodes", type=int, default=1000,
+                   help="tree size (default 1000, the E27 family)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--periods", type=int, default=2,
+                   help="simulation horizon in global periods (default 2)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of-N timing repeats (default 3)")
+    p.add_argument("--mutations", type=int, default=5,
+                   help="single-leaf prunes for the rebuild churn (default 5)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=_cmd_bench_timeline)
 
     p = sub.add_parser("example", help="run the built-in paper example")
     p.set_defaults(func=_cmd_example)

@@ -141,8 +141,10 @@ class IncrementalSolver:
         self.stats: Dict[str, int] = {
             "solves": 0, "evals": 0, "evals_saved": 0,
             "hits_absorbed": 0, "hits_saturated": 0, "hits_exact": 0,
-            "misses": 0, "invalidations": 0, "evictions": 0,
+            "misses": 0, "invalidations": 0, "evictions": 0, "lookups": 0,
         }
+        self._builder = None  # lazily-built IncrementalScheduleBuilder
+        self._eviction_warned = False
         self._fingerprint_all()
 
     # ------------------------------------------------------------------
@@ -288,6 +290,7 @@ class IncrementalSolver:
         the offered λ; the replayed internals are identical by the
         saturation property).
         """
+        self.stats["lookups"] += 1
         rate = self._rate(node)
         if beta <= rate:
             self.stats["hits_absorbed"] += 1
@@ -328,6 +331,18 @@ class IncrementalSolver:
                 entry.exact.clear()
                 self.stats["evictions"] += 1
                 self._count("incr.evictions")
+                self._count("incr.memo_evictions")
+                # a cache that evicts on most lookups is churning, not
+                # caching — surface it once so the run can be re-tuned
+                if (not self._eviction_warned and self._telemetry is not None
+                        and 2 * self.stats["evictions"] > self.stats["lookups"]):
+                    self._eviction_warned = True
+                    self._telemetry.warn(
+                        "incr: per-β memo eviction rate exceeds 50% of "
+                        f"lookups ({self.stats['evictions']} evictions / "
+                        f"{self.stats['lookups']} lookups) — proposal "
+                        "diversity is defeating the exact-hit cache"
+                    )
             entry.exact[frame.lam] = sol
 
     # ------------------------------------------------------------------
@@ -369,6 +384,27 @@ class IncrementalSolver:
         if self._snapshot is None:
             self._snapshot = self._tree.copy()
         return self._snapshot
+
+    def fingerprint(self, node: Hashable) -> int:
+        """The hash-consed fingerprint of *node*'s current subtree.
+
+        Two nodes (across any sequence of mutations of this solver) share a
+        fingerprint iff their subtrees have identical shape, weights and
+        edge costs — the invariant the schedule-fragment cache keys on.
+        """
+        return self._fp[node]
+
+    def schedule_builder(self):
+        """The fragment-caching schedule builder attached to this solver.
+
+        Lazily constructed and cached so its fragment memo stays warm
+        across mutations; see
+        :class:`~repro.schedule.incremental.IncrementalScheduleBuilder`.
+        """
+        if self._builder is None:
+            from ..schedule.incremental import IncrementalScheduleBuilder
+            self._builder = IncrementalScheduleBuilder(self)
+        return self._builder
 
     def solve(self, proposal: Optional[Fraction] = None) -> BWFirstResult:
         """Run BW-First on the current tree, answering from cache wherever a

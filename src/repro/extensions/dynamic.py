@@ -75,6 +75,8 @@ def degraded_rate(
     periods_to_run: int = 12,
     measure_tail: int = 4,
     allocation: Optional[Allocation] = None,
+    periods=None,
+    schedules=None,
 ) -> Fraction:
     """The rate the *believed* schedule actually achieves on *actual*.
 
@@ -82,19 +84,22 @@ def degraded_rate(
     for ``periods_to_run`` believed global periods and measures the average
     rate over the last ``measure_tail`` of them.  *allocation* supplies an
     already-computed believed allocation so :func:`adapt` does not solve
-    the believed platform twice.
+    the believed platform twice; *periods*/*schedules* likewise accept an
+    already-built reconstruction (e.g. a fragment-cached one).
     """
     if allocation is None:
         allocation = from_bw_first(bw_first(believed))
-    periods = tree_periods(allocation)
-    period = global_period(periods)
+    if periods is None:
+        periods = tree_periods(allocation)
+    period = global_period(periods, tree=believed)
     horizon = Fraction(period) * periods_to_run
     # same schedule (allocation computed on the believed platform), executed
     # on the actual platform's link/node speeds
     from ..schedule.eventdriven import build_schedules
     from ..sim.simulator import Simulation
 
-    schedules = build_schedules(allocation, periods=periods)
+    if schedules is None:
+        schedules = build_schedules(allocation, periods=periods)
     sim = Simulation(actual, schedules, periods, horizon=horizon)
     result = sim.run()
     start = Fraction(period) * (periods_to_run - measure_tail)
@@ -145,6 +150,12 @@ def adapt(
     """
     inc = resolve_solver(solver, believed)
     old_result = bw_first(believed) if inc is None else inc.solve()
+    old_allocation = from_bw_first(old_result)
+    old_periods = old_schedules = None
+    if inc is not None:
+        # reconstruct through the fragment cache *before* apply_platform
+        # invalidates the solver's snapshot
+        old_periods, old_schedules = inc.schedule_builder().build(old_allocation)
     if inc is None:
         new_result = bw_first(actual)
     else:
@@ -155,7 +166,8 @@ def adapt(
         else:
             new_result = inc.solve()
     degraded = degraded_rate(believed, actual, periods_to_run=periods_to_run,
-                             allocation=from_bw_first(old_result))
+                             allocation=old_allocation,
+                             periods=old_periods, schedules=old_schedules)
     renegotiation = run_protocol(actual, latency_factor=latency_factor,
                                  reference=new_result)
     return AdaptationReport(

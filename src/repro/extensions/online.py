@@ -114,19 +114,26 @@ def online_renegotiation(
     inc = resolve_solver(solver, believed, telemetry=telemetry)
     old_result = bw_first(believed) if inc is None else inc.solve()
     old_allocation = from_bw_first(old_result)
-    old_periods = tree_periods(old_allocation)
-    old_schedules = build_schedules(old_allocation, periods=old_periods)
-    old_t = global_period(old_periods)
+    if inc is None:
+        old_periods = tree_periods(old_allocation)
+        old_schedules = build_schedules(old_allocation, periods=old_periods)
+    else:
+        # fragment-caching reconstruction: the post-drift rebuild below
+        # then recomputes only the drifted nodes' root paths
+        old_periods, old_schedules = inc.schedule_builder().build(old_allocation)
+    old_t = global_period(old_periods, telemetry=telemetry, tree=believed)
 
     if inc is None:
         new_result = bw_first(actual)
+        new_allocation = from_bw_first(new_result)
+        new_periods = tree_periods(new_allocation)
+        new_schedules = build_schedules(new_allocation, periods=new_periods)
     else:
         inc.apply_platform(actual)  # dirty-path re-fingerprint, cache kept
         new_result = inc.solve()
-    new_allocation = from_bw_first(new_result)
-    new_periods = tree_periods(new_allocation)
-    new_schedules = build_schedules(new_allocation, periods=new_periods)
-    new_t = global_period(new_periods)
+        new_allocation = from_bw_first(new_result)
+        new_periods, new_schedules = inc.schedule_builder().build(new_allocation)
+    new_t = global_period(new_periods, telemetry=telemetry, tree=actual)
 
     t_drift = Fraction(old_t * drift_periods)
     t_renegotiate = t_drift + old_t * degraded_periods

@@ -218,9 +218,14 @@ def resilient_run(
     )
 
     old_allocation = from_bw_first(old_result)
-    old_periods = tree_periods(old_allocation)
-    old_schedules = build_schedules(old_allocation, periods=old_periods)
-    old_t = global_period(old_periods)
+    if inc is None:
+        old_periods = tree_periods(old_allocation)
+        old_schedules = build_schedules(old_allocation, periods=old_periods)
+    else:
+        # fragment-caching reconstruction: the post-crash rebuild below
+        # then recomputes only the root-to-crash paths
+        old_periods, old_schedules = inc.schedule_builder().build(old_allocation)
+    old_t = global_period(old_periods, telemetry=telemetry, tree=tree)
 
     crashed = list(plan.crashed_nodes)
     t_first_crash = min(crash.time for crash in plan.crashes)
@@ -284,9 +289,12 @@ def resilient_run(
         renegotiation_virtual_time = renegotiation.completion_time
 
     new_allocation = from_bw_first(new_result)
-    new_periods = tree_periods(new_allocation)
-    new_schedules = build_schedules(new_allocation, periods=new_periods)
-    new_t = global_period(new_periods)
+    if inc is None:
+        new_periods = tree_periods(new_allocation)
+        new_schedules = build_schedules(new_allocation, periods=new_periods)
+    else:
+        new_periods, new_schedules = inc.schedule_builder().build(new_allocation)
+    new_t = global_period(new_periods, telemetry=telemetry, tree=survivors)
 
     t_switched = t_detect + renegotiation_virtual_time
     horizon = t_switched + new_t * (settle_periods + after_periods)

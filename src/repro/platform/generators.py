@@ -9,6 +9,8 @@ harness:
 * :func:`balanced` — a complete b-ary tree;
 * :func:`caterpillar` — a chain with leaves hanging off every spine node;
 * :func:`random_tree` — seeded random topology with rational weights;
+* :func:`smooth_tree` — seeded random topology with smooth integer weights
+  (every node active, small global period: the E27 timeline-kernel family);
 * :func:`bandwidth_limited_tree` — a tree with a deliberate bottleneck link
   high up in the hierarchy, the adversarial case motivating the depth-first
   traversal of Section 5 (most of the platform is unreachable by tasks, so
@@ -187,6 +189,50 @@ def random_tree(
             w = rand_fraction(w_numerator_range)
         tree.add_node(name, w, parent=parent, c=rand_fraction(c_numerator_range))
         open_slots.extend([name] * max_children)
+    return tree
+
+
+#: Weight/cost pools of :func:`smooth_tree`: every w divides lcm = 12288,
+#: so period lcms stay tiny however the tree is drawn.
+_SMOOTH_WS = (2048, 3072, 4096, 6144)
+_SMOOTH_CS = (1, 2)
+
+
+def smooth_tree(
+    n: int,
+    seed: int,
+    max_children: int = 4,
+    rng: Optional[random.Random] = None,
+) -> Tree:
+    """A seeded random tree with *smooth* integer weights (the E27 family).
+
+    Weights are drawn from ``{2048, 3072, 4096, 6144}`` (all divide
+    ``2^12·3``) and link costs from ``{1, 2}``: communication-rich enough
+    that the optimal schedule keeps **every** node active, while all rate
+    denominators divide one small lcm, so the global period stays in the
+    tens of thousands however large the tree — the family the timeline
+    kernel benchmark (``benchmarks/bench_e27_timeline.py``) runs
+    multi-period simulations on.  The same ``(n, seed, …)`` always returns
+    the same tree.
+    """
+    if n < 1:
+        raise PlatformError("smooth_tree needs at least one node")
+    if max_children < 1:
+        raise PlatformError("max_children must be at least 1")
+    r = rng if rng is not None else random.Random(seed)
+    tree = Tree("n0", w=Fraction(r.choice(_SMOOTH_WS)))
+    open_parents = ["n0"]
+    fanout = {"n0": 0}
+    for i in range(1, n):
+        parent = r.choice(open_parents)
+        name = f"n{i}"
+        tree.add_node(name, Fraction(r.choice(_SMOOTH_WS)),
+                      parent=parent, c=Fraction(r.choice(_SMOOTH_CS)))
+        fanout[parent] += 1
+        if fanout[parent] >= max_children:
+            open_parents.remove(parent)
+        open_parents.append(name)
+        fanout[name] = 0
     return tree
 
 

@@ -49,9 +49,10 @@ class NodeSchedule:
 
     def destination(self, task_index: int) -> Hashable:
         """Destination of the *task_index*-th task ever received (0-based)."""
-        if self.bunch == 0:
+        order = self.order
+        if not order:
             raise ScheduleError(f"node {self.node!r} has an empty schedule")
-        return self.order[task_index % self.bunch]
+        return order[task_index % len(order)]
 
     def describe(self) -> str:
         """One-line rendering, e.g. ``P1: [P4 P1 P4 P1 P4]`` (Figure 4d)."""
@@ -61,6 +62,53 @@ class NodeSchedule:
 
 #: Signature of a local-schedule policy.
 Policy = Callable[[Mapping[Hashable, int], Sequence[Hashable]], Tuple[Hashable, ...]]
+
+
+def node_schedule(tree, node: Hashable, p: NodePeriods,
+                  policy: Policy = interleaved_order) -> Optional[NodeSchedule]:
+    """The event-driven schedule of one node, or ``None`` when inactive.
+
+    The per-node half of :func:`build_schedules`, shared with the
+    incremental builder (:mod:`repro.schedule.incremental`): everything it
+    reads — ψ quantities, children in bandwidth order — is local to *node*,
+    which is what makes per-subtree schedule fragments cacheable.
+    """
+    quantities: Dict[Hashable, int] = {}
+    priority: List[Hashable] = []
+    # "self" enters the priority list only when it computes tasks; a
+    # switch (ψ_0 = 0) must not appear in the order.
+    if p.psi_self > 0:
+        quantities[node] = p.psi_self
+        priority.append(node)
+    for child in tree.children_by_bandwidth(node):
+        count = p.psi_children.get(child, 0)
+        if count > 0:
+            quantities[child] = count
+            priority.append(child)
+    if not quantities:
+        return None  # inactive node
+    # The paper prioritises the node itself with the smallest index; we
+    # list self first, then children in bandwidth-centric order.
+    if node in quantities and priority[0] != node:
+        priority.remove(node)
+        priority.insert(0, node)
+    order = policy(quantities, priority)
+    if len(order) != sum(quantities.values()):
+        raise ScheduleError(
+            f"policy returned {len(order)} tasks for a bunch of "
+            f"{sum(quantities.values())} at node {node!r}"
+        )
+    counts: Dict[Hashable, int] = {}
+    for dest in order:
+        counts[dest] = counts.get(dest, 0) + 1
+    if counts != dict(quantities):
+        raise ScheduleError(
+            f"policy's order does not respect the ψ quantities at {node!r}: "
+            f"{counts} != {dict(quantities)}"
+        )
+    return NodeSchedule(
+        node=node, quantities=quantities, order=order, periods=p
+    )
 
 
 def build_schedules(
@@ -79,43 +127,9 @@ def build_schedules(
     tree = allocation.tree
     schedules: Dict[Hashable, NodeSchedule] = {}
     for node in tree.nodes():
-        p = periods[node]
-        quantities: Dict[Hashable, int] = {}
-        priority: List[Hashable] = []
-        # "self" enters the priority list only when it computes tasks; a
-        # switch (ψ_0 = 0) must not appear in the order.
-        if p.psi_self > 0:
-            quantities[node] = p.psi_self
-            priority.append(node)
-        for child in tree.children_by_bandwidth(node):
-            count = p.psi_children.get(child, 0)
-            if count > 0:
-                quantities[child] = count
-                priority.append(child)
-        if not quantities:
-            continue  # inactive node
-        # The paper prioritises the node itself with the smallest index; we
-        # list self first, then children in bandwidth-centric order.
-        if node in quantities and priority[0] != node:
-            priority.remove(node)
-            priority.insert(0, node)
-        order = policy(quantities, priority)
-        if len(order) != sum(quantities.values()):
-            raise ScheduleError(
-                f"policy returned {len(order)} tasks for a bunch of "
-                f"{sum(quantities.values())} at node {node!r}"
-            )
-        counts: Dict[Hashable, int] = {}
-        for dest in order:
-            counts[dest] = counts.get(dest, 0) + 1
-        if counts != dict(quantities):
-            raise ScheduleError(
-                f"policy's order does not respect the ψ quantities at {node!r}: "
-                f"{counts} != {dict(quantities)}"
-            )
-        schedules[node] = NodeSchedule(
-            node=node, quantities=quantities, order=order, periods=p
-        )
+        schedule = node_schedule(tree, node, periods[node], policy)
+        if schedule is not None:
+            schedules[node] = schedule
     return schedules
 
 

@@ -1,0 +1,136 @@
+"""Incremental schedule reconstruction: splice cached per-node fragments.
+
+ROADMAP flagged that only the *solve* was incremental: after a crash or a
+platform drift, :class:`~repro.core.incremental.IncrementalSolver` re-solves
+just the dirty path, but the Section 6 reconstruction — period math and
+bunch orders — was still rebuilt from scratch for all ``n`` nodes, and a
+bunch order is Θ(Ψ) long.  This module closes that gap.
+
+The observation making schedule fragments cacheable is locality: a node's
+:class:`~repro.schedule.periods.NodePeriods` and
+:class:`~repro.schedule.eventdriven.NodeSchedule` are a pure function of
+
+* its own rates — ``α``, ``η_in``, the ``η_i`` per child — in bandwidth
+  order,
+* its direct children's names (they appear verbatim in the bunch order),
+* its parent's send period ``T^s`` (Lemma 1's ``T^r``).
+
+Under BW-First those rates are themselves determined by the pair
+``(fingerprint, η_in)`` — the exact key the solver's own solution cache is
+built on (the fingerprint hash-conses the subtree's shape, weights and
+costs).  So the builder memoises each node's ``(periods, schedule)`` under
+
+    (node, fingerprint(node), η_in(node), parent T^s, children names, policy)
+
+and a rebuild after a single-leaf mutation walks the tree splicing cached
+fragments for every node whose key is unchanged — recomputing the Θ(Ψ)
+reconstruction only along the root-to-change path (measured by
+``benchmarks/bench_e27_timeline.py``; the results are ``==`` to a full
+rebuild by construction, and property-tested in ``tests/test_timeline.py``).
+
+**Contract**: a builder is only valid for allocations produced by the
+solver it is attached to — that is what ties ``(fingerprint, η_in)`` to the
+rates.  Get one via
+:meth:`~repro.core.incremental.IncrementalSolver.schedule_builder`, which
+keeps it warm across mutations of the same solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..core.allocation import Allocation
+from ..exceptions import ScheduleError
+from .eventdriven import NodeSchedule, Policy, node_schedule
+from .local import interleaved_order
+from .periods import NodePeriods, node_periods
+
+__all__ = ["IncrementalScheduleBuilder"]
+
+#: fragment-memo size cap: cleared wholesale when exceeded (the working set
+#: of one mutation sequence is ~n entries; the cap only bounds pathological
+#: churn, mirroring the solver's own per-entry eviction policy)
+MAX_FRAGMENTS = 1 << 16
+
+
+class IncrementalScheduleBuilder:
+    """Fragment-caching twin of :func:`~repro.schedule.eventdriven.build_schedules`.
+
+    ``build`` returns ``(periods, schedules)`` exactly equal (``==``) to::
+
+        periods = tree_periods(allocation)
+        schedules = build_schedules(allocation, policy, periods)
+
+    but reuses every fragment whose determinants did not change since the
+    previous build.  ``last_recomputed`` / ``last_spliced`` expose the split
+    for benchmarks; with a telemetry registry attached to the solver the
+    tallies also land on the ``sched.periods_recomputed`` and
+    ``sched.fragments_spliced`` counters.
+    """
+
+    def __init__(self, solver) -> None:
+        self._solver = solver
+        self._memo: Dict[tuple, Tuple[NodePeriods, Optional[NodeSchedule]]] = {}
+        self.last_recomputed = 0
+        self.last_spliced = 0
+        self.builds = 0
+
+    def clear_cache(self) -> None:
+        self._memo.clear()
+
+    @property
+    def fragments(self) -> int:
+        """Number of cached fragments."""
+        return len(self._memo)
+
+    def build(
+        self, allocation: Allocation, policy: Policy = interleaved_order,
+    ) -> Tuple[Dict[Hashable, NodePeriods], Dict[Hashable, NodeSchedule]]:
+        """Periods and schedules for *allocation*, splicing cached fragments.
+
+        *allocation* must come from the attached solver's latest ``solve``
+        (same tree object identity) — the fragment keys are only meaningful
+        for rates that solver produced.
+        """
+        solver = self._solver
+        tree = allocation.tree
+        if tree is not solver._snapshot:
+            # solve() hands out a snapshot copy of the working tree; only an
+            # allocation built from the LATEST solve matches the solver's
+            # current fingerprints
+            raise ScheduleError(
+                "allocation was not produced by this builder's solver's "
+                "latest solve — fragment keys would not match its "
+                "fingerprints"
+            )
+        if len(self._memo) > MAX_FRAGMENTS:
+            self._memo.clear()
+        memo = self._memo
+        eta_in = allocation.eta_in
+        fingerprint = solver.fingerprint
+        periods: Dict[Hashable, NodePeriods] = {}
+        schedules: Dict[Hashable, NodeSchedule] = {}
+        recomputed = spliced = 0
+        for node in tree.nodes():  # pre-order: parents first
+            parent = tree.parent(node)
+            parent_ts = periods[parent].t_send if parent is not None else None
+            key = (node, fingerprint(node), eta_in.get(node), parent_ts,
+                   solver._kids(node), policy)
+            hit = memo.get(key)
+            if hit is None:
+                p = node_periods(allocation, node, parent_ts)
+                s = node_schedule(tree, node, p, policy)
+                memo[key] = (p, s)
+                recomputed += 1
+            else:
+                p, s = hit
+                spliced += 1
+            periods[node] = p
+            if s is not None:
+                schedules[node] = s
+        self.last_recomputed = recomputed
+        self.last_spliced = spliced
+        self.builds += 1
+        solver._count("sched.periods_recomputed", recomputed)
+        solver._count("sched.fragments_spliced", spliced)
+        return periods, schedules

@@ -176,14 +176,55 @@ def tree_periods(allocation: Allocation) -> Dict[Hashable, NodePeriods]:
     return result
 
 
-def global_period(periods: Mapping[Hashable, NodePeriods]) -> int:
+#: Default bit-length cap on the synchronized period.  2**4096 time units is
+#: far beyond anything a timetable, report or simulation horizon can use;
+#: hitting it means the platform's rates are pathological (the paper's
+#: "embarrassingly long" period, Section 6 intro) and the caller should use
+#: the event-driven schedule instead.
+MAX_PERIOD_BITS = 4096
+
+
+def global_period(
+    periods: Mapping[Hashable, NodePeriods],
+    *,
+    max_bits: Optional[int] = MAX_PERIOD_BITS,
+    telemetry=None,
+    tree=None,
+) -> int:
     """The synchronized whole-tree period ``T`` (lcm of every local period).
 
     This is the "embarrassingly long" period of the traditional approach the
     paper avoids (Section 6 intro); it is exposed for the synchronized
     baseline and for reporting.
+
+    Because it is an lcm over *every* node, ``T`` can blow up combinatorially
+    on adversarial rate denominators.  The running lcm is therefore guarded:
+    when its bit-length exceeds *max_bits* (``None`` disables the guard) a
+    :class:`~repro.exceptions.ScheduleError` names the node whose local
+    period triggered the blow-up — with its root path when *tree* is given —
+    instead of silently building an astronomically long timetable.  With
+    *telemetry* attached, the final bit-length lands on the
+    ``sched.period_bits`` gauge.
     """
-    return lcm_ints(p.t_full for p in periods.values())
+    total = 1
+    for node, p in periods.items():
+        total = lcm_ints([total, p.t_full])
+        if max_bits is not None and total.bit_length() > max_bits:
+            if tree is not None and node in tree:
+                chain = list(reversed(tree.ancestors(node))) + [node]
+                where = " -> ".join(str(a) for a in chain)
+            else:
+                where = repr(node)
+            raise ScheduleError(
+                f"synchronized period exceeds 2**{max_bits} time units "
+                f"(lcm reached {total.bit_length()} bits at node {where}, "
+                f"local period {p.t_full}); the timetable would be "
+                "astronomically long — use the event-driven schedule, or "
+                "raise max_bits explicitly"
+            )
+    if telemetry is not None:
+        telemetry.gauge("sched.period_bits").set(total.bit_length())
+    return total
 
 
 def startup_bound(periods: Mapping[Hashable, NodePeriods], tree, node: Hashable) -> int:

@@ -75,15 +75,20 @@ class Engine:
         """Number of events executed so far."""
         return self._processed
 
-    def schedule_at(self, time, fn: Event) -> Timer:
-        """Schedule *fn* to run at absolute *time* (≥ now); return its handle."""
-        t = as_fraction(time)
-        if t < self._now:
-            raise SimulationError(f"cannot schedule at {t} < now {self._now}")
+    def push(self, time, fn: Event) -> Timer:
+        """Raw scheduling hot path: *time* is already in this engine's
+        internal units (a ``Fraction`` here; ticks in :class:`IntEngine`).
+        The simulator uses this to skip per-event coercion."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
         timer = Timer()
-        heapq.heappush(self._heap, (t, self._seq, fn, timer))
+        heapq.heappush(self._heap, (time, self._seq, fn, timer))
         self._seq += 1
         return timer
+
+    def schedule_at(self, time, fn: Event) -> Timer:
+        """Schedule *fn* to run at absolute *time* (≥ now); return its handle."""
+        return self.push(as_fraction(time), fn)
 
     def schedule_in(self, delay, fn: Event) -> Timer:
         """Schedule *fn* to run *delay* time units from now (delay ≥ 0)."""
@@ -123,11 +128,85 @@ class Engine:
         self._now = horizon
 
     def run_all(self, max_events: Optional[int] = None) -> None:
-        """Run until the queue is empty (or *max_events* is exceeded)."""
+        """Run until the queue is empty (or *max_events* is exceeded).
+
+        The :meth:`step` loop is inlined here — one Python frame per event
+        is measurable on million-event runs.  ``self._heap`` is re-read
+        every iteration on purpose: a mid-run rescale (:class:`IntEngine`)
+        rebinds it.
+        """
         count = 0
-        while self.step():
+        pop = heapq.heappop
+        while self._heap:
+            time, _, fn, timer = pop(self._heap)
+            if timer._cancelled:
+                continue
+            timer._fired = True
+            self._now = time
+            self._processed += 1
+            fn()
             count += 1
             if max_events is not None and count > max_events:
                 raise SimulationError(
                     f"simulation exceeded {max_events} events — livelock?"
                 )
+
+
+class IntEngine(Engine):
+    """The event loop of the scaled-integer kernel: the heap holds plain
+    ``int`` tick timestamps over an :class:`~repro.core.timeline.IntTimeline`.
+
+    The *public* clock API is unchanged — :meth:`schedule_at` /
+    :meth:`schedule_in` / :meth:`run_until` accept ordinary time values and
+    ``now`` returns an exact :class:`~fractions.Fraction` — so external
+    consumers (heartbeat monitors, fault plans, tests) interoperate with
+    either engine.  Only the simulator's hot path talks ticks directly via
+    :meth:`~Engine.push` and ``_now``.
+
+    When the timeline grows its scale mid-run, the engine multiplies its
+    clock and every queued timestamp by the factor; multiplication by a
+    positive integer preserves heap order, so the heap stays valid as-is.
+    """
+
+    __slots__ = ("timeline",)
+
+    def __init__(self, timeline) -> None:
+        super().__init__()
+        self.timeline = timeline
+        self._now = 0  # ticks
+        timeline.on_rescale(self._rescale)
+
+    def _rescale(self, factor: int) -> None:
+        self._now *= factor
+        if self._heap:
+            self._heap = [(t * factor, seq, fn, timer)
+                          for t, seq, fn, timer in self._heap]
+
+    @property
+    def now(self) -> Fraction:
+        """Current simulation time as an exact rational (boundary view)."""
+        return self.timeline.to_fraction(self._now)
+
+    def schedule_at(self, time, fn: Event) -> Timer:
+        return self.push(self.timeline.ensure(as_fraction(time)), fn)
+
+    def schedule_in(self, delay, fn: Event) -> Timer:
+        d = self.timeline.ensure(as_fraction(delay))
+        if d < 0:
+            raise SimulationError(f"negative delay {as_fraction(delay)}")
+        return self.push(self._now + d, fn)
+
+    def run_until(self, time) -> None:
+        # compare in Fractions: an event run inside the loop may grow the
+        # timeline's scale, which would invalidate a pre-converted tick
+        horizon = as_fraction(time)
+        if horizon < self.now:
+            raise SimulationError(f"cannot run backwards to {horizon}")
+        while self._heap:
+            while self._heap and self._heap[0][3]._cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap or self.timeline.to_fraction(
+                    self._heap[0][0]) > horizon:
+                break
+            self.step()
+        self._now = self.timeline.ensure(horizon)

@@ -32,6 +32,22 @@ The ``compute_during_startup`` flag selects between the paper's start-up
 strategy (Section 7: every node applies its event-driven schedule from the
 beginning, computing immediately) and the traditional baseline (a node
 computes nothing until it has buffered its steady-state task count χ_in).
+
+Two exact time kernels drive the event loop (the ``kernel`` parameter):
+
+* ``"int"`` (default) — the scaled-integer kernel of
+  :mod:`repro.core.timeline`: every duration is normalised once to ticks
+  over a global denominator ``D``, the event heap and all clock arithmetic
+  run on plain Python ints, and ``Fraction`` views are materialised only at
+  the API boundaries (the recorded trace, ``engine.now``, telemetry).  A
+  value with an incommensurate denominator appearing mid-run (an injected
+  control latency, a link-degradation factor) grows the scale in place;
+* ``"fraction"`` — the original ``Fraction``-per-event loop.
+
+Both kernels produce **bit-identical** results — same trace, same event
+order, same rationals — as the property suite in ``tests/test_timeline.py``
+asserts; the int kernel is simply several times faster (see
+``benchmarks/bench_e27_timeline.py`` and ``docs/perf.md``).
 """
 
 from __future__ import annotations
@@ -43,27 +59,39 @@ from typing import Callable, Deque, Dict, Hashable, Mapping, Optional
 
 from ..core.allocation import Allocation
 from ..core.rates import ZERO, is_infinite
+from ..core.timeline import timeline_for
 from ..exceptions import SimulationError
 from ..platform.tree import Tree
 from ..schedule.eventdriven import NodeSchedule, build_schedules
 from ..schedule.local import interleaved_order
 from ..schedule.periods import NodePeriods, tree_periods
 from ..telemetry.core import Registry
-from .engine import Engine
+from .engine import Engine, IntEngine
 from .tracing import COMPUTE, CTRL, RECV, SEND, Trace
+
+#: kernels accepted by :class:`Simulation`
+KERNELS = ("int", "fraction")
+
+#: tick→Fraction memo bound: cleared (cheap, regrows warm) when exceeded
+_FRAC_MEMO_CAP = 1 << 18
+
+
+def _identity(value):
+    return value
 
 
 class _SimNode:
     """Mutable per-node simulation state."""
 
     __slots__ = (
-        "name", "w", "compute_queue", "send_queue", "computing", "sending",
-        "receiving", "arrivals", "buffered", "overlap", "dead",
+        "name", "w", "w_units", "compute_queue", "send_queue", "computing",
+        "sending", "receiving", "arrivals", "buffered", "overlap", "dead",
     )
 
     def __init__(self, name: Hashable, w, overlap: bool = True) -> None:
         self.name = name
         self.w = w
+        self.w_units = w  # compute duration in kernel units (ticks or Fraction)
         self.compute_queue = 0
         self.send_queue: Deque[Hashable] = deque()
         self.computing = False
@@ -153,7 +181,16 @@ class SimulationResult:
 
 
 class Simulation:
-    """One configured simulation run over a tree + schedules."""
+    """One configured simulation run over a tree + schedules.
+
+    All internal clock arithmetic happens in *kernel units*: plain int
+    ticks for ``kernel="int"``, :class:`~fractions.Fraction` for
+    ``kernel="fraction"``.  ``self._units(fraction)`` converts a rational
+    into kernel units (growing the int timeline's scale when needed) and
+    ``self._frac(units)`` materialises the exact rational view — the trace,
+    ``failed_at``, telemetry values and every public attribute are always
+    Fractions, whichever kernel runs.
+    """
 
     def __init__(
         self,
@@ -169,11 +206,15 @@ class Simulation:
         record_buffers: bool = True,
         max_events: int = 5_000_000,
         telemetry: Optional[Registry] = None,
+        kernel: str = "int",
     ):
         if horizon is None and supply is None:
             raise SimulationError("give a horizon, a supply, or both")
         if root_pacing not in ("even", "marks", "burst"):
             raise SimulationError(f"unknown root pacing {root_pacing!r}")
+        if kernel not in KERNELS:
+            raise SimulationError(
+                f"unknown kernel {kernel!r} (expected one of {KERNELS})")
         self.root_pacing = root_pacing
         self._record_segments = record_segments
         self._record_buffers = record_buffers
@@ -184,8 +225,8 @@ class Simulation:
         self.horizon = Fraction(horizon) if horizon is not None else None
         self.supply = supply
         self.max_events = max_events
+        self.kernel = kernel
 
-        self.engine = Engine()
         self.trace = Trace(record_segments=record_segments,
                            record_buffers=record_buffers)
         overlap = overlap or {}
@@ -205,6 +246,92 @@ class Simulation:
         #: optional (parent, child, now) → Fraction multiplier on transfer
         #: times, used by fault injection for transient link degradation
         self._link_factor: Optional[Callable] = None
+        #: cached (root schedule, T^w, release offsets) in kernel units
+        self._grid_cache = None
+        #: with segment recording off: max segment end in kernel units,
+        #: flushed into the trace's end-time bookkeeping by :meth:`run`
+        self._seg_end_max = 0 if kernel == "int" else ZERO
+
+        self._cost_units: Dict = {}
+        self._horizon_units = None
+        if kernel == "int":
+            self._timeline = timeline_for(tree, schedules, horizon=self.horizon)
+            self.engine: Engine = IntEngine(self._timeline)
+            self._frac_memo: Dict[int, Fraction] = {}
+            self._units = self._ensure_units
+            self._frac = self._tick_fraction
+            self._timeline.on_rescale(self._on_rescale)
+            self._fill_duration_tables()
+            if telemetry is not None:
+                telemetry.gauge("timeline.scale_bits").set(
+                    self._timeline.scale.bit_length())
+        else:
+            self._timeline = None
+            self.engine = Engine()
+            self._units = Fraction
+            self._frac = _identity
+            self._cost_units = {
+                (tree.parent(n), n): tree.c(n)
+                for n in tree.nodes() if tree.parent(n) is not None
+            }
+        self._horizon_units = (
+            None if self.horizon is None else self._units(self.horizon))
+
+    # ------------------------------------------------------------------
+    # kernel plumbing
+    # ------------------------------------------------------------------
+    def _ensure_units(self, value) -> int:
+        return self._timeline.ensure(
+            value if isinstance(value, Fraction) else Fraction(value))
+
+    def _tick_fraction(self, ticks: int) -> Fraction:
+        memo = self._frac_memo
+        f = memo.get(ticks)
+        if f is None:
+            if len(memo) >= _FRAC_MEMO_CAP:
+                memo.clear()
+            f = memo[ticks] = Fraction(ticks, self._timeline.scale)
+        return f
+
+    def _fill_duration_tables(self) -> None:
+        """Precompute every known duration in ticks with one joint rescale."""
+        tree = self.tree
+        finite = [n for n in tree.nodes() if not is_infinite(tree.w(n))]
+        edges = [n for n in tree.nodes() if tree.parent(n) is not None]
+        ticks = self._timeline.ensure_all(
+            [tree.w(n) for n in finite] + [tree.c(n) for n in edges])
+        for node, w_ticks in zip(finite, ticks):
+            self.nodes[node].w_units = w_ticks
+        self._cost_units = {
+            (tree.parent(n), n): c_ticks
+            for n, c_ticks in zip(edges, ticks[len(finite):])
+        }
+
+    def _on_rescale(self, factor: int) -> None:
+        """The timeline grew: bring every cached tick value to the new scale.
+
+        (The engine rescaled its clock and heap already — it registered
+        first.)  Multiplication by a positive int preserves all orderings,
+        so state machines in flight are unaffected."""
+        for state in self.nodes.values():
+            if not is_infinite(state.w_units):
+                state.w_units *= factor
+        self._cost_units = {k: v * factor for k, v in self._cost_units.items()}
+        if self._horizon_units is not None:
+            self._horizon_units *= factor
+        if self._grid_cache is not None:
+            schedule, t_w, offsets = self._grid_cache
+            self._grid_cache = (schedule, t_w * factor,
+                                [o * factor for o in offsets])
+        self._seg_end_max *= factor
+        for node, jobs in self._control_jobs.items():
+            self._control_jobs[node] = deque(
+                (duration * factor, cb) for duration, cb in jobs)
+        self._frac_memo.clear()  # old entries denominate the old scale
+        if self.telemetry is not None:
+            self.telemetry.counter("timeline.rescales").inc()
+            self.telemetry.gauge("timeline.scale_bits").set(
+                self._timeline.scale.bit_length())
 
     # ------------------------------------------------------------------
     # telemetry
@@ -233,6 +360,9 @@ class Simulation:
           ``T^w`` (Section 6.3's geometric construction taken literally);
         * ``burst``: the whole bunch at the period start (a naive clocked
           root; the steady rates still hold, buffering suffers).
+
+        Pure rational values, independent of the running kernel; the cached
+        :meth:`_root_grid` holds their kernel-unit conversions.
         """
         t_w = Fraction(schedule.periods.t_consume)
         bunch = schedule.bunch
@@ -254,44 +384,64 @@ class Simulation:
             return [pos * t_w for pos, _, _ in marks]
         raise SimulationError(f"unknown root pacing {self.root_pacing!r}")
 
+    def _root_grid(self, schedule: NodeSchedule):
+        """``(T^w, release offsets)`` of *schedule* in kernel units, cached
+        per schedule object (rebuilt after a reconfiguration or rescale)."""
+        cached = self._grid_cache
+        if cached is not None and cached[0] is schedule:
+            return cached[1], cached[2]
+        units = self._units
+        t_w = units(Fraction(schedule.periods.t_consume))
+        offsets = [units(o) for o in self._release_offsets(schedule)]
+        if self._timeline is not None:
+            # a conversion above may have rescaled: re-read at final scale
+            t_w = units(Fraction(schedule.periods.t_consume))
+            offsets = [units(o) for o in self._release_offsets(schedule)]
+        self._grid_cache = (schedule, t_w, offsets)
+        return t_w, offsets
+
     def _schedule_period(self, k: int, origin: Fraction = ZERO,
                          generation: int = 0) -> None:
         """Lazily schedule the k-th bunch of root releases.
 
         *origin* anchors the period grid (non-zero after a reconfiguration);
         a stale *generation* means :meth:`reconfigure` retired this chain.
+        *origin* is carried as a Fraction across periods — it is converted
+        to kernel units afresh each call, so a mid-run rescale between two
+        periods cannot stale it.
         """
         if generation != self._generation:
             return
         schedule = self._root_schedule()
-        t_w = Fraction(schedule.periods.t_consume)
-        offsets = self._release_offsets(schedule)
-        start = origin + k * t_w
+        # absorb origin's denominator into the scale FIRST: then the final
+        # conversion below cannot rescale, so the grid locals stay current
+        self._units(origin)
+        t_w, offsets = self._root_grid(schedule)
+        start = self._units(origin) + k * t_w
         stopped = False
         for j, dest in enumerate(schedule.order):
             t = start + offsets[j]
-            if self.horizon is not None and t >= self.horizon:
+            if self._horizon_units is not None and t >= self._horizon_units:
                 stopped = True
                 break
             if self.supply is not None and self._released >= self.supply:
                 stopped = True
                 break
             self._released += 1
-            self.engine.schedule_at(
+            self.engine.push(
                 t, lambda d=dest, g=generation, tt=t: self._release(d, tt, g)
             )
         if stopped:
             # remember when the supply was effectively cut
             if self._stop_time is None:
-                self._stop_time = t
+                self._stop_time = self._frac(t)
         else:
-            self.engine.schedule_at(
+            self.engine.push(
                 start + t_w,
                 lambda g=generation: self._schedule_period(k + 1, origin, g),
             )
 
-    def _release(self, dest: Hashable, time: Fraction,
-                 generation: int = 0) -> None:
+    def _release(self, dest: Hashable, time, generation: int = 0) -> None:
         """The root releases one task designated for *dest*."""
         if generation != self._generation:
             self._released -= 1  # the retired chain never released this task
@@ -300,8 +450,10 @@ class Simulation:
         state = self.nodes[root]
         state.arrivals += 1
         state.buffered += 1
-        self.trace.add_release(self.engine.now, dest)
-        self.trace.add_buffer_delta(self.engine.now, root, +1)
+        now = self._frac(self.engine._now)
+        self.trace.add_release(now, dest)
+        if self._record_buffers:
+            self.trace.add_buffer_delta(now, root, +1)
         if self.telemetry is not None:
             self.telemetry.counter("sim.tasks_released", node=root).inc()
             self._tel_buffer(root, state.buffered)
@@ -334,9 +486,10 @@ class Simulation:
         index = state.arrivals
         state.arrivals += 1
         state.buffered += 1
-        now = self.engine.now
+        now = self._frac(self.engine._now)
         self.trace.add_arrival(now, node)
-        self.trace.add_buffer_delta(now, node, +1)
+        if self._record_buffers:
+            self.trace.add_buffer_delta(now, node, +1)
         if self.telemetry is not None:
             self.telemetry.counter("sim.tasks_received", node=node).inc()
             self._tel_buffer(node, state.buffered)
@@ -357,13 +510,17 @@ class Simulation:
             return
         state.computing = True
         state.compute_queue -= 1
-        start = self.engine.now
-        end = start + state.w
-        self.trace.add_segment(node, COMPUTE, start, end)
+        start = self.engine._now
+        end = start + state.w_units
+        if self._record_segments:
+            self.trace.add_segment(node, COMPUTE, self._frac(start),
+                                   self._frac(end))
+        elif end > self._seg_end_max:
+            self._seg_end_max = end
         if self.telemetry is not None:
             self.telemetry.counter("sim.busy_time", node=node,
                                    resource="cpu").inc(state.w)
-        self.engine.schedule_at(end, lambda: self._compute_done(node))
+        self.engine.push(end, lambda: self._compute_done(node))
 
     def _compute_done(self, node: Hashable) -> None:
         state = self.nodes[node]
@@ -371,9 +528,10 @@ class Simulation:
             return  # the task died with the node (already counted lost)
         state.computing = False
         state.buffered -= 1
-        now = self.engine.now
+        now = self._frac(self.engine._now)
         self.trace.add_completion(now, node)
-        self.trace.add_buffer_delta(now, node, -1)
+        if self._record_buffers:
+            self.trace.add_buffer_delta(now, node, -1)
         if self.telemetry is not None:
             self.telemetry.counter("sim.tasks_computed", node=node).inc()
             self._tel_buffer(node, state.buffered)
@@ -393,17 +551,22 @@ class Simulation:
         if not state.overlap and state.computing:
             return  # a no-overlap node cannot send while computing
         # control messages (reconfiguration traffic) pre-empt task transfers
-        jobs = self._control_jobs.get(node)
+        # (outer guard: the jobs dict is empty in the vast majority of runs)
+        jobs = self._control_jobs.get(node) if self._control_jobs else None
         if jobs:
             duration, callback = jobs.popleft()
             state.sending = True
-            start = self.engine.now
+            start = self.engine._now
             end = start + duration
-            self.trace.add_segment(node, CTRL, start, end)
+            if self._record_segments:
+                self.trace.add_segment(node, CTRL, self._frac(start),
+                                       self._frac(end))
+            elif end > self._seg_end_max:
+                self._seg_end_max = end
             if self.telemetry is not None:
                 self.telemetry.counter("sim.ctrl_jobs", node=node).inc()
                 self.telemetry.counter("sim.busy_time", node=node,
-                                       resource="send").inc(duration)
+                                       resource="send").inc(self._frac(duration))
 
             def ctrl_done() -> None:
                 state.sending = False
@@ -412,7 +575,7 @@ class Simulation:
                 self._try_start_send(node)
                 self._try_start_compute(node)
 
-            self.engine.schedule_at(end, ctrl_done)
+            self.engine.push(end, ctrl_done)
             return
         if not state.send_queue:
             return
@@ -424,19 +587,31 @@ class Simulation:
         child = state.send_queue.popleft()
         state.sending = True
         self.nodes[child].receiving = True
-        start = self.engine.now
-        cost = self.tree.edge_cost(node, child)
+        cost = self._cost_units[(node, child)]
         if self._link_factor is not None:
-            cost = cost * Fraction(self._link_factor(node, child, start))
+            # the factor callback sees the exact rational time; converting
+            # its (possibly incommensurate) result may grow the scale, so
+            # only read the tick clock afterwards
+            start_frac = self._frac(self.engine._now)
+            cost = self._units(
+                self.tree.edge_cost(node, child)
+                * Fraction(self._link_factor(node, child, start_frac))
+            )
+        start = self.engine._now
         end = start + cost
-        self.trace.add_segment(node, SEND, start, end, peer=child)
-        self.trace.add_segment(child, RECV, start, end, peer=node)
+        if self._record_segments:
+            start_f, end_f = self._frac(start), self._frac(end)
+            self.trace.add_segment(node, SEND, start_f, end_f, peer=child)
+            self.trace.add_segment(child, RECV, start_f, end_f, peer=node)
+        elif end > self._seg_end_max:
+            self._seg_end_max = end
         if self.telemetry is not None:
+            cost_frac = self._frac(cost)
             self.telemetry.counter("sim.busy_time", node=node,
-                                   resource="send").inc(cost)
+                                   resource="send").inc(cost_frac)
             self.telemetry.counter("sim.busy_time", node=child,
-                                   resource="recv").inc(cost)
-        self.engine.schedule_at(end, lambda: self._send_done(node, child))
+                                   resource="recv").inc(cost_frac)
+        self.engine.push(end, lambda: self._send_done(node, child))
 
     def _send_done(self, node: Hashable, child: Hashable) -> None:
         state = self.nodes[node]
@@ -448,7 +623,8 @@ class Simulation:
         state.sending = False
         state.buffered -= 1
         self.nodes[child].receiving = False
-        self.trace.add_buffer_delta(self.engine.now, node, -1)
+        if self._record_buffers:
+            self.trace.add_buffer_delta(self._frac(self.engine._now), node, -1)
         if self.telemetry is not None:
             self.telemetry.counter("sim.tasks_forwarded", node=node,
                                    child=child).inc()
@@ -482,7 +658,7 @@ class Simulation:
         state = self.nodes[node]
         if state.dead:
             return
-        now = self.engine.now
+        now = self._frac(self.engine._now)
         state.dead = True
         self.failed_at[node] = now
         if self.telemetry is not None:
@@ -528,8 +704,12 @@ class Simulation:
         """
         if self.nodes[node].dead:
             return
+        # convert BEFORE touching the queue dict: a rescale triggered by the
+        # conversion replaces every queued deque with a scaled copy, so a
+        # reference grabbed earlier would be appended into an orphan
+        duration_units = self._units(Fraction(duration))
         self._control_jobs.setdefault(node, deque()).append(
-            (Fraction(duration), callback)
+            (duration_units, callback)
         )
         self._try_start_send(node)
 
@@ -545,6 +725,15 @@ class Simulation:
         self.tree = tree
         for node in tree.nodes():
             self.nodes[node].w = tree.w(node)
+        if self._timeline is not None:
+            self._fill_duration_tables()
+        else:
+            for node in tree.nodes():
+                self.nodes[node].w_units = self.nodes[node].w
+            self._cost_units = {
+                (tree.parent(n), n): tree.c(n)
+                for n in tree.nodes() if tree.parent(n) is not None
+            }
 
     def reconfigure(self, schedules: Mapping[Hashable, NodeSchedule],
                     periods: Mapping[Hashable, NodePeriods]) -> None:
@@ -562,9 +751,11 @@ class Simulation:
         self.controller.schedules = self.schedules
         self.controller.retired = retired
         self._generation += 1
-        origin = self.engine.now
-        self.engine.schedule_at(
-            origin,
+        self._grid_cache = None
+        origin_units = self.engine._now
+        origin = self._frac(origin_units)
+        self.engine.push(
+            origin_units,
             lambda g=self._generation: self._schedule_period(0, origin, g),
         )
 
@@ -575,6 +766,13 @@ class Simulation:
         """Run to completion: release until horizon/supply, then drain."""
         self._schedule_period(0)
         self.engine.run_all(max_events=self.max_events)
+        if not self._record_segments and self._seg_end_max:
+            # segment ends were tracked in kernel units (cheap int compares
+            # on the int kernel) instead of per-event trace updates; fold
+            # the max into the trace so end_time matches a recording run
+            end_f = self._frac(self._seg_end_max)
+            if end_f > self.trace._last_time:
+                self.trace._last_time = end_f
         stop = self._stop_time
         if stop is None and self.horizon is not None:
             stop = self.horizon
@@ -604,6 +802,7 @@ def simulate(
     record_buffers: bool = True,
     max_events: int = 5_000_000,
     telemetry: Optional[Registry] = None,
+    kernel: str = "int",
 ) -> SimulationResult:
     """One-call simulation of *tree* running its optimal event-driven schedule.
 
@@ -630,6 +829,11 @@ def simulate(
     (``sim.busy_time{node,resource}``) and buffer-occupancy gauges and
     histograms, live as the simulation unfolds.  ``None`` (the default)
     runs the exact uninstrumented code path.
+
+    *kernel* selects the exact time kernel: ``"int"`` (default) runs the
+    event loop on scaled-integer ticks (same results, several times
+    faster), ``"fraction"`` on per-event rationals — see the module
+    docstring and :mod:`repro.core.timeline`.
     """
     if allocation is None:
         from ..core.allocation import from_bw_first
@@ -656,5 +860,6 @@ def simulate(
         record_buffers=record_buffers,
         max_events=max_events,
         telemetry=telemetry,
+        kernel=kernel,
     )
     return sim.run()

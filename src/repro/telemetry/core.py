@@ -139,6 +139,7 @@ class Registry:
         self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
         self.spans: List[Span] = []
+        self.warnings: List[str] = []
         self._next_span_id = 1
         self._span_observers: List = []
 
@@ -165,6 +166,17 @@ class Registry:
         if instrument is None:
             instrument = self._histograms[key] = Histogram(name, key[1])
         return instrument
+
+    def warn(self, message: str) -> None:
+        """Record a one-line operational warning (deduplicated).
+
+        Warnings are advisory breadcrumbs for the operator — a cache that
+        churns, a period that blows up just under the guard — kept on the
+        registry so exporters and tests can read them without a logging
+        dependency.
+        """
+        if message not in self.warnings:
+            self.warnings.append(message)
 
     def value(self, name: str, **labels):
         """Current value of a counter or gauge (0 when never touched)."""
@@ -278,6 +290,9 @@ class NullRegistry(Registry):
 
     def histogram(self, name: str, **labels):  # type: ignore[override]
         return _NULL_INSTRUMENT
+
+    def warn(self, message: str) -> None:
+        pass
 
     def begin_span(self, name: str, start, node=None, parent=None, **tags):
         return _NULL_SPAN

@@ -1,0 +1,371 @@
+"""Exactness properties of the scaled-integer timeline kernel.
+
+The tentpole claim of :mod:`repro.core.timeline` is that the ``"int"``
+simulation kernel is a *pure speedup*: every observable — the full trace
+(segments, completions, arrivals, buffer deltas, releases), the end time,
+the scaled period quantities — is ``==`` to the ``Fraction`` reference
+path, including under mid-run rescales, crashes, re-joins and online
+reconfiguration.  These tests pin that claim on 25 seeded random trees.
+
+Also covered here: the fragment-caching incremental schedule builder
+(equal to a full rebuild across prune/graft/set_w/set_c), the
+``global_period`` blow-up guard and the solver's memo-eviction warning.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.allocation import from_bw_first
+from repro.core.bwfirst import bw_first
+from repro.core.incremental import IncrementalSolver, _IFrame, _Sol
+from repro.core.timeline import IntTimeline, denominator_lcm, timeline_for, tree_periods_scaled
+from repro.exceptions import ScheduleError
+from repro.platform.tree import Tree
+from repro.schedule.eventdriven import build_schedules
+from repro.schedule.periods import MAX_PERIOD_BITS, global_period, tree_periods
+from repro.sim.simulator import Simulation, simulate
+from repro.telemetry import Registry
+from repro.telemetry.core import NULL
+
+SEEDS = list(range(25))
+
+W_CHOICES = [Fraction(2), Fraction(3), Fraction(4), Fraction(6),
+             Fraction(8), Fraction(5, 2), Fraction(7, 2)]
+C_CHOICES = [Fraction(1), Fraction(2), Fraction(3), Fraction(3, 2)]
+
+
+def random_tree(seed: int, size: int = 12) -> Tree:
+    """A small random platform with mixed rate denominators."""
+    rng = random.Random(seed)
+    tree = Tree("n0", w=rng.choice(W_CHOICES))
+    names = ["n0"]
+    for i in range(1, size):
+        name = f"n{i}"
+        tree.add_node(name, rng.choice(W_CHOICES),
+                      parent=rng.choice(names), c=rng.choice(C_CHOICES))
+        names.append(name)
+    return tree
+
+
+def solved(tree: Tree):
+    allocation = from_bw_first(bw_first(tree))
+    periods = tree_periods(allocation)
+    schedules = build_schedules(allocation, periods=periods)
+    return allocation, periods, schedules
+
+
+def assert_traces_equal(a, b) -> None:
+    assert a.segments == b.segments
+    assert a.completions == b.completions
+    assert a.arrivals == b.arrivals
+    assert a.buffer_deltas == b.buffer_deltas
+    assert a.releases == b.releases
+    assert a.end_time == b.end_time
+
+
+# ----------------------------------------------------------------------
+# kernel equivalence on 25 seeded random trees
+# ----------------------------------------------------------------------
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_full_trace_bit_identical(self, seed):
+        tree = random_tree(seed)
+        _, periods, schedules = solved(tree)
+        horizon = Fraction(global_period(periods)) * Fraction(3, 2)
+        results = {}
+        for kernel in ("int", "fraction"):
+            results[kernel] = simulate(tree, horizon=horizon, kernel=kernel)
+        assert_traces_equal(results["int"].trace, results["fraction"].trace)
+        assert results["int"].released == results["fraction"].released
+        assert results["int"].stop_time == results["fraction"].stop_time
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_scaled_periods_equal_fraction_periods(self, seed):
+        tree = random_tree(seed)
+        allocation, periods, _ = solved(tree)
+        assert tree_periods_scaled(allocation) == periods
+
+    @pytest.mark.parametrize("seed", SEEDS[:8])
+    def test_lean_trace_end_time_matches(self, seed):
+        tree = random_tree(seed)
+        _, periods, _ = solved(tree)
+        horizon = Fraction(global_period(periods))
+        lean = simulate(tree, horizon=horizon, kernel="int",
+                        record_segments=False, record_buffers=False)
+        full = simulate(tree, horizon=horizon, kernel="fraction")
+        assert lean.trace.completions == full.trace.completions
+        assert lean.trace.end_time == full.trace.end_time
+
+    @pytest.mark.parametrize("seed", SEEDS[:8])
+    def test_crash_traces_identical(self, seed):
+        tree = random_tree(seed)
+        rng = random.Random(1000 + seed)
+        victim = rng.choice([n for n in tree.nodes() if n != tree.root])
+        _, periods, schedules = solved(tree)
+        t = Fraction(global_period(periods))
+        results = {}
+        for kernel in ("int", "fraction"):
+            sim = Simulation(tree, dict(schedules), dict(periods),
+                             horizon=2 * t, kernel=kernel)
+            sim.schedule_failure(victim, t * Fraction(2, 3))
+            results[kernel] = sim.run()
+        assert_traces_equal(results["int"].trace, results["fraction"].trace)
+        assert results["int"].tasks_lost == results["fraction"].tasks_lost
+        assert results["int"].failed_at == results["fraction"].failed_at
+
+    @pytest.mark.parametrize("seed", SEEDS[:8])
+    def test_crash_then_rejoin_reconfigure_identical(self, seed):
+        """Crash a subtree, then reconfigure onto the survivors' schedule —
+        the recovery scenario — identically in both kernels."""
+        tree = random_tree(seed)
+        rng = random.Random(2000 + seed)
+        victim = rng.choice([n for n in tree.nodes() if n != tree.root])
+        _, periods, schedules = solved(tree)
+        survivors = tree.without_subtrees([victim])
+        _, new_periods, new_schedules = solved(survivors)
+        t = Fraction(global_period(periods))
+        t_crash, t_switch = t * Fraction(1, 2), t
+        results = {}
+        for kernel in ("int", "fraction"):
+            sim = Simulation(tree, dict(schedules), dict(periods),
+                             horizon=2 * t, kernel=kernel)
+            sim.schedule_failure(victim, t_crash)
+            sim.engine.schedule_at(
+                t_switch, lambda s=sim: s.reconfigure(new_schedules, new_periods))
+            results[kernel] = sim.run()
+        assert_traces_equal(results["int"].trace, results["fraction"].trace)
+        assert results["int"].tasks_lost == results["fraction"].tasks_lost
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_midrun_rescale_equivalence(self, seed):
+        """A control job with a foreign denominator forces the int kernel to
+        rescale mid-run; the trace must stay bit-identical."""
+        tree = random_tree(seed)
+        _, periods, schedules = solved(tree)
+        t = Fraction(global_period(periods))
+        node = next(iter(schedules))
+        results = {}
+        for kernel in ("int", "fraction"):
+            sim = Simulation(tree, dict(schedules), dict(periods),
+                             horizon=2 * t, kernel=kernel)
+            sim.engine.schedule_at(
+                t * Fraction(1, 3),
+                lambda s=sim: s.inject_control(node, Fraction(1, 7)))
+            sim.engine.schedule_at(
+                t * Fraction(2, 3),
+                lambda s=sim: s.inject_control(node, Fraction(1, 11)))
+            results[kernel] = sim.run()
+        assert_traces_equal(results["int"].trace, results["fraction"].trace)
+
+
+# ----------------------------------------------------------------------
+# incremental schedule reconstruction == full rebuild, across mutations
+# ----------------------------------------------------------------------
+class TestIncrementalBuilder:
+    def check_build(self, inc, builder):
+        allocation = from_bw_first(inc.solve())
+        periods, schedules = builder.build(allocation)
+        assert periods == tree_periods(allocation)
+        assert schedules == build_schedules(allocation, periods=periods)
+        return allocation
+
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_equal_across_mutations(self, seed):
+        tree = random_tree(seed, size=16)
+        rng = random.Random(3000 + seed)
+        inc = IncrementalSolver(tree)
+        builder = inc.schedule_builder()
+        self.check_build(inc, builder)
+
+        # crash: prune a random leaf, remember it for the re-join
+        leaves = [n for n in inc.tree.nodes()
+                  if not list(inc.tree.children(n)) and n != inc.tree.root]
+        victim = rng.choice(leaves)
+        parent = inc.tree.parent(victim)
+        w, c = inc.tree.w(victim), inc.tree.c(victim)
+        inc.prune(victim)
+        self.check_build(inc, builder)
+
+        # re-join: graft the crashed leaf back
+        inc.graft(parent, c, Tree(victim, w=w))
+        self.check_build(inc, builder)
+
+        # platform drift: perturb one w and one c
+        nodes = list(inc.tree.nodes())
+        inc.set_w(rng.choice(nodes), rng.choice(W_CHOICES))
+        self.check_build(inc, builder)
+        non_root = [n for n in nodes if n != inc.tree.root]
+        inc.set_c(rng.choice(non_root), rng.choice(C_CHOICES))
+        self.check_build(inc, builder)
+
+    def test_leaf_mutation_recomputes_only_root_path(self):
+        tree = random_tree(0, size=60)
+        inc = IncrementalSolver(tree)
+        builder = inc.schedule_builder()
+        self.check_build(inc, builder)
+        assert builder.last_recomputed == len(list(inc.tree.nodes()))
+
+        leaves = [n for n in inc.tree.nodes() if not list(inc.tree.children(n))]
+        inc.prune(leaves[-1])
+        self.check_build(inc, builder)
+        n = len(list(inc.tree.nodes()))
+        # the ≥5× bar of E27, on a deliberately small tree
+        assert builder.last_recomputed * 5 <= n
+        assert builder.last_spliced == n - builder.last_recomputed
+
+    def test_rejects_foreign_allocation(self):
+        inc = IncrementalSolver(random_tree(1))
+        inc.solve()
+        foreign = from_bw_first(bw_first(random_tree(1)))
+        with pytest.raises(ScheduleError, match="latest solve"):
+            inc.schedule_builder().build(foreign)
+
+    def test_stale_allocation_rejected_after_mutation(self):
+        inc = IncrementalSolver(random_tree(2, size=10))
+        stale = from_bw_first(inc.solve())
+        leaves = [n for n in inc.tree.nodes() if not list(inc.tree.children(n))]
+        inc.prune(leaves[-1])
+        inc.solve()
+        with pytest.raises(ScheduleError, match="latest solve"):
+            inc.schedule_builder().build(stale)
+
+    def test_builder_is_cached_on_solver(self):
+        inc = IncrementalSolver(random_tree(3))
+        assert inc.schedule_builder() is inc.schedule_builder()
+
+    def test_telemetry_counters(self):
+        registry = Registry()
+        tree = random_tree(4, size=20)
+        inc = IncrementalSolver(tree, telemetry=registry)
+        builder = inc.schedule_builder()
+        self.check_build(inc, builder)
+        n = len(list(inc.tree.nodes()))
+        assert registry.value("sched.periods_recomputed") == n
+        leaves = [x for x in inc.tree.nodes() if not list(inc.tree.children(x))]
+        inc.prune(leaves[-1])
+        self.check_build(inc, builder)
+        assert registry.value("sched.fragments_spliced") == builder.last_spliced
+        assert builder.last_spliced > 0
+
+
+# ----------------------------------------------------------------------
+# the IntTimeline itself
+# ----------------------------------------------------------------------
+class TestIntTimeline:
+    def test_ensure_and_roundtrip(self):
+        tl = IntTimeline(6)
+        assert tl.ensure(Fraction(1, 2)) == 3
+        assert tl.ensure(Fraction(5, 3)) == 10
+        assert tl.to_fraction(10) == Fraction(5, 3)
+        assert tl.scale == 6
+
+    def test_ensure_grows_scale(self):
+        tl = IntTimeline(6)
+        fired = []
+        tl.on_rescale(fired.append)
+        assert tl.ensure(Fraction(1, 4)) == 3  # scale 6 → 12
+        assert tl.scale == 12
+        assert fired == [2]
+        assert tl.rescales == 1
+
+    def test_ensure_all_grows_once(self):
+        tl = IntTimeline(1)
+        fired = []
+        tl.on_rescale(fired.append)
+        tl.ensure_all([Fraction(1, 3), Fraction(1, 4), Fraction(1, 5)])
+        assert tl.scale == 60
+        assert fired == [60]  # one joint growth, not three
+
+    def test_denominator_lcm(self):
+        assert denominator_lcm([]) == 1
+        assert denominator_lcm([Fraction(1, 6), Fraction(3, 4)]) == 12
+
+    def test_timeline_for_covers_all_rates(self):
+        tree = random_tree(5)
+        _, periods, schedules = solved(tree)
+        tl = timeline_for(tree, schedules.values(), horizon=Fraction(7, 3))
+        for p in periods.values():
+            assert (p.t_consume * tl.scale).denominator == 1
+        assert (Fraction(7, 3) * tl.scale).denominator == 1
+
+
+# ----------------------------------------------------------------------
+# satellite: the global-period blow-up guard
+# ----------------------------------------------------------------------
+class TestGlobalPeriodGuard:
+    def test_default_cap_admits_normal_trees(self):
+        _, periods, _ = solved(random_tree(6))
+        assert global_period(periods) == global_period(periods, max_bits=None)
+
+    def test_blow_up_raises_with_node(self):
+        tree = random_tree(6)
+        _, periods, _ = solved(tree)
+        with pytest.raises(ScheduleError, match="astronomically long"):
+            global_period(periods, max_bits=0)
+
+    def test_blow_up_names_root_path(self):
+        tree = random_tree(6)
+        _, periods, _ = solved(tree)
+        with pytest.raises(ScheduleError, match="n0"):
+            global_period(periods, max_bits=0, tree=tree)
+
+    def test_period_bits_gauge(self):
+        registry = Registry()
+        _, periods, _ = solved(random_tree(7))
+        t = global_period(periods, telemetry=registry)
+        assert registry.value("sched.period_bits") == t.bit_length()
+        assert t.bit_length() <= MAX_PERIOD_BITS
+
+
+# ----------------------------------------------------------------------
+# satellite: memo-eviction telemetry + warning
+# ----------------------------------------------------------------------
+class TestEvictionWarning:
+    def _force_evictions(self, inc, count=1):
+        """Drive the per-β memo of the root entry over its cap."""
+        sol = _Sol(Fraction(1), Fraction(1), Fraction(0), Fraction(1), (), 1)
+        stores = 0
+        root = inc.tree.root
+        while inc.stats["evictions"] < count:
+            stores += 1
+            frame = _IFrame(root, Fraction(stores, 997), Fraction(1, 2), ())
+            frame.saturated = False
+            inc._store(frame, sol)
+
+    def test_memo_evictions_counter_and_warning(self):
+        registry = Registry()
+        inc = IncrementalSolver(Tree("n0", w=Fraction(2)), telemetry=registry)
+        self._force_evictions(inc)
+        assert registry.value("incr.memo_evictions") == 1
+        assert len(registry.warnings) == 1
+        assert "eviction rate" in registry.warnings[0]
+
+    def test_warning_emitted_once(self):
+        registry = Registry()
+        inc = IncrementalSolver(Tree("n0", w=Fraction(2)), telemetry=registry)
+        self._force_evictions(inc, count=3)
+        assert registry.value("incr.memo_evictions") == 3
+        assert len(registry.warnings) == 1
+
+    def test_no_warning_below_rate(self):
+        registry = Registry()
+        inc = IncrementalSolver(Tree("n0", w=Fraction(2)), telemetry=registry)
+        inc.stats["lookups"] = 10_000  # plenty of lookups: 2·evictions ≤ lookups
+        self._force_evictions(inc)
+        assert registry.value("incr.memo_evictions") == 1
+        assert registry.warnings == []
+
+    def test_registry_warn_deduplicates(self):
+        registry = Registry()
+        registry.warn("once")
+        registry.warn("once")
+        registry.warn("twice")
+        assert registry.warnings == ["once", "twice"]
+
+    def test_null_registry_warn_is_noop(self):
+        NULL.warn("dropped")
+        assert not hasattr(NULL, "warnings") or not NULL.warnings
