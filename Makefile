@@ -1,6 +1,6 @@
 # Development commands for the repro library.
 
-.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke perf-smoke bench-record examples outputs all clean
+.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke perf-smoke chaos-smoke bench-record examples outputs all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -68,6 +68,20 @@ perf-smoke:
 			tests/test_incremental.py tests/test_timeline.py -q && \
 		PYTHONPATH=src python -m repro bench-incr --nodes 200 --mutations 5 && \
 		PYTHONPATH=src python -m repro bench-timeline --nodes 200"
+
+# the self-healing gate: 100 seeded random fault sequences (crashes,
+# rejoins, root failover, hostile links, background loss) must EVERY one
+# converge back to the exact BW-First optimum of whatever platform
+# survives, checked against a from-scratch solve.  Deterministic by seed —
+# a failure is a real bug, never flake.  `timeout` hard-bounds the wall
+# clock so a wedged recovery fails fast instead of hanging CI.
+chaos-smoke:
+	timeout 540 sh -c "\
+		PYTHONPATH=src pytest \
+			'benchmarks/bench_e28_chaos.py::test_chaos_gate' \
+			tests/test_chaos.py tests/test_fault_recovery.py \
+			tests/test_detect.py -q && \
+		PYTHONPATH=src python -m repro chaos --sequences 100"
 
 # re-record the committed perf baselines (BENCH_*.json at the repo root)
 bench-record:

@@ -1,0 +1,72 @@
+"""E28: the seeded chaos gate — complete self-healing, exactly.
+
+One hundred random platforms each run one random fault sequence mixing
+crashes, subtree rejoins, a root failover, hostile (corrupting) links and
+background control-plane loss.  The acceptance bar is absolute: **every**
+sequence must settle back to the exact (``Fraction``-equal) BW-First
+optimum of whatever platform survives, verified against a from-scratch
+centralised solve of the survivor tree.  No tolerance, no flaky retries —
+the sweep is deterministic by seed, so this either always passes or is a
+real bug.
+"""
+
+from repro.faults.chaos import chaos_sweep, run_case
+from repro.util.text import render_table
+
+from .conftest import emit
+
+SEQUENCES = 100
+SEED = 0
+
+
+def test_chaos_gate(benchmark):
+    summary = benchmark.pedantic(
+        lambda: chaos_sweep(sequences=SEQUENCES, seed=SEED),
+        rounds=1, iterations=1,
+    )
+
+    assert summary.sequences == SEQUENCES
+    # chaos_sweep already raises on any inexact sequence; assert anyway
+    assert summary.exact_count == SEQUENCES
+
+    kinds = summary.epoch_kinds
+    # the generator must actually exercise the whole lifecycle
+    assert kinds.get("prune", 0) > 0, "no crash was ever pruned"
+    assert kinds.get("rejoin", 0) > 0, "no subtree ever rejoined"
+    assert kinds.get("failover", 0) > 0, "no root failover was ever run"
+    assert kinds.get("quarantine", 0) > 0, "no hostile link was quarantined"
+
+    table = [
+        [str(o.seed), str(o.nodes), " ".join(o.faults),
+         " ".join(o.epochs) or "-", str(o.rate_after),
+         "yes" if o.exact else "NO"]
+        for o in summary.outcomes[:12]
+    ]
+    emit(
+        "E28: seeded chaos — every sequence converges to the exact optimum",
+        render_table(
+            ["seed", "nodes", "faults", "epochs", "settled", "exact"], table,
+        ) + (
+            f"\n{summary.exact_count}/{summary.sequences} exact; epochs run: "
+            + ", ".join(f"{k}×{v}" for k, v in sorted(kinds.items()))
+        ),
+    )
+
+
+def test_chaos_case_is_deterministic(benchmark):
+    def twice():
+        a, ra = run_case(7)
+        b, rb = run_case(7)
+        return a, ra, b, rb
+
+    a, ra, b, rb = benchmark.pedantic(twice, rounds=1, iterations=1)
+    assert a == b
+    assert ra.timeline == rb.timeline
+    assert ra.detected_at == rb.detected_at
+    assert [e for e in ra.epochs] == [e for e in rb.epochs]
+    assert list(ra.result.trace.completions) == list(rb.result.trace.completions)
+    emit(
+        "E28: determinism",
+        f"same seed, same story: {len(ra.epochs)} epochs, "
+        f"{len(ra.result.trace.completions)} completions, identical twice",
+    )

@@ -201,11 +201,30 @@ def record_e27(nodes=1000, seed=1, periods=3, repeats=3, mutations=10):
     return records
 
 
+def record_e28(sequences=100, seed=0):
+    from repro.faults.chaos import chaos_sweep
+
+    summary, wall = timed(lambda: chaos_sweep(sequences=sequences, seed=seed))
+    assert summary.exact_count == sequences, "chaos sweep must be exact"
+    # machine-independent cost: the epochs the supervisor actually ran
+    # (deterministic per seed — a change means the generator or the
+    # recovery engine changed behaviour, not the host)
+    epochs = sum(len(outcome.epochs) for outcome in summary.outcomes)
+    print(f"e28 chaos: {summary.exact_count}/{sequences} exact, "
+          f"{epochs} recovery epochs "
+          f"({', '.join(f'{k}×{v}' for k, v in sorted(summary.epoch_kinds.items()))}), "
+          f"wall {wall:.1f}s")
+    return [dict(params=dict(sequences=sequences, seed=seed,
+                             family="e28"),
+                 wall_s=round(wall, 6), node_evals=epochs)]
+
+
 BENCHES = {
     "e26_incremental": record_e26,
     "e8_protocol_scaling": record_e8,
     "e25_runtime": record_e25,
     "e27_timeline": record_e27,
+    "e28_chaos": record_e28,
 }
 
 

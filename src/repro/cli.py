@@ -412,6 +412,46 @@ def _cmd_bench_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .faults.chaos import chaos_sweep
+    from .util.text import render_table
+
+    shown = {"count": 0}
+
+    def progress(outcome) -> None:
+        shown["count"] += 1
+        if not args.json and shown["count"] % 10 == 0:
+            print(f"  {shown['count']}/{args.sequences} sequences exact",
+                  file=sys.stderr)
+
+    summary = chaos_sweep(sequences=args.sequences, seed=args.seed,
+                          progress=progress)
+    if args.json:
+        print(_json.dumps(summary.to_json(), indent=2))
+        return 0
+    kinds = ", ".join(
+        f"{kind}×{count}" for kind, count in sorted(summary.epoch_kinds.items())
+    ) or "none"
+    print(f"chaos sweep: {summary.exact_count}/{summary.sequences} sequences "
+          f"converged exactly to the survivors' BW-First optimum")
+    print(f"recovery epochs run: {kinds}")
+    rows = [
+        [str(o.seed), str(o.nodes), " ".join(o.epochs) or "-",
+         str(o.rate_after), "yes" if o.exact else "NO"]
+        for o in summary.outcomes[: args.show]
+    ]
+    if rows:
+        print()
+        print(render_table(["seed", "nodes", "epochs", "settled rate",
+                            "exact"], rows))
+        if summary.sequences > args.show:
+            print(f"... and {summary.sequences - args.show} more "
+                  f"(--show to widen, --json for everything)")
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     tree = paper_figure4_tree()
     result = bw_first(tree)
@@ -564,6 +604,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
     p.set_defaults(func=_cmd_bench_timeline)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded chaos sweep: every fault sequence must converge back "
+             "to the survivors' exact optimum (experiment E28)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; case i uses seed+i (default 0)")
+    p.add_argument("--sequences", type=int, default=100,
+                   help="number of fault sequences to sweep (default 100)")
+    p.add_argument("--show", type=int, default=10,
+                   help="rows of the outcome table to print (default 10)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (all outcomes)")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("example", help="run the built-in paper example")
     p.set_defaults(func=_cmd_example)

@@ -235,6 +235,26 @@ class IncrementalSolver:
         self._refingerprint_path([parent] + tree.ancestors(parent))
         self._touch()
 
+    def failover(self, new_root: Hashable) -> Hashable:
+        """Re-root under *new_root* after the master died; return the old
+        root.
+
+        Mirrors :meth:`~repro.platform.tree.Tree.failover_root`.  Every
+        former sibling of *new_root* keeps its subtree fingerprint — only
+        the node that gained children needs recomputing, so the whole
+        surviving platform below the new root is solved from cache.
+        """
+        tree = self._tree
+        old = tree.root
+        tree.failover_root(new_root)
+        self._fp.pop(old, None)
+        self._kids_cache.pop(old, None)
+        self._rate_cache.pop(old, None)
+        self._kids_cache.pop(new_root, None)
+        self._refingerprint_path([new_root])
+        self._touch()
+        return old
+
     def set_w(self, name: Hashable, w) -> None:
         """Change a node's processing weight."""
         tree = self._tree

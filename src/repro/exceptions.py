@@ -65,6 +65,24 @@ class ProtocolError(ReproError):
         super().__init__(message)
 
 
+class CodecError(ProtocolError):
+    """A wire frame failed validation before reaching any state machine.
+
+    Raised by :mod:`repro.runtime.codec` for oversized length prefixes,
+    checksum mismatches, non-UTF-8 payloads, malformed JSON, unknown frame
+    types and unparsable rationals.  *recoverable* distinguishes a frame
+    that was fully consumed (the stream's framing survived, the reader may
+    skip it and continue) from one after which resynchronisation is
+    impossible (an untrustworthy length prefix: the stream must be
+    abandoned).  Either way the error is typed so a reader loop can contain
+    hostile bytes instead of dying on a raw :class:`ValueError`.
+    """
+
+    def __init__(self, message: str, *, recoverable: bool = True, **context):
+        super().__init__(message, **context)
+        self.recoverable = recoverable
+
+
 class SolverError(ReproError):
     """A linear-programming solver failed or returned an infeasible status."""
 

@@ -3,25 +3,42 @@
 The robustness layer the paper's Section 5 sketches but never builds:
 
 * :mod:`~repro.faults.plan` — deterministic, serializable
-  :class:`FaultPlan` descriptions (crashes, control-message loss and
-  duplication, transient link degradation);
+  :class:`FaultPlan` descriptions (crashes, rejoins, root failover,
+  control-message loss/duplication/corruption, transient link
+  degradation);
 * :mod:`~repro.faults.inject` — :class:`FaultyNetwork` applying a plan to
   the protocol transport, :func:`apply_to_simulation` applying it to the
   steady-state simulator;
 * :mod:`~repro.faults.detect` — deterministic heartbeat failure detection;
-* :mod:`~repro.faults.recovery` — :func:`resilient_run`, the supervisor
-  staging crash → detect → prune → re-negotiate → switch and reporting the
-  exact throughput timeline.
+* :mod:`~repro.faults.recovery` — :func:`resilient_run`, the epoch-driven
+  supervisor covering the whole churn lifecycle (prune, failover,
+  quarantine, rejoin) and reporting the exact throughput timeline;
+* :mod:`~repro.faults.chaos` — seeded random fault sequences and the
+  sweep gate asserting every one converges back to the exact optimum of
+  whatever platform survives.
 """
 
+from .chaos import ChaosOutcome, ChaosSummary, chaos_case, chaos_sweep, run_case
 from .detect import HeartbeatMonitor, detection_time
 from .inject import FaultyNetwork, LinkFaultDecider, apply_to_simulation
-from .plan import FaultPlan, LinkDegradation, LinkFaults, NodeCrash, random_plan
-from .recovery import RecoveryReport, resilient_run
+from .plan import (
+    Corruption,
+    FaultPlan,
+    LinkDegradation,
+    LinkFaults,
+    NodeCrash,
+    NodeRejoin,
+    RootFailover,
+    random_plan,
+)
+from .recovery import EpochReport, RecoveryReport, resilient_run
 
 __all__ = [
     "FaultPlan",
     "NodeCrash",
+    "NodeRejoin",
+    "RootFailover",
+    "Corruption",
     "LinkFaults",
     "LinkDegradation",
     "random_plan",
@@ -30,6 +47,12 @@ __all__ = [
     "apply_to_simulation",
     "HeartbeatMonitor",
     "detection_time",
+    "EpochReport",
     "RecoveryReport",
     "resilient_run",
+    "ChaosOutcome",
+    "ChaosSummary",
+    "chaos_case",
+    "chaos_sweep",
+    "run_case",
 ]

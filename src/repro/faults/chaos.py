@@ -1,0 +1,288 @@
+"""Seeded chaos: random platforms under random fault sequences, gated exact.
+
+The chaos gate is the repository's standing proof that self-healing is
+*complete*: for any generated fault sequence — crashes, rejoins, a root
+failover, hostile (corrupting) links, background loss — the supervised run
+of :func:`~repro.faults.recovery.resilient_run` must settle back to
+**exactly** (``Fraction`` equality, no tolerance) the BW-First optimum of
+whatever platform survived, verified against a from-scratch centralised
+solve of the survivor tree.
+
+Everything is seeded: :func:`chaos_case` derives the platform and the
+plan from one integer through the same tagged-stream construction as
+:class:`~repro.faults.plan.FaultPlan`, so a sweep is reproducible
+bit-for-bit and a failing sequence is re-runnable in isolation by seed.
+
+Generator invariants (why every sequence *can* converge):
+
+* corruption rates stay in the retries-win regime (≤ 2/5) — a link
+  corrupting nearly every frame is indistinguishable from a dead child
+  and must be modelled as a crash, not a hostile link;
+* the root keeps at least one never-crashed child, so a failover always
+  has a live candidate to elect;
+* under a failover, only links at depth ≥ 2 are hostile — quarantining
+  the only electable child would leave no master to elect;
+* every rejoin happens at or after the declaration of its own death;
+* the failover, when present, is the last trigger: the paper's procedure
+  elects once (a crash of the *acting* master is out of scope).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Tuple
+
+from ..core.allocation import from_bw_first
+from ..core.bwfirst import bw_first
+from ..exceptions import FaultError
+from ..platform.tree import Tree
+from ..protocol.retry import RetryPolicy
+from ..schedule.periods import global_period, tree_periods
+from .detect import detection_time
+from .plan import Corruption, FaultPlan, NodeCrash, NodeRejoin, RootFailover
+from .recovery import RecoveryReport, resilient_run
+
+#: heartbeat parameters of every chaos run (kept explicit so rejoin times
+#: can be generated at or after their crash's declaration)
+INTERVAL = Fraction(1)
+TIMEOUT = Fraction(1, 2)
+
+_WEIGHTS = (Fraction(1), Fraction(2), Fraction(3), Fraction(4), Fraction(6))
+_COSTS = (Fraction(1, 2), Fraction(1), Fraction(2), Fraction(3))
+_CORRUPT_RATES = (Fraction(1, 5), Fraction(3, 10), Fraction(2, 5))
+_DROP_RATES = (Fraction(0), Fraction(1, 25), Fraction(1, 10))
+
+#: reject platforms whose steady-state story is too expensive to measure
+#: exactly — global periods are LCMs and can explode on adversarial rates
+_MAX_GLOBAL_PERIOD = 64
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One chaos sequence, verified."""
+
+    seed: int
+    nodes: int  # platform size
+    faults: Tuple[str, ...]  # human-readable fault sequence
+    epochs: Tuple[str, ...]  # recovery epochs the supervisor ran
+    optimum: Fraction  # from-scratch bw_first of the survivors
+    rate_after: Fraction  # measured settled rate
+    corrupted: int
+    quarantined: Tuple[object, ...]
+
+    @property
+    def exact(self) -> bool:
+        return self.rate_after == self.optimum
+
+
+@dataclass(frozen=True)
+class ChaosSummary:
+    """A whole sweep: per-sequence outcomes plus the headline counts."""
+
+    outcomes: Tuple[ChaosOutcome, ...]
+
+    @property
+    def sequences(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def exact_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.exact)
+
+    @property
+    def epoch_kinds(self) -> dict:
+        kinds: dict = {}
+        for outcome in self.outcomes:
+            for kind in outcome.epochs:
+                kinds[kind] = kinds.get(kind, 0) + 1
+        return kinds
+
+    def to_json(self) -> dict:
+        return {
+            "sequences": self.sequences,
+            "exact": self.exact_count,
+            "epoch_kinds": self.epoch_kinds,
+            "outcomes": [
+                {
+                    "seed": o.seed,
+                    "nodes": o.nodes,
+                    "faults": list(o.faults),
+                    "epochs": list(o.epochs),
+                    "optimum": str(o.optimum),
+                    "rate_after": str(o.rate_after),
+                    "corrupted": o.corrupted,
+                    "quarantined": [str(q) for q in o.quarantined],
+                    "exact": o.exact,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+def _random_tree(rng: random.Random, nodes: int) -> Tree:
+    """A connected random platform; the root always keeps ≥ 2 children."""
+    tree = Tree("P0", rng.choice(_WEIGHTS))
+    names = ["P0"]
+    for i in range(1, nodes):
+        name = f"P{i}"
+        # the first two nodes hang off the root (failover needs children);
+        # later ones attach anywhere, growing depth
+        parent = names[0] if i <= 2 else rng.choice(names)
+        tree.add_node(name, rng.choice(_WEIGHTS), parent=parent,
+                      c=rng.choice(_COSTS))
+        names.append(name)
+    return tree
+
+
+def chaos_case(seed: int) -> Tuple[Tree, FaultPlan, int]:
+    """Derive one ``(tree, plan, quarantine_after)`` case from *seed*.
+
+    The platform has 5–8 nodes; the plan always crashes at least one node
+    and then mixes, by seeded coin flips: rejoins of the crashed subtrees,
+    one root failover (as the final trigger), hostile links with windowed
+    or permanent corruption, and background drop/duplication.
+    """
+    for attempt in itertools.count():
+        rng = random.Random(f"chaos|{seed}|{attempt}")
+        tree = _random_tree(rng, rng.randint(5, 8))
+        allocation = from_bw_first(bw_first(tree.copy()))
+        if global_period(tree_periods(allocation)) > _MAX_GLOBAL_PERIOD:
+            continue  # steady state too expensive to measure; resample
+
+        names = [n for n in tree.nodes() if n != tree.root]
+        root_children = list(tree.children(tree.root))
+
+        # --- crashes: 1-2 non-root nodes, one root child always spared ---
+        spared = rng.choice(root_children)
+        crashable = [n for n in names if n != spared]
+        crashed = rng.sample(crashable, min(rng.randint(1, 2),
+                                            len(crashable)))
+        crashes = tuple(
+            NodeCrash(node, Fraction(rng.randint(4, 16), 4))
+            for node in crashed
+        )
+
+        # --- rejoins: each crashed subtree returns with probability 1/2 ---
+        rejoins = []
+        for crash in crashes:
+            if rng.random() < Fraction(1, 2):
+                declared = detection_time(crash.time, INTERVAL, TIMEOUT)
+                rejoins.append(NodeRejoin(
+                    crash.node, declared + Fraction(rng.randint(8, 20), 4)
+                ))
+
+        last_event = max(
+            [crash.time for crash in crashes]
+            + [rejoin.time for rejoin in rejoins]
+        )
+
+        # --- failover: the master dies after everything else settled ---
+        failover = None
+        if rng.random() < Fraction(1, 4):
+            failover = RootFailover(last_event + 2)
+
+        # --- hostile links ---
+        corruptions = []
+        deep = [n for n in names
+                if tree.parent(n) is not None
+                and tree.parent(n) != tree.root]
+        hostile_pool = deep if failover is not None else [
+            n for n in names if n != spared
+        ]
+        if hostile_pool and rng.random() < Fraction(1, 2):
+            for child in rng.sample(hostile_pool,
+                                    min(rng.randint(1, 2),
+                                        len(hostile_pool))):
+                rate = rng.choice(_CORRUPT_RATES)
+                if rng.random() < Fraction(1, 3):
+                    # a bounded hostile window instead of a permanent one
+                    start = Fraction(rng.randint(0, 8), 4)
+                    corruptions.append(Corruption(child, rate, start=start,
+                                                  end=start + rng.randint(2, 6)))
+                else:
+                    corruptions.append(Corruption(child, rate))
+
+        plan = FaultPlan(
+            crashes=crashes,
+            rejoins=tuple(rejoins),
+            failover=failover,
+            corruptions=tuple(corruptions),
+            drop=rng.choice(_DROP_RATES),
+            duplicate=rng.choice((Fraction(0), Fraction(1, 25))),
+            seed=seed,
+        )
+        try:
+            plan.validate(tree)
+        except FaultError:
+            continue  # e.g. a crashed ancestor swallowed a corrupted link
+        return tree, plan, rng.choice((1, 2, 3))
+
+
+def run_case(seed: int) -> Tuple[ChaosOutcome, RecoveryReport]:
+    """Run one chaos sequence and verify it against a from-scratch solve."""
+    tree, plan, quarantine_after = chaos_case(seed)
+    nodes = len(tree)
+    report = resilient_run(
+        tree, plan,
+        heartbeat_interval=INTERVAL,
+        detection_timeout=TIMEOUT,
+        quarantine_after=quarantine_after,
+        settle_periods=3,
+        # chaos stacks drop AND corruption on one link; a deep retry budget
+        # keeps every negotiation in the retries-win regime (the chance of
+        # 21 consecutive losses at the generator's worst rates is ~1e-7)
+        retry=RetryPolicy(max_retries=20),
+    )
+    # the gate: the settled rate equals the survivors' from-scratch optimum
+    reference = bw_first(report.survivors.copy()).throughput
+    faults = [f"crash:{c.node}@{c.time}" for c in plan.crashes]
+    faults += [f"rejoin:{r.node}@{r.time}" for r in plan.rejoins]
+    if plan.failover is not None:
+        faults.append(f"failover@{plan.failover.time}")
+    faults += [f"corrupt:{c.child}~{c.rate}" for c in plan.corruptions]
+    outcome = ChaosOutcome(
+        seed=seed,
+        nodes=nodes,
+        faults=tuple(faults),
+        epochs=tuple(e.kind for e in report.epochs),
+        optimum=reference,
+        rate_after=report.rate_after,
+        corrupted=report.corrupted,
+        quarantined=report.quarantined,
+    )
+    return outcome, report
+
+
+def chaos_sweep(
+    sequences: int = 100,
+    seed: int = 0,
+    progress: Optional[Callable[[ChaosOutcome], None]] = None,
+) -> ChaosSummary:
+    """Run *sequences* seeded chaos cases; raise on the first inexact one.
+
+    Case ``i`` uses seed ``seed + i``, so any failure reproduces in
+    isolation with :func:`run_case`.  *progress* (if given) is called with
+    each verified :class:`ChaosOutcome` as it completes.
+    """
+    outcomes: List[ChaosOutcome] = []
+    for i in range(sequences):
+        outcome, report = run_case(seed + i)
+        if not outcome.exact:
+            raise FaultError(
+                f"chaos seed {outcome.seed}: settled at {outcome.rate_after}"
+                f", survivors' optimum is {outcome.optimum} "
+                f"(faults: {', '.join(outcome.faults)})"
+            )
+        if report.rate_after != report.new_optimum:
+            raise FaultError(
+                f"chaos seed {outcome.seed}: report optimum "
+                f"{report.new_optimum} disagrees with measured "
+                f"{report.rate_after}"
+            )
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return ChaosSummary(outcomes=tuple(outcomes))

@@ -70,17 +70,46 @@ class LinkFaultDecider:
         self._occurrences[(a, b, xid)] = occurrence + 1
         return (a, b, "xid", xid, occurrence)
 
+    def full_verdict_at(
+        self, child: Hashable, coordinates: tuple,
+        corrupt_rate: Optional[Fraction] = None,
+    ) -> Tuple[bool, bool, bool]:
+        """``(drop, corrupt, duplicate)`` at already-consumed *coordinates*.
+
+        The three verdicts draw from three independent named streams
+        sharing one address, so adding the ``"corrupt"`` stream leaves the
+        drop/duplicate trace of every pre-existing plan untouched.
+        *corrupt_rate* overrides the plan's static
+        :meth:`~repro.faults.plan.FaultPlan.link_corrupt` — the simulated
+        network passes the windowed
+        :meth:`~repro.faults.plan.FaultPlan.corruption_rate` at its
+        virtual now; wall-clock transports have no now and use the static
+        rate.
+        """
+        plan = self.plan
+        rate = plan.link_corrupt(child) if corrupt_rate is None else (
+            corrupt_rate
+        )
+        drop = plan.decision("drop", *coordinates) < plan.link_drop(child)
+        corrupt = plan.decision("corrupt", *coordinates) < rate
+        duplicate = (
+            plan.decision("duplicate", *coordinates)
+            < plan.link_duplicate(child)
+        )
+        return drop, corrupt, duplicate
+
+    def full_verdict(
+        self, child: Hashable, message: Message,
+        corrupt_rate: Optional[Fraction] = None,
+    ) -> Tuple[bool, bool, bool]:
+        """``(drop, corrupt, duplicate)`` for this transmission."""
+        return self.full_verdict_at(
+            child, self.coordinates(message), corrupt_rate
+        )
+
     def verdict(self, child: Hashable, message: Message) -> Tuple[bool, bool]:
         """``(drop, duplicate)`` for this transmission over *child*'s link."""
-        coordinates = self.coordinates(message)
-        drop = (
-            self.plan.decision("drop", *coordinates)
-            < self.plan.link_drop(child)
-        )
-        duplicate = (
-            self.plan.decision("duplicate", *coordinates)
-            < self.plan.link_duplicate(child)
-        )
+        drop, _corrupt, duplicate = self.full_verdict(child, message)
         return drop, duplicate
 
 
@@ -91,6 +120,20 @@ class FaultyNetwork(Network):
     by :class:`~repro.protocol.runner.ProtocolResult`).  Dropped messages
     still count toward ``messages_sent``/``bytes_sent`` — the sender paid
     for the transmission; the receiver just never saw it.
+
+    Hostile plans add the payload-integrity check: a corrupt verdict means
+    the receiver's checksum failed, so the message is counted in
+    ``corrupted`` and discarded before its handler runs (observably a
+    drop, but fed to the quarantine policy).  With *quarantine_after* set,
+    K consecutive corrupt frames on a link record the child endpoint in
+    ``quarantined`` (child → virtual detection time).  The network itself
+    keeps delivering — at-least-once retries still beat a rate below 1, so
+    the negotiation converges exactly; the *supervisor* reads
+    ``quarantined`` afterwards and enacts the isolation by pruning the
+    child at its next recovery epoch, which is what "treated as crashed"
+    means here.  (The wall-clock :class:`~repro.runtime.transport.TcpTransport`
+    firewall, by contrast, really goes dark — there the parent's retry
+    timeouts do the pruning.)
     """
 
     def __init__(
@@ -100,6 +143,7 @@ class FaultyNetwork(Network):
         latency_factor=Fraction(1, 100),
         fixed_latency=0,
         time_offset=0,
+        quarantine_after: Optional[int] = None,
     ):
         """*time_offset* anchors the network's local clock (which starts at
         0) in the plan's virtual timeline, so degradation windows line up —
@@ -108,10 +152,17 @@ class FaultyNetwork(Network):
         super().__init__(
             tree, latency_factor=latency_factor, fixed_latency=fixed_latency
         )
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ProtocolError("quarantine_after must be >= 1")
         self.plan = plan
         self.time_offset = Fraction(time_offset)
+        self.quarantine_after = quarantine_after
         self.dropped = 0
         self.duplicated = 0
+        self.corrupted = 0
+        #: child endpoint → virtual time its link was declared hostile
+        self.quarantined: Dict[Hashable, Fraction] = {}
+        self._streaks: Dict[Hashable, int] = {}
         self._decider = LinkFaultDecider(plan)
 
     def _child_endpoint(self, a: Hashable, b: Hashable) -> Optional[Hashable]:
@@ -135,12 +186,26 @@ class FaultyNetwork(Network):
         # the sender transmitted, whatever the link then does to the message
         self.messages_sent += 1
         self.bytes_sent += wire_size(message)
-        drop, duplicate = self._decider.verdict(child, message)
+        now = self.time_offset + self.engine.now
+        drop, corrupt, duplicate = self._decider.full_verdict(
+            child, message, self.plan.corruption_rate(child, now)
+        )
         if drop:
             self.dropped += 1
+            return  # never received: the corruption streak is untouched
+        if corrupt:
+            # integrity check fails at the receiver: count, streak, discard
+            self.corrupted += 1
+            streak = self._streaks.get(child, 0) + 1
+            self._streaks[child] = streak
+            if (self.quarantine_after is not None
+                    and streak >= self.quarantine_after
+                    and child not in self.quarantined):
+                self.quarantined[child] = now
             return
+        self._streaks[child] = 0
         latency = self.link_latency(a, b) * self.plan.degradation_factor(
-            child, self.time_offset + self.engine.now
+            child, now
         )
         handler = self._handlers[b]
         self.engine.schedule_in(latency, lambda: handler(message))
@@ -151,7 +216,7 @@ class FaultyNetwork(Network):
 
 
 def apply_to_simulation(sim: Simulation, plan: FaultPlan) -> None:
-    """Arm *sim* with the plan's crashes and degradation windows.
+    """Arm *sim* with the plan's crashes, rejoins, failover and windows.
 
     Validates the plan against the simulation's tree first, so a bad plan
     never half-perturbs a run.  Control-plane loss probabilities do not
@@ -161,6 +226,12 @@ def apply_to_simulation(sim: Simulation, plan: FaultPlan) -> None:
     plan.validate(sim.tree)
     for crash in plan.crashes:
         sim.schedule_failure(crash.node, crash.time)
+    for rejoin in plan.rejoins:
+        sim.engine.schedule_at(
+            rejoin.time, lambda node=rejoin.node: sim.revive_node(node)
+        )
+    if plan.failover is not None:
+        sim.engine.schedule_at(plan.failover.time, sim.fail_root)
     if plan.degradations:
         sim.set_link_time_factor(
             lambda parent, child, now: plan.degradation_factor(child, now)

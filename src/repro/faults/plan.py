@@ -1,8 +1,10 @@
 """Deterministic, serializable fault plans.
 
 A :class:`FaultPlan` is a *pure description* of every fault a run will
-suffer: node crashes at given virtual times, per-link control-message drop
-and duplication probabilities, and transient link-degradation windows.  It
+suffer: node crashes at given virtual times, nodes rejoining after repair,
+the master itself failing over, per-link control-message drop /
+duplication / corruption probabilities, and transient link-degradation
+windows.  It
 contains **no randomness state** — every probabilistic decision is derived
 on demand from the plan's seed and the decision's coordinates
 (:meth:`FaultPlan.decision`), so
@@ -53,6 +55,77 @@ class NodeCrash:
 
 
 @dataclass(frozen=True)
+class NodeRejoin:
+    """A previously crashed *node* returns, repaired, at virtual *time*.
+
+    The node brings its whole pre-crash subtree back with it (a repaired
+    cluster re-registers as one unit, exactly the arrival scenario of the
+    star-redistribution literature).  The plan must also crash the node,
+    strictly earlier — a rejoin of a node that never left is meaningless.
+    """
+
+    node: Hashable
+    time: Fraction
+
+    def __post_init__(self):
+        object.__setattr__(self, "time", as_fraction(self.time))
+        if self.time < 0:
+            raise FaultError(f"rejoin time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class RootFailover:
+    """The master crashes at virtual *time*; survivors elect a new root.
+
+    Modelled as its own fault class rather than a :class:`NodeCrash` of
+    the root: a plain root crash stays rejected by :meth:`FaultPlan.validate`
+    (a dead root with no election is a dead application), while a failover
+    says the deployment *has* an election procedure — the highest-priority
+    live child (first in bandwidth-centric order) takes over the task
+    supply and the negotiation resumes under it.
+    """
+
+    time: Fraction
+
+    def __post_init__(self):
+        object.__setattr__(self, "time", as_fraction(self.time))
+        if self.time < 0:
+            raise FaultError(f"failover time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """A window of hostile garbling on the link above *child*.
+
+    Between *start* and *end* (virtual time, half-open; ``end=None`` means
+    forever) each control message on the link is corrupted with
+    probability *rate*.  Corrupt frames are detected by checksum /
+    integrity check and discarded before any state machine sees them, so
+    the observable effect is a drop — but one counted separately and fed
+    to the quarantine policy.
+    """
+
+    child: Hashable
+    rate: Fraction
+    start: Fraction = Fraction(0)
+    end: Optional[Fraction] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "rate", _prob(self.rate))
+        object.__setattr__(self, "start", as_fraction(self.start))
+        if self.end is not None:
+            object.__setattr__(self, "end", as_fraction(self.end))
+            if not self.start < self.end:
+                raise FaultError(
+                    f"corruption window [{self.start}, {self.end}) is empty"
+                )
+        if self.start < 0:
+            raise FaultError(
+                f"corruption window must start at >= 0, got {self.start}"
+            )
+
+
+@dataclass(frozen=True)
 class LinkFaults:
     """Per-link override of the control-plane loss model.
 
@@ -64,10 +137,12 @@ class LinkFaults:
     child: Hashable
     drop: Fraction = Fraction(0)
     duplicate: Fraction = Fraction(0)
+    corrupt: Fraction = Fraction(0)
 
     def __post_init__(self):
         object.__setattr__(self, "drop", _prob(self.drop))
         object.__setattr__(self, "duplicate", _prob(self.duplicate))
+        object.__setattr__(self, "corrupt", _prob(self.corrupt))
 
 
 @dataclass(frozen=True)
@@ -105,9 +180,12 @@ class FaultPlan:
 
     * *seed* drives every probabilistic decision (see :meth:`decision`);
     * *crashes* are fail-stop node crashes at virtual times;
-    * *drop* / *duplicate* are the global per-message probabilities that a
-      control message is lost / delivered twice, overridable per link via
-      *links*;
+    * *rejoins* bring previously crashed subtrees back after repair;
+    * *failover* crashes the master itself and triggers an election;
+    * *drop* / *duplicate* / *corrupt* are the global per-message
+      probabilities that a control message is lost / delivered twice /
+      garbled on the wire, overridable per link via *links*;
+    * *corruptions* are transient hostile-garbling windows per link;
     * *degradations* are transient link slow-down windows.
     """
 
@@ -117,18 +195,40 @@ class FaultPlan:
     duplicate: Fraction = Fraction(0)
     links: Tuple[LinkFaults, ...] = ()
     degradations: Tuple[LinkDegradation, ...] = ()
+    rejoins: Tuple[NodeRejoin, ...] = ()
+    failover: Optional[RootFailover] = None
+    corrupt: Fraction = Fraction(0)
+    corruptions: Tuple[Corruption, ...] = ()
 
     def __post_init__(self):
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "drop", _prob(self.drop))
         object.__setattr__(self, "duplicate", _prob(self.duplicate))
+        object.__setattr__(self, "corrupt", _prob(self.corrupt))
         object.__setattr__(self, "links", tuple(self.links))
         object.__setattr__(self, "degradations", tuple(self.degradations))
+        object.__setattr__(self, "rejoins", tuple(self.rejoins))
+        object.__setattr__(self, "corruptions", tuple(self.corruptions))
         seen = set()
         for crash in self.crashes:
             if crash.node in seen:
                 raise FaultError(f"{crash.node!r} crashes twice")
             seen.add(crash.node)
+        rejoined = set()
+        for rejoin in self.rejoins:
+            if rejoin.node in rejoined:
+                raise FaultError(f"{rejoin.node!r} rejoins twice")
+            rejoined.add(rejoin.node)
+            crashed_at = self.crash_time(rejoin.node)
+            if crashed_at is None:
+                raise FaultError(
+                    f"{rejoin.node!r} rejoins without ever crashing"
+                )
+            if not rejoin.time > crashed_at:
+                raise FaultError(
+                    f"{rejoin.node!r} rejoins at {rejoin.time}, not after "
+                    f"its crash at {crashed_at}"
+                )
         overridden = set()
         for link in self.links:
             if link.child in overridden:
@@ -148,6 +248,12 @@ class FaultPlan:
                 return crash.time
         return None
 
+    def rejoin_time(self, node: Hashable) -> Optional[Fraction]:
+        for rejoin in self.rejoins:
+            if rejoin.node == node:
+                return rejoin.time
+        return None
+
     def _link(self, child: Hashable) -> Optional[LinkFaults]:
         for link in self.links:
             if link.child == child:
@@ -163,6 +269,33 @@ class FaultPlan:
         """Duplication probability on the link above *child*."""
         override = self._link(child)
         return override.duplicate if override is not None else self.duplicate
+
+    def link_corrupt(self, child: Hashable) -> Fraction:
+        """Time-independent corruption probability on the link above *child*.
+
+        The static part of the hostile model: the per-link override if one
+        exists, else the global rate.  Windowed :class:`Corruption` bursts
+        are on top of this — see :meth:`corruption_rate`.  Wall-clock
+        transports, which have no virtual ``now``, use only this part.
+        """
+        override = self._link(child)
+        return override.corrupt if override is not None else self.corrupt
+
+    def corruption_rate(self, child: Hashable, now) -> Fraction:
+        """Corruption probability on the link above *child* at time *now*.
+
+        The static rate of :meth:`link_corrupt`, max-combined with every
+        :class:`Corruption` window active at *now* (probabilities do not
+        multiply like slow-down factors; the strongest attacker wins).
+        """
+        t = as_fraction(now)
+        rate = self.link_corrupt(child)
+        for window in self.corruptions:
+            if window.child == child and window.start <= t and (
+                window.end is None or t < window.end
+            ):
+                rate = max(rate, window.rate)
+        return rate
 
     def degradation_factor(self, child: Hashable, now) -> Fraction:
         """Transfer-time multiplier of the link above *child* at time *now*.
@@ -181,6 +314,13 @@ class FaultPlan:
         if self.drop > 0 or self.duplicate > 0:
             return True
         return any(l.drop > 0 or l.duplicate > 0 for l in self.links)
+
+    @property
+    def hostile(self) -> bool:
+        """Whether any link can garble control messages."""
+        if self.corrupt > 0 or self.corruptions:
+            return True
+        return any(l.corrupt > 0 for l in self.links)
 
     # ------------------------------------------------------------------
     # deterministic decisions
@@ -224,6 +364,15 @@ class FaultPlan:
                 raise FaultError(
                     f"degradation names {window.child!r}, which has no parent link"
                 )
+        for window in self.corruptions:
+            if window.child not in tree or tree.parent(window.child) is None:
+                raise FaultError(
+                    f"corruption names {window.child!r}, which has no parent link"
+                )
+        if self.failover is not None and not tree.children(tree.root):
+            raise FaultError(
+                "root failover needs at least one child to elect"
+            )
         return self
 
     # ------------------------------------------------------------------
@@ -242,11 +391,13 @@ class FaultPlan:
             ],
             "drop": frac(self.drop),
             "duplicate": frac(self.duplicate),
+            "corrupt": frac(self.corrupt),
             "links": [
                 {
                     "child": l.child,
                     "drop": frac(l.drop),
                     "duplicate": frac(l.duplicate),
+                    "corrupt": frac(l.corrupt),
                 }
                 for l in self.links
             ],
@@ -258,6 +409,22 @@ class FaultPlan:
                     "end": frac(d.end),
                 }
                 for d in self.degradations
+            ],
+            "rejoins": [
+                {"node": r.node, "time": frac(r.time)} for r in self.rejoins
+            ],
+            "failover": (
+                None if self.failover is None
+                else {"time": frac(self.failover.time)}
+            ),
+            "corruptions": [
+                {
+                    "child": w.child,
+                    "rate": frac(w.rate),
+                    "start": frac(w.start),
+                    "end": None if w.end is None else frac(w.end),
+                }
+                for w in self.corruptions
             ],
         }
         return json.dumps(payload, indent=2, sort_keys=True)
@@ -274,11 +441,13 @@ class FaultPlan:
             ),
             drop=Fraction(payload.get("drop", 0)),
             duplicate=Fraction(payload.get("duplicate", 0)),
+            corrupt=Fraction(payload.get("corrupt", 0)),
             links=tuple(
                 LinkFaults(
                     child=l["child"],
                     drop=Fraction(l.get("drop", 0)),
                     duplicate=Fraction(l.get("duplicate", 0)),
+                    corrupt=Fraction(l.get("corrupt", 0)),
                 )
                 for l in payload.get("links", ())
             ),
@@ -290,6 +459,24 @@ class FaultPlan:
                     end=Fraction(d["end"]),
                 )
                 for d in payload.get("degradations", ())
+            ),
+            rejoins=tuple(
+                NodeRejoin(node=r["node"], time=Fraction(r["time"]))
+                for r in payload.get("rejoins", ())
+            ),
+            failover=(
+                None if payload.get("failover") is None
+                else RootFailover(time=Fraction(payload["failover"]["time"]))
+            ),
+            corruptions=tuple(
+                Corruption(
+                    child=w["child"],
+                    rate=Fraction(w["rate"]),
+                    start=Fraction(w.get("start", 0)),
+                    end=(None if w.get("end") is None
+                         else Fraction(w["end"])),
+                )
+                for w in payload.get("corruptions", ())
             ),
         )
 

@@ -130,6 +130,36 @@ class Tree:
             del self._edge_cost[(p, node)]
         return removed
 
+    def failover_root(self, new_root: NodeId) -> NodeId:
+        """Re-root the tree under *new_root* after the master died, in place.
+
+        *new_root* must be a child of the current root.  The old root
+        leaves the tree entirely (it is dead); its remaining children are
+        re-parented under *new_root* at their original edge costs — the
+        physical links to the former siblings did not change, only who
+        owns the task supply.  Returns the removed old root.
+        """
+        if new_root not in self._weights:
+            raise PlatformError(f"unknown node {new_root!r}")
+        old = self._root
+        if self._parent.get(new_root) != old:
+            raise PlatformError(
+                f"failover target {new_root!r} is not a child of the root"
+            )
+        del self._parent[new_root]
+        del self._edge_cost[(old, new_root)]
+        siblings = [s for s in self._children[old] if s != new_root]
+        for sibling in siblings:
+            self._parent[sibling] = new_root
+            self._edge_cost[(new_root, sibling)] = self._edge_cost.pop(
+                (old, sibling)
+            )
+        self._children[new_root].extend(siblings)
+        del self._children[old]
+        del self._weights[old]
+        self._root = new_root
+        return old
+
     def set_w(self, name: NodeId, w: FractionLike) -> None:
         """Change the processing weight of *name* in place."""
         if name not in self._weights:

@@ -3,8 +3,9 @@
 Executes the paper's negotiation as genuinely concurrent peers instead of
 a virtual-time simulation:
 
-* :mod:`~repro.runtime.codec` — length-prefixed JSON wire frames carrying
-  exact rationals;
+* :mod:`~repro.runtime.codec` — CRC32-checksummed, length-prefixed JSON
+  wire frames carrying exact rationals; hostile bytes raise a typed
+  :class:`~repro.exceptions.CodecError` instead of killing a reader;
 * :mod:`~repro.runtime.transport` — the pluggable :class:`Transport` ABC
   with :class:`InProcTransport` (asyncio queues, optional seeded
   delay/loss) and :class:`TcpTransport` (one loopback socket per tree
@@ -22,7 +23,15 @@ Quick use::
     assert result.throughput == bw_first(tree).throughput
 """
 
-from .codec import decode_message, encode_frame, encode_message, read_frame
+from ..exceptions import CodecError
+from .codec import (
+    decode_message,
+    encode_blob,
+    encode_frame,
+    encode_message,
+    read_blob,
+    read_frame,
+)
 from .runtime import (
     TRANSPORTS,
     Runtime,
@@ -42,5 +51,8 @@ __all__ = [
     "encode_message",
     "decode_message",
     "encode_frame",
+    "encode_blob",
     "read_frame",
+    "read_blob",
+    "CodecError",
 ]

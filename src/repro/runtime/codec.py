@@ -1,6 +1,7 @@
-"""Wire codec of the distributed runtime: length-prefixed JSON frames.
+"""Wire codec of the distributed runtime: checksummed JSON frames.
 
-A frame is a 4-byte big-endian length followed by a compact JSON object:
+A frame is an 8-byte header — a 4-byte big-endian body length followed by
+the 4-byte CRC32 of the body — and then a compact JSON object:
 
 .. code-block:: text
 
@@ -19,26 +20,45 @@ A frame is a 4-byte big-endian length followed by a compact JSON object:
 
 The 4-byte prefix bounds frames at 4 GiB; real frames are tens of bytes —
 the paper's "one rational number per message" lightweightness claim
-survives serialisation.  :func:`read_frame` enforces ``MAX_FRAME`` so a
-corrupt or adversarial peer cannot make the reader allocate unboundedly.
+survives serialisation.
+
+Hostile input is contained by construction: every validation failure — an
+oversized length prefix, a checksum mismatch, a non-UTF-8 body, malformed
+JSON, an unknown type, a rational that does not parse — raises a typed
+:class:`~repro.exceptions.CodecError` instead of whatever exception the
+stdlib felt like, so a reader loop can count and skip a bad frame without
+dying.  ``CodecError.recoverable`` says whether the framing survived (the
+bad frame was fully consumed) or the stream must be abandoned (the length
+prefix itself cannot be trusted).  Errors that mean the stream is simply
+gone (EOF mid-frame) stay plain :class:`~repro.exceptions.ProtocolError`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import re
 import struct
+import zlib
 from fractions import Fraction
 from typing import Optional
 
-from ..exceptions import ProtocolError
+from ..exceptions import CodecError, ProtocolError
 from ..protocol.messages import Acknowledgment, Message, Proposal
 
 #: struct format of the frame length prefix (4-byte big-endian unsigned).
 LENGTH_PREFIX = struct.Struct(">I")
 
+#: struct format of the full frame header: body length + CRC32 of the body.
+FRAME_HEADER = struct.Struct(">II")
+
 #: Upper bound on an accepted frame body, in bytes.
 MAX_FRAME = 1 << 20
+
+#: The exact shape of a wire rational: optional sign, digits, optional
+#: ``/digits``.  ``Fraction()`` itself accepts much more (floats in
+#: scientific notation, decimals); the wire format does not.
+_RATIONAL = re.compile(r"^-?\d+(/\d+)?$")
 
 
 def _check_name(name) -> None:
@@ -70,48 +90,108 @@ def encode_message(message: Message) -> bytes:
     return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
 
-def decode_message(body: bytes) -> Message:
-    """Inverse of :func:`encode_message`."""
+def _parse_rational(text) -> Fraction:
+    if not isinstance(text, str) or not _RATIONAL.match(text):
+        raise CodecError(f"malformed wire rational {text!r}")
     try:
-        payload = json.loads(body.decode("utf-8"))
+        return Fraction(text)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise CodecError(f"malformed wire rational {text!r}") from exc
+
+
+def decode_message(body: bytes) -> Message:
+    """Inverse of :func:`encode_message`, hardened against hostile bytes.
+
+    Every malformation raises :class:`~repro.exceptions.CodecError` (always
+    recoverable here: by the time a body exists the framing held).
+    """
+    try:
+        text = body.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"non-UTF-8 frame body {body[:80]!r}") from exc
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise CodecError(f"undecodable frame {body[:80]!r}") from exc
+    if not isinstance(payload, dict):
+        raise CodecError(f"frame body is not an object: {body[:80]!r}")
+    try:
         kind = payload["t"]
-        value = Fraction(payload["v"])
         sender, receiver = payload["s"], payload["r"]
-        xid = payload.get("x")
-    except (ValueError, KeyError, TypeError) as exc:
-        raise ProtocolError(f"undecodable frame {body[:80]!r}") from exc
+    except KeyError as exc:
+        raise CodecError(f"frame missing field {exc}: {body[:80]!r}") from exc
+    for name in (sender, receiver):
+        if not isinstance(name, (str, int, bool, type(None))):
+            raise CodecError(f"bad node name {name!r} in frame")
+    value = _parse_rational(payload.get("v"))
+    xid = payload.get("x")
+    if xid is not None and not isinstance(xid, int):
+        raise CodecError(f"non-integer transaction id {xid!r} in frame")
     if kind == "prop":
         return Proposal(sender=sender, receiver=receiver, beta=value, xid=xid)
     if kind == "ack":
         return Acknowledgment(sender=sender, receiver=receiver, theta=value,
                               xid=xid)
-    raise ProtocolError(f"unknown frame type {kind!r}")
+    raise CodecError(f"unknown frame type {kind!r}")
+
+
+def encode_blob(body: bytes) -> bytes:
+    """Frame an arbitrary body: length + CRC32 header, then the body.
+
+    The framing shared by protocol messages and the transport's hello
+    handshake, so a corrupted handshake is detected exactly like a
+    corrupted negotiation frame.
+    """
+    return FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
 
 
 def encode_frame(message: Message) -> bytes:
-    """The full wire frame: length prefix + JSON body."""
-    body = encode_message(message)
-    return LENGTH_PREFIX.pack(len(body)) + body
+    """The full wire frame: length + CRC32 header + JSON body."""
+    return encode_blob(encode_message(message))
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Optional[Message]:
-    """Read one frame from *reader*; ``None`` on clean EOF.
+async def read_blob(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one checksummed body from *reader*; ``None`` on clean EOF.
 
-    A connection closed mid-frame, an oversized length, or an undecodable
-    body raise :class:`~repro.exceptions.ProtocolError` — the stream is
-    unrecoverable after any of them.
+    * a connection closed mid-header or mid-body raises
+      :class:`~repro.exceptions.ProtocolError` — the stream is gone;
+    * an oversized length prefix raises a **non-recoverable**
+      :class:`~repro.exceptions.CodecError` — the prefix cannot be trusted,
+      so there is no way to resynchronise;
+    * a checksum mismatch raises a **recoverable** ``CodecError`` — the
+      frame was fully consumed, the reader may continue with the next one.
     """
     try:
-        prefix = await reader.readexactly(LENGTH_PREFIX.size)
+        header = await reader.readexactly(FRAME_HEADER.size)
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None  # clean EOF between frames
         raise ProtocolError("connection closed mid-prefix") from exc
-    (length,) = LENGTH_PREFIX.unpack(prefix)
+    length, crc = FRAME_HEADER.unpack(header)
     if length > MAX_FRAME:
-        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+        raise CodecError(
+            f"frame of {length} bytes exceeds {MAX_FRAME}", recoverable=False
+        )
     try:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise ProtocolError("connection closed mid-frame") from exc
+    if zlib.crc32(body) != crc:
+        raise CodecError(
+            f"checksum mismatch on frame {body[:80]!r}"
+        )
+    return body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Message]:
+    """Read one protocol frame from *reader*; ``None`` on clean EOF.
+
+    Composes :func:`read_blob` (framing + integrity) with
+    :func:`decode_message` (payload validation); see both for the failure
+    modes.  A recoverable :class:`~repro.exceptions.CodecError` leaves the
+    stream positioned at the next frame.
+    """
+    body = await read_blob(reader)
+    if body is None:
+        return None
     return decode_message(body)

@@ -384,8 +384,11 @@ class Runtime:
     # verification + result assembly (mirrors the simulated runner)
     # ------------------------------------------------------------------
     def _check(self, throughput: Fraction) -> None:
+        excluded = self.failed | frozenset(
+            getattr(self.transport, "quarantined", ())
+        )
         reference_tree = (
-            _prune(self.tree, self.failed) if self.failed else self.tree
+            _prune(self.tree, excluded) if excluded else self.tree
         )
         reference = bw_first(reference_tree, proposal=self.proposal)
         if reference.throughput != throughput:
@@ -393,7 +396,7 @@ class Runtime:
                 f"distributed runtime negotiated {throughput}, centralised "
                 f"BW-First computes {reference.throughput}"
             )
-        if not self.failed:
+        if not excluded:
             for node, outcome in reference.outcomes.items():
                 actor = self.actors[node]
                 if actor.lam != outcome.lam or (
@@ -418,6 +421,10 @@ class Runtime:
             ("protocol.timeouts", self._timeouts),
             ("protocol.dropped", transport.dropped),
             ("protocol.duplicated", transport.duplicated),
+            ("runtime.corrupt_frames",
+             getattr(transport, "corrupt_frames", 0)),
+            ("runtime.quarantined",
+             len(getattr(transport, "quarantined", ()))),
         )
         registries = (view,) if self.telemetry is None else (
             view, self.telemetry

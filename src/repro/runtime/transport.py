@@ -22,6 +22,19 @@ comparable across the simulated and real paths) and ``dropped`` /
 ``duplicated`` (faults they injected themselves).  The TCP transport
 additionally counts the real octets written in ``octets_sent``.
 
+Hostile faults ride the same plan: a corruption probability garbles the
+control payload on the wire (literally, for TCP — a flipped body byte the
+CRC32 of :mod:`repro.runtime.codec` catches at the receiver; by an
+equivalent integrity-check model for in-proc frames, which never
+serialise).  Corrupted frames are counted in ``corrupt_frames`` and
+discarded **before** any actor state machine sees them; retransmission
+recovers, exactly as for a drop.  With ``quarantine_after=K``, a link
+that delivers K *consecutive* corrupt frames is declared hostile: its
+child endpoint joins ``quarantined``, the receiver stops listening to the
+edge (a firewall — later frames, valid or not, are counted in
+``quarantine_dropped``), and the parent's retry timeouts then prune the
+child exactly as if it had crashed.
+
 The virtual-parent link that seeds the root is process-local on every
 transport — never serialised, never perturbed — mirroring the simulated
 network's convention.
@@ -34,12 +47,12 @@ import json
 from abc import ABC, abstractmethod
 from typing import Dict, Hashable, Optional, Set, Tuple
 
-from ..exceptions import ProtocolError
+from ..exceptions import CodecError, ProtocolError
 from ..faults.inject import LinkFaultDecider
 from ..faults.plan import FaultPlan
 from ..platform.tree import Tree
 from ..protocol.messages import Message, wire_size
-from .codec import LENGTH_PREFIX, MAX_FRAME, encode_frame, read_frame
+from .codec import encode_blob, encode_frame, read_blob, read_frame
 
 
 class Transport(ABC):
@@ -52,6 +65,11 @@ class Transport(ABC):
         self.bytes_sent = 0
         self.dropped = 0
         self.duplicated = 0
+        self.corrupted_sent = 0
+        self.corrupt_frames = 0
+        self.quarantine_dropped = 0
+        self.dead_streams = 0
+        self.quarantined: Set[Hashable] = set()
 
     async def start(self, tree: Tree,
                     mailboxes: Dict[Hashable, asyncio.Queue]) -> None:
@@ -97,39 +115,57 @@ class InProcTransport(Transport):
     die.  *max_delay* (wall seconds) adds a seeded uniform delivery delay
     per message, exercising reordering; with ``max_delay=0`` delivery is
     immediate and in send order.
+
+    *quarantine_after* arms the hostile-fault policy: K consecutive
+    corrupt frames on a link quarantine its child endpoint (see the module
+    docstring).  The in-proc path never serialises, so "corrupt" here
+    means the receiver-side integrity check fails — the frame is counted
+    and discarded before delivery, identically to the TCP transport's
+    CRC32 rejection and the simulated network's payload check.
     """
 
     def __init__(self, plan: Optional[FaultPlan] = None,
-                 max_delay: float = 0.0, seed: int = 0):
+                 max_delay: float = 0.0, seed: int = 0,
+                 quarantine_after: Optional[int] = None):
         super().__init__()
         if max_delay < 0:
             raise ProtocolError("max_delay must be >= 0")
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ProtocolError("quarantine_after must be >= 1")
         self.plan = plan
         self.max_delay = max_delay
+        self.quarantine_after = quarantine_after
         self._decision_plan = plan if plan is not None else FaultPlan(seed=seed)
         self._decider = LinkFaultDecider(self._decision_plan)
+        self._streaks: Dict[Hashable, int] = {}
         self._pending: Set[asyncio.Task] = set()
 
     async def send(self, message: Message) -> None:
         self.messages_sent += 1
         self.bytes_sent += wire_size(message)
         child = self._on_tree_link(message)
+        if child is not None and child in self.quarantined:
+            self.quarantine_dropped += 1
+            return
         copies = 1
         coordinates = None
         if child is not None and (self.plan is not None or self.max_delay):
             coordinates = self._decider.coordinates(message)
-        if child is not None and self.plan is not None and self.plan.lossy:
-            drop = (
-                self._decision_plan.decision("drop", *coordinates)
-                < self._decision_plan.link_drop(child)
-            )
-            duplicate = (
-                self._decision_plan.decision("duplicate", *coordinates)
-                < self._decision_plan.link_duplicate(child)
+        if child is not None and self.plan is not None and (
+            self.plan.lossy or self.plan.hostile
+        ):
+            drop, corrupt, duplicate = self._decider.full_verdict_at(
+                child, coordinates
             )
             if drop:
                 self.dropped += 1
+                return  # never received: the corruption streak is untouched
+            if corrupt:
+                self.corrupted_sent += 1
+                self.corrupt_frames += 1
+                self._note_corrupt(child)
                 return
+            self._streaks[child] = 0
             if duplicate:
                 self.duplicated += 1
                 copies = 2
@@ -143,6 +179,13 @@ class InProcTransport(Transport):
                 task.add_done_callback(self._pending.discard)
             else:
                 self._deliver_local(message)
+
+    def _note_corrupt(self, child: Hashable) -> None:
+        streak = self._streaks.get(child, 0) + 1
+        self._streaks[child] = streak
+        if (self.quarantine_after is not None
+                and streak >= self.quarantine_after):
+            self.quarantined.add(child)
 
     async def _deliver_late(self, message: Message, delay: float) -> None:
         await asyncio.sleep(delay)
@@ -167,14 +210,22 @@ class TcpTransport(Transport):
     *plan* injects the fault plan's drop model **at the sender**, before
     the frame reaches the socket — TCP itself never loses data, so this is
     how a lossy control plane is staged for wall-clock retry testing.
-    Duplication writes the frame twice.
+    Duplication writes the frame twice.  Corruption flips one body byte
+    after the CRC32 header is computed, so the receiver's checksum fails
+    and the frame dies in the reader loop — real garbled octets on a real
+    socket, never reaching an actor.  *quarantine_after* arms the
+    receiver-side firewall described in the module docstring.
     """
 
     def __init__(self, host: str = "127.0.0.1",
-                 plan: Optional[FaultPlan] = None):
+                 plan: Optional[FaultPlan] = None,
+                 quarantine_after: Optional[int] = None):
         super().__init__()
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ProtocolError("quarantine_after must be >= 1")
         self.host = host
         self.plan = plan
+        self.quarantine_after = quarantine_after
         self._decider = LinkFaultDecider(plan) if plan is not None else None
         self.octets_sent = 0
         self._servers: Dict[Hashable, asyncio.AbstractServer] = {}
@@ -206,10 +257,10 @@ class TcpTransport(Transport):
             )
             hello = json.dumps({"hello": child},
                                separators=(",", ":")).encode("utf-8")
-            writer.write(LENGTH_PREFIX.pack(len(hello)) + hello)
+            writer.write(encode_blob(hello))
             await writer.drain()
             self._writers[(child, parent)] = writer
-            self._spawn_reader(child, reader)
+            self._spawn_reader(child, parent, reader)
         if self._expected_edges == 0:
             self._edges_ready.set()
         await self._edges_ready.wait()
@@ -220,15 +271,12 @@ class TcpTransport(Transport):
         async def accept(reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
             try:
-                prefix = await reader.readexactly(LENGTH_PREFIX.size)
-                (length,) = LENGTH_PREFIX.unpack(prefix)
-                if length > MAX_FRAME:
-                    raise ProtocolError("oversized hello frame")
-                hello = json.loads(
-                    (await reader.readexactly(length)).decode("utf-8")
-                )
+                blob = await read_blob(reader)
+                if blob is None:
+                    raise ProtocolError("connection closed before hello")
+                hello = json.loads(blob.decode("utf-8"))
                 peer = hello["hello"]
-            except (asyncio.IncompleteReadError, ValueError, KeyError) as exc:
+            except (ProtocolError, ValueError, KeyError) as exc:
                 self._failure = ProtocolError(
                     f"bad handshake on {owner!r}'s listener"
                 )
@@ -237,26 +285,55 @@ class TcpTransport(Transport):
                 writer.close()
                 return
             self._writers[(owner, peer)] = writer
-            self._spawn_reader(owner, reader)
+            self._spawn_reader(owner, peer, reader)
             if len(self._writers) >= 2 * self._expected_edges:
                 self._edges_ready.set()
 
         return accept
 
-    def _spawn_reader(self, owner: Hashable,
+    def _spawn_reader(self, owner: Hashable, peer: Hashable,
                       reader: asyncio.StreamReader) -> None:
-        task = asyncio.ensure_future(self._read_loop(owner, reader))
+        task = asyncio.ensure_future(self._read_loop(owner, peer, reader))
         self._readers.add(task)
         task.add_done_callback(self._readers.discard)
 
-    async def _read_loop(self, owner: Hashable,
+    async def _read_loop(self, owner: Hashable, peer: Hashable,
                          reader: asyncio.StreamReader) -> None:
-        """Decode frames arriving at *owner*'s end of one edge."""
+        """Decode frames arriving at *owner*'s end of one edge.
+
+        Hostile bytes stop here: a recoverable :class:`CodecError` skips
+        the frame (and feeds the quarantine streak); a non-recoverable one
+        abandons the stream.  Either way no actor coroutine ever sees a
+        frame that failed validation — at worst the peer's retries time
+        out, which is the crash-detection path.
+        """
         mailbox = self.mailboxes[owner]
+        edge_child = peer if self.tree.parent(peer) == owner else owner
+        streak = 0
         while True:
-            message = await read_frame(reader)
+            try:
+                message = await read_frame(reader)
+            except CodecError as exc:
+                self.corrupt_frames += 1
+                streak += 1
+                if not exc.recoverable:
+                    # framing lost — firewall the edge, retries will prune
+                    self.quarantined.add(edge_child)
+                    return
+                if (self.quarantine_after is not None
+                        and streak >= self.quarantine_after):
+                    self.quarantined.add(edge_child)
+                    return
+                continue
+            except ProtocolError:
+                self.dead_streams += 1  # peer vanished mid-frame
+                return
             if message is None:
                 return  # peer drained and closed: clean shutdown
+            streak = 0
+            if edge_child in self.quarantined:
+                self.quarantine_dropped += 1
+                continue
             mailbox.put_nowait(message)
 
     # ------------------------------------------------------------------
@@ -273,8 +350,11 @@ class TcpTransport(Transport):
                 f"no socket for edge {message.sender!r}→{message.receiver!r}"
             )
         copies = 1
+        corrupt = False
         if self._decider is not None:
-            drop, duplicate = self._decider.verdict(child, message)
+            drop, corrupt, duplicate = self._decider.full_verdict(
+                child, message
+            )
             if drop:
                 self.dropped += 1
                 return
@@ -282,6 +362,11 @@ class TcpTransport(Transport):
                 self.duplicated += 1
                 copies = 2
         frame = encode_frame(message)
+        if corrupt:
+            # flip a body bit *after* the CRC header was computed: the
+            # receiver's checksum fails and the frame dies in its reader
+            self.corrupted_sent += 1
+            frame = frame[:-1] + bytes([frame[-1] ^ 0x01])
         for _ in range(copies):
             writer.write(frame)
             self.octets_sent += len(frame)

@@ -655,9 +655,13 @@ class Simulation:
             raise SimulationError("the root cannot fail: it owns the supply")
         if node not in self.nodes:
             raise SimulationError(f"cannot fail unknown node {node!r}")
-        state = self.nodes[node]
-        if state.dead:
+        if self.nodes[node].dead:
             return
+        self._kill(node)
+
+    def _kill(self, node: Hashable) -> None:
+        """Shared fail-stop body: destroy *node*'s state, count the losses."""
+        state = self.nodes[node]
         now = self._frac(self.engine._now)
         state.dead = True
         self.failed_at[node] = now
@@ -678,6 +682,74 @@ class Simulation:
         state.computing = False
         state.sending = False  # _send_done's dead-sender guard frees the child
         self._control_jobs.pop(node, None)
+
+    def fail_root(self) -> None:
+        """Crash the acting master right now (the root-failover scenario).
+
+        Unlike :meth:`fail_node`, here the root *is* allowed to die — the
+        caller promises an election follows (:meth:`failover_root` plus
+        :meth:`reconfigure` at the recovery switch).  The release chain is
+        retired immediately: a dead master releases nothing.
+        """
+        root = self.tree.root
+        if self.nodes[root].dead:
+            return
+        self._generation += 1  # retire pending release chains
+        self._kill(root)
+
+    def revive_node(self, node: Hashable) -> None:
+        """Bring a crashed *node* back, repaired and empty.
+
+        A no-op for a live node, so rejoin events can be armed
+        unconditionally.  The node returns with clean buffers and a free
+        port; its crash history in ``failed_at`` is kept for reporting.
+        It rejoins the *task flow* only once a reconfiguration routes work
+        to it again.
+        """
+        if node not in self.nodes:
+            raise SimulationError(f"cannot revive unknown node {node!r}")
+        state = self.nodes[node]
+        if not state.dead:
+            return
+        state.dead = False
+        state.receiving = False
+        state.computing = False
+        state.sending = False
+        if self.telemetry is not None:
+            now = self._frac(self.engine._now)
+            self.telemetry.counter("sim.revivals", node=node).inc()
+            self.telemetry.record_span("revive", now, now, node=node)
+
+    def failover_root(self, new_root: Hashable) -> None:
+        """Promote *new_root* after the master died (the election outcome).
+
+        Requires the current root to be dead (:meth:`fail_root` ran) and
+        *new_root* to be one of its live children.  The tree is re-rooted
+        in place — the old root leaves, its remaining children re-parent
+        under *new_root* at their original edge costs — and the duration
+        tables are refreshed.  The caller installs the new root's schedules
+        via :meth:`reconfigure`, typically in the same callback, so no
+        release can fall in between.
+        """
+        root = self.tree.root
+        if not self.nodes[root].dead:
+            raise SimulationError(
+                "failover requires the current root to be dead"
+            )
+        if new_root not in self.nodes or self.nodes[new_root].dead:
+            raise SimulationError(f"cannot elect {new_root!r}: unknown or dead")
+        self.tree.failover_root(new_root)
+        if self._timeline is not None:
+            self._fill_duration_tables()
+        else:
+            tree = self.tree
+            self._cost_units = {
+                (tree.parent(n), n): tree.c(n)
+                for n in tree.nodes() if tree.parent(n) is not None
+            }
+        self._grid_cache = None
+        if self.telemetry is not None:
+            self.telemetry.counter("sim.failovers").inc()
 
     def schedule_failure(self, node: Hashable, time) -> None:
         """Arrange for *node* to crash at virtual *time*."""
@@ -745,7 +817,10 @@ class Simulation:
         orders (nodes dropped from the new schedules drain residual tasks
         by their retired orders).
         """
-        retired = dict(self.schedules)
+        # merge with schedules retired by earlier reconfigurations: a node
+        # pruned two epochs ago may still be draining its residual buffer
+        retired = dict(getattr(self.controller, "retired", None) or {})
+        retired.update(self.schedules)
         self.schedules = dict(schedules)
         self.periods = dict(periods)
         self.controller.schedules = self.schedules

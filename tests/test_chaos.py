@@ -1,0 +1,418 @@
+"""The complete self-healing lifecycle: rejoin, failover, quarantine, chaos.
+
+Binds the epoch engine of :func:`~repro.faults.recovery.resilient_run` to
+its acceptance bar: whatever a seeded fault sequence does to the platform,
+the settled rate equals the BW-First optimum of the survivors **exactly**
+(``Fraction`` equality against a from-scratch solve).  Also pins the
+mechanics underneath: plan events round-trip through JSON, a rejoin
+revives the incremental solver's pre-crash fingerprints, corrupted frames
+never reach an actor's state machine, and the TCP transport's byte
+accounting reports real octets.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.core.incremental import IncrementalSolver
+from repro.exceptions import FaultError, PlatformError, SimulationError
+from repro.faults import (
+    Corruption,
+    FaultPlan,
+    FaultyNetwork,
+    LinkFaults,
+    NodeCrash,
+    NodeRejoin,
+    RootFailover,
+    chaos_case,
+    chaos_sweep,
+    resilient_run,
+)
+from repro.platform.tree import Tree
+from repro.protocol import run_protocol
+from repro.protocol.retry import RetryPolicy
+from repro.telemetry.core import Registry
+
+F = Fraction
+
+
+def small_tree():
+    t = Tree("root", F(2))
+    t.add_node("a", F(2), parent="root", c=F(1, 2))
+    t.add_node("b", F(3), parent="root", c=F(1))
+    t.add_node("a1", F(2), parent="a", c=F(1))
+    t.add_node("b1", F(3), parent="b", c=F(1))
+    return t
+
+
+# ----------------------------------------------------------------------
+# plan events: construction, validation, serialization
+# ----------------------------------------------------------------------
+class TestPlanEvents:
+    def test_json_round_trip_with_all_event_types(self):
+        plan = FaultPlan(
+            crashes=(NodeCrash("a", F(3)),),
+            rejoins=(NodeRejoin("a", F(8)),),
+            failover=RootFailover(F(12)),
+            corruptions=(
+                Corruption("b", F(1, 5)),
+                Corruption("a1", F(2, 5), start=F(1), end=F(4)),
+            ),
+            links=(LinkFaults("b", corrupt=F(1, 10)),),
+            drop=F(1, 20),
+            corrupt=F(1, 50),
+            seed=9,
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone == plan
+        assert clone.rejoin_time("a") == F(8)
+        assert clone.failover.time == F(12)
+        assert clone.hostile
+
+    def test_rejoin_without_crash_rejected(self):
+        with pytest.raises(FaultError, match="without ever crashing"):
+            FaultPlan(crashes=(NodeCrash("a", F(3)),),
+                      rejoins=(NodeRejoin("b", F(8)),), seed=0)
+
+    def test_rejoin_before_crash_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(crashes=(NodeCrash("a", F(5)),),
+                      rejoins=(NodeRejoin("a", F(4)),), seed=0)
+
+    def test_duplicate_rejoin_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(crashes=(NodeCrash("a", F(3)),),
+                      rejoins=(NodeRejoin("a", F(8)),
+                               NodeRejoin("a", F(9))), seed=0)
+
+    def test_corruption_rate_windows_combine_by_max(self):
+        plan = FaultPlan(
+            crashes=(NodeCrash("a", F(3)),),
+            corrupt=F(1, 10),
+            corruptions=(Corruption("b", F(2, 5), start=F(2), end=F(6)),),
+            seed=0,
+        )
+        assert plan.corruption_rate("b", F(1)) == F(1, 10)  # before window
+        assert plan.corruption_rate("b", F(2)) == F(2, 5)  # half-open start
+        assert plan.corruption_rate("b", F(6)) == F(1, 10)  # half-open end
+
+    def test_corruption_rate_one_rejected(self):
+        with pytest.raises(FaultError):
+            Corruption("b", F(1))
+
+    def test_failover_without_children_rejected(self):
+        plan = FaultPlan(failover=RootFailover(F(2)), seed=0)
+        with pytest.raises(FaultError, match="at least one child"):
+            plan.validate(Tree("solo", F(1)))
+
+    def test_plain_root_crash_still_rejected(self):
+        plan = FaultPlan(crashes=(NodeCrash("root", F(2)),), seed=0)
+        with pytest.raises(FaultError):
+            plan.validate(small_tree())
+
+
+# ----------------------------------------------------------------------
+# re-rooting: tree surgery and incremental fingerprint revival
+# ----------------------------------------------------------------------
+class TestFailoverSurgery:
+    def test_tree_failover_reparents_siblings(self):
+        t = small_tree()
+        old = t.failover_root("a")
+        assert old == "root"
+        assert t.root == "a"
+        assert t.parent("b") == "a"
+        assert t.c("b") == F(1)  # the old root→b cost survives the move
+        assert t.parent("a1") == "a"
+        assert "root" not in t
+
+    def test_non_child_target_rejected(self):
+        with pytest.raises(PlatformError):
+            small_tree().failover_root("a1")
+
+    def test_incremental_failover_matches_full_solve(self):
+        inc = IncrementalSolver(small_tree())
+        inc.solve()
+        inc.failover("a")
+        reference = small_tree()
+        reference.failover_root("a")
+        assert inc.solve().throughput == bw_first(reference).throughput
+
+    def test_failover_revives_sibling_fingerprints(self):
+        # the election replays negotiation state: every subtree that did
+        # not move keeps its cached fingerprint, only the new root re-runs
+        inc = IncrementalSolver(small_tree())
+        inc.solve()
+        before = dict(inc.stats)
+        inc.failover("b")
+        inc.solve()
+        after = dict(inc.stats)
+        assert after["evals_saved"] > before["evals_saved"]
+
+
+class TestSimulatorLifecycle:
+    def _sim(self, tree, horizon=F(20)):
+        from repro.core.allocation import from_bw_first
+        from repro.schedule.eventdriven import build_schedules
+        from repro.schedule.periods import tree_periods
+        from repro.sim.simulator import Simulation
+
+        allocation = from_bw_first(bw_first(tree))
+        periods = tree_periods(allocation)
+        schedules = build_schedules(allocation, periods=periods)
+        return Simulation(tree, dict(schedules), dict(periods),
+                          horizon=horizon)
+
+    def test_revive_unknown_node_rejected(self):
+        sim = self._sim(small_tree())
+        with pytest.raises(SimulationError):
+            sim.revive_node("ghost")
+
+    def test_revive_alive_node_is_a_noop(self):
+        sim = self._sim(small_tree())
+        sim.revive_node("a")  # nothing to do, nothing raised
+
+    def test_failover_requires_a_dead_root(self):
+        sim = self._sim(small_tree())
+        with pytest.raises(SimulationError, match="dead"):
+            sim.failover_root("a")
+
+    def test_failover_rejects_a_dead_candidate(self):
+        sim = self._sim(small_tree())
+        sim.engine.schedule_at(F(1), lambda: sim.fail_node("a"))
+        sim.engine.schedule_at(F(2), sim.fail_root)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.failover_root("a")
+
+
+# ----------------------------------------------------------------------
+# hostile links: integrity check, quarantine policy
+# ----------------------------------------------------------------------
+class TestHostileControlPlane:
+    def test_corrupt_frames_never_reach_the_actors(self):
+        # at a high corruption rate frames are garbled, yet the negotiated
+        # result is exact: every corrupt frame was discarded before its
+        # handler ran and a retransmission carried the payload instead
+        tree = small_tree()
+        plan = FaultPlan(seed=4, crashes=(NodeCrash("a1", F(50)),),
+                         links=(LinkFaults("b", corrupt=F(2, 5)),))
+        net = FaultyNetwork(tree, plan, quarantine_after=None)
+        result = run_protocol(tree, network=net,
+                              retry=RetryPolicy(max_retries=20))
+        assert net.corrupted > 0
+        assert result.throughput == bw_first(tree).throughput
+
+    def test_quarantine_records_child_and_virtual_time(self):
+        tree = small_tree()
+        plan = FaultPlan(seed=0, crashes=(NodeCrash("a1", F(50)),),
+                         links=(LinkFaults("b", corrupt=F(2, 5)),))
+        net = FaultyNetwork(tree, plan, quarantine_after=1, time_offset=F(7))
+        run_protocol(tree, network=net, retry=RetryPolicy(max_retries=20))
+        assert "b" in net.quarantined
+        assert net.quarantined["b"] >= F(7)  # anchored in virtual time
+
+    def test_quarantine_threshold_validated(self):
+        from repro.exceptions import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            FaultyNetwork(small_tree(),
+                          FaultPlan(seed=0, crashes=(NodeCrash("a", F(1)),)),
+                          quarantine_after=0)
+
+
+# ----------------------------------------------------------------------
+# the epoch engine, end to end
+# ----------------------------------------------------------------------
+class TestRejoinRecovery:
+    def test_rejoin_lands_on_the_full_tree_optimum(self):
+        tree = small_tree()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(4)),),
+                         rejoins=(NodeRejoin("a", F(9)),), seed=3)
+        report = resilient_run(tree, plan)
+        assert [e.kind for e in report.epochs] == ["prune", "rejoin"]
+        assert report.rejoined == ("a",)
+        # the subtree came back: the settled rate is the FULL optimum again
+        assert report.rate_after == bw_first(small_tree()).throughput
+        assert report.new_optimum == report.rate_after
+
+    def test_rejoin_reuses_precrash_fingerprints(self):
+        # the graft path re-solves incrementally: the rejoined subtree's
+        # fingerprints revive from cache instead of being recomputed
+        tree = small_tree()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(4)),),
+                         rejoins=(NodeRejoin("a", F(9)),), seed=3)
+        registry = Registry()
+        resilient_run(tree, plan, telemetry=registry)
+        revived = (registry.value("incr.hit.absorbed")
+                   + registry.value("incr.hit.saturated")
+                   + registry.value("incr.hit.exact"))
+        assert revived > 0
+
+    def test_rejoin_switch_lies_on_the_running_period_grid(self):
+        tree = small_tree()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(4)),),
+                         rejoins=(NodeRejoin("a", F(9)),), seed=3)
+        report = resilient_run(tree, plan)
+        prune, rejoin = report.epochs
+        # the splice happens at a period boundary of the schedule the
+        # prune epoch installed, anchored at that epoch's switch
+        from repro.core.allocation import from_bw_first as _fb
+        from repro.schedule.periods import global_period, tree_periods
+        survivors = small_tree()
+        survivors.remove_subtree("a")
+        t_prev = global_period(tree_periods(_fb(bw_first(survivors))))
+        offset = rejoin.t_switched - prune.t_switched
+        assert offset > 0
+        assert offset % t_prev == 0
+
+    def test_rejoin_before_detection_rejected(self):
+        tree = small_tree()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(4)),),
+                         rejoins=(NodeRejoin("a", F(17, 4)),), seed=3)
+        with pytest.raises(FaultError, match="before its death"):
+            resilient_run(tree, plan)
+
+    def test_orphaned_rejoin_is_skipped(self):
+        # a1 rejoins, but its parent a crashed (and never returns): the
+        # graft point is gone, the supervisor skips the rejoin and the
+        # platform stays at the pruned optimum
+        tree = small_tree()
+        plan = FaultPlan(
+            crashes=(NodeCrash("a1", F(2)), NodeCrash("a", F(4))),
+            rejoins=(NodeRejoin("a1", F(9)),), seed=6,
+        )
+        report = resilient_run(tree, plan)
+        assert report.rejoins_skipped == ("a1",)
+        survivors = small_tree()
+        survivors.remove_subtree("a")
+        assert report.rate_after == bw_first(survivors).throughput
+
+
+class TestFailoverRecovery:
+    def test_election_picks_the_bandwidth_centric_child(self):
+        tree = small_tree()
+        plan = FaultPlan(failover=RootFailover(F(5)), seed=5)
+        report = resilient_run(tree, plan)
+        # children_by_bandwidth(root) = [a (c=1/2), b (c=1)] → a is elected
+        assert report.new_root == "a"
+        reference = small_tree()
+        reference.failover_root("a")
+        assert report.rate_after == bw_first(reference).throughput
+        assert report.rate_after == report.new_optimum
+
+    def test_old_root_death_is_declared(self):
+        tree = small_tree()
+        plan = FaultPlan(failover=RootFailover(F(5)), seed=5)
+        report = resilient_run(tree, plan, heartbeat_interval=F(1),
+                               detection_timeout=F(1, 2))
+        assert report.detected_at["root"] == F(11, 2)
+
+    def test_dead_child_is_not_electable(self):
+        # a (the bandwidth-centric favourite) is dead when the master
+        # dies: the election must fall through to b
+        tree = small_tree()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(2)),),
+                         failover=RootFailover(F(6)), seed=5)
+        report = resilient_run(tree, plan)
+        assert report.new_root == "b"
+        reference = small_tree()
+        reference.remove_subtree("a")
+        reference.failover_root("b")
+        assert report.rate_after == bw_first(reference).throughput
+
+    def test_failover_epoch_is_narrated(self):
+        registry = Registry()
+        plan = FaultPlan(failover=RootFailover(F(5)), seed=5)
+        resilient_run(small_tree(), plan, telemetry=registry)
+        (recovery,) = registry.spans_named("recovery")
+        kinds = [s.name for s in registry.span_children(recovery)]
+        assert kinds == ["detect", "elect", "renegotiate", "switch"]
+        (elect,) = registry.spans_named("elect")
+        assert elect.tags["elected"] == "a"
+
+
+class TestQuarantineRecovery:
+    def test_hostile_child_is_pruned_to_the_survivor_optimum(self):
+        tree = small_tree()
+        plan = FaultPlan(seed=0, links=(LinkFaults("b", corrupt=F(2, 5)),))
+        report = resilient_run(tree, plan, quarantine_after=1)
+        assert report.quarantined == ("b",)
+        assert [e.kind for e in report.epochs] == ["quarantine"]
+        assert report.corrupted > 0
+        survivors = small_tree()
+        survivors.remove_subtree("b")
+        assert report.rate_after == bw_first(survivors).throughput
+
+    def test_hostile_only_plan_is_accepted(self):
+        # no crash anywhere: the corruption itself is the thing to
+        # recover from
+        plan = FaultPlan(seed=0, links=(LinkFaults("b", corrupt=F(2, 5)),))
+        report = resilient_run(small_tree(), plan, quarantine_after=1)
+        assert report.tasks_lost == 0
+
+    def test_full_lifecycle_composes(self):
+        # quarantine b, prune a, graft a back — still lands exactly
+        tree = small_tree()
+        plan = FaultPlan(
+            crashes=(NodeCrash("a", F(3)),),
+            rejoins=(NodeRejoin("a", F(9)),),
+            links=(LinkFaults("b", corrupt=F(2, 5)),),
+            seed=0,
+        )
+        report = resilient_run(tree, plan, quarantine_after=1)
+        kinds = [e.kind for e in report.epochs]
+        assert kinds == ["quarantine", "prune", "rejoin"]
+        reference = small_tree()
+        reference.remove_subtree("b")
+        assert report.rate_after == bw_first(reference).throughput
+        assert report.rate_after == bw_first(
+            report.survivors.copy()
+        ).throughput
+
+
+class TestRuntimeRenegotiation:
+    def test_tcp_epoch_bytes_are_real_octets(self):
+        # the byte accounting satellite: over TCP every epoch's
+        # renegotiation_bytes are the transport's octets_sent — framed
+        # JSON, an order of magnitude bulkier than the 11-byte model
+        tree = small_tree()
+        plan = FaultPlan(crashes=(NodeCrash("a", F(4)),),
+                         rejoins=(NodeRejoin("a", F(9)),), seed=3)
+        report = resilient_run(tree, plan, runtime="tcp")
+        assert report.rate_after == bw_first(small_tree()).throughput
+        assert report.renegotiation_bytes == sum(e.bytes
+                                                 for e in report.epochs)
+        # 11 bytes/message is the simulated-model size; real frames dwarf it
+        assert report.renegotiation_bytes > 11 * report.renegotiation_messages
+
+
+# ----------------------------------------------------------------------
+# the chaos gate (tier-1 slice; the full 100-sequence sweep runs in E28)
+# ----------------------------------------------------------------------
+class TestChaos:
+    def test_sweep_converges_exactly(self):
+        summary = chaos_sweep(sequences=15, seed=0)
+        assert summary.exact_count == 15
+
+    def test_case_generation_is_deterministic(self):
+        tree_a, plan_a, k_a = chaos_case(42)
+        tree_b, plan_b, k_b = chaos_case(42)
+        assert plan_a == plan_b
+        assert k_a == k_b
+        assert list(tree_a.nodes()) == list(tree_b.nodes())
+        assert all(tree_a.w(n) == tree_b.w(n) for n in tree_a.nodes())
+
+    def test_cases_always_have_something_to_recover_from(self):
+        for seed in range(20):
+            _tree, plan, quarantine_after = chaos_case(seed)
+            assert plan.crashes
+            assert quarantine_after >= 1
+
+    def test_summary_json_is_serializable(self):
+        import json
+
+        summary = chaos_sweep(sequences=3, seed=0)
+        payload = json.loads(json.dumps(summary.to_json()))
+        assert payload["sequences"] == 3
+        assert payload["exact"] == 3

@@ -81,12 +81,15 @@ class TestCodec:
         message = Proposal(sender="a", receiver="b", beta=beta, xid=0)
         assert decode_message(encode_message(message)).beta == beta
 
-    def test_frame_is_length_prefixed(self):
+    def test_frame_is_length_prefixed_and_checksummed(self):
+        import zlib
+
         message = Proposal(sender="a", receiver="b", beta=Fraction(1), xid=0)
         frame = encode_frame(message)
         payload = encode_message(message)
-        assert frame[4:] == payload
+        assert frame[8:] == payload
         assert int.from_bytes(frame[:4], "big") == len(payload)
+        assert int.from_bytes(frame[4:8], "big") == zlib.crc32(payload)
 
     def test_garbage_rejected(self):
         with pytest.raises(ProtocolError):
@@ -123,6 +126,121 @@ class TestCodec:
                 await read_frame(reader)
 
         asyncio.run(scenario())
+
+
+class TestHostileBytes:
+    """The codec against an adversarial wire (never trust the peer)."""
+
+    def _read(self, data):
+        import asyncio
+
+        async def scenario():
+            from repro.runtime import read_frame
+
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        return asyncio.run(scenario())
+
+    def test_flipped_bit_fails_the_checksum_recoverably(self):
+        from repro.runtime import CodecError
+
+        message = Proposal(sender="a", receiver="b", beta=Fraction(1), xid=0)
+        frame = bytearray(encode_frame(message))
+        frame[-1] ^= 0x01
+        with pytest.raises(CodecError, match="checksum") as excinfo:
+            self._read(bytes(frame))
+        # a garbled frame is survivable: skip it and keep reading
+        assert excinfo.value.recoverable
+
+    def test_oversized_length_is_not_recoverable(self):
+        import struct
+
+        from repro.runtime import CodecError
+
+        header = struct.pack(">II", 1 << 30, 0)
+        with pytest.raises(CodecError) as excinfo:
+            self._read(header + b"x" * 64)
+        # an insane length desynchronizes the stream: hang up
+        assert not excinfo.value.recoverable
+
+    @pytest.mark.parametrize("payload", [
+        b"\xff\xfe garbage",  # not UTF-8
+        b"[1, 2, 3]",  # JSON but not an object
+        b'{"t": "proposal"}',  # missing fields
+        b'{"t": "proposal", "s": "a", "r": "b", "v": "1/0", "x": 0}',
+        b'{"t": "proposal", "s": "a", "r": "b", "v": "abc", "x": 0}',
+        b'{"t": "proposal", "s": "a", "r": "b", "v": "1", "x": "one"}',
+        b'{"t": "teleport", "s": "a", "r": "b", "v": "1", "x": 0}',
+    ])
+    def test_malformed_payloads_raise_codec_error(self, payload):
+        from repro.runtime import CodecError
+
+        with pytest.raises(CodecError):
+            decode_message(payload)
+
+    def test_codec_error_is_a_protocol_error(self):
+        from repro.runtime import CodecError
+
+        assert issubclass(CodecError, ProtocolError)
+
+    def test_tcp_survives_corrupted_frames(self, paper_tree):
+        """Garbled frames fail the CRC at the receiver, are discarded
+        before any actor state machine sees them, and the wall-clock
+        retry repairs the loss — the result is still exact."""
+        plan = FaultPlan(seed=3, corrupt=Fraction(1, 5))
+        transport = TcpTransport(plan=plan)
+        result = negotiate(
+            paper_tree,
+            transport=transport,
+            retry=RetryPolicy(max_retries=10),
+            base_timeout=0.05,
+        )
+        assert transport.corrupted_sent > 0
+        assert transport.corrupt_frames > 0
+        assert transport.quarantined == set()  # no threshold configured
+        assert result.throughput == bw_first(paper_tree).throughput
+
+    def test_inproc_survives_corrupted_frames(self, paper_tree):
+        plan = FaultPlan(seed=5, corrupt=Fraction(1, 5))
+        transport = InProcTransport(plan=plan)
+        result = negotiate(
+            paper_tree,
+            transport=transport,
+            retry=RetryPolicy(max_retries=10),
+            base_timeout=0.05,
+        )
+        assert transport.corrupt_frames > 0
+        assert result.throughput == bw_first(paper_tree).throughput
+
+    def test_quarantined_link_is_treated_as_crashed(self):
+        """A link corrupting every frame trips the quarantine threshold;
+        the runtime then negotiates the remaining tree, exactly as if the
+        child had crashed (verified against the pruned reference)."""
+        from repro.faults.plan import LinkFaults
+
+        # a hungry root: both children are visited, so link B carries
+        # control traffic for the corruption to garble
+        tree = Tree("R", w=8)
+        tree.add_node("A", w=2, parent="R", c=1)
+        tree.add_node("B", w=2, parent="R", c=2)
+        plan = FaultPlan(
+            seed=1,
+            links=(LinkFaults("B", corrupt=Fraction(999, 1000)),),
+        )
+        transport = InProcTransport(plan=plan, quarantine_after=3)
+        result = negotiate(
+            tree,
+            transport=transport,
+            retry=RetryPolicy(max_retries=4),
+            base_timeout=0.02,
+        )
+        assert transport.corrupt_frames >= 3
+        assert "B" in transport.quarantined
+        pruned = tree.without_subtrees({"B"})
+        assert result.throughput == bw_first(pruned).throughput
 
 
 # ----------------------------------------------------------------------
