@@ -1,6 +1,6 @@
 # Development commands for the repro library.
 
-.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke perf-smoke chaos-smoke bench-record examples outputs all clean
+.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke perf-smoke chaos-smoke bench-record bench-check dash-smoke examples outputs all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -86,6 +86,26 @@ chaos-smoke:
 # re-record the committed perf baselines (BENCH_*.json at the repo root)
 bench-record:
 	PYTHONPATH=src python benchmarks/record_baseline.py
+
+# bench regression gate: re-run the recorders and diff against the
+# committed BENCH_*.json — node_evals must match exactly (deterministic
+# per seed), wall clock must stay under WALL_TOLERANCE (override in CI
+# where runner hosts differ from the recording machine).  `timeout`
+# hard-bounds the wall clock so a pathological regression fails fast.
+WALL_TOLERANCE ?= 1.3
+bench-check:
+	timeout 540 sh -c "PYTHONPATH=src python benchmarks/check_baseline.py \
+		--wall-tolerance $(WALL_TOLERANCE)"
+
+# headless smoke of the live ops plane: boot `repro dash` against a
+# seeded chaos/recovery workload, assert the SSE stream delivers epoch
+# and metric events and the server shuts down cleanly, then run the live
+# telemetry suites.  `timeout` hard-bounds a wedged server.
+dash-smoke:
+	timeout 300 sh -c "\
+		PYTHONPATH=src pytest tests/test_dash.py tests/test_live.py -q && \
+		PYTHONPATH=src python -m repro dash --port 0 --nodes 60 --seed 2 \
+			--run-for 3"
 
 examples:
 	@for f in examples/*.py; do \

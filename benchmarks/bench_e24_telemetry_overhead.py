@@ -9,23 +9,30 @@ E8 sizes) in three configurations:
   i.e. a :class:`~repro.telemetry.NullRegistry`: ``enabled`` is false, so
   the runner still takes the seed path — the cost is one flag check;
 * **enabled** — a live :class:`~repro.telemetry.Registry` recording a
-  span per transaction plus the protocol counters.
+  span per transaction plus the protocol counters;
+* **live** — a :class:`~repro.telemetry.LiveRegistry` with an
+  :class:`~repro.telemetry.Aggregator` subscribed to its bus, i.e. the
+  full streaming path the dashboard rides: every counter increment and
+  span close is additionally published to a subscriber that rolls it
+  into windowed aggregates.
 
 The acceptance bar is the disabled overhead: with telemetry off the
 negotiation must run within 5% of the seed.  One negotiation lasts well
 under a millisecond, so naive timing drowns in scheduler noise; the
 harness therefore **batches** several negotiations per sample,
-**interleaves** the variants (so clock drift hits all three equally) and
+**interleaves** the variants (so clock drift hits all equally) and
 keeps the **best** sample per variant, asserting on the size-summed
-totals.  The enabled column is informational — it is allowed to cost
-more, and the table shows how much.
+totals.  The enabled and live columns are informational — they are
+allowed to cost more, and the table shows how much; the live-vs-enabled
+delta is what the bus itself costs (recorded into ``BENCH_e29_live.json``
+by ``benchmarks/record_baseline.py``).
 """
 
 import time
 
 from repro.platform.generators import random_tree
 from repro.protocol import run_protocol
-from repro.telemetry import NullRegistry, Registry
+from repro.telemetry import Aggregator, LiveRegistry, NullRegistry, Registry
 from repro.util.text import render_table
 
 from .conftest import emit
@@ -51,18 +58,30 @@ def best_interleaved(*fns) -> list:
     return best
 
 
+def run_live(tree):
+    """One negotiation on the full streaming path (bus + aggregator)."""
+    registry = LiveRegistry()
+    aggregator = Aggregator(registry.bus)
+    try:
+        run_protocol(tree, telemetry=registry)
+    finally:
+        aggregator.detach()
+
+
 def test_disabled_overhead_table():
     rows = []
-    totals = [0.0, 0.0, 0.0]
+    totals = [0.0, 0.0, 0.0, 0.0]
     for size in SIZES:
         tree = random_tree(size, seed=size)
         run_protocol(tree)  # warm caches before timing anything
-        baseline, null, enabled = best_interleaved(
+        baseline, null, enabled, live = best_interleaved(
             lambda: run_protocol(tree),
             lambda: run_protocol(tree, telemetry=NullRegistry()),
             lambda: run_protocol(tree, telemetry=Registry()),
+            lambda: run_live(tree),
         )
-        totals = [t + v for t, v in zip(totals, (baseline, null, enabled))]
+        totals = [t + v for t, v in
+                  zip(totals, (baseline, null, enabled, live))]
         rows.append([
             str(size),
             f"{baseline / BATCH * 1e3:.2f}",
@@ -70,6 +89,8 @@ def test_disabled_overhead_table():
             f"{(null / baseline - 1) * 100:+.1f}%",
             f"{enabled / BATCH * 1e3:.2f}",
             f"{(enabled / baseline - 1) * 100:+.1f}%",
+            f"{live / BATCH * 1e3:.2f}",
+            f"{(live / baseline - 1) * 100:+.1f}%",
         ])
     ratio = totals[1] / totals[0]
     rows.append([
@@ -79,13 +100,15 @@ def test_disabled_overhead_table():
         f"{(ratio - 1) * 100:+.1f}%",
         f"{totals[2] / BATCH * 1e3:.2f}",
         f"{(totals[2] / totals[0] - 1) * 100:+.1f}%",
+        f"{totals[3] / BATCH * 1e3:.2f}",
+        f"{(totals[3] / totals[0] - 1) * 100:+.1f}%",
     ])
     emit(
         "E24: telemetry overhead on the E8 workload "
         f"(best of {REPEATS} batches of {BATCH}, ms per run)",
         render_table(
             ["nodes", "baseline", "disabled", "overhead",
-             "enabled", "overhead"],
+             "enabled", "overhead", "live", "overhead"],
             rows,
         ),
     )
@@ -93,6 +116,23 @@ def test_disabled_overhead_table():
         f"disabled telemetry costs {(ratio - 1) * 100:.1f}% "
         "over the seed path — the bar is 5%"
     )
+
+
+def test_live_bus_records_everything_enabled_does():
+    """The live column pays for a superset: same spans and counters as
+    enabled, plus every one of them published to the bus subscriber."""
+    tree = random_tree(50, seed=50)
+    registry = LiveRegistry()
+    aggregator = Aggregator(registry.bus)
+    result = run_protocol(tree, telemetry=registry)
+    assert len(registry.spans_named("transaction")) == result.transactions
+    assert registry.value("protocol.messages") == result.messages
+    snap = aggregator.snapshot()
+    assert snap["negotiation"]["transactions"] == result.transactions
+    messages = sum(c["total"] for c in snap["counters"]
+                   if c["name"] == "protocol.messages")
+    assert messages == result.messages
+    aggregator.detach()
 
 
 def test_enabled_records_everything_it_promises():

@@ -219,12 +219,71 @@ def record_e28(sequences=100, seed=0):
                  wall_s=round(wall, 6), node_evals=epochs)]
 
 
+def record_e29(sizes=(50, 200), repeats=15, batch=3):
+    """Live-plane overhead: the E24 workload on the enabled path vs the
+    bus-subscribed streaming path (LiveRegistry + Aggregator), best of
+    *repeats* interleaved batches.  ``node_evals`` stores the bus event
+    count per negotiation — the machine-independent cost driver."""
+    from repro.telemetry import Aggregator, LiveRegistry, MetricsBus, Registry
+
+    records = []
+    for size in sizes:
+        tree = random_tree(size, seed=size)
+        run_protocol(tree)  # warm caches
+
+        def run_enabled(t=tree):
+            run_protocol(t, telemetry=Registry())
+
+        def run_live(t=tree):
+            registry = LiveRegistry()
+            aggregator = Aggregator(registry.bus)
+            try:
+                run_protocol(t, telemetry=registry)
+            finally:
+                aggregator.detach()
+
+        best = {"enabled": float("inf"), "live": float("inf")}
+        for _ in range(repeats):
+            for label, fn in (("enabled", run_enabled), ("live", run_live)):
+                t0 = time.perf_counter()
+                for _ in range(batch):
+                    fn()
+                best[label] = min(best[label], time.perf_counter() - t0)
+
+        # count the bus events one live negotiation publishes
+        events = 0
+
+        def _count(_event, _n=None):
+            nonlocal events
+            events += 1
+
+        bus = MetricsBus()
+        bus.on_metric(_count)
+        bus.on_span(_count)
+        registry = LiveRegistry(bus=bus)
+        run_protocol(tree, telemetry=registry)
+
+        for label in ("enabled", "live"):
+            records.append(dict(
+                params=dict(nodes=size, seed=size, family="e29",
+                            variant=label),
+                wall_s=round(best[label] / batch, 6),
+                node_evals=events if label == "live" else 0,
+            ))
+        overhead = best["live"] / best["enabled"] - 1
+        print(f"e29 n={size}: enabled {best['enabled']/batch*1e3:.2f}ms, "
+              f"live {best['live']/batch*1e3:.2f}ms ({overhead*100:+.1f}%), "
+              f"{events} bus events/negotiation")
+    return records
+
+
 BENCHES = {
     "e26_incremental": record_e26,
     "e8_protocol_scaling": record_e8,
     "e25_runtime": record_e25,
     "e27_timeline": record_e27,
     "e28_chaos": record_e28,
+    "e29_live": record_e29,
 }
 
 

@@ -16,7 +16,14 @@ Sub-commands:
   telemetry enabled and print the Prometheus text exposition;
 * ``trace TREE.json --format chrome|jsonl`` — export the negotiation's
   transaction-span tree as a Chrome trace-event JSON (open it in Perfetto
-  or ``chrome://tracing``) or as structured JSONL;
+  or ``chrome://tracing``) or as structured JSONL; ``trace --stitch
+  a.jsonl b.jsonl`` instead merges per-actor JSONL streams into one
+  causally-ordered Chrome trace (``--trace-id`` filters one negotiation,
+  ``--list-traces`` enumerates them);
+* ``dash`` — zero-dependency live ops dashboard: serves an SSE stream and
+  inline HTML panels (negotiation progress, recovery epochs, simulator
+  throughput, solver cache rates, per-edge octets, BenchWatch drift) over
+  a seeded chaos/recovery workload;
 * ``runtime TREE.json --transport inproc|tcp`` — execute the negotiation
   on the **real** asyncio runtime (concurrent actors over in-process
   queues or loopback TCP sockets) and report the negotiated throughput,
@@ -43,6 +50,7 @@ grammar of :mod:`repro.platform.dsl`, e.g. ``'P0(w=3)[P1(w=2,c=1)]'``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from fractions import Fraction
 from typing import List, Optional
@@ -218,9 +226,35 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
     from .protocol import run_protocol
     from .telemetry import Registry, chrome_trace_json, jsonl_lines
 
+    if args.stitch:
+        from .telemetry import merge_jsonl, stitch_chrome_trace, trace_ids
+
+        if args.list_traces:
+            merged = merge_jsonl(args.stitch)
+            for trace in sorted(trace_ids(merged)):
+                print(trace)
+            return 0
+        doc = stitch_chrome_trace(args.stitch, trace_id=args.trace_id)
+        text = _json.dumps(doc, indent=1)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text)
+            flows = sum(1 for e in doc["traceEvents"] if e.get("cat") == "flow")
+            spans = sum(1 for e in doc["traceEvents"] if e["ph"] == "X")
+            print(f"wrote {args.out} ({spans} spans, {flows} flow events)")
+        else:
+            print(text)
+        return 0
+    if args.tree is None:
+        print("error: trace needs a TREE argument (or --stitch FILES)",
+              file=sys.stderr)
+        return 2
     tree = _load_platform(args)
     registry = Registry()
     run_protocol(tree, telemetry=registry)
@@ -235,6 +269,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {args.out} ({len(registry.spans)} spans)")
     else:
         print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .telemetry.dash import serve_dashboard
+
+    dash = serve_dashboard(
+        nodes=args.nodes,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        runtime=args.runtime if args.runtime != "none" else None,
+        baseline_dir=args.baselines,
+        interval=args.interval,
+        workload=not args.no_workload,
+    )
+    print(f"repro dash: serving {dash.url}")
+    print(f"  workload: {args.nodes}-node seeded chaos/recovery "
+          f"(seed {args.seed}, runtime {args.runtime})")
+    print("  endpoints: / (panels)  /events (SSE)  /api/snapshot  "
+          "/metrics  /healthz")
+    try:
+        if args.run_for is not None:
+            deadline = _time.monotonic() + args.run_for
+            while _time.monotonic() < deadline:
+                _time.sleep(0.2)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        status = dash.workload.get("status")
+        dash.stop()
+        print(f"repro dash: stopped (workload {status})")
     return 0
 
 
@@ -554,11 +625,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("trace",
                        help="export the negotiation's span tree "
-                            "(Chrome trace-event JSON or JSONL)")
-    tree_arg(p)
+                            "(Chrome trace-event JSON or JSONL), or stitch "
+                            "per-actor JSONL streams into one trace")
+    p.add_argument("tree", nargs="?",
+                   help="platform JSON file (or DSL text with --dsl)")
+    p.add_argument("--dsl", action="store_true",
+                   help="parse the TREE argument as DSL text instead of a file")
     p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome")
     p.add_argument("--out", help="output file (default: stdout)")
+    p.add_argument("--stitch", nargs="+", metavar="JSONL",
+                   help="merge per-actor JSONL span streams (span ids "
+                        "remapped, metrics summed) and emit one Chrome "
+                        "trace with cross-actor flow arrows")
+    p.add_argument("--trace-id", help="with --stitch: keep only the spans "
+                                      "of this negotiation trace")
+    p.add_argument("--list-traces", action="store_true",
+                   help="with --stitch: print the distinct trace ids "
+                        "found in the merged streams and exit")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "dash",
+        help="zero-dependency live ops dashboard (SSE) over a seeded "
+             "chaos/recovery workload",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="listen port (0 picks a free one; default 8787)")
+    p.add_argument("--nodes", type=int, default=1000,
+                   help="workload platform size (default 1000)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--runtime", choices=("none", "inproc", "tcp"),
+                   default="none",
+                   help="drive re-negotiations through the real asyncio "
+                        "runtime (tcp populates the per-edge octet panel)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="SSE metrics snapshot period in seconds (default 1)")
+    p.add_argument("--baselines", default=".",
+                   help="directory holding BENCH_*.json for the BenchWatch "
+                        "panel (default: current directory)")
+    p.add_argument("--run-for", type=float, metavar="SECONDS",
+                   help="serve for a bounded time then exit (default: "
+                        "until Ctrl-C)")
+    p.add_argument("--no-workload", action="store_true",
+                   help="serve panels only; instrument your own run against "
+                        "the dashboard registry instead")
+    p.set_defaults(func=_cmd_dash)
 
     p = sub.add_parser("runtime",
                        help="negotiate on the real asyncio runtime "
@@ -628,7 +740,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream consumer (e.g. `| head`) closed the pipe; not an error,
+        # but Python would print a traceback and then spew again on the
+        # interpreter's stdout flush — hand it a dead descriptor instead.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

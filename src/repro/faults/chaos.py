@@ -221,8 +221,14 @@ def chaos_case(seed: int) -> Tuple[Tree, FaultPlan, int]:
         return tree, plan, rng.choice((1, 2, 3))
 
 
-def run_case(seed: int) -> Tuple[ChaosOutcome, RecoveryReport]:
-    """Run one chaos sequence and verify it against a from-scratch solve."""
+def run_case(seed: int, telemetry=None) -> Tuple[ChaosOutcome, RecoveryReport]:
+    """Run one chaos sequence and verify it against a from-scratch solve.
+
+    *telemetry* threads a :class:`~repro.telemetry.core.Registry` into the
+    supervised run — pass a
+    :class:`~repro.telemetry.live.LiveRegistry` to stream the case's
+    epoch spans and counters onto a bus (the dashboard's workload does).
+    """
     tree, plan, quarantine_after = chaos_case(seed)
     nodes = len(tree)
     report = resilient_run(
@@ -231,6 +237,7 @@ def run_case(seed: int) -> Tuple[ChaosOutcome, RecoveryReport]:
         detection_timeout=TIMEOUT,
         quarantine_after=quarantine_after,
         settle_periods=3,
+        telemetry=telemetry,
         # chaos stacks drop AND corruption on one link; a deep retry budget
         # keeps every negotiation in the retries-win regime (the chance of
         # 21 consecutive losses at the generator's worst rates is ~1e-7)
@@ -260,16 +267,18 @@ def chaos_sweep(
     sequences: int = 100,
     seed: int = 0,
     progress: Optional[Callable[[ChaosOutcome], None]] = None,
+    telemetry=None,
 ) -> ChaosSummary:
     """Run *sequences* seeded chaos cases; raise on the first inexact one.
 
     Case ``i`` uses seed ``seed + i``, so any failure reproduces in
     isolation with :func:`run_case`.  *progress* (if given) is called with
-    each verified :class:`ChaosOutcome` as it completes.
+    each verified :class:`ChaosOutcome` as it completes.  *telemetry*
+    threads one registry through every case (see :func:`run_case`).
     """
     outcomes: List[ChaosOutcome] = []
     for i in range(sequences):
-        outcome, report = run_case(seed + i)
+        outcome, report = run_case(seed + i, telemetry=telemetry)
         if not outcome.exact:
             raise FaultError(
                 f"chaos seed {outcome.seed}: settled at {outcome.rate_after}"

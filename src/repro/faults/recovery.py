@@ -214,7 +214,13 @@ def resilient_run(
     counters, and the recovery itself a span tree — one ``recovery`` root
     whose children narrate each epoch (``detect``/``prune``,
     ``detect``/``elect``, ``quarantine``/``prune`` or ``rejoin``/``graft``,
-    then ``renegotiate`` and ``switch``).
+    then ``renegotiate`` and ``switch``).  With telemetry enabled the run
+    additionally mints one distributed-trace id
+    (:func:`~repro.telemetry.live.mint_trace_id`) threaded through every
+    negotiation of the story, and a deterministic per-epoch id
+    (``<trace>.e<n>``) tagged onto each epoch's narration spans, so the
+    live dashboard and ``repro trace --stitch`` can group the whole
+    recovery under one causally-ordered trace.
 
     *runtime* (``"inproc"`` or ``"tcp"``) routes every **re-negotiation**
     through the real asyncio runtime of :mod:`repro.runtime` instead of
@@ -266,6 +272,11 @@ def resilient_run(
             )
 
     spans_on = telemetry is not None and telemetry.enabled
+    run_trace: Optional[str] = None
+    if spans_on:
+        from ..telemetry.live import mint_trace_id
+
+        run_trace = mint_trace_id()
 
     # ------------------------------------------------------------------
     # initial negotiation (latency-modelled, lossy/hostile control plane)
@@ -283,6 +294,7 @@ def resilient_run(
         retry=policy,
         telemetry=telemetry,
         reference=old_result,
+        trace_id=run_trace,
     )
 
     old_allocation = from_bw_first(old_result)
@@ -473,53 +485,59 @@ def resilient_run(
 
         # --- spans: narrate the epoch ----------------------------------
         renegotiate_span = None
+        eid = None
         if spans_on:
+            from ..telemetry.live import epoch_id as _epoch_id
+
+            eid = _epoch_id(run_trace, len(epochs))
             if recovery_span is None:
                 recovery_span = telemetry.begin_span(
                     "recovery", start=min(t_first_crash, trigger),
                     node=original_root, crashes=len(plan.crashes),
+                    trace=run_trace,
                 )
             if kind == "prune":
                 telemetry.record_span(
                     "detect", wave_first, trigger, node=original_root,
-                    parent=recovery_span,
+                    parent=recovery_span, epoch=eid,
                     crashed=" ".join(str(n) for n in epoch_nodes),
                 )
                 telemetry.record_span(
                     "prune", start, start, node=original_root,
-                    parent=recovery_span,
+                    parent=recovery_span, epoch=eid,
                     removed=sum(len(stash[n][2]) for n in epoch_nodes),
                 )
             elif kind == "quarantine":
                 telemetry.record_span(
                     "quarantine", trigger, trigger, node=original_root,
-                    parent=recovery_span, child=epoch_nodes[0],
+                    parent=recovery_span, epoch=eid, child=epoch_nodes[0],
                 )
                 telemetry.record_span(
                     "prune", start, start, node=original_root,
-                    parent=recovery_span, removed=len(stash[epoch_nodes[0]][2]),
+                    parent=recovery_span, epoch=eid,
+                    removed=len(stash[epoch_nodes[0]][2]),
                 )
             elif kind == "rejoin":
                 telemetry.record_span(
                     "rejoin", trigger, trigger, node=original_root,
-                    parent=recovery_span, child=epoch_nodes[0],
+                    parent=recovery_span, epoch=eid, child=epoch_nodes[0],
                 )
                 telemetry.record_span(
                     "graft", start, start, node=original_root,
-                    parent=recovery_span, grafted=epoch_nodes[0],
+                    parent=recovery_span, epoch=eid, grafted=epoch_nodes[0],
                 )
             elif kind == "failover":
                 telemetry.record_span(
                     "detect", payload, trigger, node=original_root,
-                    parent=recovery_span, crashed=str(original_root),
+                    parent=recovery_span, epoch=eid, crashed=str(original_root),
                 )
                 telemetry.record_span(
                     "elect", start, start, node=new_root_name,
-                    parent=recovery_span, elected=new_root_name,
+                    parent=recovery_span, epoch=eid, elected=new_root_name,
                 )
             renegotiate_span = telemetry.begin_span(
                 "renegotiate", start=start, node=live.root,
-                parent=recovery_span,
+                parent=recovery_span, epoch=eid, kind=kind,
             )
 
         # --- renegotiate over the surviving platform -------------------
@@ -531,7 +549,8 @@ def resilient_run(
             from ..runtime import Runtime, sequential_completion_time
 
             renegotiation = Runtime(
-                snapshot, transport=runtime, retry=policy
+                snapshot, transport=runtime, retry=policy,
+                trace_id=run_trace,
             ).run()
             vtime = sequential_completion_time(
                 renegotiation, latency_factor=latency_factor
@@ -548,6 +567,7 @@ def resilient_run(
                 telemetry=telemetry,
                 span_parent=renegotiate_span,
                 reference=new_result,
+                trace_id=run_trace,
             )
             vtime = renegotiation.completion_time
 
@@ -578,6 +598,7 @@ def resilient_run(
                                messages=renegotiation.messages)
             telemetry.record_span("switch", switch, switch,
                                   node=live.root, parent=recovery_span,
+                                  epoch=eid,
                                   throughput=new_allocation.throughput)
 
         # --- analytic actions for the simulation -----------------------

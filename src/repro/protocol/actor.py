@@ -56,14 +56,24 @@ class NodeActor:
         parent: Optional[Hashable],
         children: Sequence[Tuple[Hashable, Fraction]],
         send: SendFn,
+        trace: Optional[str] = None,
     ):
         """*children* lists ``(name, c)`` pairs already in bandwidth-centric
-        order; *rate* is the node's computing rate ``1/w``."""
+        order; *rate* is the node's computing rate ``1/w``.
+
+        *trace* seeds the distributed-trace id this actor stamps onto every
+        message it originates.  Only the negotiation entry point sets it
+        explicitly (on the root actor); every other actor adopts the id off
+        the first proposal it receives, so the id floods the tree with the
+        negotiation itself — across process boundaries on the TCP
+        transport, where it rides inside the checksummed frame body.
+        """
         self.name = name
         self.rate = rate
         self.parent = parent
         self.children = list(children)
         self._send = send
+        self.trace = trace
 
         self.state = IDLE
         self.lam: Optional[Fraction] = None
@@ -103,6 +113,8 @@ class NodeActor:
                 node=self.name,
                 pending=self._pending,
             )
+        if message.trace is not None:
+            self.trace = message.trace
         if message.xid is not None and message.xid in self._answered:
             # retransmission of a proposal already answered: our ack was
             # lost — answer again with the cached θ
@@ -112,6 +124,7 @@ class NodeActor:
                     receiver=self.parent,
                     theta=self._answered[message.xid],
                     xid=message.xid,
+                    trace=self.trace,
                 )
             )
             return
@@ -189,7 +202,8 @@ class NodeActor:
         if self.state != AWAITING_CHILD or self._pending is None:
             return
         child, beta, xid = self._pending
-        self._send(Proposal(sender=self.name, receiver=child, beta=beta, xid=xid))
+        self._send(Proposal(sender=self.name, receiver=child, beta=beta,
+                            xid=xid, trace=self.trace))
 
     def on_timeout(self, child: Hashable, xid: Optional[int] = None) -> None:
         """The pending transaction with *child* ran out of retries (dead
@@ -224,7 +238,8 @@ class NodeActor:
             self._pending = (child, beta, xid)
             self.state = AWAITING_CHILD
             self._send(
-                Proposal(sender=self.name, receiver=child, beta=beta, xid=xid)
+                Proposal(sender=self.name, receiver=child, beta=beta, xid=xid,
+                         trace=self.trace)
             )
             return
         self.state = DONE
@@ -236,6 +251,7 @@ class NodeActor:
                 receiver=self.parent,
                 theta=self.delta,
                 xid=self._proposal_xid,
+                trace=self.trace,
             )
         )
 

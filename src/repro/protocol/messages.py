@@ -14,6 +14,16 @@ proposal it answers, so receivers can recognise duplicates and senders can
 match late acknowledgments to closed transactions.  ``xid=None`` marks a
 message of the original fire-and-forget protocol; its wire size is
 unchanged, while numbered messages pay one extra varint.
+
+Both types also carry an optional distributed-trace id ``trace``: the
+negotiation entry point (``run_protocol`` / the runtime) mints one id per
+negotiation when telemetry is enabled, every actor stamps it onto the
+messages it originates, and the TCP codec round-trips it, so spans
+recorded by concurrent actors — even in separate processes — stitch into
+one causally-ordered trace (``repro trace --stitch``).  The trace id is
+an observability envelope, not protocol payload: :func:`wire_size`
+deliberately excludes it, keeping the model byte counts identical whether
+or not a run is being watched (real TCP octet counters do include it).
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ class Proposal:
     receiver: Hashable
     beta: Fraction
     xid: Optional[int] = None
+    trace: Optional[str] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,6 +52,7 @@ class Acknowledgment:
     receiver: Hashable
     theta: Fraction
     xid: Optional[int] = None
+    trace: Optional[str] = None
 
 
 Message = object  # Proposal | Acknowledgment

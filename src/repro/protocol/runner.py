@@ -73,6 +73,8 @@ class ProtocolResult:
     t_max: Fraction
     actors: Dict[Hashable, NodeActor]
     telemetry: Registry = field(default_factory=Registry, repr=False)
+    #: distributed-trace id of this negotiation (None when untraced)
+    trace_id: Optional[str] = None
 
     @property
     def completion_time(self) -> Fraction:
@@ -135,6 +137,7 @@ def run_protocol(
     telemetry: Optional[Registry] = None,
     span_parent: Optional[Span] = None,
     reference: Optional[BWFirstResult] = None,
+    trace_id: Optional[str] = None,
 ) -> ProtocolResult:
     """Execute BW-First as a distributed message-passing protocol.
 
@@ -172,6 +175,15 @@ def run_protocol(
     re-negotiations off their recovery phase).  Without a registry the
     seed's exact code path runs — no per-message bookkeeping at all.
 
+    *trace_id* names the distributed trace this negotiation belongs to;
+    when telemetry is enabled and no id is given, a fresh one is minted
+    (:func:`~repro.telemetry.live.mint_trace_id`).  The id is stamped onto
+    the seeding proposal — actors adopt it off the wire and propagate it —
+    and tagged onto every transaction span, so per-actor event streams
+    stitch back into one trace (``repro trace --stitch``).  Untraced runs
+    (``telemetry=None``) carry no id anywhere: the wire bytes and code
+    path are exactly the seed's.
+
     *reference* supplies an already-computed centralised
     :class:`~repro.core.bwfirst.BWFirstResult` for the negotiated platform
     (e.g. from an :class:`~repro.core.incremental.IncrementalSolver`), so
@@ -191,6 +203,10 @@ def run_protocol(
         raise ProtocolError("the supplied network transports a different tree")
 
     spans_on = telemetry is not None and telemetry.enabled
+    if spans_on and trace_id is None:
+        from ..telemetry.live import mint_trace_id
+
+        trace_id = mint_trace_id()
     offset = Fraction(getattr(network, "time_offset", 0))
     #: open transaction spans keyed by (proposer, child, xid)
     open_spans: Dict[tuple, Span] = {}
@@ -213,6 +229,7 @@ def run_protocol(
                 proposer=sender,
                 beta=message.beta,
                 xid=message.xid,
+                trace=trace_id,
             )
         else:
             span.tags["retries"] = span.tags.get("retries", 0) + 1
@@ -338,10 +355,10 @@ def run_protocol(
     if spans_on:
         open_spans[(VIRTUAL_PARENT, tree.root, 0)] = telemetry.begin_span(
             "transaction", start=now(), node=tree.root, parent=span_parent,
-            proposer=VIRTUAL_PARENT, beta=lam, xid=0,
+            proposer=VIRTUAL_PARENT, beta=lam, xid=0, trace=trace_id,
         )
     network.send(Proposal(sender=VIRTUAL_PARENT, receiver=tree.root, beta=lam,
-                          xid=0))
+                          xid=0, trace=trace_id))
     max_events = 40 * len(tree) + 200
     if retry is not None:
         # every transaction may be retransmitted and every copy duplicated
@@ -417,4 +434,5 @@ def run_protocol(
         t_max=lam,
         actors=actors,
         telemetry=view,
+        trace_id=trace_id,
     )

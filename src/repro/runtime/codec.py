@@ -16,7 +16,12 @@ the 4-byte CRC32 of the body — and then a compact JSON object:
 * ``v`` — the payload rational (β of a proposal, θ of an acknowledgment)
   as an exact ``"numerator/denominator"`` string, so no precision is lost
   on the wire (the paper's protocol is exact arithmetic end to end);
-* ``x`` — the transaction id, omitted when ``xid`` is ``None``.
+* ``x`` — the transaction id, omitted when ``xid`` is ``None``;
+* ``i`` — the distributed-trace id, omitted when ``trace`` is ``None``
+  (only telemetry-enabled negotiations mint one).  Carrying it inside the
+  checksummed body means trace correlation survives exactly the frames
+  that survive the CRC32 check — a corrupted frame can no more forge a
+  trace id than a payload.
 
 The 4-byte prefix bounds frames at 4 GiB; real frames are tens of bytes —
 the paper's "one rational number per message" lightweightness claim
@@ -87,6 +92,8 @@ def encode_message(message: Message) -> bytes:
     }
     if message.xid is not None:
         payload["x"] = message.xid
+    if message.trace is not None:
+        payload["i"] = message.trace
     return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
 
@@ -127,11 +134,15 @@ def decode_message(body: bytes) -> Message:
     xid = payload.get("x")
     if xid is not None and not isinstance(xid, int):
         raise CodecError(f"non-integer transaction id {xid!r} in frame")
+    trace = payload.get("i")
+    if trace is not None and not isinstance(trace, str):
+        raise CodecError(f"non-string trace id {trace!r} in frame")
     if kind == "prop":
-        return Proposal(sender=sender, receiver=receiver, beta=value, xid=xid)
+        return Proposal(sender=sender, receiver=receiver, beta=value, xid=xid,
+                        trace=trace)
     if kind == "ack":
         return Acknowledgment(sender=sender, receiver=receiver, theta=value,
-                              xid=xid)
+                              xid=xid, trace=trace)
     raise CodecError(f"unknown frame type {kind!r}")
 
 

@@ -104,6 +104,7 @@ class Runtime:
         base_timeout: float = 0.05,
         deadline: float = 60.0,
         telemetry: Optional[Registry] = None,
+        trace_id: Optional[str] = None,
     ):
         if VIRTUAL_PARENT in tree:
             raise ProtocolError(f"{VIRTUAL_PARENT!r} is reserved")
@@ -139,6 +140,11 @@ class Runtime:
 
         spans_on = telemetry is not None and telemetry.enabled
         self._spans_on = spans_on
+        if spans_on and trace_id is None:
+            from ..telemetry.live import mint_trace_id
+
+            trace_id = mint_trace_id()
+        self.trace_id = trace_id
         self._open_spans: Dict[tuple, Span] = {}
         self._inbound: Dict[Hashable, Span] = {}
 
@@ -173,6 +179,7 @@ class Runtime:
                 proposer=sender,
                 beta=message.beta,
                 xid=message.xid,
+                trace=self.trace_id,
             )
         else:
             span.tags["retries"] = span.tags.get("retries", 0) + 1
@@ -327,12 +334,13 @@ class Runtime:
 
         lam = root_proposal(tree) if self.proposal is None else self.proposal
         seed = Proposal(sender=VIRTUAL_PARENT, receiver=tree.root,
-                        beta=lam, xid=0)
+                        beta=lam, xid=0, trace=self.trace_id)
         if self._spans_on:
             self._open_spans[(VIRTUAL_PARENT, tree.root, 0)] = (
                 self.telemetry.begin_span(
                     "transaction", start=self._now(), node=tree.root,
                     parent=None, proposer=VIRTUAL_PARENT, beta=lam, xid=0,
+                    trace=self.trace_id,
                 )
             )
         self._outbox.put_nowait(seed)
@@ -430,6 +438,7 @@ class Runtime:
             view, self.telemetry
         )
         octets = getattr(transport, "octets_sent", None)
+        edge_octets = getattr(transport, "octets_by_edge", None)
         for registry in registries:
             for name, amount in tallies:
                 registry.counter(name).inc(amount)
@@ -440,12 +449,19 @@ class Runtime:
             )
             if octets is not None:
                 registry.counter("runtime.tcp.octets").inc(octets)
+            if edge_octets:
+                for (parent, child), count in edge_octets.items():
+                    registry.counter(
+                        "runtime.tcp.edge_octets",
+                        edge=f"{parent}->{child}",
+                    ).inc(count)
         return ProtocolResult(
             tree=self.tree,
             throughput=throughput,
             t_max=lam,
             actors=self.actors,
             telemetry=view,
+            trace_id=self.trace_id,
         )
 
 

@@ -20,7 +20,9 @@ Both transports tally ``messages_sent`` / ``bytes_sent`` (the *model*
 bytes of :func:`~repro.protocol.messages.wire_size`, so counters are
 comparable across the simulated and real paths) and ``dropped`` /
 ``duplicated`` (faults they injected themselves).  The TCP transport
-additionally counts the real octets written in ``octets_sent``.
+additionally counts the real octets written — in total (``octets_sent``)
+and per directed edge (``octets_by_edge``), which the runtime surfaces as
+``runtime.tcp.edge_octets`` counters for the live dashboard.
 
 Hostile faults ride the same plan: a corruption probability garbles the
 control payload on the wire (literally, for TCP — a flipped body byte the
@@ -228,6 +230,10 @@ class TcpTransport(Transport):
         self.quarantine_after = quarantine_after
         self._decider = LinkFaultDecider(plan) if plan is not None else None
         self.octets_sent = 0
+        #: real octets written per directed edge (sender, receiver) — the
+        #: dashboard's per-edge traffic panel reads this via the runtime's
+        #: ``runtime.tcp.edge_octets`` counters
+        self.octets_by_edge: Dict[Tuple[Hashable, Hashable], int] = {}
         self._servers: Dict[Hashable, asyncio.AbstractServer] = {}
         self._writers: Dict[Tuple[Hashable, Hashable],
                             asyncio.StreamWriter] = {}
@@ -367,9 +373,13 @@ class TcpTransport(Transport):
             # receiver's checksum fails and the frame dies in its reader
             self.corrupted_sent += 1
             frame = frame[:-1] + bytes([frame[-1] ^ 0x01])
+        edge = (message.sender, message.receiver)
         for _ in range(copies):
             writer.write(frame)
             self.octets_sent += len(frame)
+            self.octets_by_edge[edge] = (
+                self.octets_by_edge.get(edge, 0) + len(frame)
+            )
         await writer.drain()
 
     async def close(self) -> None:

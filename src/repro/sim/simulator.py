@@ -535,6 +535,13 @@ class Simulation:
         if self.telemetry is not None:
             self.telemetry.counter("sim.tasks_computed", node=node).inc()
             self._tel_buffer(node, state.buffered)
+            # live-throughput probes: the engine's event cursor and the
+            # virtual clock, refreshed on every completion so a streaming
+            # registry can render progress and event rate without touching
+            # the hot path of untelemetered runs
+            self.telemetry.gauge("sim.events_processed").set(
+                self.engine.processed)
+            self.telemetry.gauge("sim.clock").set(now)
         # communication gets priority at a no-overlap node: first release a
         # parent transfer held back by our computing, then our own port,
         # then (if still allowed) the next local task
@@ -839,8 +846,13 @@ class Simulation:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run to completion: release until horizon/supply, then drain."""
+        if self.telemetry is not None and self.horizon is not None:
+            self.telemetry.gauge("sim.horizon").set(self.horizon)
         self._schedule_period(0)
         self.engine.run_all(max_events=self.max_events)
+        if self.telemetry is not None:
+            self.telemetry.gauge("sim.events_processed").set(
+                self.engine.processed)
         if not self._record_segments and self._seg_end_max:
             # segment ends were tracked in kernel units (cheap int compares
             # on the int kernel) instead of per-event trace updates; fold

@@ -6,7 +6,12 @@ One model for everything the stack can report about itself:
   and hierarchical :class:`Span`\\ s (:mod:`repro.telemetry.core`);
 * exporters — Chrome trace-event JSON (Perfetto / ``chrome://tracing``),
   Prometheus text exposition, and structured JSONL event logs
-  (:mod:`repro.telemetry.exporters`).
+  (:mod:`repro.telemetry.exporters`);
+* the live plane — a :class:`MetricsBus` fanning metric deltas and span
+  closes to subscribers, :class:`LiveRegistry` instruments that publish
+  onto it, windowed rollups (:mod:`repro.telemetry.aggregate`), trace
+  stitching (:mod:`repro.telemetry.live`) and the stdlib-only SSE
+  dashboard (:mod:`repro.telemetry.dash`, ``repro dash``).
 
 Instrumentation hooks live in the layers themselves: pass ``telemetry=``
 to :func:`repro.protocol.runner.run_protocol` (negotiation transaction
@@ -37,8 +42,31 @@ from .exporters import (
     write_jsonl,
     write_run_jsonl,
 )
+from .aggregate import Aggregator, CounterWindow, GaugeWindow, HistogramSnapshot
+from .live import (
+    LiveRegistry,
+    MetricEvent,
+    MetricsBus,
+    epoch_id,
+    merge_jsonl,
+    mint_trace_id,
+    stitch_chrome_trace,
+    trace_ids,
+)
 
 __all__ = [
+    "Aggregator",
+    "CounterWindow",
+    "GaugeWindow",
+    "HistogramSnapshot",
+    "LiveRegistry",
+    "MetricEvent",
+    "MetricsBus",
+    "epoch_id",
+    "merge_jsonl",
+    "mint_trace_id",
+    "stitch_chrome_trace",
+    "trace_ids",
     "Registry",
     "NullRegistry",
     "NULL",

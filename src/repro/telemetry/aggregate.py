@@ -1,0 +1,261 @@
+"""Time-windowed rollups over the :class:`~repro.telemetry.live.MetricsBus`.
+
+The live plane needs rates ("tasks computed per second"), not just the
+monotone totals the registry keeps, and it needs them without retaining
+per-event history for a run that may process millions of events.  Each
+counter therefore rolls its deltas into a fixed ring of time buckets
+(:class:`CounterWindow`); gauges keep last/min/max over the same window
+(:class:`GaugeWindow`); histograms keep a mergeable count/sum/min/max
+summary (:class:`HistogramSnapshot`).  Memory per instrument is the ring
+size — O(buckets) — regardless of event volume.
+
+:class:`Aggregator` subscribes to a bus, maintains one rollup per
+instrument, retains a bounded tail of interesting spans (recovery epochs,
+negotiation transactions), and renders the whole state as one
+JSON-serialisable :meth:`~Aggregator.snapshot` for the dashboard's SSE
+stream.  All numeric values are floated at the snapshot boundary — exact
+rationals stay exact inside the registry; the wire gets floats.
+
+Windows are clocked by wall time (``time.monotonic``) because the
+consumer is a human watching a live run; the *instrumented* timestamps
+(virtual simulation time) ride along untouched inside span records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from .core import Span
+from .live import MetricEvent, MetricsBus
+
+#: Span names that describe the recovery supervisor's epoch timeline.
+EPOCH_SPAN_NAMES = frozenset({
+    "recovery", "epoch", "detect", "prune", "failover", "quarantine",
+    "rejoin", "graft", "elect", "renegotiate", "switch",
+})
+
+
+def _f(value) -> Optional[float]:
+    """JSON-safe float (exact rationals and ints collapse; None passes)."""
+    return None if value is None else float(value)
+
+
+class CounterWindow:
+    """Ring-buffered deltas: O(buckets) memory, O(1) add, windowed rate."""
+
+    __slots__ = ("width", "buckets", "_idx", "_sums", "total")
+
+    def __init__(self, window: float = 10.0, buckets: int = 20):
+        self.width = window / buckets
+        self.buckets = buckets
+        self._idx = [-1] * buckets       # which time-bucket each slot holds
+        self._sums = [0.0] * buckets
+        self.total = 0.0
+
+    def add(self, delta, now: float) -> None:
+        self.total += float(delta)
+        idx = int(now / self.width)
+        slot = idx % self.buckets
+        if self._idx[slot] != idx:
+            self._idx[slot] = idx
+            self._sums[slot] = 0.0
+        self._sums[slot] += float(delta)
+
+    def rate(self, now: float) -> float:
+        """Deltas per second over the trailing window."""
+        idx = int(now / self.width)
+        lo = idx - self.buckets + 1
+        windowed = sum(s for i, s in zip(self._idx, self._sums) if i >= lo)
+        return windowed / (self.width * self.buckets)
+
+
+class GaugeWindow:
+    """Last value plus windowed min/max, on the same bucket ring."""
+
+    __slots__ = ("width", "buckets", "_idx", "_mins", "_maxs", "last")
+
+    def __init__(self, window: float = 10.0, buckets: int = 20):
+        self.width = window / buckets
+        self.buckets = buckets
+        self._idx = [-1] * buckets
+        self._mins: List[Optional[float]] = [None] * buckets
+        self._maxs: List[Optional[float]] = [None] * buckets
+        self.last: Optional[float] = None
+
+    def set(self, value, now: float) -> None:
+        value = float(value)
+        self.last = value
+        idx = int(now / self.width)
+        slot = idx % self.buckets
+        if self._idx[slot] != idx:
+            self._idx[slot] = idx
+            self._mins[slot] = self._maxs[slot] = value
+        else:
+            if value < self._mins[slot]:
+                self._mins[slot] = value
+            if value > self._maxs[slot]:
+                self._maxs[slot] = value
+
+    def window(self, now: float) -> Tuple[Optional[float], Optional[float]]:
+        """(min, max) over the trailing window; (None, None) when idle."""
+        # untouched slots keep _idx == -1 (and m is None); lo can be
+        # negative during the first window, so gate on both
+        lo = int(now / self.width) - self.buckets + 1
+        mins = [m for i, m in zip(self._idx, self._mins)
+                if i >= lo and m is not None]
+        maxs = [m for i, m in zip(self._idx, self._maxs)
+                if i >= lo and m is not None]
+        return (min(mins) if mins else None, max(maxs) if maxs else None)
+
+
+class HistogramSnapshot:
+    """Mergeable count/sum/min/max summary of an observation stream."""
+
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self, count: int = 0, sum: float = 0.0,
+                 min: Optional[float] = None, max: Optional[float] = None):
+        self.count = count
+        self.sum = sum
+        self.min = min
+        self.max = max
+
+    def observe(self, value) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        out = HistogramSnapshot(self.count + other.count, self.sum + other.sum)
+        mins = [m for m in (self.min, other.min) if m is not None]
+        maxs = [m for m in (self.max, other.max) if m is not None]
+        out.min = min(mins) if mins else None
+        out.max = max(maxs) if maxs else None
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        mean = self.sum / self.count if self.count else None
+        return {"count": self.count, "sum": self.sum, "mean": mean,
+                "min": self.min, "max": self.max}
+
+
+class Aggregator:
+    """Bus subscriber that turns the event stream into dashboard state.
+
+    Thread-safe: the instrumented run publishes from its own thread while
+    HTTP handler threads call :meth:`snapshot`.
+    """
+
+    def __init__(self, bus: Optional[MetricsBus] = None, window: float = 10.0,
+                 buckets: int = 20, span_tail: int = 256,
+                 clock=time.monotonic):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._t0 = clock()
+        self._window = window
+        self._buckets = buckets
+        self._counters: Dict[Tuple[str, tuple], CounterWindow] = {}
+        self._gauges: Dict[Tuple[str, tuple], GaugeWindow] = {}
+        self._histograms: Dict[Tuple[str, tuple], HistogramSnapshot] = {}
+        self.span_total = 0
+        self.span_counts: Dict[str, int] = {}
+        self.recent_spans: deque = deque(maxlen=span_tail)
+        self.epochs: List[Dict[str, Any]] = []
+        self.by_proposer: Dict[str, int] = {}
+        self.bus = bus
+        if bus is not None:
+            bus.on_metric(self.on_metric)
+            bus.on_span(self.on_span)
+
+    def detach(self) -> None:
+        if self.bus is not None:
+            self.bus.unsubscribe(self.on_metric)
+            self.bus.unsubscribe(self.on_span)
+
+    # -- bus callbacks -------------------------------------------------
+    def on_metric(self, event: MetricEvent) -> None:
+        now = self._clock() - self._t0
+        key = (event.name, event.labels)
+        with self._lock:
+            if event.kind == "counter":
+                roll = self._counters.get(key)
+                if roll is None:
+                    roll = self._counters[key] = CounterWindow(
+                        self._window, self._buckets)
+                roll.add(event.delta, now)
+            elif event.kind == "gauge":
+                roll = self._gauges.get(key)
+                if roll is None:
+                    roll = self._gauges[key] = GaugeWindow(
+                        self._window, self._buckets)
+                roll.set(event.value, now)
+            else:
+                snap = self._histograms.get(key)
+                if snap is None:
+                    snap = self._histograms[key] = HistogramSnapshot()
+                snap.observe(event.delta)
+
+    def on_span(self, span: Span) -> None:
+        record = span_record(span)
+        with self._lock:
+            self.span_total += 1
+            self.span_counts[span.name] = self.span_counts.get(span.name, 0) + 1
+            self.recent_spans.append(record)
+            if span.name in EPOCH_SPAN_NAMES:
+                self.epochs.append(record)
+            if span.name == "transaction":
+                proposer = str(span.tags.get("proposer", span.node))
+                self.by_proposer[proposer] = self.by_proposer.get(proposer, 0) + 1
+
+    # -- rendering -----------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole aggregation state as one JSON-serialisable dict."""
+        now = self._clock() - self._t0
+        with self._lock:
+            counters = [
+                {"name": name, "labels": dict(labels),
+                 "total": roll.total, "rate": round(roll.rate(now), 3)}
+                for (name, labels), roll in sorted(self._counters.items())
+            ]
+            gauges = []
+            for (name, labels), roll in sorted(self._gauges.items()):
+                lo, hi = roll.window(now)
+                gauges.append({"name": name, "labels": dict(labels),
+                               "value": roll.last, "min": lo, "max": hi})
+            histograms = [
+                dict({"name": name, "labels": dict(labels)}, **snap.as_dict())
+                for (name, labels), snap in sorted(self._histograms.items())
+            ]
+            top = sorted(self.by_proposer.items(),
+                         key=lambda kv: (-kv[1], kv[0]))[:16]
+            return {
+                "uptime_s": round(now, 3),
+                "counters": counters,
+                "gauges": gauges,
+                "histograms": histograms,
+                "spans": {"total": self.span_total,
+                          "by_name": dict(sorted(self.span_counts.items()))},
+                "epochs": list(self.epochs[-64:]),
+                "negotiation": {
+                    "transactions": self.span_counts.get("transaction", 0),
+                    "by_proposer": dict(top),
+                },
+            }
+
+
+def span_record(span: Span) -> Dict[str, Any]:
+    """A closed span as a small JSON-serialisable event record."""
+    return {
+        "name": span.name,
+        "node": None if span.node is None else str(span.node),
+        "start": _f(span.start),
+        "end": _f(span.end),
+        "tags": {k: str(v) for k, v in span.tags.items()},
+    }

@@ -72,11 +72,19 @@ def _exact(value) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Chrome trace-event JSON
 # ----------------------------------------------------------------------
-def chrome_trace(registry: Registry, time_scale: int = 1000) -> Dict[str, Any]:
+def chrome_trace(registry: Registry, time_scale: int = 1000,
+                 flow_events: bool = True) -> Dict[str, Any]:
     """The registry's spans as a Chrome trace-event document (a dict).
 
     *time_scale* converts virtual time units to trace microseconds
     (default 1000: one time unit renders as one millisecond).
+
+    With *flow_events* (the default) every parent→child span pair whose
+    spans live on **different** nodes additionally emits a flow-event
+    arrow (``"ph": "s"`` on the activator's track, ``"ph": "f"`` on the
+    child's), so the activation structure of a distributed negotiation —
+    which actor's transaction caused which — survives the flattening of
+    the span tree into per-node tracks.
     """
     events: List[Dict[str, Any]] = []
     tids: Dict[str, int] = {}
@@ -110,6 +118,23 @@ def chrome_trace(registry: Registry, time_scale: int = 1000) -> Dict[str, Any]:
             "dur": float((end - span.start) * time_scale),
             "args": args,
         })
+    if flow_events:
+        by_id = {span.id: span for span in registry.spans}
+        for span in registry.spans:
+            parent = by_id.get(span.parent_id)
+            if parent is None or str(parent.node) == str(span.node):
+                continue
+            # Bind the start step inside the activator's slice (Chrome
+            # drops flow endpoints that fall outside their slice).
+            p_end = parent.end if parent.end is not None else parent.start
+            ts_out = min(max(span.start, parent.start), p_end)
+            common = {"name": "activate", "cat": "flow", "pid": 1,
+                      "id": span.id}
+            events.append(dict(common, ph="s", tid=tid_for(parent.node),
+                               ts=float(ts_out * time_scale)))
+            events.append(dict(common, ph="f", bp="e",
+                               tid=tid_for(span.node),
+                               ts=float(span.start * time_scale)))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -121,18 +146,34 @@ def chrome_trace_json(registry: Registry, time_scale: int = 1000) -> str:
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    """A label value escaped per the exposition format: backslash, double
+    quote, and line feed (in that order, so the escapes compose)."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_text(labels) -> str:
     if not labels:
         return ""
     quoted = ",".join(
-        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
-        for k, v in labels
+        '{}="{}"'.format(k, _escape_label(v)) for k, v in labels
     )
     return "{" + quoted + "}"
 
 
+def _escape_help(text: str) -> str:
+    """HELP text escaping (backslash and line feed only, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def prometheus_text(registry: Registry) -> str:
-    """Every metric in the Prometheus text exposition format."""
+    """Every metric in the Prometheus text exposition format.
+
+    ``# HELP`` and ``# TYPE`` are emitted exactly once per metric family
+    (the first sample of a family wins when raw names collide after
+    sanitisation); label values are escaped per the exposition format.
+    """
     lines: List[str] = []
     typed: Dict[str, str] = {}
 
@@ -140,6 +181,8 @@ def prometheus_text(registry: Registry) -> str:
         name = _metric_name(raw_name)
         if name not in typed:
             typed[name] = kind
+            lines.append(f"# HELP {name} "
+                         f"{_escape_help(f'repro {kind} {raw_name}')}")
             lines.append(f"# TYPE {name} {kind}")
         lines.append(f"{name}{_label_text(labels)} {_num(value)}")
 

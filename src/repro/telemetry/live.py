@@ -1,0 +1,319 @@
+"""Streaming side of the telemetry plane: a :class:`MetricsBus` that fans
+span-close and metric-delta events to subscribers, a :class:`LiveRegistry`
+whose instruments publish onto the bus, and trace-stitching helpers that
+merge per-actor JSONL streams back into one causally-ordered trace.
+
+The bus sits strictly *beside* the recording path, never inside it:
+
+* a plain :class:`~repro.telemetry.core.Registry` (or a disabled run with
+  ``telemetry=None`` / :data:`~repro.telemetry.core.NULL`) never touches
+  this module, so the disabled path stays bit-identical to the seed;
+* a :class:`LiveRegistry` records exactly what a plain registry records —
+  its instruments are subclasses that first delegate to the base class —
+  and *additionally* publishes a :class:`MetricEvent` per mutation and a
+  span per close.  Subscribers therefore see deltas in real time while
+  the registry remains a complete batch export at the end.
+
+Subscribers run synchronously inside the instrumented code, so they must
+be cheap and must never block: the dashboard's SSE layer copies events
+into bounded per-client queues and drops the oldest on overflow.
+
+Trace correlation: :func:`mint_trace_id` issues the per-negotiation id
+that ``run_protocol`` / the runtime / ``resilient_run`` stamp onto spans
+and thread through :class:`~repro.protocol.messages.Proposal` /
+:class:`~repro.protocol.messages.Acknowledgment` (and the TCP codec's
+length|CRC32|body frames).  :func:`stitch_chrome_trace` merges several
+JSONL event logs — one per actor or per process — by remapping span ids
+and grouping on the ``trace`` tag, producing a single Chrome trace with
+flow events across every actor of one negotiation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from .core import Counter, Gauge, Histogram, LabelKey, Registry, Span, _label_key
+from .exporters import chrome_trace
+
+
+class MetricEvent(NamedTuple):
+    """One instrument mutation: *kind* is ``counter``/``gauge``/``histogram``,
+    *value* the post-mutation value (gauge: the new value; histogram: the
+    observation count), *delta* the mutation itself (gauge: the new value;
+    histogram: the observed sample)."""
+
+    kind: str
+    name: str
+    labels: LabelKey
+    value: Any
+    delta: Any
+
+
+class MetricsBus:
+    """Fan-out hub for metric deltas and span closes.
+
+    Subscription lists are copied on write and read without the lock
+    (publishing happens on the instrumented code's hot path), so
+    subscribers may attach/detach from other threads at any time.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metric_subs: Tuple = ()
+        self._span_subs: Tuple = ()
+
+    # -- subscription --------------------------------------------------
+    def on_metric(self, fn) -> None:
+        """Call *fn(event: MetricEvent)* after every instrument mutation."""
+        with self._lock:
+            self._metric_subs = self._metric_subs + (fn,)
+
+    def on_span(self, fn) -> None:
+        """Call *fn(span)* whenever a span closes."""
+        with self._lock:
+            self._span_subs = self._span_subs + (fn,)
+
+    def unsubscribe(self, fn) -> None:
+        # equality, not identity: bound methods (agg.on_metric) construct
+        # a fresh object per attribute access, but compare equal
+        with self._lock:
+            self._metric_subs = tuple(s for s in self._metric_subs if s != fn)
+            self._span_subs = tuple(s for s in self._span_subs if s != fn)
+
+    # -- publication ---------------------------------------------------
+    def publish_metric(self, event: MetricEvent) -> None:
+        for fn in self._metric_subs:
+            fn(event)
+
+    def publish_span(self, span: Span) -> None:
+        for fn in self._span_subs:
+            fn(span)
+
+
+class LiveCounter(Counter):
+    __slots__ = ("_bus",)
+
+    def __init__(self, name: str, labels: LabelKey, bus: MetricsBus):
+        super().__init__(name, labels)
+        self._bus = bus
+
+    def inc(self, amount=1) -> None:
+        Counter.inc(self, amount)
+        self._bus.publish_metric(
+            MetricEvent("counter", self.name, self.labels, self.value, amount))
+
+
+class LiveGauge(Gauge):
+    __slots__ = ("_bus",)
+
+    def __init__(self, name: str, labels: LabelKey, bus: MetricsBus):
+        super().__init__(name, labels)
+        self._bus = bus
+
+    def set(self, value) -> None:
+        Gauge.set(self, value)
+        self._bus.publish_metric(
+            MetricEvent("gauge", self.name, self.labels, value, value))
+
+
+class LiveHistogram(Histogram):
+    __slots__ = ("_bus",)
+
+    def __init__(self, name: str, labels: LabelKey, bus: MetricsBus):
+        super().__init__(name, labels)
+        self._bus = bus
+
+    def observe(self, value) -> None:
+        Histogram.observe(self, value)
+        self._bus.publish_metric(
+            MetricEvent("histogram", self.name, self.labels, self.count, value))
+
+
+class LiveRegistry(Registry):
+    """A :class:`Registry` whose instruments additionally publish onto a
+    :class:`MetricsBus`.
+
+    Everything recorded is byte-for-byte what a plain registry records;
+    the live instruments call the base-class mutation first and publish
+    second, so exporters and tests see no difference.  Span closes reuse
+    the registry's own observer hook.
+    """
+
+    def __init__(self, bus: Optional[MetricsBus] = None):
+        super().__init__()
+        self.bus = bus if bus is not None else MetricsBus()
+        self.on_span_close(self.bus.publish_span)
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = LiveCounter(name, key[1], self.bus)
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = LiveGauge(name, key[1], self.bus)
+        return instrument
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = LiveHistogram(
+                name, key[1], self.bus)
+        return instrument
+
+
+# ----------------------------------------------------------------------
+# trace / epoch identifiers
+# ----------------------------------------------------------------------
+def mint_trace_id() -> str:
+    """A fresh distributed-trace identifier (opaque, collision-safe)."""
+    return "t" + uuid.uuid4().hex[:12]
+
+
+def epoch_id(trace: str, index: int) -> str:
+    """The per-epoch identifier: deterministic given the run's trace id."""
+    return f"{trace}.e{index}"
+
+
+# ----------------------------------------------------------------------
+# stitching per-actor JSONL streams back into one trace
+# ----------------------------------------------------------------------
+def _parse_exact(value) -> Any:
+    """Invert :func:`~repro.telemetry.exporters._exact`."""
+    if value is None:
+        return None
+    try:
+        return Fraction(value["exact"])
+    except (ValueError, ZeroDivisionError, KeyError, TypeError):
+        return value.get("float", 0) if isinstance(value, dict) else value
+
+
+def read_jsonl(path) -> List[Dict[str, Any]]:
+    """Parse one JSONL event log into records, skipping blank lines."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def merge_jsonl(paths: Iterable) -> Registry:
+    """Rebuild one :class:`Registry` from several JSONL event logs.
+
+    Span ids are remapped with a per-file offset so streams exported from
+    different registries (one per actor/process) never collide; parent
+    links are preserved within each file.  Counters sum across files,
+    gauges keep the last file's value, histograms merge their summaries.
+    """
+    merged = Registry()
+    offset = 0
+    for path in paths:
+        id_map: Dict[int, int] = {}
+        top = offset
+        span_records = []
+        for record in read_jsonl(path):
+            kind = record.get("type")
+            if kind == "span":
+                span_records.append(record)
+            elif kind == "counter":
+                merged.counter(record["name"], **record.get("labels", {})).inc(
+                    _parse_exact(record["value"]))
+            elif kind == "gauge":
+                merged.gauge(record["name"], **record.get("labels", {})).set(
+                    _parse_exact(record["value"]))
+            elif kind == "histogram":
+                hist = merged.histogram(record["name"],
+                                        **record.get("labels", {}))
+                hist.count += record.get("count", 0)
+                hist.sum += _parse_exact(record["sum"]) or 0
+                for bound, better in (("min", min), ("max", max)):
+                    value = _parse_exact(record.get(bound))
+                    if value is not None:
+                        prior = getattr(hist, bound)
+                        setattr(hist, bound,
+                                value if prior is None else better(prior, value))
+        for record in span_records:
+            new_id = offset + record["id"]
+            id_map[record["id"]] = new_id
+            top = max(top, new_id)
+            span = Span(new_id, record["name"], record.get("node"),
+                        _parse_exact(record["start"]), None,
+                        dict(record.get("tags", {})))
+            span.end = _parse_exact(record.get("end"))
+            parent = record.get("parent")
+            if parent is not None:
+                # Streams flush in close order, so a parent may appear
+                # after its children; remap in a second pass below.
+                span.parent_id = parent
+            merged.spans.append(span)
+        for span in merged.spans[len(merged.spans) - len(span_records):]:
+            if span.parent_id is not None:
+                span.parent_id = id_map.get(span.parent_id)
+        offset = top
+    merged._next_span_id = offset + 1
+    merged.spans.sort(key=lambda s: (s.start, s.id))
+    return merged
+
+
+def filter_trace(registry: Registry, trace_id: str) -> Registry:
+    """Spans belonging to one distributed trace.
+
+    A span belongs if it (or its nearest tagged ancestor) carries
+    ``trace == trace_id``; metric instruments are copied through
+    untouched (they are not trace-scoped).
+    """
+    by_id = {span.id: span for span in registry.spans}
+
+    def trace_of(span: Span) -> Optional[str]:
+        seen = set()
+        while span is not None and span.id not in seen:
+            seen.add(span.id)
+            tag = span.tags.get("trace")
+            if tag is not None:
+                return tag
+            span = by_id.get(span.parent_id)
+        return None
+
+    out = Registry()
+    out._counters = registry._counters
+    out._gauges = registry._gauges
+    out._histograms = registry._histograms
+    out.spans = [s for s in registry.spans if trace_of(s) == trace_id]
+    out._next_span_id = registry._next_span_id
+    return out
+
+
+def trace_ids(registry: Registry) -> List[str]:
+    """Every distinct ``trace`` tag present, in first-seen order."""
+    seen: Dict[str, None] = {}
+    for span in registry.spans:
+        tag = span.tags.get("trace")
+        if tag is not None and tag not in seen:
+            seen[tag] = None
+    return list(seen)
+
+
+def stitch_chrome_trace(paths: Iterable, trace_id: Optional[str] = None,
+                        time_scale: int = 1000) -> Dict[str, Any]:
+    """Merge per-actor JSONL streams into one Chrome trace document.
+
+    With *trace_id* the output is restricted to that distributed trace;
+    otherwise every span survives.  Flow events (emitted by
+    :func:`~repro.telemetry.exporters.chrome_trace`) link each span to
+    its activator across actor tracks.
+    """
+    merged = merge_jsonl(paths)
+    if trace_id is not None:
+        merged = filter_trace(merged, trace_id)
+    return chrome_trace(merged, time_scale=time_scale)

@@ -1,0 +1,125 @@
+"""Headless smoke of the live dashboard (:mod:`repro.telemetry.dash`):
+boot the SSE server against a seeded chaos/recovery workload, assert the
+stream delivers epoch and metric events, and shut down cleanly."""
+
+import json
+import queue
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.telemetry.dash import Dashboard, run_dash_workload
+
+
+def read_sse(url, want, deadline_s=30.0):
+    """Read SSE blocks from *url* until every event kind in *want* has
+    been seen (or the deadline passes); returns {kind: first payload}."""
+    events = {}
+    conn = urllib.request.urlopen(url, timeout=deadline_s)
+    buf = b""
+    deadline = time.monotonic() + deadline_s
+    try:
+        while time.monotonic() < deadline and not want <= set(events):
+            chunk = conn.read(1)
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n\n" in buf:
+                block, buf = buf.split(b"\n\n", 1)
+                lines = block.decode("utf-8").splitlines()
+                kind = next((l[7:] for l in lines
+                             if l.startswith("event: ")), None)
+                data = next((l[6:] for l in lines
+                             if l.startswith("data: ")), None)
+                if kind is not None:
+                    events.setdefault(kind, json.loads(data))
+    finally:
+        conn.close()
+    return events
+
+
+@pytest.fixture(scope="module")
+def dash():
+    """One dashboard + completed workload shared by the module's tests."""
+    board = Dashboard(host="127.0.0.1", port=0, interval=0.2,
+                      baseline_dir=".").start()
+    worker = threading.Thread(
+        target=run_dash_workload, args=(board.registry,),
+        kwargs=dict(nodes=30, seed=2, state=board.workload), daemon=True)
+    worker.start()
+    yield board
+    worker.join(timeout=60)
+    board.stop()
+
+
+def test_sse_streams_epoch_and_metric_events(dash):
+    url = f"http://127.0.0.1:{dash.port}/events"
+    events = read_sse(url, want={"hello", "metrics", "epoch"})
+    assert {"hello", "metrics", "epoch"} <= set(events)
+
+    epoch = events["epoch"]
+    assert epoch["name"] in {"detect", "prune", "failover", "quarantine",
+                             "rejoin", "graft", "elect", "renegotiate",
+                             "switch", "recovery", "epoch"}
+    assert "epoch" in epoch["tags"] or epoch["name"] == "recovery"
+
+    # the first metrics event fires on connect (possibly before any span
+    # closed); by the time an epoch has streamed, a fresh snapshot must
+    # show the negotiation's spans and counters
+    snap = json.loads(urllib.request.urlopen(
+        f"http://127.0.0.1:{dash.port}/api/snapshot", timeout=10).read())
+    assert snap["spans"]["total"] > 0
+    assert any(c["name"] == "protocol.messages" for c in snap["counters"])
+
+
+def test_snapshot_endpoint_reports_workload_and_benchwatch(dash):
+    deadline = time.monotonic() + 60
+    url = f"http://127.0.0.1:{dash.port}/api/snapshot"
+    while time.monotonic() < deadline:
+        snap = json.loads(urllib.request.urlopen(url, timeout=10).read())
+        if snap["workload"].get("status") == "done":
+            break
+        time.sleep(0.2)
+    assert snap["workload"]["status"] == "done"
+    assert snap["workload"]["epochs"] >= 1
+    assert snap["negotiation"]["transactions"] > 0
+    # BenchWatch panel: baselines loaded, live verdict computed
+    assert snap["benchwatch"]["table"]
+    assert snap["benchwatch"]["live"]["status"] in {"ok", "drift"}
+
+
+def test_page_metrics_and_healthz_endpoints(dash):
+    base = f"http://127.0.0.1:{dash.port}"
+    page = urllib.request.urlopen(base + "/", timeout=10).read().decode()
+    assert "EventSource" in page and "/events" in page
+    prom = urllib.request.urlopen(base + "/metrics", timeout=10).read()
+    assert b"# TYPE" in prom and b"protocol_messages" in prom
+    health = urllib.request.urlopen(base + "/healthz", timeout=10).read()
+    assert health == b"ok\n"
+    with pytest.raises(urllib.error.HTTPError):
+        urllib.request.urlopen(base + "/nope", timeout=10)
+
+
+def test_slow_client_drops_oldest_not_the_run():
+    board = Dashboard(host="127.0.0.1", port=0, interval=0.2)
+    try:
+        q = queue.Queue(maxsize=2)
+        board._add_client(q)
+        for i in range(5):
+            board._broadcast("epoch", {"i": i})
+        assert q.qsize() == 2  # bounded: publishing never blocked
+        kinds = [q.get_nowait()[1]["i"] for _ in range(2)]
+        assert kinds == [3, 4]  # the oldest were dropped, not the newest
+    finally:
+        board.stop()
+
+
+def test_stop_is_clean_and_idempotent_server_lifecycle():
+    board = Dashboard(host="127.0.0.1", port=0).start()
+    url = f"http://127.0.0.1:{board.port}/healthz"
+    assert urllib.request.urlopen(url, timeout=10).read() == b"ok\n"
+    board.stop()
+    with pytest.raises(OSError):
+        urllib.request.urlopen(url, timeout=2)

@@ -355,13 +355,20 @@ class TestExporters:
         sample = re.compile(
             r'^[a-zA-Z_:][a-zA-Z0-9_:.]*(\{[^{}]*\})? -?[0-9.e+-]+(inf)?$')
         seen_types = set()
+        seen_helps = set()
         for line in text.rstrip("\n").split("\n"):
             if line.startswith("# TYPE "):
                 name = line.split()[2]
                 assert name not in seen_types  # one TYPE comment per metric
+                assert name in seen_helps  # HELP precedes TYPE
                 seen_types.add(name)
+            elif line.startswith("# HELP "):
+                name = line.split()[2]
+                assert name not in seen_helps  # one HELP comment per metric
+                seen_helps.add(name)
             else:
                 assert sample.match(line), line
+        assert seen_helps == seen_types
         assert "protocol_messages" in text  # dots sanitised to underscores
         assert "sim_tasks_computed" in text
 
@@ -584,3 +591,96 @@ class TestStreamingJsonl:
         assert len(spans) == result.transactions
         assert sorted(path.read_text().splitlines()) == \
             sorted(jsonl_lines(registry))
+
+    def test_interleaved_async_actors_stream_valid_jsonl(self, tmp_path):
+        """Span closes interleaved across many concurrent asyncio actors
+        flush one valid JSONL record each, and the streamed file carries
+        exactly the records of the batch export."""
+        import asyncio
+
+        registry = Registry()
+        path = tmp_path / "actors.jsonl"
+        stream = stream_jsonl(registry, path)
+
+        async def actor(name, spans_per_actor=5):
+            for i in range(spans_per_actor):
+                span = registry.begin_span(
+                    "transaction", start=F(i), node=name)
+                await asyncio.sleep(0)  # yield so closes interleave
+                registry.end_span(span, F(i) + F(1, 2), seq=i)
+                await asyncio.sleep(0)
+            registry.counter("protocol.messages", node=name).inc()
+
+        async def run():
+            await asyncio.gather(*(actor(f"P{i}") for i in range(8)))
+
+        asyncio.run(run())
+        stream.close()
+
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]  # every line parses
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == 8 * 5
+        ids = [r["id"] for r in spans]
+        assert len(set(ids)) == len(ids)  # each span flushed exactly once
+        assert sorted(lines) == sorted(jsonl_lines(registry))
+
+    def test_double_close_is_a_noop_after_async_run(self, tmp_path):
+        import asyncio
+
+        registry = Registry()
+        path = tmp_path / "double.jsonl"
+        stream = stream_jsonl(registry, path)
+
+        async def run():
+            span = registry.begin_span("s", start=F(0))
+            await asyncio.sleep(0)
+            registry.end_span(span, F(1))
+
+        asyncio.run(run())
+        stream.close()
+        size = path.stat().st_size
+        stream.close()  # second close: no records, no error, stays closed
+        assert path.stat().st_size == size
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert sum(1 for r in records if r["type"] == "span") == 1
+
+
+class TestPrometheusHardening:
+    HOSTILE = 'a\\b"c\nd'
+
+    def test_hostile_label_values_round_trip(self):
+        registry = Registry()
+        registry.counter("c", edge=self.HOSTILE, plain="ok").inc(2)
+        text = prometheus_text(registry)
+        (sample,) = [line for line in text.splitlines()
+                     if not line.startswith("#")]
+        # exposition-format escapes: backslash, quote, newline
+        assert '\\\\' in sample and '\\"' in sample and '\\n' in sample
+        assert "\n" not in sample  # the raw newline must not split the line
+
+        label = re.search(r'edge="((?:[^"\\]|\\.)*)"', sample).group(1)
+        unescaped = (label.replace("\\\\", "\x00").replace('\\"', '"')
+                     .replace("\\n", "\n").replace("\x00", "\\"))
+        assert unescaped == self.HOSTILE
+
+    def test_help_and_type_once_per_family(self):
+        registry = Registry()
+        registry.counter("runtime.octets", direction="in").inc(1)
+        registry.counter("runtime.octets", direction="out").inc(2)
+        registry.gauge("sim.clock").set(5)
+        text = prometheus_text(registry)
+        assert text.count("# HELP runtime_octets ") == 1
+        assert text.count("# TYPE runtime_octets counter") == 1
+        assert text.count("# HELP sim_clock ") == 1
+        assert text.index("# HELP runtime_octets ") < text.index(
+            "# TYPE runtime_octets counter")
+
+    def test_help_text_escapes_continuation(self):
+        registry = Registry()
+        registry.counter("weird\nname").inc()
+        text = prometheus_text(registry)
+        for line in text.splitlines():
+            if line.startswith("# HELP"):
+                assert "\n" not in line
