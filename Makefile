@@ -1,6 +1,6 @@
 # Development commands for the repro library.
 
-.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke perf-smoke chaos-smoke bench-record bench-check dash-smoke examples outputs all clean
+.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke perf-smoke chaos-smoke taskplane-smoke bench-record bench-check dash-smoke examples outputs all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -82,6 +82,19 @@ chaos-smoke:
 			tests/test_chaos.py tests/test_fault_recovery.py \
 			tests/test_detect.py -q && \
 		PYTHONPATH=src python -m repro chaos --sequences 100"
+
+# the task-plane gate: real payloads under the negotiated schedule must
+# converge to the solver optimum, stay inside the analytic buffer bounds,
+# and account every task exactly once — on the in-proc, loopback-TCP and
+# multi-process cluster substrates, including under seeded payload faults.
+# `timeout` hard-bounds the wall clock so a wedged socket or a stalled
+# child process fails fast instead of hanging CI.
+taskplane-smoke:
+	timeout 540 sh -c "\
+		PYTHONPATH=src pytest benchmarks/bench_e30_taskplane.py \
+			tests/test_taskplane.py tests/test_taskplane_tcp.py -q && \
+		PYTHONPATH=src python -m repro exec --transport inproc --tasks 60 && \
+		PYTHONPATH=src python -m repro chaos --data-plane --sequences 3"
 
 # re-record the committed perf baselines (BENCH_*.json at the repo root)
 bench-record:

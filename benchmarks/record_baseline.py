@@ -277,6 +277,67 @@ def record_e29(sizes=(50, 200), repeats=15, batch=3):
     return records
 
 
+def record_e30(tasks=150, fault_tasks=80, horizon=45):
+    """Task plane vs solver optimum: the exact simulator anchors the
+    deterministic count; live planes must keep exact accounting and land
+    within tolerance of ``λ−θ``.  ``node_evals`` is completed tasks —
+    deterministic because the plane's accounting is exactly-once."""
+    from repro.faults.plan import FaultPlan
+    from repro.taskplane import (expected_completions, run_plane,
+                                 sim_completions)
+
+    tree = paper_figure4_tree()
+    records = []
+
+    count, wall = timed(lambda: sim_completions(tree, horizon))
+    expect = expected_completions(tree, horizon)
+    assert abs(count - expect) <= 2, \
+        f"simulator {count} strays from closed form {expect}"
+    records.append(dict(
+        params=dict(platform="fig4", path="simulated", horizon=horizon,
+                    family="e30"),
+        wall_s=round(wall, 6), node_evals=count,
+    ))
+    print(f"e30 simulated: {count} tasks over {horizon} units "
+          f"(closed form {float(expect):.1f}), {wall*1e3:.1f}ms")
+
+    for transport in ("inproc", "tcp"):
+        report, wall = timed(
+            lambda t=transport: run_plane(tree, t, max_tasks=tasks))
+        assert report.lost == 0 and report.duplicates == 0, \
+            f"{transport}: lost {report.lost}, dup {report.duplicates}"
+        assert report.occupancy_ok(), \
+            f"{transport}: occupancy {report.peak_occupancy} over bounds"
+        assert report.within(0.3), \
+            f"{transport}: convergence {report.convergence}"
+        records.append(dict(
+            params=dict(platform="fig4", path=transport, tasks=tasks,
+                        family="e30"),
+            wall_s=round(wall, 6), node_evals=report.completed,
+        ))
+        print(f"e30 {transport}: {report.completed}/{report.generated} "
+              f"tasks, convergence {report.convergence:.3f}, "
+              f"wall {wall:.1f}s")
+
+    plan = FaultPlan(seed=3, task_drop=Fraction(1, 10),
+                     task_corrupt=Fraction(1, 12))
+    report, wall = timed(
+        lambda: run_plane(tree, "inproc", max_tasks=fault_tasks, plan=plan))
+    assert report.lost == 0 and report.duplicates == 0
+    assert report.injected_drops + report.injected_corruptions > 0
+    assert report.resends > 0
+    records.append(dict(
+        params=dict(platform="fig4", path="inproc-faults", tasks=fault_tasks,
+                    seed=3, family="e30"),
+        wall_s=round(wall, 6), node_evals=report.completed,
+    ))
+    print(f"e30 inproc-faults: {report.completed}/{report.generated} tasks "
+          f"despite {report.injected_drops} drops + "
+          f"{report.injected_corruptions} corruptions "
+          f"({report.resends} resends), wall {wall:.1f}s")
+    return records
+
+
 BENCHES = {
     "e26_incremental": record_e26,
     "e8_protocol_scaling": record_e8,
@@ -284,6 +345,7 @@ BENCHES = {
     "e27_timeline": record_e27,
     "e28_chaos": record_e28,
     "e29_live": record_e29,
+    "e30_taskplane": record_e30,
 }
 
 

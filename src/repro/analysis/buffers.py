@@ -118,6 +118,24 @@ def prop3_buffer_bound(periods, root) -> Dict[Hashable, int]:
     }
 
 
+def taskplane_buffer_bounds(periods, root) -> Dict[Hashable, int]:
+    """Per-node live-execution buffer capacity: χ_in plus in-flight slack.
+
+    The task plane's credit protocol sizes each non-root node's inbound
+    buffer from Proposition 3's χ_in (see :func:`prop3_buffer_bound`) plus
+    two slots for the tasks physically in flight on the node's ports — one
+    arriving on the receive port, one leaving on the send port — which the
+    asynchronous steady state keeps occupied.  E30 asserts measured peak
+    occupancy never exceeds this bound; the credit protocol makes exceeding
+    it structurally impossible (a parent without credit cannot send), so a
+    violation is a plane bug, not congestion.
+    """
+    return {
+        node: p.chi_in + 2 for node, p in periods.items()
+        if node != root and p.chi_in > 0
+    }
+
+
 def steady_state_buffer_stats(
     trace: Trace,
     start,

@@ -483,11 +483,102 @@ def _cmd_bench_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_exec(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .faults.plan import FaultPlan
+    from .taskplane import run_cluster, run_plane
+    from .util.text import render_table
+
+    tree = _load_platform(args) if args.tree else paper_figure4_tree()
+    tasks = args.tasks
+    if tasks is None and args.duration is None:
+        tasks = 200
+    plan = None
+    if args.task_drop or args.task_corrupt:
+        plan = FaultPlan(seed=args.seed,
+                         task_drop=Fraction(args.task_drop or 0),
+                         task_corrupt=Fraction(args.task_corrupt or 0))
+    kwargs = dict(max_tasks=tasks, duration=args.duration,
+                  time_scale=args.time_scale, plan=plan,
+                  deadline=args.deadline)
+    if args.transport == "cluster":
+        report = run_cluster(tree, **kwargs)
+    else:
+        report = run_plane(tree, args.transport, **kwargs)
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2))
+    else:
+        convergence = report.convergence
+        print(f"task plane on {args.transport}: {report.completed}/"
+              f"{report.generated} tasks, {report.duplicates} duplicated, "
+              f"{report.lost} lost, {report.wall_seconds:.2f}s wall")
+        print(f"optimal throughput: "
+              f"{format_fraction(report.optimal_throughput)} tasks/unit; "
+              f"measured: "
+              + ("unmeasurable (too few steady completions)"
+                 if convergence is None else
+                 f"{report.measured_rate:.4f} "
+                 f"({convergence:.1%} of optimal, "
+                 f"{report.completions_per_sec:.1f} tasks/s)"))
+        if report.resends or report.injected_drops \
+                or report.injected_corruptions:
+            print(f"faults: {report.injected_drops} dropped, "
+                  f"{report.injected_corruptions} corrupted → "
+                  f"{report.resends} resends, "
+                  f"{report.resend_requests} checksum naks")
+        rows = [
+            [node, str(peak), str(report.bounds.get(node, 1)),
+             "yes" if peak <= report.bounds.get(node, 1) else "NO"]
+            for node, peak in sorted(report.peak_occupancy.items())
+        ]
+        if rows:
+            print()
+            print(render_table(["node", "peak buffer", "analytic bound",
+                                "within"], rows))
+    ok = (report.lost == 0 and report.duplicates == 0
+          and report.occupancy_ok())
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json as _json
 
-    from .faults.chaos import chaos_sweep
+    from .faults.chaos import chaos_sweep, data_plane_sweep
     from .util.text import render_table
+
+    if args.data_plane:
+        counted = {"count": 0}
+
+        def data_progress(outcome) -> None:
+            counted["count"] += 1
+            if not args.json and counted["count"] % 5 == 0:
+                print(f"  {counted['count']}/{args.sequences} cases exact",
+                      file=sys.stderr)
+
+        summary = data_plane_sweep(cases=args.sequences, seed=args.seed,
+                                   transport=args.transport,
+                                   tasks=args.tasks,
+                                   progress=data_progress)
+        if args.json:
+            print(_json.dumps(summary.to_json(), indent=2))
+            return 0
+        print(f"data-plane chaos: {summary.exact_count}/{summary.cases} "
+              f"cases with exact task accounting on {args.transport} "
+              f"({summary.faults_injected} payload faults injected)")
+        rows = [
+            [str(o.seed), str(o.nodes),
+             f"{o.completed}/{o.generated}", str(o.duplicates),
+             f"{o.injected_drops}+{o.injected_corruptions}",
+             str(o.resends), "yes" if o.exact else "NO"]
+            for o in summary.outcomes[: args.show]
+        ]
+        if rows:
+            print()
+            print(render_table(
+                ["seed", "nodes", "completed", "dup", "drop+corrupt",
+                 "resends", "exact"], rows))
+        return 0
 
     shown = {"count": 0}
 
@@ -730,7 +821,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rows of the outcome table to print (default 10)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output (all outcomes)")
+    p.add_argument("--data-plane", action="store_true",
+                   help="sweep payload faults (dropped/corrupted task "
+                        "frames) over live task planes instead; gates "
+                        "exact task accounting")
+    p.add_argument("--transport", choices=("inproc", "tcp"),
+                   default="inproc",
+                   help="with --data-plane: plane substrate (default inproc)")
+    p.add_argument("--tasks", type=int, default=40,
+                   help="with --data-plane: tasks per case (default 40)")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "exec",
+        help="execute real task payloads under the negotiated schedule "
+             "(experiment E30)",
+    )
+    p.add_argument("tree", nargs="?",
+                   help="platform JSON file (default: the built-in "
+                        "Section 8 tree)")
+    p.add_argument("--dsl", action="store_true",
+                   help="parse TREE as DSL text instead of a JSON file")
+    p.add_argument("--transport", choices=("inproc", "tcp", "cluster"),
+                   default="inproc",
+                   help="inproc/tcp: one process, shared loop; cluster: "
+                        "one OS process per node over real sockets")
+    p.add_argument("--tasks", type=int,
+                   help="stop after generating N tasks (default 200 "
+                        "unless --duration is given)")
+    p.add_argument("--duration", type=float,
+                   help="stop generating after this many wall seconds")
+    p.add_argument("--time-scale", type=float, default=0.02,
+                   help="wall seconds per virtual time unit (default 0.02)")
+    p.add_argument("--task-drop", metavar="P",
+                   help="drop task frames with probability P (e.g. 1/10)")
+    p.add_argument("--task-corrupt", metavar="P",
+                   help="corrupt task payloads with probability P")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault plan seed (default 0)")
+    p.add_argument("--deadline", type=float, default=120.0,
+                   help="abort if the plane has not drained by then")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.set_defaults(func=_cmd_exec)
 
     p = sub.add_parser("example", help="run the built-in paper example")
     p.set_defaults(func=_cmd_example)

@@ -83,6 +83,19 @@ class CodecError(ProtocolError):
         self.recoverable = recoverable
 
 
+class TaskPlaneError(ReproError):
+    """The task data plane violated one of its own invariants.
+
+    Raised when payload execution breaks a structural guarantee: a buffer
+    exceeding its credit-enforced capacity, a task routed to a node with
+    no capacity for it, an unpicklable payload on a multi-process
+    transport, or a drain that completes with unaccounted tasks.  These are
+    bugs in the plane (or a misuse of its API), never recoverable wire
+    noise — transfer corruption and loss are handled inline by resend and
+    surface only in counters.
+    """
+
+
 class SolverError(ReproError):
     """A linear-programming solver failed or returned an infeasible status."""
 

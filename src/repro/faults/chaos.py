@@ -263,6 +263,151 @@ def run_case(seed: int, telemetry=None) -> Tuple[ChaosOutcome, RecoveryReport]:
     return outcome, report
 
 
+@dataclass(frozen=True)
+class DataPlaneOutcome:
+    """One data-plane chaos case: a live plane under payload faults."""
+
+    seed: int
+    nodes: int
+    transport: str
+    generated: int
+    completed: int
+    duplicates: int
+    resends: int
+    resend_requests: int
+    injected_drops: int
+    injected_corruptions: int
+    occupancy_ok: bool
+
+    @property
+    def exact(self) -> bool:
+        """Exactly-once effect: nothing lost, nothing run twice, buffers
+        within the analytic bound."""
+        return (self.completed == self.generated
+                and self.duplicates == 0
+                and self.occupancy_ok)
+
+
+@dataclass(frozen=True)
+class DataPlaneSummary:
+    """A whole data-plane sweep."""
+
+    outcomes: Tuple[DataPlaneOutcome, ...]
+
+    @property
+    def cases(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def exact_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.exact)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(o.injected_drops + o.injected_corruptions
+                   for o in self.outcomes)
+
+    def to_json(self) -> dict:
+        return {
+            "cases": self.cases,
+            "exact": self.exact_count,
+            "faults_injected": self.faults_injected,
+            "outcomes": [
+                {
+                    "seed": o.seed,
+                    "nodes": o.nodes,
+                    "transport": o.transport,
+                    "generated": o.generated,
+                    "completed": o.completed,
+                    "duplicates": o.duplicates,
+                    "resends": o.resends,
+                    "resend_requests": o.resend_requests,
+                    "injected_drops": o.injected_drops,
+                    "injected_corruptions": o.injected_corruptions,
+                    "occupancy_ok": o.occupancy_ok,
+                    "exact": o.exact,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+_TASK_DROPS = (Fraction(1, 12), Fraction(1, 8), Fraction(1, 6))
+_TASK_CORRUPTS = (Fraction(0), Fraction(1, 10), Fraction(1, 8))
+
+
+def data_plane_case(seed: int) -> Tuple[Tree, FaultPlan]:
+    """One seeded ``(tree, plan)`` data-plane case: a random 4–6 node
+    platform plus a payload fault plan that always drops *and* may also
+    corrupt task frames (both in the retries-win regime)."""
+    rng = random.Random(f"chaos-data|{seed}")
+    tree = _random_tree(rng, rng.randint(4, 6))
+    plan = FaultPlan(
+        seed=seed,
+        task_drop=rng.choice(_TASK_DROPS),
+        task_corrupt=rng.choice(_TASK_CORRUPTS),
+    )
+    return tree, plan
+
+
+def run_data_plane_case(seed: int, transport: str = "inproc",
+                        tasks: int = 40) -> DataPlaneOutcome:
+    """Run one data-plane case and return its (unchecked) outcome."""
+    from ..taskplane import run_plane
+
+    tree, plan = data_plane_case(seed)
+    report = run_plane(tree, transport, max_tasks=tasks, plan=plan,
+                       time_scale=0.01, resend_timeout=0.15)
+    return DataPlaneOutcome(
+        seed=seed,
+        nodes=len(tree),
+        transport=transport,
+        generated=report.generated,
+        completed=report.completed,
+        duplicates=report.duplicates,
+        resends=report.resends,
+        resend_requests=report.resend_requests,
+        injected_drops=report.injected_drops,
+        injected_corruptions=report.injected_corruptions,
+        occupancy_ok=report.occupancy_ok(),
+    )
+
+
+def data_plane_sweep(
+    cases: int = 10,
+    seed: int = 0,
+    transport: str = "inproc",
+    tasks: int = 40,
+    progress: Optional[Callable[[DataPlaneOutcome], None]] = None,
+) -> DataPlaneSummary:
+    """Seeded payload-fault sweep over live planes; raise on inexactness.
+
+    The data-plane analogue of :func:`chaos_sweep`: where the control
+    sweep gates *rates* (Fraction-exact convergence), this gates *task
+    accounting* — under dropped and corrupted task frames every case must
+    complete exactly the tasks it generated, execute none twice, and keep
+    every buffer within its analytic bound.  Case ``i`` uses seed
+    ``seed + i`` and reproduces in isolation with
+    :func:`run_data_plane_case`.
+    """
+    outcomes: List[DataPlaneOutcome] = []
+    for i in range(cases):
+        outcome = run_data_plane_case(seed + i, transport=transport,
+                                      tasks=tasks)
+        if not outcome.exact:
+            raise FaultError(
+                f"data-plane chaos seed {outcome.seed}: "
+                f"{outcome.completed}/{outcome.generated} completed, "
+                f"{outcome.duplicates} duplicated, occupancy_ok="
+                f"{outcome.occupancy_ok} (drops={outcome.injected_drops}, "
+                f"corruptions={outcome.injected_corruptions})"
+            )
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return DataPlaneSummary(outcomes=tuple(outcomes))
+
+
 def chaos_sweep(
     sequences: int = 100,
     seed: int = 0,

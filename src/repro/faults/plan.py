@@ -186,7 +186,15 @@ class FaultPlan:
       probabilities that a control message is lost / delivered twice /
       garbled on the wire, overridable per link via *links*;
     * *corruptions* are transient hostile-garbling windows per link;
-    * *degradations* are transient link slow-down windows.
+    * *degradations* are transient link slow-down windows;
+    * *task_drop* / *task_corrupt* are the **data-plane** fault rates:
+      the probability that one send of a task payload frame is lost in
+      flight, or that its payload bytes are garbled before framing (so
+      only the end-to-end payload checksum catches it).  They are applied
+      per *attempt* by the task plane's transmit filter
+      (:meth:`repro.taskplane.plane.TaskPlaneNode._transmit`), never by
+      the control transports — retransmission for task frames lives in
+      the plane's retention buffer, not in the protocol's retry policy.
     """
 
     seed: int = 0
@@ -199,12 +207,16 @@ class FaultPlan:
     failover: Optional[RootFailover] = None
     corrupt: Fraction = Fraction(0)
     corruptions: Tuple[Corruption, ...] = ()
+    task_drop: Fraction = Fraction(0)
+    task_corrupt: Fraction = Fraction(0)
 
     def __post_init__(self):
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "drop", _prob(self.drop))
         object.__setattr__(self, "duplicate", _prob(self.duplicate))
         object.__setattr__(self, "corrupt", _prob(self.corrupt))
+        object.__setattr__(self, "task_drop", _prob(self.task_drop))
+        object.__setattr__(self, "task_corrupt", _prob(self.task_corrupt))
         object.__setattr__(self, "links", tuple(self.links))
         object.__setattr__(self, "degradations", tuple(self.degradations))
         object.__setattr__(self, "rejoins", tuple(self.rejoins))
@@ -322,6 +334,11 @@ class FaultPlan:
             return True
         return any(l.corrupt > 0 for l in self.links)
 
+    @property
+    def data_faulty(self) -> bool:
+        """Whether the task data plane suffers drops or corruption."""
+        return self.task_drop > 0 or self.task_corrupt > 0
+
     # ------------------------------------------------------------------
     # deterministic decisions
     # ------------------------------------------------------------------
@@ -426,6 +443,8 @@ class FaultPlan:
                 }
                 for w in self.corruptions
             ],
+            "task_drop": frac(self.task_drop),
+            "task_corrupt": frac(self.task_corrupt),
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -478,6 +497,8 @@ class FaultPlan:
                 )
                 for w in payload.get("corruptions", ())
             ),
+            task_drop=Fraction(payload.get("task_drop", 0)),
+            task_corrupt=Fraction(payload.get("task_corrupt", 0)),
         )
 
 

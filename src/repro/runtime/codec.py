@@ -46,10 +46,34 @@ import re
 import struct
 import zlib
 from fractions import Fraction
-from typing import Optional
+from typing import Callable, Dict, Optional
 
 from ..exceptions import CodecError, ProtocolError
 from ..protocol.messages import Acknowledgment, Message, Proposal
+
+#: Control frame kinds owned by this module.  Extension kinds (the task
+#: plane's payload frames) register their decoders in
+#: :data:`_EXTENSION_DECODERS` via :func:`register_frame_kind` and share
+#: the same length|CRC32|body framing, so control and payload traffic can
+#: interleave on one connection.
+CONTROL_KINDS = ("prop", "ack")
+
+_EXTENSION_DECODERS: Dict[str, Callable[[dict], object]] = {}
+
+
+def register_frame_kind(kind: str, decoder: Callable[[dict], object]) -> None:
+    """Register *decoder* for extension frames of wire type *kind*.
+
+    The decoder receives the parsed JSON body (a dict whose ``"t"`` equals
+    *kind*) and must either return the decoded frame object or raise a
+    recoverable :class:`~repro.exceptions.CodecError` — never anything
+    else, so hostile bytes stay contained in the reader loops exactly as
+    for control frames.  Registering a control kind is a programming
+    error and raises :class:`~repro.exceptions.ProtocolError`.
+    """
+    if kind in CONTROL_KINDS:
+        raise ProtocolError(f"{kind!r} is a reserved control frame kind")
+    _EXTENSION_DECODERS[kind] = decoder
 
 #: struct format of the frame length prefix (4-byte big-endian unsigned).
 LENGTH_PREFIX = struct.Struct(">I")
@@ -106,12 +130,10 @@ def _parse_rational(text) -> Fraction:
         raise CodecError(f"malformed wire rational {text!r}") from exc
 
 
-def decode_message(body: bytes) -> Message:
-    """Inverse of :func:`encode_message`, hardened against hostile bytes.
-
-    Every malformation raises :class:`~repro.exceptions.CodecError` (always
-    recoverable here: by the time a body exists the framing held).
-    """
+def _parse_payload(body: bytes) -> dict:
+    """Parse a frame body into its JSON object, hardened against hostile
+    bytes: every malformation raises a recoverable
+    :class:`~repro.exceptions.CodecError`."""
     try:
         text = body.decode("utf-8")
     except UnicodeDecodeError as exc:
@@ -122,6 +144,10 @@ def decode_message(body: bytes) -> Message:
         raise CodecError(f"undecodable frame {body[:80]!r}") from exc
     if not isinstance(payload, dict):
         raise CodecError(f"frame body is not an object: {body[:80]!r}")
+    return payload
+
+
+def _decode_control(payload: dict, body: bytes) -> Message:
     try:
         kind = payload["t"]
         sender, receiver = payload["s"], payload["r"]
@@ -140,10 +166,40 @@ def decode_message(body: bytes) -> Message:
     if kind == "prop":
         return Proposal(sender=sender, receiver=receiver, beta=value, xid=xid,
                         trace=trace)
-    if kind == "ack":
-        return Acknowledgment(sender=sender, receiver=receiver, theta=value,
-                              xid=xid, trace=trace)
-    raise CodecError(f"unknown frame type {kind!r}")
+    return Acknowledgment(sender=sender, receiver=receiver, theta=value,
+                          xid=xid, trace=trace)
+
+
+def decode_body(body: bytes) -> object:
+    """Decode one frame body: a control :class:`Message` or any registered
+    extension frame (see :func:`register_frame_kind`).
+
+    Every malformation raises :class:`~repro.exceptions.CodecError` (always
+    recoverable here: by the time a body exists the framing held).
+    """
+    payload = _parse_payload(body)
+    try:
+        kind = payload["t"]
+    except KeyError as exc:
+        raise CodecError(f"frame missing field {exc}: {body[:80]!r}") from exc
+    if kind in CONTROL_KINDS:
+        return _decode_control(payload, body)
+    decoder = _EXTENSION_DECODERS.get(kind) if isinstance(kind, str) else None
+    if decoder is None:
+        raise CodecError(f"unknown frame type {kind!r}")
+    return decoder(payload)
+
+
+def decode_message(body: bytes) -> Message:
+    """Inverse of :func:`encode_message`, hardened against hostile bytes.
+
+    Accepts control frames only; an extension frame arriving where a
+    control frame is required is as malformed as an unknown kind.
+    """
+    decoded = decode_body(body)
+    if not isinstance(decoded, (Proposal, Acknowledgment)):
+        raise CodecError(f"expected a control frame, got {type(decoded).__name__}")
+    return decoded
 
 
 def encode_blob(body: bytes) -> bytes:
@@ -159,6 +215,21 @@ def encode_blob(body: bytes) -> bytes:
 def encode_frame(message: Message) -> bytes:
     """The full wire frame: length + CRC32 header + JSON body."""
     return encode_blob(encode_message(message))
+
+
+def encode_any(obj) -> bytes:
+    """Frame any wire object: a control :class:`Message` or an extension
+    frame exposing ``to_payload()`` (a JSON-ready dict whose ``"t"`` names
+    a registered kind).  Control and payload frames share the same
+    length|CRC32 framing, so they interleave freely on one socket.
+    """
+    if isinstance(obj, (Proposal, Acknowledgment)):
+        return encode_frame(obj)
+    to_payload = getattr(obj, "to_payload", None)
+    if to_payload is None:
+        raise ProtocolError(f"cannot encode {obj!r}")
+    body = json.dumps(to_payload(), separators=(",", ":")).encode("utf-8")
+    return encode_blob(body)
 
 
 async def read_blob(reader: asyncio.StreamReader) -> Optional[bytes]:
@@ -206,3 +277,17 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Message]:
     if body is None:
         return None
     return decode_message(body)
+
+
+async def read_any(reader: asyncio.StreamReader) -> Optional[object]:
+    """Read one frame of *any* registered kind; ``None`` on clean EOF.
+
+    The payload-frame sibling of :func:`read_frame`: same framing and
+    failure modes, but the decoded object may be a control
+    :class:`Message` or any extension frame (see
+    :func:`register_frame_kind`).
+    """
+    body = await read_blob(reader)
+    if body is None:
+        return None
+    return decode_body(body)

@@ -105,6 +105,7 @@ class Runtime:
         deadline: float = 60.0,
         telemetry: Optional[Registry] = None,
         trace_id: Optional[str] = None,
+        close_transport: bool = True,
     ):
         if VIRTUAL_PARENT in tree:
             raise ProtocolError(f"{VIRTUAL_PARENT!r} is reserved")
@@ -126,6 +127,10 @@ class Runtime:
         self.base_timeout = base_timeout
         self.deadline = deadline
         self.telemetry = telemetry
+        #: when False the transport (and its sockets) survive
+        #: :meth:`arun`, so a task plane can reuse the negotiated
+        #: connections for payload frames — see ``repro.taskplane``
+        self.close_transport = close_transport
 
         self.actors: Dict[Hashable, NodeActor] = {}
         self._mailboxes: Dict[Hashable, asyncio.Queue] = {}
@@ -386,7 +391,15 @@ class Runtime:
             await asyncio.gather(*pending, return_exceptions=True)
         self._timers.clear()
         self._tasks.clear()
-        await self.transport.close()
+        if self.close_transport:
+            await self.transport.close()
+
+    @property
+    def mailboxes(self) -> Dict[Hashable, asyncio.Queue]:
+        """The per-node mailboxes of the last run — a task plane reusing
+        the transport (``close_transport=False``) must keep consuming them,
+        because the transport keeps delivering into these queues."""
+        return self._mailboxes
 
     # ------------------------------------------------------------------
     # verification + result assembly (mirrors the simulated runner)

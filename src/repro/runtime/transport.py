@@ -53,8 +53,22 @@ from ..exceptions import CodecError, ProtocolError
 from ..faults.inject import LinkFaultDecider
 from ..faults.plan import FaultPlan
 from ..platform.tree import Tree
-from ..protocol.messages import Message, wire_size
-from .codec import encode_blob, encode_frame, read_blob, read_frame
+from ..protocol.messages import Acknowledgment, Message, Proposal, wire_size
+from .codec import encode_any, encode_blob, read_blob, read_any
+
+
+def _is_control(message) -> bool:
+    """Control-plane frames get the fault plan's loss model and the model
+    byte accounting of :func:`~repro.protocol.messages.wire_size`; payload
+    (task-plane) frames bypass both — their faults are injected by the
+    task plane itself, where retransmission lives."""
+    return isinstance(message, (Proposal, Acknowledgment))
+
+
+def _model_size(message) -> int:
+    if _is_control(message):
+        return wire_size(message)
+    return getattr(message, "wire_size", 0)
 
 
 class Transport(ABC):
@@ -71,6 +85,7 @@ class Transport(ABC):
         self.corrupt_frames = 0
         self.quarantine_dropped = 0
         self.dead_streams = 0
+        self.payload_frames = 0
         self.quarantined: Set[Hashable] = set()
 
     async def start(self, tree: Tree,
@@ -144,10 +159,16 @@ class InProcTransport(Transport):
 
     async def send(self, message: Message) -> None:
         self.messages_sent += 1
-        self.bytes_sent += wire_size(message)
+        self.bytes_sent += _model_size(message)
         child = self._on_tree_link(message)
         if child is not None and child in self.quarantined:
             self.quarantine_dropped += 1
+            return
+        if not _is_control(message):
+            # payload frames: delivered verbatim — the task plane owns
+            # their fault model and retransmission
+            self.payload_frames += 1
+            self._deliver_local(message)
             return
         copies = 1
         coordinates = None
@@ -221,13 +242,18 @@ class TcpTransport(Transport):
 
     def __init__(self, host: str = "127.0.0.1",
                  plan: Optional[FaultPlan] = None,
-                 quarantine_after: Optional[int] = None):
+                 quarantine_after: Optional[int] = None,
+                 ports: Optional[Dict[Hashable, int]] = None):
         super().__init__()
         if quarantine_after is not None and quarantine_after < 1:
             raise ProtocolError("quarantine_after must be >= 1")
         self.host = host
         self.plan = plan
         self.quarantine_after = quarantine_after
+        #: requested listener port per node (0/omitted = ephemeral); after
+        #: :meth:`start`, :attr:`bound_ports` holds the ports actually bound
+        self.ports: Dict[Hashable, int] = dict(ports or {})
+        self.bound_ports: Dict[Hashable, int] = {}
         self._decider = LinkFaultDecider(plan) if plan is not None else None
         self.octets_sent = 0
         #: real octets written per directed edge (sender, receiver) — the
@@ -253,10 +279,12 @@ class TcpTransport(Transport):
         ports: Dict[Hashable, int] = {}
         for node in tree.nodes():
             server = await asyncio.start_server(
-                self._make_accept_handler(node), host=self.host, port=0
+                self._make_accept_handler(node), host=self.host,
+                port=self.ports.get(node, 0),
             )
             self._servers[node] = server
             ports[node] = server.sockets[0].getsockname()[1]
+        self.bound_ports = dict(ports)
         for parent, child in edges:
             reader, writer = await asyncio.open_connection(
                 self.host, ports[parent]
@@ -318,7 +346,7 @@ class TcpTransport(Transport):
         streak = 0
         while True:
             try:
-                message = await read_frame(reader)
+                message = await read_any(reader)
             except CodecError as exc:
                 self.corrupt_frames += 1
                 streak += 1
@@ -345,7 +373,7 @@ class TcpTransport(Transport):
     # ------------------------------------------------------------------
     async def send(self, message: Message) -> None:
         self.messages_sent += 1
-        self.bytes_sent += wire_size(message)
+        self.bytes_sent += _model_size(message)
         child = self._on_tree_link(message)
         if child is None:
             self._deliver_local(message)
@@ -357,7 +385,9 @@ class TcpTransport(Transport):
             )
         copies = 1
         corrupt = False
-        if self._decider is not None:
+        if not _is_control(message):
+            self.payload_frames += 1
+        elif self._decider is not None:
             drop, corrupt, duplicate = self._decider.full_verdict(
                 child, message
             )
@@ -367,7 +397,7 @@ class TcpTransport(Transport):
             if duplicate:
                 self.duplicated += 1
                 copies = 2
-        frame = encode_frame(message)
+        frame = encode_any(message)
         if corrupt:
             # flip a body bit *after* the CRC header was computed: the
             # receiver's checksum fails and the frame dies in its reader

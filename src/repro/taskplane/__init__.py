@@ -1,0 +1,45 @@
+"""The task data plane: real payload execution under negotiated rates.
+
+See :mod:`repro.taskplane.plane` for the engine,
+:mod:`repro.taskplane.cluster` for the multi-process TCP launcher, and
+``docs/taskplane.md`` for the architecture.
+"""
+
+from .buffers import BoundedBuffer, CreditAccount
+from .cluster import ClusterPlane, NodeSpec, run_cluster
+from .frames import (CreditGrant, DeliveryAck, ResendRequest, ResultReport,
+                     Stop, Stopped, TaskFrame, make_task, payload_crc)
+from .ledger import DeliveryLog, RetentionBuffer, TaskLedger
+from .plane import (DEFAULT_TIME_SCALE, TaskPlane, TaskPlaneNode,
+                    TaskPlaneReport, default_payload, run_plane)
+from .validate import expected_completions, sim_completions
+from .worker import WorkerPool
+
+__all__ = [
+    "BoundedBuffer",
+    "ClusterPlane",
+    "CreditAccount",
+    "CreditGrant",
+    "DEFAULT_TIME_SCALE",
+    "DeliveryAck",
+    "DeliveryLog",
+    "NodeSpec",
+    "ResendRequest",
+    "ResultReport",
+    "RetentionBuffer",
+    "Stop",
+    "Stopped",
+    "TaskFrame",
+    "TaskLedger",
+    "TaskPlane",
+    "TaskPlaneNode",
+    "TaskPlaneReport",
+    "WorkerPool",
+    "default_payload",
+    "expected_completions",
+    "make_task",
+    "payload_crc",
+    "run_cluster",
+    "run_plane",
+    "sim_completions",
+]

@@ -1,0 +1,93 @@
+"""Credit-bounded task buffers: Proposition 3 enforced structurally.
+
+The paper sizes steady-state buffers at χ_in tasks per node (Section 6.3,
+Proposition 3); the live plane adds two in-flight slots per port — see
+:func:`repro.analysis.buffers.taskplane_buffer_bounds`.  Rather than
+*measuring* that the bound holds, the plane *enforces* it with credits:
+
+* every node's inbound :class:`BoundedBuffer` has a fixed capacity (the
+  analytic bound);
+* its parent holds a :class:`CreditAccount` per child, initialised to that
+  capacity; dispatching a task spends one credit, and a child grants one
+  back (a ``tcr`` frame) only when a task leaves its buffer.
+
+A parent without credit simply does not send — backpressure propagates up
+the tree as stalled routing, never as growing memory.  ``put()`` raising
+:class:`~repro.exceptions.TaskPlaneError` on a full buffer is therefore an
+invariant check, not flow control: it can only fire on a plane bug.
+
+Both classes are plain synchronous state (the engine's event loops
+serialise access), which keeps them directly property-testable against the
+analytic bounds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable
+
+from ..exceptions import TaskPlaneError
+
+
+class BoundedBuffer:
+    """A FIFO of task frames with a hard capacity and peak tracking."""
+
+    __slots__ = ("capacity", "_queue", "peak")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise TaskPlaneError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queue: Deque = deque()
+        #: high-water mark, compared against the analytic bound by E30
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def put(self, frame) -> None:
+        if len(self._queue) >= self.capacity:
+            raise TaskPlaneError(
+                f"buffer overflow at capacity {self.capacity}: the credit "
+                "protocol should have throttled the sender"
+            )
+        self._queue.append(frame)
+        if len(self._queue) > self.peak:
+            self.peak = len(self._queue)
+
+    def get(self):
+        if not self._queue:
+            raise TaskPlaneError("get() on an empty task buffer")
+        return self._queue.popleft()
+
+
+class CreditAccount:
+    """Parent-side send credits, one account per child edge."""
+
+    __slots__ = ("_credits",)
+
+    def __init__(self, capacities: Dict[Hashable, int]):
+        self._credits = dict(capacities)
+
+    def available(self, child: Hashable) -> int:
+        return self._credits.get(child, 0)
+
+    def spend(self, child: Hashable) -> None:
+        credit = self._credits.get(child, 0)
+        if credit <= 0:
+            raise TaskPlaneError(f"dispatch to {child!r} without credit")
+        self._credits[child] = credit - 1
+
+    def grant(self, child: Hashable, amount: int, capacity: int) -> None:
+        """Bank *amount* returned slots; exceeding *capacity* is a bug
+        (credits are conserved: grants only follow spends)."""
+        credit = self._credits.get(child, 0) + amount
+        if credit > capacity:
+            raise TaskPlaneError(
+                f"credit overflow for {child!r}: {credit} > {capacity}"
+            )
+        self._credits[child] = credit

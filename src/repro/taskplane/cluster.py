@@ -1,0 +1,622 @@
+"""Multi-process cluster: every platform node in its own OS process.
+
+The single-process :class:`~repro.taskplane.plane.TaskPlane` shares one
+event loop between all engines — honest about wire behaviour (on the TCP
+transport frames really cross sockets) but not about *failure isolation*
+or scheduling interference.  The cluster launcher removes that last
+simplification: each tree node becomes a separate Python process that
+
+* binds its own listening socket (port 0 → the OS picks), reports the
+  port to the launcher over a :func:`multiprocessing.Pipe`;
+* dials its parent once the launcher has broadcast the address map, and
+  introduces itself with a ``hello`` blob (the only frame on the wire
+  that is not a registered codec kind — it precedes the codec session);
+* runs the *real* :class:`~repro.protocol.actor.NodeActor` negotiation
+  over those sockets — the launcher never tells a node its α/η: every
+  process derives its allocation from its own actor, exactly as the
+  paper's semi-autonomy property demands, and verifies it against the
+  expectations pickled into its spec (Proposition 2 made executable);
+* then reuses the very same connections for the task plane: one
+  :class:`~repro.taskplane.plane.TaskPlaneNode` engine per process,
+  payload frames interleaved on the sockets that carried the
+  negotiation.
+
+The launcher is pure orchestration: spawn, two-phase port exchange,
+release the root, collect per-process stats, aggregate a
+:class:`~repro.taskplane.plane.TaskPlaneReport`.  A process that dies or
+hangs trips the global deadline; the launcher terminates the fleet and
+raises rather than leaving orphans.
+
+Frame routing inside a process is type-based: control messages
+(:class:`Proposal`/:class:`Acknowledgment`) go straight to the actor,
+everything else into the engine's inbox — the same socket carries both,
+distinguished only by the codec's ``kind`` tag.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..analysis.buffers import taskplane_buffer_bounds
+from ..core.allocation import from_bw_first
+from ..core.bwfirst import bw_first, root_proposal
+from ..core.rates import ZERO
+from ..exceptions import TaskPlaneError
+from ..faults.plan import FaultPlan
+from ..platform.tree import Tree
+from ..protocol.actor import DONE, IDLE, NodeActor
+from ..protocol.messages import Acknowledgment, Message, Proposal
+from ..protocol.runner import VIRTUAL_PARENT
+from ..runtime.codec import encode_any, encode_blob, read_any, read_blob
+from ..schedule.periods import tree_periods
+from .frames import EXEC_KINDS
+from .ledger import TaskLedger
+from .plane import (DEFAULT_TIME_SCALE, ChildLink, TaskPlaneNode,
+                    TaskPlaneReport)
+
+#: Loopback only: the cluster is a single-host harness.  Changing this to
+#: a routable address would also require authenticating the hello.
+DEFAULT_HOST = "127.0.0.1"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Everything one node process needs, picklable.
+
+    Note what is *absent*: α and η.  The process negotiates those itself
+    through its actor; the launcher only ships the *expectations*
+    (``expected_lam``/``expected_theta`` from the centralised solve) so
+    the process can assert Proposition 2 locally before trusting its own
+    allocation to pace real work.
+    """
+
+    name: Hashable
+    parent: Optional[Hashable]
+    #: (child, c) in bandwidth-centric order — the actor's world view
+    children: Tuple[Tuple[Hashable, Fraction], ...]
+    #: every tree child (the Stop cascade covers inactive ones too)
+    all_children: Tuple[Hashable, ...]
+    #: analytic buffer capacity per child (χ_in + 2), for credit accounts
+    child_capacity: Dict[Hashable, int] = field(default_factory=dict)
+    rate: Fraction = ZERO
+    capacity: int = 1
+    expected_lam: Optional[Fraction] = None
+    expected_theta: Optional[Fraction] = None
+    #: root only: the seed proposal λ and the throughput it must yield
+    seed_beta: Optional[Fraction] = None
+    expected_throughput: Optional[Fraction] = None
+    max_tasks: Optional[int] = None
+    duration: Optional[float] = None
+    time_scale: float = DEFAULT_TIME_SCALE
+    resend_timeout: float = 0.3
+    plan: Optional[FaultPlan] = None
+    exec_kind: str = "bytes"
+    payload_size: int = 64
+    host: str = DEFAULT_HOST
+    deadline: float = 120.0
+
+
+def _hello(name: Hashable) -> bytes:
+    return encode_blob(json.dumps({"kind": "hello", "node": name},
+                                  separators=(",", ":")).encode("utf-8"))
+
+
+class _NodeProcess:
+    """The asyncio guts of one cluster node (runs inside the child)."""
+
+    def __init__(self, spec: NodeSpec, conn):
+        self.spec = spec
+        self.conn = conn
+        self.is_root = spec.parent is None
+        self.writers: Dict[Hashable, asyncio.StreamWriter] = {}
+        self.inbox: asyncio.Queue = asyncio.Queue()
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.actor: Optional[NodeActor] = None
+        self.engine: Optional[TaskPlaneNode] = None
+        self.engine_done = asyncio.Event()
+        self.negotiated: Optional[asyncio.Future] = None
+        self.hellos = asyncio.Event()
+        self._t0: Optional[float] = None
+        self.failures: List[BaseException] = []
+        self._tasks: List[asyncio.Task] = []
+
+    # -- clock: anchored lazily at first activity ----------------------
+    # The router's token buckets allow ``rate · now`` dispatches; a clock
+    # running since process start would bank the whole negotiation phase
+    # as burst allowance.  Anchoring at the first task frame (root: at
+    # generation start) keeps the buckets honest.
+    def clock(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        return asyncio.get_event_loop().time() - self._t0
+
+    def start_clock(self) -> None:
+        if self._t0 is None:
+            self._t0 = asyncio.get_event_loop().time()
+
+    # -- send paths ----------------------------------------------------
+    def actor_send(self, message: Message) -> None:
+        if message.receiver == VIRTUAL_PARENT:
+            if isinstance(message, Acknowledgment) \
+                    and not self.negotiated.done():
+                self.negotiated.set_result(message.theta)
+            return
+        self.outbox.put_nowait(message)
+
+    async def engine_send(self, frame) -> None:
+        self.outbox.put_nowait(frame)
+
+    async def _pump(self) -> None:
+        """Single ordered writer per process: route by receiver."""
+        while True:
+            message = await self.outbox.get()
+            writer = self.writers.get(message.receiver)
+            if writer is None:
+                raise TaskPlaneError(
+                    f"{self.spec.name!r} has no connection to "
+                    f"{message.receiver!r}"
+                )
+            writer.write(encode_any(message))
+            await writer.drain()
+
+    # -- socket readers ------------------------------------------------
+    async def _read_socket(self, reader: asyncio.StreamReader) -> None:
+        while True:
+            obj = await read_any(reader)
+            if obj is None:
+                return  # clean EOF: the peer drained and closed
+            if isinstance(obj, (Proposal, Acknowledgment)):
+                self.actor.handle(obj)
+                # a non-root actor reaching DONE has settled its whole
+                # subtree's allocation: its engine can be configured now
+                if not self.is_root and self.actor.state == DONE:
+                    self._ensure_engine()
+            else:
+                if not self.is_root:
+                    # covers nodes the negotiation never visits: their
+                    # first (and only) frame is the Stop cascade, long
+                    # after the allocation settled tree-wide
+                    self._ensure_engine()
+                self.start_clock()
+                self.inbox.put_nowait(obj)
+
+    async def _on_child_connect(self, reader, writer) -> None:
+        try:
+            body = await read_blob(reader)
+            hello = json.loads(body.decode("utf-8"))
+            child = hello["node"]
+        except Exception as exc:  # noqa: BLE001 - reject malformed dials
+            writer.close()
+            self.failures.append(TaskPlaneError(
+                f"{self.spec.name!r} received a malformed hello: {exc!r}"
+            ))
+            self._fail_fast()
+            return
+        self.writers[child] = writer
+        if set(self.spec.all_children) <= set(self.writers):
+            self.hellos.set()
+        await self._guard(self._read_socket(reader))
+
+    # -- lifecycle -----------------------------------------------------
+    async def _guard(self, coroutine) -> None:
+        try:
+            await coroutine
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - fail the whole node
+            self.failures.append(exc)
+            self._fail_fast()
+
+    def _fail_fast(self) -> None:
+        if self.engine is not None:
+            self.engine.done.set()
+        self.engine_done.set()
+        if self.negotiated is not None and not self.negotiated.done():
+            self.negotiated.set_exception(self.failures[-1])
+
+    def _spawn(self, coroutine) -> None:
+        self._tasks.append(asyncio.ensure_future(self._guard(coroutine)))
+
+    async def _recv_pipe(self):
+        """Blocking pipe recv off-loop (the launcher is on the far end)."""
+        return await asyncio.get_event_loop().run_in_executor(
+            None, self.conn.recv
+        )
+
+    async def run(self) -> None:
+        spec = self.spec
+        loop = asyncio.get_event_loop()
+        self.negotiated = loop.create_future()
+
+        server = await asyncio.start_server(
+            lambda r, w: asyncio.ensure_future(self._on_child_connect(r, w)),
+            spec.host, 0,
+        )
+        port = server.sockets[0].getsockname()[1]
+        self.conn.send(("port", spec.name, port))
+
+        kind, parent_addr = await self._recv_pipe()
+        if kind != "peers":
+            raise TaskPlaneError(f"expected peers, got {kind!r}")
+
+        self.actor = NodeActor(
+            name=spec.name,
+            rate=spec.rate,
+            parent=spec.parent if spec.parent is not None else VIRTUAL_PARENT,
+            children=list(spec.children),
+            send=self.actor_send,
+        )
+        if parent_addr is not None:
+            reader, writer = await asyncio.open_connection(*parent_addr)
+            writer.write(_hello(spec.name))
+            await writer.drain()
+            self.writers[spec.parent] = writer
+            self._spawn(self._read_socket(reader))
+        self._spawn(self._pump())
+
+        if spec.all_children:
+            await asyncio.wait_for(self.hellos.wait(), timeout=spec.deadline)
+        self.conn.send(("ready", spec.name))
+
+        timer = None
+        if self.is_root:
+            go = await self._recv_pipe()
+            if go != ("go",):
+                raise TaskPlaneError(f"expected go, got {go!r}")
+            self.actor.handle(Proposal(
+                sender=VIRTUAL_PARENT, receiver=spec.name,
+                beta=spec.seed_beta, xid=0,
+            ))
+            theta = await asyncio.wait_for(
+                asyncio.shield(self.negotiated), timeout=spec.deadline
+            )
+            throughput = spec.seed_beta - theta
+            if throughput != spec.expected_throughput:
+                raise TaskPlaneError(
+                    f"cluster negotiated {throughput}, centralised BW-First "
+                    f"computes {spec.expected_throughput}"
+                )
+            # negotiation settled: *now* the engine may trust the actor's
+            # allocation and real work may flow
+            self._ensure_engine()
+            self.start_clock()
+            if spec.duration is not None:
+                engine = self.engine
+
+                def stop_generation():
+                    if not engine.generation_stopped:
+                        engine.generation_stopped = True
+                        engine.generation_stopped_at = self.clock()
+                    engine._maybe_kick()
+                timer = loop.call_later(spec.duration, stop_generation)
+            self.engine._maybe_kick()
+
+        try:
+            await asyncio.wait_for(self.engine_done.wait(),
+                                   timeout=spec.deadline)
+        finally:
+            if timer is not None:
+                timer.cancel()
+        if self.failures:
+            raise self.failures[0]
+
+        self._verify()
+        self.conn.send(("stats", spec.name, self._stats()))
+
+        # drain-and-close: quiescence is already guaranteed by the Stop
+        # cascade; flush what the pump wrote, then drop the sockets
+        for writer in self.writers.values():
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        server.close()
+        await server.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    def _ensure_engine(self) -> None:
+        """Build and start the engine exactly once, *after* the local
+        allocation is known (the inbox buffers any frames that raced it)."""
+        if self.engine is not None:
+            return
+        engine = self._build_engine()
+        self.engine = engine
+        for loop_coro in (engine._recv_loop(), engine._router_loop(),
+                          engine._port_loop(), engine._sweep_loop(),
+                          engine._drain_loop()):
+            self._spawn(loop_coro)
+        if engine.worker is not None:
+            self._spawn(engine._worker_loop())
+
+        async def watch():
+            await engine.done.wait()
+            self.engine_done.set()
+
+        self._spawn(watch())
+
+    def _build_engine(self) -> TaskPlaneNode:
+        """Engine config from the *actor's own* negotiated state.
+
+        ``NodeActor`` exposes its settled transactions as
+        ``(child, beta, theta)`` tuples; ``beta − theta`` is the rate the
+        child absorbed — η_out of that edge — and ``actor.alpha`` the
+        local compute share.  The launcher shipped none of these.
+        """
+        spec = self.spec
+        actor = self.actor
+        eta_out: Dict[Hashable, Fraction] = {}
+        for child, beta, theta in actor.transactions:
+            eta_out[child] = eta_out.get(child, ZERO) + (beta - theta)
+        c_of = dict(spec.children)
+        links = [
+            ChildLink(name=child, c=c_of[child], eta=eta,
+                      capacity=spec.child_capacity.get(child, 1))
+            for child, _ in spec.children
+            for eta in (eta_out.get(child, ZERO),)
+            if eta > 0
+        ]
+        size = spec.payload_size
+
+        def payload(task_id: int) -> bytes:
+            stamp = task_id.to_bytes(8, "big")
+            return (stamp * (size // 8 + 1))[:size]
+
+        return TaskPlaneNode(
+            spec.name,
+            clock=self.clock,
+            send=self.engine_send,
+            inbox=self.inbox,
+            parent=spec.parent,
+            links=links,
+            all_children=list(spec.all_children),
+            alpha=actor.alpha,
+            rate=spec.rate,
+            capacity=spec.capacity,
+            time_scale=spec.time_scale,
+            plan=spec.plan,
+            resend_timeout=spec.resend_timeout,
+            ledger=TaskLedger() if self.is_root else None,
+            max_tasks=spec.max_tasks if self.is_root else None,
+            payload_factory=payload,
+            exec_kind=spec.exec_kind,
+        )
+
+    def _verify(self) -> None:
+        """Proposition 2, asserted in-process: the actor's λ/θ must match
+        the centralised solve the launcher pickled into the spec."""
+        actor = self.actor
+        spec = self.spec
+        if spec.expected_lam is None:
+            if actor.lam is not None:
+                raise TaskPlaneError(
+                    f"{spec.name!r} was proposed λ={actor.lam} but the "
+                    "centralised solve never visits it"
+                )
+            return
+        if actor.state != DONE or actor.lam != spec.expected_lam \
+                or actor.theta != spec.expected_theta:
+            state = (IDLE if actor.lam is None
+                     else f"λ={actor.lam}, θ={getattr(actor, 'theta', '?')}")
+            raise TaskPlaneError(
+                f"{spec.name!r} diverged from Algorithm 1: negotiated "
+                f"{state}, expected λ={spec.expected_lam}, "
+                f"θ={spec.expected_theta}"
+            )
+
+    def _stats(self) -> dict:
+        engine = self.engine
+        stats = {
+            "resends": engine.resends,
+            "resend_requests": engine.resend_requests,
+            "injected_drops": engine.injected_drops,
+            "injected_corruptions": engine.injected_corruptions,
+            "stray_control": engine.stray_control,
+            "peak": engine.buffer.peak if engine.buffer is not None else None,
+            "worker_completed": (engine.worker.completed
+                                 if engine.worker is not None else None),
+        }
+        if self.is_root:
+            ledger = engine.ledger
+            stats.update(
+                generated=ledger.generated,
+                completed=ledger.completed,
+                duplicates=ledger.duplicates,
+                rate=ledger.steady_rate(until=engine.generation_stopped_at),
+                wall=self.clock(),
+            )
+        return stats
+
+
+def _node_main(spec: NodeSpec, conn) -> None:
+    """Process entry point (module-level: picklable under spawn)."""
+    try:
+        asyncio.run(_NodeProcess(spec, conn).run())
+    except BaseException:  # noqa: BLE001 - ship the traceback home
+        try:
+            conn.send(("error", spec.name, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+        raise SystemExit(1)
+
+
+class ClusterPlane:
+    """Launcher for a multi-process run; mirrors :class:`TaskPlane`'s
+    surface where it can (``run() → TaskPlaneReport``)."""
+
+    def __init__(
+        self,
+        tree: Tree,
+        *,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        max_tasks: Optional[int] = 200,
+        duration: Optional[float] = None,
+        plan: Optional[FaultPlan] = None,
+        exec_kind: str = "bytes",
+        payload_size: int = 64,
+        resend_timeout: float = 0.3,
+        deadline: float = 120.0,
+        host: str = DEFAULT_HOST,
+    ):
+        if max_tasks is None and duration is None:
+            raise TaskPlaneError("need max_tasks and/or duration to stop")
+        if exec_kind not in EXEC_KINDS:
+            raise TaskPlaneError(f"unknown exec kind {exec_kind!r}")
+        self.tree = tree
+        self.time_scale = time_scale
+        self.max_tasks = max_tasks
+        self.duration = duration
+        self.plan = plan
+        self.exec_kind = exec_kind
+        self.payload_size = payload_size
+        self.resend_timeout = resend_timeout
+        self.deadline = deadline
+        self.host = host
+
+    def _specs(self) -> Tuple[Dict[Hashable, NodeSpec], object, dict]:
+        tree = self.tree
+        reference = bw_first(tree)
+        allocation = from_bw_first(reference)
+        bounds = taskplane_buffer_bounds(tree_periods(allocation), tree.root)
+        seed = root_proposal(tree)
+        specs = {}
+        for node in tree.nodes():
+            parent = tree.parent(node)
+            outcome = reference.outcomes.get(node)
+            children = tuple(
+                (child, tree.c(child))
+                for child in tree.children_by_bandwidth(node)
+            )
+            specs[node] = NodeSpec(
+                name=node,
+                parent=parent,
+                children=children,
+                all_children=tuple(tree.children(node)),
+                child_capacity={child: bounds.get(child, 1)
+                                for child, _ in children},
+                rate=tree.rate(node),
+                capacity=bounds.get(node, 1),
+                expected_lam=None if outcome is None else outcome.lam,
+                expected_theta=None if outcome is None else outcome.theta,
+                seed_beta=seed if parent is None else None,
+                expected_throughput=(reference.throughput
+                                     if parent is None else None),
+                max_tasks=self.max_tasks if parent is None else None,
+                duration=self.duration if parent is None else None,
+                time_scale=self.time_scale,
+                resend_timeout=self.resend_timeout,
+                plan=self.plan,
+                exec_kind=self.exec_kind,
+                payload_size=self.payload_size,
+                host=self.host,
+                deadline=self.deadline,
+            )
+        return specs, allocation, bounds
+
+    def run(self) -> TaskPlaneReport:
+        specs, allocation, bounds = self._specs()
+        tree = self.tree
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        t_deadline = time.monotonic() + self.deadline
+        processes: Dict[Hashable, object] = {}
+        pipes: Dict[Hashable, object] = {}
+        try:
+            for node, spec in specs.items():
+                ours, theirs = ctx.Pipe()
+                process = ctx.Process(target=_node_main,
+                                      args=(spec, theirs), daemon=True)
+                process.start()
+                theirs.close()
+                processes[node] = process
+                pipes[node] = ours
+
+            ports = self._collect(pipes, "port", t_deadline)
+            for node, conn in pipes.items():
+                parent = tree.parent(node)
+                addr = None if parent is None \
+                    else (specs[parent].host, ports[parent])
+                conn.send(("peers", addr))
+
+            self._collect(pipes, "ready", t_deadline)
+            pipes[tree.root].send(("go",))
+
+            stats = self._collect(pipes, "stats", t_deadline)
+        finally:
+            for process in processes.values():
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+            for conn in pipes.values():
+                conn.close()
+        return self._report(stats, allocation, bounds)
+
+    def _collect(self, pipes, expected: str, t_deadline: float) -> dict:
+        """One ``(expected, name, value)`` message from every pipe; an
+        ``error`` from any process aborts the whole launch."""
+        out = {}
+        for node, conn in pipes.items():
+            remaining = t_deadline - time.monotonic()
+            if remaining <= 0 or not conn.poll(timeout=remaining):
+                raise TaskPlaneError(
+                    f"cluster node {node!r} sent no {expected!r} within "
+                    f"the {self.deadline}s deadline"
+                )
+            message = conn.recv()
+            if message[0] == "error":
+                raise TaskPlaneError(
+                    f"cluster node {message[1]!r} failed:\n{message[2]}"
+                )
+            if message[0] != expected:
+                raise TaskPlaneError(
+                    f"cluster node {node!r} sent {message[0]!r}, "
+                    f"expected {expected!r}"
+                )
+            out[message[1]] = message[2] if len(message) > 2 else None
+        return out
+
+    def _report(self, stats: dict, allocation, bounds) -> TaskPlaneReport:
+        root_stats = stats[self.tree.root]
+        rate = root_stats["rate"]
+        return TaskPlaneReport(
+            transport="cluster",
+            nodes=len(stats),
+            optimal_throughput=allocation.throughput,
+            time_scale=self.time_scale,
+            generated=root_stats["generated"],
+            completed=root_stats["completed"],
+            duplicates=root_stats["duplicates"],
+            resends=sum(s["resends"] for s in stats.values()),
+            resend_requests=sum(s["resend_requests"] for s in stats.values()),
+            injected_drops=sum(s["injected_drops"] for s in stats.values()),
+            injected_corruptions=sum(s["injected_corruptions"]
+                                     for s in stats.values()),
+            stray_control=sum(s["stray_control"] for s in stats.values()),
+            peak_occupancy={str(n): s["peak"] for n, s in stats.items()
+                            if s["peak"] is not None},
+            bounds={str(n): b for n, b in bounds.items()},
+            measured_rate=None if rate is None else rate * self.time_scale,
+            completions_per_sec=rate,
+            wall_seconds=root_stats["wall"],
+            worker_completed={str(n): s["worker_completed"]
+                              for n, s in stats.items()
+                              if s["worker_completed"] is not None},
+        )
+
+
+def run_cluster(tree: Tree, **kwargs) -> TaskPlaneReport:
+    """One-shot convenience: ``ClusterPlane(tree, **kwargs).run()``."""
+    return ClusterPlane(tree, **kwargs).run()

@@ -1,0 +1,262 @@
+"""Payload frames of the task data plane.
+
+Seven frame kinds ride the runtime's length|CRC32|body framing alongside
+the control codec (registered via
+:func:`repro.runtime.codec.register_frame_kind`), so negotiation and task
+traffic interleave on one connection:
+
+* ``task`` — :class:`TaskFrame`: one task payload travelling parent→child.
+  Carries its *own* CRC32 over the raw payload bytes, computed once at the
+  origin: the transport-level frame CRC protects each hop's octets, but a
+  payload corrupted *before* encoding (the fault model of
+  :class:`~repro.faults.plan.FaultPlan.task_corrupt`, staged exactly where
+  a buggy buffer or DMA would strike) re-frames cleanly — only the
+  end-to-end payload checksum can catch it at delivery;
+* ``tack`` — :class:`DeliveryAck`: the child holds the task; the parent
+  may release its retention copy;
+* ``tnak`` — :class:`ResendRequest`: the payload checksum failed on
+  delivery; the parent must resend from its retention buffer;
+* ``tcr`` — :class:`CreditGrant`: a buffer slot freed downstream; the
+  credit protocol of :mod:`repro.taskplane.buffers` makes overflow
+  structurally impossible;
+* ``tres`` — :class:`ResultReport`: a task finished computing at
+  ``origin``; relayed hop-by-hop to the root, whose ledger timestamps it;
+* ``tstop`` / ``tdone`` — :class:`Stop` / :class:`Stopped`: the drain
+  cascade.  The root sends Stop only after exact accounting closed, so a
+  child's Stop can never overtake work it still owes.
+
+Payload bytes cross the JSON wire as base64 (``b64encode`` is
+deterministic and binary-safe); everything else is the compact JSON the
+control codec already speaks.  Every decoder raises a recoverable
+:class:`~repro.exceptions.CodecError` on malformed fields, so hostile
+bytes die in reader loops exactly like corrupt control frames.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..exceptions import CodecError
+from ..runtime.codec import register_frame_kind
+
+#: Allowed execution kinds of a task payload: opaque bytes (the default —
+#: the plane just moves and "computes" them) or a pickled ``(fn, args)``
+#: pair executed by the worker pool.
+EXEC_KINDS = ("bytes", "call")
+
+
+def payload_crc(payload: bytes) -> int:
+    """The end-to-end payload checksum carried inside every task frame."""
+    return zlib.crc32(payload)
+
+
+class _Frame:
+    """Shared machinery: JSON round-trip and model wire size."""
+
+    __slots__ = ()
+
+    def to_payload(self) -> dict:
+        raise NotImplementedError
+
+    @property
+    def wire_size(self) -> int:
+        """Real serialised bytes: 8-byte header + compact JSON body."""
+        body = json.dumps(self.to_payload(), separators=(",", ":"))
+        return 8 + len(body.encode("utf-8"))
+
+
+def _field(payload: dict, key: str, kinds, what: str):
+    value = payload.get(key)
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise CodecError(f"bad {what} {value!r} in {payload.get('t')!r} frame")
+    return value
+
+
+def _name(payload: dict, key: str):
+    value = payload.get(key)
+    if not isinstance(value, (str, int, bool, type(None))):
+        raise CodecError(f"bad node name {value!r} in payload frame")
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFrame(_Frame):
+    """One task payload in flight on a tree edge (parent → child)."""
+
+    sender: Hashable
+    receiver: Hashable
+    task_id: int
+    payload: bytes
+    crc: int
+    kind: str = "bytes"
+
+    def to_payload(self) -> dict:
+        return {
+            "t": "task", "s": self.sender, "r": self.receiver,
+            "id": self.task_id,
+            "p": base64.b64encode(self.payload).decode("ascii"),
+            "c": self.crc, "k": self.kind,
+        }
+
+    @property
+    def intact(self) -> bool:
+        """Does the payload still match its origin checksum?"""
+        return payload_crc(self.payload) == self.crc
+
+    @staticmethod
+    def decode(payload: dict) -> "TaskFrame":
+        raw = _field(payload, "p", str, "task payload")
+        try:
+            body = base64.b64decode(raw.encode("ascii"), validate=True)
+        except (binascii.Error, ValueError) as exc:
+            raise CodecError(f"undecodable task payload {raw[:40]!r}") from exc
+        kind = payload.get("k", "bytes")
+        if kind not in EXEC_KINDS:
+            raise CodecError(f"unknown task exec kind {kind!r}")
+        return TaskFrame(
+            sender=_name(payload, "s"), receiver=_name(payload, "r"),
+            task_id=_field(payload, "id", int, "task id"),
+            payload=body, crc=_field(payload, "c", int, "payload crc"),
+            kind=kind,
+        )
+
+
+def make_task(sender, receiver, task_id: int, payload: bytes,
+              kind: str = "bytes") -> TaskFrame:
+    """A fresh task frame with its end-to-end checksum computed."""
+    return TaskFrame(sender=sender, receiver=receiver, task_id=task_id,
+                     payload=payload, crc=payload_crc(payload), kind=kind)
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryAck(_Frame):
+    """Child → parent: task held; drop your retention copy."""
+
+    sender: Hashable
+    receiver: Hashable
+    task_id: int
+
+    def to_payload(self) -> dict:
+        return {"t": "tack", "s": self.sender, "r": self.receiver,
+                "id": self.task_id}
+
+    @staticmethod
+    def decode(payload: dict) -> "DeliveryAck":
+        return DeliveryAck(sender=_name(payload, "s"),
+                           receiver=_name(payload, "r"),
+                           task_id=_field(payload, "id", int, "task id"))
+
+
+@dataclass(frozen=True, slots=True)
+class ResendRequest(_Frame):
+    """Child → parent: payload checksum failed; resend from retention."""
+
+    sender: Hashable
+    receiver: Hashable
+    task_id: int
+
+    def to_payload(self) -> dict:
+        return {"t": "tnak", "s": self.sender, "r": self.receiver,
+                "id": self.task_id}
+
+    @staticmethod
+    def decode(payload: dict) -> "ResendRequest":
+        return ResendRequest(sender=_name(payload, "s"),
+                             receiver=_name(payload, "r"),
+                             task_id=_field(payload, "id", int, "task id"))
+
+
+@dataclass(frozen=True, slots=True)
+class CreditGrant(_Frame):
+    """Child → parent: *amount* buffer slots freed; you may send again."""
+
+    sender: Hashable
+    receiver: Hashable
+    amount: int = 1
+
+    def to_payload(self) -> dict:
+        return {"t": "tcr", "s": self.sender, "r": self.receiver,
+                "n": self.amount}
+
+    @staticmethod
+    def decode(payload: dict) -> "CreditGrant":
+        amount = _field(payload, "n", int, "credit amount")
+        if amount < 1:
+            raise CodecError(f"non-positive credit grant {amount}")
+        return CreditGrant(sender=_name(payload, "s"),
+                           receiver=_name(payload, "r"), amount=amount)
+
+
+@dataclass(frozen=True, slots=True)
+class ResultReport(_Frame):
+    """Hop-by-hop relay of a completed task toward the root's ledger."""
+
+    sender: Hashable
+    receiver: Hashable
+    task_id: int
+    origin: Hashable
+
+    def to_payload(self) -> dict:
+        return {"t": "tres", "s": self.sender, "r": self.receiver,
+                "id": self.task_id, "o": self.origin}
+
+    @staticmethod
+    def decode(payload: dict) -> "ResultReport":
+        return ResultReport(sender=_name(payload, "s"),
+                            receiver=_name(payload, "r"),
+                            task_id=_field(payload, "id", int, "task id"),
+                            origin=_name(payload, "o"))
+
+
+@dataclass(frozen=True, slots=True)
+class Stop(_Frame):
+    """Parent → child: accounting closed; drain your subtree and exit."""
+
+    sender: Hashable
+    receiver: Hashable
+
+    def to_payload(self) -> dict:
+        return {"t": "tstop", "s": self.sender, "r": self.receiver}
+
+    @staticmethod
+    def decode(payload: dict) -> "Stop":
+        return Stop(sender=_name(payload, "s"), receiver=_name(payload, "r"))
+
+
+@dataclass(frozen=True, slots=True)
+class Stopped(_Frame):
+    """Child → parent: my whole subtree has drained and exited."""
+
+    sender: Hashable
+    receiver: Hashable
+    completed: int = 0
+
+    def to_payload(self) -> dict:
+        return {"t": "tdone", "s": self.sender, "r": self.receiver,
+                "n": self.completed}
+
+    @staticmethod
+    def decode(payload: dict) -> "Stopped":
+        return Stopped(sender=_name(payload, "s"),
+                       receiver=_name(payload, "r"),
+                       completed=_field(payload, "n", int, "completed count"))
+
+
+#: Every payload frame class, keyed by wire kind — the registration table.
+FRAME_KINDS = {
+    "task": TaskFrame,
+    "tack": DeliveryAck,
+    "tnak": ResendRequest,
+    "tcr": CreditGrant,
+    "tres": ResultReport,
+    "tstop": Stop,
+    "tdone": Stopped,
+}
+
+for _kind, _cls in FRAME_KINDS.items():
+    register_frame_kind(_kind, _cls.decode)

@@ -1,0 +1,44 @@
+"""Cross-validation of the live plane against the exact simulator.
+
+The simulator and the plane answer the same question — how many tasks does
+this tree complete? — from opposite ends: the simulator on an exact
+virtual timeline, the plane on a wall clock.  :func:`sim_completions`
+gives the deterministic reference count over a virtual horizon (the
+machine-exact ``node_evals`` of the E30 bench baseline), and
+:func:`expected_completions` the closed-form steady-state count, so a
+plane run can be sanity-checked from both directions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from ..core.allocation import Allocation, from_bw_first
+from ..core.bwfirst import bw_first
+from ..platform.tree import Tree
+from ..sim.simulator import simulate
+
+
+def sim_completions(tree: Tree, horizon,
+                    allocation: Optional[Allocation] = None,
+                    supply: Optional[int] = None) -> int:
+    """Tasks the exact simulator completes by *horizon* virtual units.
+
+    Deterministic across machines (exact rational event timeline), so it
+    anchors the E30 bench baseline: a regression that changes how many
+    tasks the reference schedule completes is a correctness bug, not
+    noise.
+    """
+    result = simulate(tree, allocation=allocation,
+                      horizon=Fraction(horizon), supply=supply,
+                      record_segments=False, record_buffers=False)
+    return result.completed
+
+
+def expected_completions(tree: Tree, horizon,
+                         allocation: Optional[Allocation] = None) -> Fraction:
+    """The steady-state closed form: ``throughput × horizon``."""
+    if allocation is None:
+        allocation = from_bw_first(bw_first(tree))
+    return allocation.throughput * Fraction(horizon)

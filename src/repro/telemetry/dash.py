@@ -77,6 +77,7 @@ _PAGE = """<!DOCTYPE html>
  <section><h2>simulator</h2><div id="sim" class="dim">no data</div></section>
  <section><h2>incr-solver cache</h2><div id="cache" class="dim">no data</div></section>
  <section><h2>runtime octets / edge</h2><div id="octets" class="dim">no data</div></section>
+ <section><h2>task plane</h2><div id="taskplane" class="dim">no data</div></section>
  <section><h2>benchwatch</h2><div id="bench" class="dim">no data</div></section>
 </main>
 <script>
@@ -120,6 +121,21 @@ function render(s){
     .map(m=>[m.labels.edge,fmt(m.total)]);
   $("octets").innerHTML=edges.length?table(edges,["edge","octets"]):
     `<span class="dim">no TCP runtime traffic (run with --runtime tcp)</span>`;
+  const depth=G.filter(g=>g.name=="taskplane.buffer_depth");
+  const bound=n=>G.find(g=>g.name=="taskplane.buffer_bound"&&
+    g.labels.node==n)?.value;
+  if(depth.length){
+    const tpRows=depth.sort((a,b)=>(b.max??0)-(a.max??0)).slice(0,10)
+      .map(g=>{const b=bound(g.labels.node);
+        const over=b!=null&&(g.max??0)>b;
+        return [g.labels.node,fmt(g.value),fmt(g.max),fmt(b),
+          `<span class="${over?"bad":"ok"}">${over?"NO":"yes"}</span>`]});
+    $("taskplane").innerHTML=
+      `completions: <b>${fmt(sum(C,m=>m.name=="taskplane.completions"))}</b>`+
+      ` · rate <b>${fmt(rate(C,m=>m.name=="taskplane.completions"))}/s</b>`+
+      ` · resends <b>${fmt(sum(C,m=>m.name=="taskplane.resends"))}</b>`+
+      table(tpRows,["edge→node","buffer now","peak","bound","within"]);
+  }
 }
 function renderEpochs(){
   if(!epochs.length)return;
@@ -333,7 +349,8 @@ def _make_handler(dash: Dashboard):
 # ----------------------------------------------------------------------
 def run_dash_workload(registry: LiveRegistry, nodes: int = 1000,
                       seed: int = 1, runtime: Optional[str] = None,
-                      state: Optional[Dict[str, Any]] = None):
+                      state: Optional[Dict[str, Any]] = None,
+                      taskplane_tasks: int = 120):
     """A seeded crash→quarantine→rejoin recovery story on a smooth-rate
     platform, instrumented into *registry* (pass the dashboard's).
 
@@ -343,6 +360,11 @@ def run_dash_workload(registry: LiveRegistry, nodes: int = 1000,
     re-negotiations through the real asyncio runtime (``"tcp"`` populates
     the per-edge octet panel).  *state*, when given, is mutated in place
     (``status`` / ``wall_s`` / ``epochs``) for BenchWatch drift checks.
+
+    After the recovery story, a live task plane executes
+    *taskplane_tasks* real payloads on the Section 8 tree into the same
+    registry — the ``taskplane.*`` gauges feed the per-edge
+    occupancy-vs-bound panel (0 skips the phase).
     """
     from fractions import Fraction
 
@@ -373,8 +395,22 @@ def run_dash_workload(registry: LiveRegistry, nodes: int = 1000,
         )
         state["wall_s"] = time.monotonic() - t0
         state["epochs"] = len(report.epochs)
-        state["status"] = "done"
         state["rate_after"] = float(report.rate_after)
+        if taskplane_tasks:
+            from ..platform.examples import paper_figure4_tree
+            from ..taskplane import run_plane
+
+            state["status"] = "task plane"
+            plane = run_plane(paper_figure4_tree(), "inproc",
+                              max_tasks=taskplane_tasks, registry=registry)
+            state["taskplane"] = {
+                "completed": plane.completed,
+                "lost": plane.lost,
+                "duplicates": plane.duplicates,
+                "convergence": plane.convergence,
+                "occupancy_ok": plane.occupancy_ok(),
+            }
+        state["status"] = "done"
         return report
     except BaseException as exc:
         state["status"] = f"error: {exc}"
