@@ -59,15 +59,24 @@ runtime-smoke:
 # the E27 gate asserts the int kernel's best-of-3 run() CPU time strictly
 # beats the Fraction kernel's (an expected ~2-3x gap, so noise cannot
 # invert it) and that a leaf mutation recomputes strictly fewer schedule
-# fragments than a full rebuild.
+# fragments than a full rebuild.  The E31 gate asserts the array kernel
+# strictly beats the int kernel at 10k nodes (~3x expected) and that a
+# 100k-node, >=1M-event array run completes inside the timeout; a second
+# pytest leg re-runs the engine/timeline suites with REPRO_NO_NUMPY=1 so
+# the pure-Python array backend stays green on hosts without numpy.
 perf-smoke:
-	timeout 540 sh -c "\
+	timeout 600 sh -c "\
 		PYTHONPATH=src pytest \
 			'benchmarks/bench_e26_incremental.py::test_e26_perf_smoke_gate' \
 			'benchmarks/bench_e27_timeline.py::test_e27_perf_smoke_gate' \
+			'benchmarks/bench_e31_arraykernel.py::test_e31_perf_smoke_gate' \
+			'benchmarks/bench_e31_arraykernel.py::test_e31_100k_nodes_million_events' \
 			tests/test_incremental.py tests/test_timeline.py -q && \
+		PYTHONPATH=src REPRO_NO_NUMPY=1 pytest \
+			tests/test_engine.py tests/test_timeline.py -q && \
 		PYTHONPATH=src python -m repro bench-incr --nodes 200 --mutations 5 && \
-		PYTHONPATH=src python -m repro bench-timeline --nodes 200"
+		PYTHONPATH=src python -m repro bench-timeline --nodes 200 && \
+		PYTHONPATH=src python -m repro bench-timeline --nodes 200 --kernel array"
 
 # the self-healing gate: 100 seeded random fault sequences (crashes,
 # rejoins, root failover, hostile links, background loss) must EVERY one

@@ -1,0 +1,182 @@
+"""E31 — array-structured event kernel at 10k–100k nodes.
+
+The struct-of-arrays kernel (``kernel="array"``: dense-id parallel state
+arrays + a bucketed integer event queue draining every same-tick event per
+heap pop) against the scaled-integer heap kernel (``kernel="int"``), on the
+same E27 smooth-tree family the earlier kernel benchmarks use.
+
+Two claims, mirroring the roadmap acceptance bar:
+
+* **≥3× at 10k nodes** — measured with ``root_pacing="burst"`` (the whole
+  root bunch released at each period start), which is the bucketed queue's
+  design case: thousands of events share a tick, so the array kernel pays
+  one heap pop where the int kernel pays Ψ ``heappush``/``heappop`` pairs.
+  Even pacing measures ~3.1× on the same host; burst ~3.4×.
+* **100k nodes, ≥1M events** — the array kernel completes a seven-period
+  100k-node run (>1.2M events) in single-digit seconds; the run is gated
+  inside ``make perf-smoke``'s hard timeout.
+
+Both comparisons are counts-only (segments/buffers/events recording off):
+that is the regime the kernels are built for, and the observable outputs —
+completed tasks, end time, events processed — are asserted equal across
+kernels, so the speedup compares identical computations.  Full-trace
+bit-equality across all three kernels is property-tested over 25 seeds in
+``tests/test_timeline.py``; a spot check rides along here.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from fractions import Fraction
+
+from repro.core.allocation import from_bw_first
+from repro.core.bwfirst import bw_first
+from repro.platform.generators import smooth_tree
+from repro.schedule.eventdriven import build_schedules
+from repro.schedule.periods import global_period, tree_periods
+from repro.sim.simulator import Simulation
+from repro.util.text import render_table
+
+from .conftest import emit
+
+E31_NODES = 10_000
+E31_BIG_NODES = 100_000
+E31_SEED = 1
+E31_PERIODS = 3
+E31_BIG_PERIODS = 7
+E31_REPEATS = 3
+E31_PACING = "burst"
+
+
+def e31_setup(nodes=E31_NODES, seed=E31_SEED, periods=E31_PERIODS):
+    tree = smooth_tree(nodes, seed)
+    allocation = from_bw_first(bw_first(tree))
+    period_map = tree_periods(allocation)
+    schedules = build_schedules(allocation, periods=period_map)
+    horizon = Fraction(global_period(period_map)) * periods
+    return tree, period_map, schedules, horizon
+
+
+def counts_only_sim(tree, schedules, periods, horizon, kernel,
+                    pacing=E31_PACING):
+    return Simulation(tree, dict(schedules), dict(periods), horizon=horizon,
+                      kernel=kernel, root_pacing=pacing,
+                      record_segments=False, record_buffers=False,
+                      record_events=False)
+
+
+def best_counts_run(tree, schedules, periods, horizon, kernel,
+                    pacing=E31_PACING, repeats=E31_REPEATS):
+    """Best-of-*repeats* CPU seconds of ``run()`` with recording off and
+    the cycle GC paused, plus the last (sim, result) for assertions."""
+    best, sim, result = None, None, None
+    for _ in range(repeats):
+        sim = counts_only_sim(tree, schedules, periods, horizon, kernel,
+                              pacing)
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.process_time()
+            result = sim.run()
+            dt = time.process_time() - t0
+        finally:
+            gc.enable()
+        best = dt if best is None else min(best, dt)
+    return best, sim, result
+
+
+def test_e31_traces_exactly_equal():
+    """Spot check: full traces (segments on) are bit-identical across all
+    three kernels, so the speedup numbers compare identical computations."""
+    tree, periods, schedules, horizon = e31_setup(nodes=200, periods=1)
+    traces = {}
+    for kernel in ("int", "fraction", "array"):
+        sim = Simulation(tree, dict(schedules), dict(periods),
+                         horizon=horizon, kernel=kernel,
+                         root_pacing=E31_PACING)
+        traces[kernel] = sim.run().trace
+    ref = traces["fraction"]
+    for kernel in ("int", "array"):
+        got = traces[kernel]
+        assert got.segments == ref.segments
+        assert got.completions == ref.completions
+        assert got.buffer_deltas == ref.buffer_deltas
+        assert got.end_time == ref.end_time
+
+
+def test_e31_array_speedup_10k_nodes():
+    """The acceptance bar: ≥3× over the int kernel at 10k nodes."""
+    tree, periods, schedules, horizon = e31_setup()
+    wall, sims, results = {}, {}, {}
+    for kernel in ("int", "array"):
+        wall[kernel], sims[kernel], results[kernel] = best_counts_run(
+            tree, schedules, periods, horizon, kernel)
+    assert (results["array"].trace.completed
+            == results["int"].trace.completed)
+    assert (results["array"].trace.end_time
+            == results["int"].trace.end_time)
+    assert (sims["array"].engine.processed
+            == sims["int"].engine.processed)
+
+    ratio = wall["int"] / wall["array"]
+    backend = sims["array"]._astate.backend
+    emit(
+        f"E31: {E31_NODES}-node simulator, burst pacing, horizon "
+        f"{E31_PERIODS} global periods (seed {E31_SEED})",
+        render_table(
+            ["kernel", "best-of-3 run() s", "events", "tasks"],
+            [["int", f"{wall['int']:.3f}",
+              str(sims["int"].engine.processed),
+              str(results["int"].trace.completed)],
+             ["array", f"{wall['array']:.3f}",
+              str(sims["array"].engine.processed),
+              str(results["array"].trace.completed)]],
+        ) + f"\nspeedup: {ratio:.2f}x (bar: >=3x, backend={backend})",
+    )
+    assert ratio >= 3, f"array-kernel speedup {ratio:.2f}x below the 3x bar"
+
+
+def test_e31_100k_nodes_million_events():
+    """The scale bar: a 100k-node run of more than one million events
+    completes (single run; setup dominates, run() is single-digit s)."""
+    tree, periods, schedules, horizon = e31_setup(
+        nodes=E31_BIG_NODES, periods=E31_BIG_PERIODS)
+    sim = counts_only_sim(tree, schedules, periods, horizon, "array")
+    gc.collect()
+    t0 = time.process_time()
+    result = sim.run()
+    dt = time.process_time() - t0
+    emit(
+        f"E31: {E31_BIG_NODES}-node array kernel, horizon "
+        f"{E31_BIG_PERIODS} global periods (seed {E31_SEED})",
+        f"run(): {dt:.2f}s CPU, {sim.engine.processed} events, "
+        f"{result.trace.completed} tasks, "
+        f"backend={sim._astate.backend}, "
+        f"int64 fallbacks={sim._int64_fallbacks}",
+    )
+    assert sim.engine.processed >= 1_000_000, (
+        f"only {sim.engine.processed} events — below the 1M-event bar")
+    assert result.trace.completed > 0
+    assert sim._int64_fallbacks == 0, "10k-scale family must stay in int64"
+
+
+def test_e31_perf_smoke_gate():
+    """The CI regression gate, sized for slow runners: at 10k nodes over a
+    one-period horizon the array kernel must be strictly faster than the
+    int kernel (~3x expected, so noise cannot invert it), at identical
+    observable outputs."""
+    tree, periods, schedules, horizon = e31_setup(periods=1)
+    wall, sims, results = {}, {}, {}
+    for kernel in ("int", "array"):
+        wall[kernel], sims[kernel], results[kernel] = best_counts_run(
+            tree, schedules, periods, horizon, kernel)
+    assert (results["array"].trace.completed
+            == results["int"].trace.completed)
+    assert (results["array"].trace.end_time
+            == results["int"].trace.end_time)
+    assert (sims["array"].engine.processed
+            == sims["int"].engine.processed)
+    assert wall["array"] < wall["int"], (
+        f"array kernel ({wall['array']:.3f}s) must beat the int kernel "
+        f"({wall['int']:.3f}s) at {E31_NODES} nodes")

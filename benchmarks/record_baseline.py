@@ -201,6 +201,76 @@ def record_e27(nodes=1000, seed=1, periods=3, repeats=3, mutations=10):
     return records
 
 
+def record_e31(nodes=10_000, big_nodes=100_000, seed=1, periods=3,
+               big_periods=7, repeats=3):
+    """Array kernel vs int kernel at 10k nodes (burst pacing, counts-only),
+    plus the 100k-node scale leg.  ``node_evals`` stores the engine's
+    processed-event count — deterministic per (nodes, seed, periods), so a
+    change means kernel behaviour changed, not the host."""
+    import gc
+
+    def setup(n, n_periods):
+        tree = smooth_tree(n, seed)
+        allocation = from_bw_first(bw_first(tree))
+        period_map = tree_periods(allocation)
+        schedules = build_schedules(allocation, periods=period_map)
+        horizon = Fraction(global_period(period_map)) * n_periods
+        return tree, period_map, schedules, horizon
+
+    def counts_sim(tree, period_map, schedules, horizon, kernel):
+        return Simulation(tree, dict(schedules), dict(period_map),
+                          horizon=horizon, kernel=kernel,
+                          root_pacing="burst", record_segments=False,
+                          record_buffers=False, record_events=False)
+
+    records = []
+    tree, period_map, schedules, horizon = setup(nodes, periods)
+    wall, sims, results = {}, {}, {}
+    for kernel in ("int", "array"):
+        best, sim, result = None, None, None
+        for _ in range(repeats):
+            sim = counts_sim(tree, period_map, schedules, horizon, kernel)
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.process_time()
+                result = sim.run()
+                dt = time.process_time() - t0
+            finally:
+                gc.enable()
+            best = dt if best is None else min(best, dt)
+        wall[kernel], sims[kernel], results[kernel] = best, sim, result
+        records.append(dict(
+            params=dict(nodes=nodes, seed=seed, periods=periods,
+                        family="e31", pacing="burst", kernel=kernel),
+            wall_s=round(wall[kernel], 6),
+            node_evals=sims[kernel].engine.processed,
+        ))
+    assert (results["array"].trace.completed
+            == results["int"].trace.completed)
+    assert sims["array"].engine.processed == sims["int"].engine.processed
+    ratio = wall["int"] / wall["array"]
+    print(f"e31 n={nodes}: int {wall['int']*1e3:.1f}ms vs array "
+          f"{wall['array']*1e3:.1f}ms ({ratio:.2f}x, "
+          f"backend={sims['array']._astate.backend})")
+    assert ratio >= 3, f"array-kernel speedup {ratio:.2f}x below 3x"
+
+    tree, period_map, schedules, horizon = setup(big_nodes, big_periods)
+    sim = counts_sim(tree, period_map, schedules, horizon, "array")
+    result, big_wall = timed(sim.run)
+    assert sim.engine.processed >= 1_000_000
+    records.append(dict(
+        params=dict(nodes=big_nodes, seed=seed, periods=big_periods,
+                    family="e31", pacing="burst", kernel="array"),
+        wall_s=round(big_wall, 6),
+        node_evals=sim.engine.processed,
+    ))
+    print(f"e31 n={big_nodes}: array run() {big_wall:.2f}s, "
+          f"{sim.engine.processed} events, "
+          f"{result.trace.completed} tasks")
+    return records
+
+
 def record_e28(sequences=100, seed=0):
     from repro.faults.chaos import chaos_sweep
 
@@ -346,6 +416,7 @@ BENCHES = {
     "e28_chaos": record_e28,
     "e29_live": record_e29,
     "e30_taskplane": record_e30,
+    "e31_arraykernel": record_e31,
 }
 
 

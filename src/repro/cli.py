@@ -52,6 +52,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from contextlib import contextmanager
 from fractions import Fraction
 from typing import List, Optional
 
@@ -286,6 +287,7 @@ def _cmd_dash(args: argparse.Namespace) -> int:
         baseline_dir=args.baselines,
         interval=args.interval,
         workload=not args.no_workload,
+        kernel=args.kernel,
     )
     print(f"repro dash: serving {dash.url}")
     print(f"  workload: {args.nodes}-node seeded chaos/recovery "
@@ -350,6 +352,43 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _profiled(args):
+    """cProfile the wrapped block when ``--profile`` was given: print the
+    top-N entries by cumulative time, optionally dump raw pstats for
+    snakeviz/pstats tooling.  A no-op otherwise, so timed sections keep
+    their numbers when profiling is off."""
+    if not getattr(args, "profile", False):
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        stats = pstats.Stats(profile).sort_stats("cumulative")
+        print(f"\n-- cProfile: top {args.profile_top} by cumulative time "
+              f"(timings include profiler overhead) --")
+        stats.print_stats(args.profile_top)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print(f"wrote {args.profile_out}")
+
+
+def _add_profile_options(p) -> None:
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the measured section and print the "
+                        "hottest functions")
+    p.add_argument("--profile-top", type=int, default=25, metavar="N",
+                   help="rows of profile output (default 25)")
+    p.add_argument("--profile-out", metavar="PATH",
+                   help="dump raw pstats data for later analysis")
+
+
 def _cmd_bench_incr(args: argparse.Namespace) -> int:
     import random as _random
     import time as _time
@@ -372,21 +411,23 @@ def _cmd_bench_incr(args: argparse.Namespace) -> int:
     rng = _random.Random(args.seed)
     rows = []
     ratios = []
-    for step in range(args.mutations):
-        victim = rng.choice(
-            [n for n in solver.tree.leaves() if n != solver.tree.root])
-        solver.prune(victim)
-        t0 = _time.perf_counter()
-        result = solver.solve()
-        wall = _time.perf_counter() - t0
-        full_evals = len(bw_first(solver.tree).outcomes)
-        assert result.throughput == bw_first(solver.tree).throughput
-        ratio = full_evals / max(solver.last_evals, 1)
-        ratios.append(ratio)
-        rows.append([
-            str(step), str(victim), str(full_evals), str(solver.last_evals),
-            f"{ratio:.1f}x", f"{wall * 1000:.2f}",
-        ])
+    with _profiled(args):
+        for step in range(args.mutations):
+            victim = rng.choice(
+                [n for n in solver.tree.leaves() if n != solver.tree.root])
+            solver.prune(victim)
+            t0 = _time.perf_counter()
+            result = solver.solve()
+            wall = _time.perf_counter() - t0
+            full_evals = len(bw_first(solver.tree).outcomes)
+            assert result.throughput == bw_first(solver.tree).throughput
+            ratio = full_evals / max(solver.last_evals, 1)
+            ratios.append(ratio)
+            rows.append([
+                str(step), str(victim), str(full_evals),
+                str(solver.last_evals),
+                f"{ratio:.1f}x", f"{wall * 1000:.2f}",
+            ])
     print(render_table(
         ["step", "pruned leaf", "full evals", "incr evals", "ratio", "ms"],
         rows))
@@ -422,26 +463,28 @@ def _cmd_bench_timeline(args: argparse.Namespace) -> int:
     schedules = build_schedules(allocation, periods=periods)
     horizon = Fraction(global_period(periods)) * args.periods
 
+    fast = args.kernel
     wall = {}
     tasks = {}
-    for kernel in ("int", "fraction"):
-        best = None
-        for _ in range(args.repeats):
-            sim = Simulation(tree, dict(schedules), dict(periods),
-                             horizon=horizon, kernel=kernel,
-                             record_segments=False, record_buffers=False)
-            _gc.collect()
-            _gc.disable()  # keep cycle-GC pauses off the timed run
-            try:
-                t0 = _time.process_time()
-                result = sim.run()
-                dt = _time.process_time() - t0
-            finally:
-                _gc.enable()
-            best = dt if best is None else min(best, dt)
-        wall[kernel] = best
-        tasks[kernel] = result.trace.completed
-    speedup = wall["fraction"] / max(wall["int"], 1e-12)
+    with _profiled(args):
+        for kernel in (fast, "fraction"):
+            best = None
+            for _ in range(args.repeats):
+                sim = Simulation(tree, dict(schedules), dict(periods),
+                                 horizon=horizon, kernel=kernel,
+                                 record_segments=False, record_buffers=False)
+                _gc.collect()
+                _gc.disable()  # keep cycle-GC pauses off the timed run
+                try:
+                    t0 = _time.process_time()
+                    result = sim.run()
+                    dt = _time.process_time() - t0
+                finally:
+                    _gc.enable()
+                best = dt if best is None else min(best, dt)
+            wall[kernel] = best
+            tasks[kernel] = result.trace.completed
+    speedup = wall["fraction"] / max(wall[fast], 1e-12)
 
     solver = IncrementalSolver(smooth_tree(args.nodes, args.seed))
     builder = solver.schedule_builder()
@@ -462,9 +505,10 @@ def _cmd_bench_timeline(args: argparse.Namespace) -> int:
         print(_json.dumps(dict(
             nodes=args.nodes, seed=args.seed, periods=args.periods,
             repeats=args.repeats, mutations=args.mutations,
+            kernel=fast,
             wall_s_fraction=round(wall["fraction"], 6),
-            wall_s_int=round(wall["int"], 6),
-            tasks=tasks["int"],
+            **{f"wall_s_{fast}": round(wall[fast], 6)},
+            tasks=tasks[fast],
             simulator_speedup=round(speedup, 3),
             fragments_full=full_frags,
             fragments_recomputed=incr_frags,
@@ -474,7 +518,7 @@ def _cmd_bench_timeline(args: argparse.Namespace) -> int:
     print(render_table(
         ["kernel", f"best-of-{args.repeats} run() s", "tasks"],
         [["fraction", f"{wall['fraction']:.4f}", str(tasks["fraction"])],
-         ["int", f"{wall['int']:.4f}", str(tasks["int"])]]))
+         [fast, f"{wall[fast]:.4f}", str(tasks[fast])]]))
     print(f"\nsimulator speedup over {args.periods} global period(s): "
           f"{speedup:.2f}x")
     print(f"schedule fragments over {args.mutations} single-leaf prunes: "
@@ -761,6 +805,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-workload", action="store_true",
                    help="serve panels only; instrument your own run against "
                         "the dashboard registry instead")
+    p.add_argument("--kernel", choices=("int", "fraction", "array"),
+                   default="array",
+                   help="time kernel for the supervised simulation "
+                        "(default array, the fastest at dashboard scale)")
     p.set_defaults(func=_cmd_dash)
 
     p = sub.add_parser("runtime",
@@ -788,6 +836,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--mutations", type=int, default=20,
                    help="number of single-leaf prunes (default 20)")
+    _add_profile_options(p)
     p.set_defaults(func=_cmd_bench_incr)
 
     p = sub.add_parser(
@@ -804,8 +853,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="best-of-N timing repeats (default 3)")
     p.add_argument("--mutations", type=int, default=5,
                    help="single-leaf prunes for the rebuild churn (default 5)")
+    p.add_argument("--kernel", choices=("int", "array"), default="int",
+                   help="exact fast kernel to pit against the Fraction "
+                        "baseline (default int)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
+    _add_profile_options(p)
     p.set_defaults(func=_cmd_bench_timeline)
 
     p = sub.add_parser(

@@ -43,6 +43,7 @@ from .rates import is_infinite, lcm_ints
 
 __all__ = [
     "IntTimeline",
+    "dense_index",
     "denominator_lcm",
     "timeline_for",
     "tree_periods_scaled",
@@ -110,6 +111,22 @@ class IntTimeline:
         """The exact rational a tick count stands for (an API-boundary view)."""
         return Fraction(ticks, self.scale)
 
+    def to_fractions(self, ticks: Iterable[int]) -> List[Fraction]:
+        """Vectorised boundary view: :meth:`to_fraction` over many ticks at
+        the *current* scale (one attribute read, not one per element)."""
+        s = self.scale
+        return [Fraction(t, s) for t in ticks]
+
+
+def dense_index(names: Iterable[Hashable]
+                ) -> Tuple[List[Hashable], Dict[Hashable, int]]:
+    """Dense-id mapping for struct-of-arrays state: ``(names, index)`` where
+    ``names[i]`` is the node at id ``i`` and ``index[name]`` inverts it.
+    Iteration order of *names* is preserved, so ids are stable for a given
+    tree."""
+    names = list(names)
+    return names, {name: i for i, name in enumerate(names)}
+
 
 def denominator_lcm(values: Iterable[Fraction]) -> int:
     """lcm of the denominators of *values* (1 when empty)."""
@@ -125,12 +142,17 @@ def timeline_for(tree, schedules=(), horizon: Optional[Fraction] = None,
     """An :class:`IntTimeline` pre-seeded for simulating *tree*.
 
     The initial scale is the lcm of the denominators of every duration the
-    run is known to need up front: finite node weights, edge costs, each
-    schedule's consumption period ``T^w`` and its even-pacing release
-    spacing ``T^w/Ψ``, the horizon and any *extra* values (e.g. planned
-    fault times).  Values that appear only mid-run (injected latencies,
-    degradation factors) trigger adaptive rescales instead.
+    run is known to need up front: finite node weights, edge costs, the
+    **root** schedule's consumption period ``T^w`` and its even-pacing
+    release spacing ``T^w/Ψ``, the horizon and any *extra* values (e.g.
+    planned fault times).  Non-root consumption periods are deliberately
+    left out: clock-free nodes never convert them to ticks, and folding
+    10k of them into the lcm can blow the scale past int64 for no benefit
+    (a reconfiguration that promotes another node's grid triggers one
+    adaptive rescale instead).  Values that appear only mid-run (injected
+    latencies, degradation factors) also rescale adaptively.
     """
+    root = tree.root
     dens: List[Fraction] = []
     for node in tree.nodes():
         w = tree.w(node)
@@ -140,6 +162,8 @@ def timeline_for(tree, schedules=(), horizon: Optional[Fraction] = None,
             dens.append(tree.c(node))
     for schedule in (schedules.values() if hasattr(schedules, "values")
                      else schedules):
+        if getattr(schedule, "node", None) != root:
+            continue
         t_w = Fraction(schedule.periods.t_consume)
         dens.append(t_w)
         if schedule.bunch:

@@ -183,6 +183,7 @@ def resilient_run(
     runtime: Optional[str] = None,
     solver=None,
     quarantine_after: int = 3,
+    kernel: str = "int",
 ) -> RecoveryReport:
     """Run *tree* under *plan* with automatic detection and re-negotiation.
 
@@ -202,7 +203,11 @@ def resilient_run(
       explode.  Raise the bound for such platforms, or lower
       *after_periods* / *settle_periods* to shorten the horizon;
     * *quarantine_after* — consecutive corrupt frames on a link before its
-      child is declared hostile and pruned.
+      child is declared hostile and pruned;
+    * *kernel* selects the supervised simulation's time kernel
+      (``"int"`` default, ``"fraction"``, or ``"array"`` for the
+      struct-of-arrays kernel — all three are bit-identical, see
+      :mod:`repro.sim.arraystate`).
 
     The plan must contain something to recover from: a crash, a root
     failover, or a hostile (corrupting) link.
@@ -663,7 +668,7 @@ def resilient_run(
     # ------------------------------------------------------------------
     sim = Simulation(
         tree.copy(), dict(old_schedules), dict(old_periods), horizon=horizon,
-        max_events=max_events, telemetry=telemetry,
+        max_events=max_events, telemetry=telemetry, kernel=kernel,
     )
     apply_to_simulation(sim, plan)  # crashes, rejoins, failover, windows
     monitor = HeartbeatMonitor(

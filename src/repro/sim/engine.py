@@ -32,16 +32,26 @@ class Timer:
     already-fired or already-cancelled timer is a no-op, so callers can
     cancel unconditionally (e.g. a retry timer whose acknowledgment arrived,
     or a heartbeat chain stopped after a failure was detected).
+
+    A timer scheduled through an engine keeps a backreference so the engine
+    can count live cancellations and compact its queue when lazily-deleted
+    entries start to dominate (see :meth:`Engine._note_cancel`).
     """
 
-    __slots__ = ("_cancelled", "_fired")
+    __slots__ = ("_cancelled", "_fired", "_engine")
 
-    def __init__(self) -> None:
+    def __init__(self, engine: "Optional[Engine]" = None) -> None:
         self._cancelled = False
         self._fired = False
+        self._engine = engine
 
     def cancel(self) -> None:
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancel()
 
     @property
     def active(self) -> bool:
@@ -49,16 +59,28 @@ class Timer:
         return not (self._cancelled or self._fired)
 
 
+#: Below this many stale entries a queue is never compacted: rebuilding a
+#: tiny heap on every few cancellations would cost more than it saves.
+_COMPACT_FLOOR = 64
+
+
+def _invoke(fn: Event) -> None:
+    """Adapter: run a zero-argument callback under the one-argument
+    calling convention of :class:`ArrayEngine` bucket entries."""
+    fn()
+
+
 class Engine:
     """Heap-based event loop over exact rational time."""
 
-    __slots__ = ("_now", "_heap", "_seq", "_processed")
+    __slots__ = ("_now", "_heap", "_seq", "_processed", "_stale")
 
     def __init__(self) -> None:
         self._now: Fraction = Fraction(0)
         self._heap: List[Tuple[Fraction, int, Event, Timer]] = []
         self._seq = 0
         self._processed = 0
+        self._stale = 0  # cancelled entries still sitting in the queue
 
     @property
     def now(self) -> Fraction:
@@ -81,10 +103,24 @@ class Engine:
         The simulator uses this to skip per-event coercion."""
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
-        timer = Timer()
+        timer = Timer(self)
         heapq.heappush(self._heap, (time, self._seq, fn, timer))
         self._seq += 1
         return timer
+
+    def _note_cancel(self) -> None:
+        """A live queue entry was just cancelled.  Lazy deletion leaves it
+        in place until popped; once cancelled entries outnumber live ones
+        the queue is compacted so mass cancellation (heartbeat chains,
+        retry storms) cannot grow it without bound."""
+        self._stale += 1
+        if self._stale > _COMPACT_FLOOR and self._stale * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [e for e in self._heap if not e[3]._cancelled]
+        heapq.heapify(self._heap)
+        self._stale = 0
 
     def schedule_at(self, time, fn: Event) -> Timer:
         """Schedule *fn* to run at absolute *time* (≥ now); return its handle."""
@@ -102,6 +138,8 @@ class Engine:
         while self._heap:
             time, _, fn, timer = heapq.heappop(self._heap)
             if timer._cancelled:
+                if self._stale:
+                    self._stale -= 1
                 continue
             timer._fired = True
             self._now = time
@@ -122,6 +160,8 @@ class Engine:
         while self._heap:
             while self._heap and self._heap[0][3]._cancelled:
                 heapq.heappop(self._heap)
+                if self._stale:
+                    self._stale -= 1
             if not self._heap or self._heap[0][0] > horizon:
                 break
             self.step()
@@ -140,6 +180,8 @@ class Engine:
         while self._heap:
             time, _, fn, timer = pop(self._heap)
             if timer._cancelled:
+                if self._stale:
+                    self._stale -= 1
                 continue
             timer._fired = True
             self._now = time
@@ -205,8 +247,235 @@ class IntEngine(Engine):
         while self._heap:
             while self._heap and self._heap[0][3]._cancelled:
                 heapq.heappop(self._heap)
+                if self._stale:
+                    self._stale -= 1
             if not self._heap or self.timeline.to_fraction(
                     self._heap[0][0]) > horizon:
+                break
+            self.step()
+        self._now = self.timeline.ensure(horizon)
+
+
+class ArrayEngine(IntEngine):
+    """Bucketed (calendar-queue) event loop for the array kernel.
+
+    Events live in a dict keyed by integer tick — one list (bucket) per
+    distinct timestamp — plus a min-heap of the tick keys.  The loop pops
+    one tick at a time and drains its whole bucket, so N same-tick events
+    cost one heap operation instead of N, and a periodic workload (the
+    common case here: every release grid point lands many events on the
+    same tick) spends its time in a flat list walk.
+
+    Entries are ``(fn, arg, timer)`` triples called as ``fn(arg)``.  The
+    :meth:`defer` hot path allocates **no Timer and no closure** — the
+    simulator passes a bound method plus a small argument (a dense node id
+    or a tuple) and ``timer`` stays ``None``.  The public :meth:`push` /
+    :meth:`schedule_at` / :meth:`schedule_in` API is unchanged: it wraps
+    the zero-argument callback via :func:`_invoke` and returns a live
+    :class:`Timer`, so heartbeats, fault plans and crash hooks work as on
+    the heap engines.
+
+    Ordering is identical to the heap engines' ``(time, seq)``: buckets
+    are FIFO, and a same-tick event scheduled *while the current bucket
+    drains* lands in a fresh bucket whose tick is re-pushed on the heap
+    and therefore runs right after the current batch — exactly where the
+    sequence number would have put it.
+    """
+
+    __slots__ = ("_buckets", "_tick_heap", "_size", "_cur_tick")
+
+    def __init__(self, timeline) -> None:
+        super().__init__(timeline)
+        self._buckets: dict = {}      # tick -> [(fn, arg, timer), ...]
+        self._tick_heap: List[int] = []
+        self._size = 0
+        self._cur_tick = 0
+
+    @property
+    def pending(self) -> int:
+        return self._size
+
+    def defer(self, time: int, fn, arg=None) -> None:
+        """Schedule ``fn(arg)`` at tick *time* with no cancellation handle.
+
+        This is the simulator's hot path: no Timer, no closure, no tuple
+        beyond the bucket entry itself.
+        """
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            if time < self._now:
+                raise SimulationError(
+                    f"cannot schedule at {time} < now {self._now}")
+            self._buckets[time] = [(fn, arg, None)]
+            heapq.heappush(self._tick_heap, time)
+        else:
+            # an existing bucket implies its tick was already validated
+            bucket.append((fn, arg, None))
+        self._size += 1
+
+    def push(self, time, fn: Event) -> Timer:
+        timer = Timer(self)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            if time < self._now:
+                raise SimulationError(
+                    f"cannot schedule at {time} < now {self._now}")
+            self._buckets[time] = [(_invoke, fn, timer)]
+            heapq.heappush(self._tick_heap, time)
+        else:
+            bucket.append((_invoke, fn, timer))
+        self._size += 1
+        return timer
+
+    def _note_cancel(self) -> None:
+        self._stale += 1
+        if self._stale > _COMPACT_FLOOR and self._stale * 2 > self._size:
+            self._compact()
+
+    def _compact(self) -> None:
+        # Rebuild the bucket dict without cancelled entries.  A bucket
+        # currently being drained by run_all is not in the dict, so it is
+        # untouched (its leftover cancelled entries are skipped on
+        # consumption with a guarded _stale decrement).
+        buckets = {}
+        size = 0
+        for tick, entries in self._buckets.items():
+            live = [e for e in entries
+                    if e[2] is None or not e[2]._cancelled]
+            if live:
+                buckets[tick] = live
+                size += len(live)
+        # in-place swap: the simulator's compiled hot handlers close over
+        # the bucket dict and tick heap, so their identities must survive
+        self._buckets.clear()
+        self._buckets.update(buckets)
+        self._tick_heap[:] = sorted(buckets)  # a sorted list is a valid heap
+        self._size = size
+        self._stale = 0
+
+    def _rescale(self, factor: int) -> None:
+        self._now *= factor
+        self._cur_tick *= factor
+        if self._buckets:
+            # in-place swap: hot handlers close over dict and heap (see
+            # _compact); multiplying by a positive int preserves heap order
+            scaled = {t * factor: b for t, b in self._buckets.items()}
+            self._buckets.clear()
+            self._buckets.update(scaled)
+            self._tick_heap[:] = [t * factor for t in self._tick_heap]
+
+    def _repark(self, rest) -> None:
+        """Put the undrained remainder of the current bucket back (an event
+        callback raised).  The remainder is *older* than anything scheduled
+        meanwhile at the same tick, so it goes in front."""
+        tick = self._cur_tick
+        bucket = self._buckets.get(tick)
+        if bucket is None:
+            self._buckets[tick] = list(rest)
+            heapq.heappush(self._tick_heap, tick)
+        else:
+            bucket[:0] = rest
+
+    def run_all(self, max_events: Optional[int] = None) -> None:
+        count = 0
+        pop = heapq.heappop
+        while self._tick_heap:
+            tick = pop(self._tick_heap)
+            # None: the bucket was retired by _compact (stale heap tick)
+            # or this tick is a duplicate heap entry from a re-push
+            entries = self._buckets.pop(tick, None)
+            if entries is None:
+                continue
+            # _cur_tick (not the local) is the batch timestamp: a rescale
+            # triggered by a callback multiplies it along with _now, so
+            # neither needs per-event re-assignment.  The clock advances on
+            # the first *live* event only (a fully-cancelled bucket must
+            # leave ``now`` untouched, like a cancelled heap head).
+            self._cur_tick = tick
+            advanced = False
+            n = len(entries)
+            self._size -= n
+            i = 0
+            fired = 0
+            try:
+                while i < n:
+                    fn, arg, timer = entries[i]
+                    i += 1
+                    if timer is not None:
+                        if timer._cancelled:
+                            if self._stale:
+                                self._stale -= 1
+                            continue
+                        timer._fired = True
+                    if not advanced:
+                        self._now = self._cur_tick
+                        advanced = True
+                    fired += 1
+                    fn(arg)
+            finally:
+                self._processed += fired
+                if i < n:
+                    rest = entries[i:]
+                    self._size += len(rest)
+                    self._repark(rest)
+            # the livelock guard is per batch, not per event: a bucket's
+            # contents are fixed once popped (same-tick events scheduled
+            # by callbacks land in a fresh bucket), so every batch is
+            # finite and the count check still bounds any infinite chain
+            count += fired
+            if max_events is not None and count > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events — livelock?"
+                )
+
+    def _next_live_tick(self) -> Optional[int]:
+        """Tick of the next live event, dropping cancelled heads and stale
+        heap entries on the way (mirrors the heap engines' head-popping)."""
+        heap = self._tick_heap
+        while heap:
+            tick = heap[0]
+            entries = self._buckets.get(tick)
+            if entries is None:
+                heapq.heappop(heap)
+                continue
+            timer = entries[0][2]
+            if timer is not None and timer._cancelled:
+                entries.pop(0)
+                self._size -= 1
+                if self._stale:
+                    self._stale -= 1
+                if not entries:
+                    del self._buckets[tick]
+                    heapq.heappop(heap)
+                continue
+            return tick
+        return None
+
+    def step(self) -> bool:
+        if self._next_live_tick() is None:
+            return False
+        tick = self._tick_heap[0]
+        entries = self._buckets[tick]
+        fn, arg, timer = entries.pop(0)
+        if not entries:
+            del self._buckets[tick]
+            heapq.heappop(self._tick_heap)
+        self._size -= 1
+        if timer is not None:
+            timer._fired = True
+        self._now = tick
+        self._processed += 1
+        fn(arg)
+        return True
+
+    def run_until(self, time) -> None:
+        horizon = as_fraction(time)
+        if horizon < self.now:
+            raise SimulationError(f"cannot run backwards to {horizon}")
+        while True:
+            tick = self._next_live_tick()
+            # compare in Fractions: an event may rescale the timeline
+            if tick is None or self.timeline.to_fraction(tick) > horizon:
                 break
             self.step()
         self._now = self.timeline.ensure(horizon)

@@ -33,7 +33,7 @@ strategy (Section 7: every node applies its event-driven schedule from the
 beginning, computing immediately) and the traditional baseline (a node
 computes nothing until it has buffered its steady-state task count χ_in).
 
-Two exact time kernels drive the event loop (the ``kernel`` parameter):
+Three exact time kernels drive the event loop (the ``kernel`` parameter):
 
 * ``"int"`` (default) — the scaled-integer kernel of
   :mod:`repro.core.timeline`: every duration is normalised once to ticks
@@ -42,12 +42,19 @@ Two exact time kernels drive the event loop (the ``kernel`` parameter):
   the API boundaries (the recorded trace, ``engine.now``, telemetry).  A
   value with an incommensurate denominator appearing mid-run (an injected
   control latency, a link-degradation factor) grows the scale in place;
+* ``"array"`` — the struct-of-arrays kernel of
+  :mod:`repro.sim.arraystate`: the same integer ticks, but per-node state
+  lives in flat parallel arrays indexed by dense node id and the event
+  loop runs over a bucketed (calendar) queue that drains all same-tick
+  events per heap pop.  Fastest at scale (10k–100k nodes); numpy-backed
+  when importable (``pip install repro[fast]``), pure-Python otherwise;
 * ``"fraction"`` — the original ``Fraction``-per-event loop.
 
-Both kernels produce **bit-identical** results — same trace, same event
+All kernels produce **bit-identical** results — same trace, same event
 order, same rationals — as the property suite in ``tests/test_timeline.py``
-asserts; the int kernel is simply several times faster (see
-``benchmarks/bench_e27_timeline.py`` and ``docs/perf.md``).
+asserts; the int kernel is simply several times faster and the array
+kernel faster still (see ``benchmarks/bench_e27_timeline.py``,
+``benchmarks/bench_e31_arraykernel.py`` and ``docs/perf.md``).
 """
 
 from __future__ import annotations
@@ -66,11 +73,11 @@ from ..schedule.eventdriven import NodeSchedule, build_schedules
 from ..schedule.local import interleaved_order
 from ..schedule.periods import NodePeriods, tree_periods
 from ..telemetry.core import Registry
-from .engine import Engine, IntEngine
+from .engine import ArrayEngine, Engine, IntEngine
 from .tracing import COMPUTE, CTRL, RECV, SEND, Trace
 
 #: kernels accepted by :class:`Simulation`
-KERNELS = ("int", "fraction")
+KERNELS = ("int", "fraction", "array")
 
 #: tick→Fraction memo bound: cleared (cheap, regrows warm) when exceeded
 _FRAC_MEMO_CAP = 1 << 18
@@ -190,7 +197,18 @@ class Simulation:
     ``self._frac(units)`` materialises the exact rational view — the trace,
     ``failed_at``, telemetry values and every public attribute are always
     Fractions, whichever kernel runs.
+
+    ``kernel="array"`` transparently constructs the struct-of-arrays
+    subclass (:class:`~repro.sim.arraystate.ArraySimulation`): same
+    constructor, same public surface, hot state in flat arrays.
     """
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Simulation and kwargs.get("kernel") == "array":
+            # lazy import: arraystate imports this module at load time
+            from .arraystate import ArraySimulation
+            return object.__new__(ArraySimulation)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -204,6 +222,7 @@ class Simulation:
         root_pacing: str = "even",
         record_segments: bool = True,
         record_buffers: bool = True,
+        record_events: bool = True,
         max_events: int = 5_000_000,
         telemetry: Optional[Registry] = None,
         kernel: str = "int",
@@ -215,9 +234,14 @@ class Simulation:
         if kernel not in KERNELS:
             raise SimulationError(
                 f"unknown kernel {kernel!r} (expected one of {KERNELS})")
+        if not record_events and (record_segments or record_buffers):
+            raise SimulationError(
+                "record_events=False (counts-only tracing) requires "
+                "record_segments=False and record_buffers=False")
         self.root_pacing = root_pacing
         self._record_segments = record_segments
         self._record_buffers = record_buffers
+        self._record_events = record_events
         self.tree = tree
         self.schedules = schedules
         self.periods = periods
@@ -228,7 +252,8 @@ class Simulation:
         self.kernel = kernel
 
         self.trace = Trace(record_segments=record_segments,
-                           record_buffers=record_buffers)
+                           record_buffers=record_buffers,
+                           record_events=record_events)
         overlap = overlap or {}
         self.nodes: Dict[Hashable, _SimNode] = {
             n: _SimNode(n, tree.w(n), overlap=overlap.get(n, True))
@@ -250,13 +275,19 @@ class Simulation:
         self._grid_cache = None
         #: with segment recording off: max segment end in kernel units,
         #: flushed into the trace's end-time bookkeeping by :meth:`run`
-        self._seg_end_max = 0 if kernel == "int" else ZERO
+        self._seg_end_max = ZERO if kernel == "fraction" else 0
 
         self._cost_units: Dict = {}
         self._horizon_units = None
-        if kernel == "int":
+        if kernel != "fraction":
+            # "int" and "array" share the scaled-integer time plumbing;
+            # they differ in the engine's queue layout and (for "array")
+            # the per-node state representation
             self._timeline = timeline_for(tree, schedules, horizon=self.horizon)
-            self.engine: Engine = IntEngine(self._timeline)
+            if kernel == "array":
+                self.engine: Engine = ArrayEngine(self._timeline)
+            else:
+                self.engine = IntEngine(self._timeline)
             self._frac_memo: Dict[int, Fraction] = {}
             self._units = self._ensure_units
             self._frac = self._tick_fraction
@@ -307,16 +338,23 @@ class Simulation:
             for n, c_ticks in zip(edges, ticks[len(finite):])
         }
 
+    def _rescale_node_tables(self, factor: int) -> None:
+        """Bring the per-node duration caches to the new scale.
+
+        A hook so the array kernel can rescale its flat tables in one bulk
+        multiply instead of one Python loop iteration per node."""
+        for state in self.nodes.values():
+            if not is_infinite(state.w_units):
+                state.w_units *= factor
+        self._cost_units = {k: v * factor for k, v in self._cost_units.items()}
+
     def _on_rescale(self, factor: int) -> None:
         """The timeline grew: bring every cached tick value to the new scale.
 
         (The engine rescaled its clock and heap already — it registered
         first.)  Multiplication by a positive int preserves all orderings,
         so state machines in flight are unaffected."""
-        for state in self.nodes.values():
-            if not is_infinite(state.w_units):
-                state.w_units *= factor
-        self._cost_units = {k: v * factor for k, v in self._cost_units.items()}
+        self._rescale_node_tables(factor)
         if self._horizon_units is not None:
             self._horizon_units *= factor
         if self._grid_cache is not None:
@@ -391,12 +429,22 @@ class Simulation:
         if cached is not None and cached[0] is schedule:
             return cached[1], cached[2]
         units = self._units
-        t_w = units(Fraction(schedule.periods.t_consume))
-        offsets = [units(o) for o in self._release_offsets(schedule)]
-        if self._timeline is not None:
-            # a conversion above may have rescaled: re-read at final scale
+        bunch = schedule.bunch
+        if self.root_pacing == "even" and bunch:
+            # the even grid is an arithmetic progression: one conversion of
+            # the spacing, then plain multiplications (the bunch can be in
+            # the thousands on big trees — per-offset Fraction conversion
+            # would dominate start-up)
+            spacing = units(Fraction(schedule.periods.t_consume) / bunch)
+            t_w = spacing * bunch  # exact: T^w == Ψ · (T^w/Ψ)
+            offsets = [j * spacing for j in range(bunch)]
+        else:
             t_w = units(Fraction(schedule.periods.t_consume))
             offsets = [units(o) for o in self._release_offsets(schedule)]
+            if self._timeline is not None:
+                # a conversion above may have rescaled: re-read at final scale
+                t_w = units(Fraction(schedule.periods.t_consume))
+                offsets = [units(o) for o in self._release_offsets(schedule)]
         self._grid_cache = (schedule, t_w, offsets)
         return t_w, offsets
 
@@ -450,10 +498,11 @@ class Simulation:
         state = self.nodes[root]
         state.arrivals += 1
         state.buffered += 1
-        now = self._frac(self.engine._now)
-        self.trace.add_release(now, dest)
-        if self._record_buffers:
-            self.trace.add_buffer_delta(now, root, +1)
+        if self._record_events:
+            now = self._frac(self.engine._now)
+            self.trace.add_release(now, dest)
+            if self._record_buffers:
+                self.trace.add_buffer_delta(now, root, +1)
         if self.telemetry is not None:
             self.telemetry.counter("sim.tasks_released", node=root).inc()
             self._tel_buffer(root, state.buffered)
@@ -486,10 +535,11 @@ class Simulation:
         index = state.arrivals
         state.arrivals += 1
         state.buffered += 1
-        now = self._frac(self.engine._now)
-        self.trace.add_arrival(now, node)
-        if self._record_buffers:
-            self.trace.add_buffer_delta(now, node, +1)
+        if self._record_events:
+            now = self._frac(self.engine._now)
+            self.trace.add_arrival(now, node)
+            if self._record_buffers:
+                self.trace.add_buffer_delta(now, node, +1)
         if self.telemetry is not None:
             self.telemetry.counter("sim.tasks_received", node=node).inc()
             self._tel_buffer(node, state.buffered)
@@ -528,11 +578,15 @@ class Simulation:
             return  # the task died with the node (already counted lost)
         state.computing = False
         state.buffered -= 1
-        now = self._frac(self.engine._now)
-        self.trace.add_completion(now, node)
-        if self._record_buffers:
-            self.trace.add_buffer_delta(now, node, -1)
+        if self._record_events:
+            now = self._frac(self.engine._now)
+            self.trace.add_completion(now, node)
+            if self._record_buffers:
+                self.trace.add_buffer_delta(now, node, -1)
+        else:
+            self.trace.count_completion()
         if self.telemetry is not None:
+            now = self._frac(self.engine._now)
             self.telemetry.counter("sim.tasks_computed", node=node).inc()
             self._tel_buffer(node, state.buffered)
             # live-throughput probes: the engine's event cursor and the
@@ -887,6 +941,7 @@ def simulate(
     root_pacing: str = "even",
     record_segments: bool = True,
     record_buffers: bool = True,
+    record_events: bool = True,
     max_events: int = 5_000_000,
     telemetry: Optional[Registry] = None,
     kernel: str = "int",
@@ -919,8 +974,12 @@ def simulate(
 
     *kernel* selects the exact time kernel: ``"int"`` (default) runs the
     event loop on scaled-integer ticks (same results, several times
-    faster), ``"fraction"`` on per-event rationals — see the module
-    docstring and :mod:`repro.core.timeline`.
+    faster), ``"array"`` on struct-of-arrays state over a bucketed tick
+    queue (fastest at 10k+ nodes), ``"fraction"`` on per-event rationals —
+    see the module docstring, :mod:`repro.core.timeline` and
+    :mod:`repro.sim.arraystate`.  ``record_events=False`` (requires the
+    other two ``record_*`` flags off) keeps only the completion counter
+    and end time — the counts-only mode for multi-million-event runs.
     """
     if allocation is None:
         from ..core.allocation import from_bw_first
@@ -945,6 +1004,7 @@ def simulate(
         root_pacing=root_pacing,
         record_segments=record_segments,
         record_buffers=record_buffers,
+        record_events=record_events,
         max_events=max_events,
         telemetry=telemetry,
         kernel=kernel,

@@ -49,6 +49,12 @@ class Trace:
     memory; construct with ``record_segments=False`` (and/or
     ``record_buffers=False``) to keep only completions — enough for
     throughput measurements — at a fraction of the footprint.
+
+    ``record_events=False`` is the fully lean *counts-only* mode for
+    multi-million-event runs: per-event lists (completions, arrivals,
+    releases) stay empty and only the ``completed`` counter and
+    ``end_time`` are maintained, so the trace costs O(1) memory and the
+    simulator skips materialising a ``Fraction`` timestamp per event.
     """
 
     segments: List[Segment] = field(default_factory=list)
@@ -58,6 +64,8 @@ class Trace:
     releases: List[Tuple[Fraction, Hashable]] = field(default_factory=list)
     record_segments: bool = True
     record_buffers: bool = True
+    record_events: bool = True
+    _completed: int = 0
     _last_time: Fraction = field(default_factory=lambda: Fraction(0))
 
     # ------------------------------------------------------------------
@@ -73,17 +81,27 @@ class Trace:
     def add_completion(self, time: Fraction, node: Hashable) -> None:
         if time > self._last_time:
             self._last_time = time
-        self.completions.append((time, node))
+        self._completed += 1
+        if self.record_events:
+            self.completions.append((time, node))
+
+    def count_completion(self) -> None:
+        """Counts-only twin of :meth:`add_completion`: no timestamp needed
+        (the simulator folds the last segment end into ``end_time`` when
+        the run finishes)."""
+        self._completed += 1
 
     def add_arrival(self, time: Fraction, node: Hashable) -> None:
-        self.arrivals.append((time, node))
+        if self.record_events:
+            self.arrivals.append((time, node))
 
     def add_buffer_delta(self, time: Fraction, node: Hashable, delta: int) -> None:
         if self.record_buffers:
             self.buffer_deltas.append((time, node, delta))
 
     def add_release(self, time: Fraction, destination: Hashable) -> None:
-        self.releases.append((time, destination))
+        if self.record_events:
+            self.releases.append((time, destination))
 
     # ------------------------------------------------------------------
     # queries
@@ -91,7 +109,7 @@ class Trace:
     @property
     def completed(self) -> int:
         """Total number of tasks computed."""
-        return len(self.completions)
+        return self._completed
 
     @property
     def end_time(self) -> Fraction:

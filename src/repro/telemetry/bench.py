@@ -26,7 +26,8 @@ from typing import Any, Dict, Iterable, List, NamedTuple, Optional
 #: Baselines the regression gate re-runs (e24/e29 are overhead probes with
 #: their own assertion, not wall/evals gates).
 GATED_BENCHES = ("e8_protocol_scaling", "e25_runtime", "e26_incremental",
-                 "e27_timeline", "e28_chaos", "e30_taskplane")
+                 "e27_timeline", "e28_chaos", "e30_taskplane",
+                 "e31_arraykernel")
 
 
 class Drift(NamedTuple):

@@ -22,6 +22,7 @@ import pytest
 from repro.core.allocation import from_bw_first
 from repro.core.bwfirst import bw_first
 from repro.core.incremental import IncrementalSolver, _IFrame, _Sol
+from repro.core.rates import is_infinite
 from repro.core.timeline import IntTimeline, denominator_lcm, timeline_for, tree_periods_scaled
 from repro.exceptions import ScheduleError
 from repro.platform.tree import Tree
@@ -32,6 +33,9 @@ from repro.telemetry import Registry
 from repro.telemetry.core import NULL
 
 SEEDS = list(range(25))
+
+#: every kernel that must be bit-identical to the Fraction reference
+ALL_KERNELS = ("int", "array", "fraction")
 
 W_CHOICES = [Fraction(2), Fraction(3), Fraction(4), Fraction(6),
              Fraction(8), Fraction(5, 2), Fraction(7, 2)]
@@ -77,11 +81,13 @@ class TestKernelEquivalence:
         _, periods, schedules = solved(tree)
         horizon = Fraction(global_period(periods)) * Fraction(3, 2)
         results = {}
-        for kernel in ("int", "fraction"):
+        for kernel in ALL_KERNELS:
             results[kernel] = simulate(tree, horizon=horizon, kernel=kernel)
-        assert_traces_equal(results["int"].trace, results["fraction"].trace)
-        assert results["int"].released == results["fraction"].released
-        assert results["int"].stop_time == results["fraction"].stop_time
+        for kernel in ("int", "array"):
+            assert_traces_equal(results[kernel].trace,
+                                results["fraction"].trace)
+            assert results[kernel].released == results["fraction"].released
+            assert results[kernel].stop_time == results["fraction"].stop_time
 
     @pytest.mark.parametrize("seed", SEEDS)
     def test_scaled_periods_equal_fraction_periods(self, seed):
@@ -94,11 +100,12 @@ class TestKernelEquivalence:
         tree = random_tree(seed)
         _, periods, _ = solved(tree)
         horizon = Fraction(global_period(periods))
-        lean = simulate(tree, horizon=horizon, kernel="int",
-                        record_segments=False, record_buffers=False)
         full = simulate(tree, horizon=horizon, kernel="fraction")
-        assert lean.trace.completions == full.trace.completions
-        assert lean.trace.end_time == full.trace.end_time
+        for kernel in ("int", "array"):
+            lean = simulate(tree, horizon=horizon, kernel=kernel,
+                            record_segments=False, record_buffers=False)
+            assert lean.trace.completions == full.trace.completions
+            assert lean.trace.end_time == full.trace.end_time
 
     @pytest.mark.parametrize("seed", SEEDS[:8])
     def test_crash_traces_identical(self, seed):
@@ -108,14 +115,16 @@ class TestKernelEquivalence:
         _, periods, schedules = solved(tree)
         t = Fraction(global_period(periods))
         results = {}
-        for kernel in ("int", "fraction"):
+        for kernel in ALL_KERNELS:
             sim = Simulation(tree, dict(schedules), dict(periods),
                              horizon=2 * t, kernel=kernel)
             sim.schedule_failure(victim, t * Fraction(2, 3))
             results[kernel] = sim.run()
-        assert_traces_equal(results["int"].trace, results["fraction"].trace)
-        assert results["int"].tasks_lost == results["fraction"].tasks_lost
-        assert results["int"].failed_at == results["fraction"].failed_at
+        for kernel in ("int", "array"):
+            assert_traces_equal(results[kernel].trace,
+                                results["fraction"].trace)
+            assert results[kernel].tasks_lost == results["fraction"].tasks_lost
+            assert results[kernel].failed_at == results["fraction"].failed_at
 
     @pytest.mark.parametrize("seed", SEEDS[:8])
     def test_crash_then_rejoin_reconfigure_identical(self, seed):
@@ -130,15 +139,17 @@ class TestKernelEquivalence:
         t = Fraction(global_period(periods))
         t_crash, t_switch = t * Fraction(1, 2), t
         results = {}
-        for kernel in ("int", "fraction"):
+        for kernel in ALL_KERNELS:
             sim = Simulation(tree, dict(schedules), dict(periods),
                              horizon=2 * t, kernel=kernel)
             sim.schedule_failure(victim, t_crash)
             sim.engine.schedule_at(
                 t_switch, lambda s=sim: s.reconfigure(new_schedules, new_periods))
             results[kernel] = sim.run()
-        assert_traces_equal(results["int"].trace, results["fraction"].trace)
-        assert results["int"].tasks_lost == results["fraction"].tasks_lost
+        for kernel in ("int", "array"):
+            assert_traces_equal(results[kernel].trace,
+                                results["fraction"].trace)
+            assert results[kernel].tasks_lost == results["fraction"].tasks_lost
 
     @pytest.mark.parametrize("seed", SEEDS[:6])
     def test_midrun_rescale_equivalence(self, seed):
@@ -149,7 +160,7 @@ class TestKernelEquivalence:
         t = Fraction(global_period(periods))
         node = next(iter(schedules))
         results = {}
-        for kernel in ("int", "fraction"):
+        for kernel in ALL_KERNELS:
             sim = Simulation(tree, dict(schedules), dict(periods),
                              horizon=2 * t, kernel=kernel)
             sim.engine.schedule_at(
@@ -159,7 +170,125 @@ class TestKernelEquivalence:
                 t * Fraction(2, 3),
                 lambda s=sim: s.inject_control(node, Fraction(1, 11)))
             results[kernel] = sim.run()
-        assert_traces_equal(results["int"].trace, results["fraction"].trace)
+        for kernel in ("int", "array"):
+            assert_traces_equal(results[kernel].trace,
+                                results["fraction"].trace)
+
+
+# ----------------------------------------------------------------------
+# array-kernel specifics: backend fallbacks, counts-only mode, overflow
+# ----------------------------------------------------------------------
+class TestArrayKernel:
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_no_numpy_fallback_bit_identical(self, seed, monkeypatch):
+        """With numpy disabled the array kernel runs on array('q') duration
+        tables and must still match the Fraction reference exactly."""
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        tree = random_tree(seed)
+        _, periods, _ = solved(tree)
+        horizon = Fraction(global_period(periods))
+        ra = simulate(tree, horizon=horizon, kernel="array")
+        rf = simulate(tree, horizon=horizon, kernel="fraction")
+        assert_traces_equal(ra.trace, rf.trace)
+
+    def test_backend_selection(self, monkeypatch):
+        import os
+
+        import repro.sim.arraystate as arraystate
+        tree = random_tree(0)
+        _, periods, schedules = solved(tree)
+        sim = Simulation(tree, schedules, periods, horizon=Fraction(5),
+                         kernel="array")
+        use_numpy = (arraystate._np is not None
+                     and not os.environ.get("REPRO_NO_NUMPY"))
+        expected = "numpy" if use_numpy else "array"
+        assert sim._astate.backend == expected
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        sim = Simulation(tree, schedules, periods, horizon=Fraction(5),
+                         kernel="array")
+        assert sim._astate.backend == "array"
+
+    @pytest.mark.parametrize("seed", SEEDS[:6])
+    def test_counts_only_matches_full(self, seed):
+        """record_events=False keeps only the completion counter and end
+        time — both must equal the fully-recorded Fraction run."""
+        tree = random_tree(seed)
+        _, periods, _ = solved(tree)
+        horizon = Fraction(global_period(periods)) * Fraction(3, 2)
+        full = simulate(tree, horizon=horizon, kernel="fraction")
+        for kernel in ("int", "array"):
+            lean = simulate(tree, horizon=horizon, kernel=kernel,
+                            record_segments=False, record_buffers=False,
+                            record_events=False)
+            assert lean.trace.completions == []
+            assert lean.trace.completed == full.trace.completed
+            assert lean.trace.end_time == full.trace.end_time
+
+    def test_counts_only_requires_lean_trace(self):
+        tree = random_tree(0)
+        with pytest.raises(Exception, match="counts-only"):
+            simulate(tree, horizon=Fraction(5), kernel="array",
+                     record_events=False)
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_custom_controller_path_bit_identical(self, seed):
+        """A non-default controller (buffered start overrides may_compute)
+        must route through the generic path with identical results."""
+        tree = random_tree(seed)
+        _, periods, _ = solved(tree)
+        horizon = Fraction(global_period(periods)) * 2
+        ra = simulate(tree, horizon=horizon, kernel="array",
+                      compute_during_startup=False)
+        rf = simulate(tree, horizon=horizon, kernel="fraction",
+                      compute_during_startup=False)
+        assert_traces_equal(ra.trace, rf.trace)
+
+    @pytest.mark.parametrize("no_numpy", [False, True])
+    def test_int64_overflow_falls_back_exactly(self, no_numpy, monkeypatch):
+        """A mid-run rescale past 2^63 drops the duration tables to exact
+        object ints: warn once, count the fallback, never a wrong answer."""
+        if no_numpy:
+            monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        tree = random_tree(3)
+        _, periods, schedules = solved(tree)
+        t = Fraction(global_period(periods))
+        huge = Fraction(1, (1 << 64) + 13)  # denominator beyond int64
+        node = next(iter(schedules))
+        results = {}
+        for kernel in ("array", "fraction"):
+            registry = Registry()
+            sim = Simulation(tree, dict(schedules), dict(periods),
+                             horizon=2 * t, kernel=kernel,
+                             telemetry=registry)
+            sim.engine.schedule_at(
+                t * Fraction(1, 3),
+                lambda s=sim: s.inject_control(node, huge))
+            if kernel == "array":
+                with pytest.warns(RuntimeWarning, match="int64"):
+                    results[kernel] = sim.run()
+                assert sim._int64_fallbacks >= 1
+                assert sim._astate.backend == "object"
+                assert registry.value("sim.int64_fallbacks") >= 1
+            else:
+                results[kernel] = sim.run()
+        assert_traces_equal(results["array"].trace,
+                            results["fraction"].trace)
+
+    def test_live_gauges_flow(self):
+        """The dashboard's ``sim.events_processed``/``sim.clock`` gauges
+        stream from the array kernel's compiled handlers too."""
+        tree = random_tree(4)
+        _, periods, schedules = solved(tree)
+        t = Fraction(global_period(periods))
+        registry = Registry()
+        sim = Simulation(tree, dict(schedules), dict(periods),
+                         horizon=2 * t, kernel="array", telemetry=registry)
+        sim.run()
+        assert registry.value("sim.events_processed") == sim.engine.processed
+        assert sim.engine.processed > 0
+        # sim.clock is refreshed per completion; the last one lands at or
+        # before the engine's final clock
+        assert 0 < registry.value("sim.clock") <= sim.engine.now
 
 
 # ----------------------------------------------------------------------
@@ -284,12 +413,25 @@ class TestIntTimeline:
         assert denominator_lcm([]) == 1
         assert denominator_lcm([Fraction(1, 6), Fraction(3, 4)]) == 12
 
-    def test_timeline_for_covers_all_rates(self):
+    def test_timeline_for_covers_upfront_rates(self):
+        """The initial scale covers every duration converted up front: node
+        weights, edge costs, the *root* grid and the horizon.  Non-root
+        consumption periods are deliberately excluded (clock-free nodes
+        never convert them; including 10k of them blows the scale past
+        int64) — they are covered adaptively if a reconfiguration ever
+        promotes them."""
         tree = random_tree(5)
         _, periods, schedules = solved(tree)
         tl = timeline_for(tree, schedules.values(), horizon=Fraction(7, 3))
-        for p in periods.values():
-            assert (p.t_consume * tl.scale).denominator == 1
+        root_p = periods[tree.root]
+        bunch = schedules[tree.root].bunch
+        assert (Fraction(root_p.t_consume) * tl.scale).denominator == 1
+        assert (Fraction(root_p.t_consume, bunch) * tl.scale).denominator == 1
+        for n in tree.nodes():
+            if not is_infinite(tree.w(n)):
+                assert (tree.w(n) * tl.scale).denominator == 1
+            if tree.parent(n) is not None:
+                assert (tree.c(n) * tl.scale).denominator == 1
         assert (Fraction(7, 3) * tl.scale).denominator == 1
 
 
