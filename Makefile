@@ -1,6 +1,6 @@
 # Development commands for the repro library.
 
-.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke perf-smoke chaos-smoke taskplane-smoke bench-record bench-check dash-smoke examples outputs all clean
+.PHONY: install test bench bench-tables faults-smoke telemetry-smoke runtime-smoke perf-smoke chaos-smoke taskplane-smoke federation-smoke bench-record bench-check dash-smoke examples outputs all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -104,6 +104,19 @@ taskplane-smoke:
 			tests/test_taskplane.py tests/test_taskplane_tcp.py -q && \
 		PYTHONPATH=src python -m repro exec --transport inproc --tasks 60 && \
 		PYTHONPATH=src python -m repro chaos --data-plane --sequences 3"
+
+# the multi-tenant federation gate: the federation suite (shared-subtree
+# bit-exactness through the cross-tenant memo, shard crash retry, ring /
+# wire / planner units) plus the E32 gate test (federated churn strictly
+# beats N isolated full solvers with cross-tenant hits), then a small
+# `repro federate bench` run through the CLI.  `timeout` hard-bounds the
+# wall clock so a wedged shard worker or memo socket fails fast.
+federation-smoke:
+	timeout 540 sh -c "\
+		PYTHONPATH=src pytest tests/test_federation.py \
+			benchmarks/bench_e32_federation.py -q && \
+		PYTHONPATH=src python -m repro federate bench --tenants 4 \
+			--nodes 80 --mutations 6 --batch 3 --json > /dev/null"
 
 # re-record the committed perf baselines (BENCH_*.json at the repo root)
 bench-record:

@@ -408,6 +408,41 @@ def record_e30(tasks=150, fault_tasks=80, horizon=45):
     return records
 
 
+def record_e32(tenants=8, shards=2, nodes=240, templates=4, mutations=20,
+               batch=4, seed=1):
+    """Federated churn vs the isolated baselines (E32).  The federated
+    record's ``node_evals`` stores the re-solve count — a pure function of
+    the parameters (concurrent shards race on the shared memo, so solver
+    eval counts vary run to run); the isolated modes count real node
+    evaluations, which are sequential and deterministic."""
+    from repro.federation.bench import run_federation_bench
+
+    rec = run_federation_bench(tenants=tenants, shards=shards, nodes=nodes,
+                               templates=templates, mutations=mutations,
+                               batch=batch, seed=seed)
+    assert rec["exact"] is True, "federated results diverged from bw_first"
+    assert rec["cross_tenant_hits"] > 0, "no cross-tenant memo hits"
+    params = dict(rec["params"], family="e32")
+    params.pop("memo", None)
+    fed, full, incr = (rec["federated"], rec["isolated_full"],
+                       rec["isolated_incremental"])
+    records = [
+        dict(params=dict(params, mode="federated"),
+             wall_s=round(fed["wall_s"], 6), node_evals=fed["resolves"]),
+        dict(params=dict(params, mode="isolated_full"),
+             wall_s=round(full["wall_s"], 6),
+             node_evals=full["node_evals"]),
+        dict(params=dict(params, mode="isolated_incremental"),
+             wall_s=round(incr["wall_s"], 6),
+             node_evals=incr["node_evals"]),
+    ]
+    print(f"e32 federation: {tenants}x{mutations} mutations, federated "
+          f"{fed['wall_s']:.3f}s vs isolated-full {full['wall_s']:.3f}s "
+          f"(x{rec['speedup_vs_full']:.2f}), "
+          f"{rec['cross_tenant_hits']} cross-tenant hits")
+    return records
+
+
 BENCHES = {
     "e26_incremental": record_e26,
     "e8_protocol_scaling": record_e8,
@@ -417,6 +452,7 @@ BENCHES = {
     "e29_live": record_e29,
     "e30_taskplane": record_e30,
     "e31_arraykernel": record_e31,
+    "e32_federation": record_e32,
 }
 
 

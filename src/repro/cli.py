@@ -36,6 +36,11 @@ Sub-commands:
   simulation kernel against the ``Fraction`` reference and count the
   schedule fragments the incremental builder splices from cache on
   single-leaf prune churn (experiment E27);
+* ``federate serve|bench`` — the multi-tenant federation: tenant trees
+  sharded over worker processes, re-solve batching and the shared
+  cross-tenant memo service; ``bench`` runs the E32 federated-vs-isolated
+  churn comparison, ``serve`` keeps a federation under synthetic churn
+  (optionally with the live dashboard's federation panel);
 * ``example`` — the whole pipeline on the built-in reconstruction of the
   paper's Section 8 tree.
 
@@ -390,6 +395,7 @@ def _add_profile_options(p) -> None:
 
 
 def _cmd_bench_incr(args: argparse.Namespace) -> int:
+    import json as _json
     import random as _random
     import time as _time
 
@@ -428,11 +434,21 @@ def _cmd_bench_incr(args: argparse.Namespace) -> int:
                 str(solver.last_evals),
                 f"{ratio:.1f}x", f"{wall * 1000:.2f}",
             ])
+    mean = sum(ratios) / len(ratios)
+    info = solver.cache_info()
+    if args.json:
+        print(_json.dumps(dict(
+            nodes=args.nodes, seed=args.seed, mutations=args.mutations,
+            wall_s_full=round(wall_full, 6),
+            mean_ratio=round(mean, 2),
+            min_ratio=round(min(ratios), 2),
+            max_ratio=round(max(ratios), 2),
+            cache=info,
+        ), indent=2))
+        return 0
     print(render_table(
         ["step", "pruned leaf", "full evals", "incr evals", "ratio", "ms"],
         rows))
-    mean = sum(ratios) / len(ratios)
-    info = solver.cache_info()
     print(f"\nfull solve of the {args.nodes}-node tree: "
           f"{len(full.outcomes)} node evals, {wall_full * 1000:.1f} ms")
     print(f"mean eval reduction over {args.mutations} single-leaf prunes: "
@@ -513,6 +529,7 @@ def _cmd_bench_timeline(args: argparse.Namespace) -> int:
             fragments_full=full_frags,
             fragments_recomputed=incr_frags,
             fragment_ratio=round(frag_ratio, 2),
+            cache=solver.cache_info(),
         ), indent=2))
         return 0
     print(render_table(
@@ -524,6 +541,111 @@ def _cmd_bench_timeline(args: argparse.Namespace) -> int:
     print(f"schedule fragments over {args.mutations} single-leaf prunes: "
           f"{full_frags} full vs {incr_frags} recomputed "
           f"({frag_ratio:.1f}x spliced from cache)")
+    return 0
+
+
+def _cmd_federate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .federation.bench import run_federation_bench
+
+    if args.mode == "bench":
+        record = run_federation_bench(
+            tenants=args.tenants, shards=args.shards, nodes=args.nodes,
+            templates=args.templates, mutations=args.mutations,
+            batch=args.batch, seed=args.seed,
+            memo=None if args.no_memo else "service",
+        )
+        if args.json:
+            print(_json.dumps(record, indent=2))
+            return 0 if record["exact"] else 1
+        fed = record["federated"]
+        iso = record["isolated_full"]
+        print(f"federated: {args.tenants} tenants ({record['params']['templates']} "
+              f"templates) x {args.mutations} mutations on {args.shards} shards")
+        print(f"  onboard: {fed['onboard_wall_s'] * 1000:.0f} ms, "
+              f"{fed['onboard_evals']} node evals, "
+              f"{fed['template_clones']} template clones")
+        print(f"  churn:   {fed['wall_s'] * 1000:.0f} ms for "
+              f"{fed['mutations']} mutations in {fed['resolves']} re-solves "
+              f"({fed['mutations_per_s']:.0f} mutations/s)")
+        print(f"  isolated full bw_first: {iso['wall_s'] * 1000:.0f} ms "
+              f"({iso['mutations_per_s']:.0f} mutations/s) → "
+              f"federation speedup {record['speedup_vs_full']:.2f}x")
+        incr = record["isolated_incremental"]
+        print(f"  isolated incremental:   {incr['wall_s'] * 1000:.0f} ms "
+              f"({incr['mutations_per_s']:.0f} mutations/s)")
+        memo = record["memo"]
+        if memo:
+            print(f"  memo: {memo['hits']}/{memo['fetches']} fetch hits, "
+                  f"{memo['cross_tenant_hits']} cross-tenant, "
+                  f"{memo['entries']} entries")
+        print(f"  exact vs per-tenant bw_first: {record['exact']}")
+        return 0 if record["exact"] else 1
+
+    # serve: a long-lived federation under continuous seeded churn
+    import random as _random
+    import time as _time
+
+    from .federation import FederationService
+    from .federation.bench import WEIGHT_POOL, _leaves
+    from .platform.generators import smooth_tree
+    from .telemetry import Registry
+
+    dash = None
+    if args.dash_port is not None:
+        from .telemetry.dash import Dashboard
+        dash = Dashboard(port=args.dash_port).start()
+        dash.workload["status"] = "federation"
+        registry = dash.registry
+    else:
+        registry = Registry()
+    service = FederationService(shards=args.shards, memo="service",
+                                telemetry=registry,
+                                batch_window=args.batch_window)
+    trees = {}
+    for i in range(args.tenants):
+        tenant = f"t{i:03d}"
+        tree = smooth_tree(args.nodes, seed=args.seed + (i % args.templates))
+        service.onboard(tenant, tree)
+        trees[tenant] = service.tree(tenant)
+    service.serve()
+    print(f"federation: {args.tenants} tenants on {args.shards} shards, "
+          f"batch window {args.batch_window * 1000:.0f} ms"
+          + (f", dash on {dash.url}" if dash else ""))
+
+    rng = _random.Random(args.seed)
+    deadline = (_time.monotonic() + args.run_for) if args.run_for else None
+    last_report = _time.monotonic()
+    try:
+        while deadline is None or _time.monotonic() < deadline:
+            tenant = f"t{rng.randrange(args.tenants):03d}"
+            leaf = rng.choice(_leaves(trees[tenant]))
+            service.mutate(tenant,
+                           ["set_w", leaf, str(rng.choice(WEIGHT_POOL))])
+            _time.sleep(args.churn_interval)
+            now = _time.monotonic()
+            if now - last_report >= args.report_every:
+                last_report = now
+                stats = service.stats()
+                svc = stats["service"]
+                memo = stats["memo"] or {}
+                print(f"  resolves={svc['resolves']} "
+                      f"mutations={svc['mutations']} "
+                      f"flushes={svc['flushes']} "
+                      f"respawns={svc['respawns']} "
+                      f"memo_hits={memo.get('hits', 0)} "
+                      f"cross_tenant={memo.get('cross_tenant_hits', 0)}")
+    except KeyboardInterrupt:
+        pass
+    finally:
+        final = service.stop()
+        if dash is not None:
+            dash.stop()
+        svc = final["service"]
+        print(f"served {svc['resolves']} re-solves over {svc['flushes']} "
+              f"flushes ({svc['mutations']} mutations, "
+              f"{svc['respawns']} respawns)")
     return 0
 
 
@@ -836,6 +958,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--mutations", type=int, default=20,
                    help="number of single-leaf prunes (default 20)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (includes cache_info())")
     _add_profile_options(p)
     p.set_defaults(func=_cmd_bench_incr)
 
@@ -860,6 +984,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable output")
     _add_profile_options(p)
     p.set_defaults(func=_cmd_bench_timeline)
+
+    p = sub.add_parser(
+        "federate",
+        help="multi-tenant federation: sharded scheduler service with a "
+             "shared cross-tenant solve cache (experiment E32)",
+    )
+    p.add_argument("mode", choices=("serve", "bench"),
+                   help="serve: long-lived service under continuous churn; "
+                        "bench: the E32 federated-vs-isolated comparison")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="concurrent tenant trees (default 8)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard worker processes (default 2)")
+    p.add_argument("--nodes", type=int, default=240,
+                   help="nodes per tenant tree (default 240)")
+    p.add_argument("--templates", type=int, default=4,
+                   help="distinct tree templates across tenants (default 4; "
+                        "identical templates exercise cross-tenant sharing)")
+    p.add_argument("--mutations", type=int, default=20,
+                   help="bench: churn mutations per tenant (default 20)")
+    p.add_argument("--batch", type=int, default=4,
+                   help="bench: mutations coalesced per flush (default 4)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--no-memo", action="store_true",
+                   help="bench: disable the shared memo service")
+    p.add_argument("--json", action="store_true",
+                   help="bench: machine-readable record")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   help="serve: flush window in seconds (default 0.05)")
+    p.add_argument("--churn-interval", type=float, default=0.01,
+                   help="serve: seconds between synthetic mutations")
+    p.add_argument("--run-for", type=float,
+                   help="serve: stop after this many seconds (default: "
+                        "until interrupted)")
+    p.add_argument("--report-every", type=float, default=1.0,
+                   help="serve: seconds between stats lines (default 1)")
+    p.add_argument("--dash-port", type=int,
+                   help="serve: also serve the live dashboard (federation "
+                        "panel) on this port")
+    p.set_defaults(func=_cmd_federate)
 
     p = sub.add_parser(
         "chaos",

@@ -1,0 +1,292 @@
+"""The shared cross-tenant memo service.
+
+One content-addressed store of ``digest → {sat, thr, exact{β: sol}}``
+entries, shared by every shard:
+
+* the **state** (:class:`MemoState`) implements the merge discipline —
+  a saturated solution only replaces one with a *lower* threshold, exact
+  memos accumulate up to a per-entry cap, and whole entries are evicted
+  FIFO past ``max_entries`` (a memory bound, never a correctness issue:
+  an evicted entry is merely recomputed by the next tenant to need it);
+* the **service** (:class:`MemoService`) runs that state in its own
+  process behind a ``multiprocessing.connection.Listener`` on an
+  ``AF_UNIX`` socket, one thread per client — a *socket* rather than a
+  pipe so a respawned shard worker can reconnect to the live store
+  (pipe ends cannot be handed to an already-running process);
+* the **client** (:class:`SharedMemoClient`) is the solver-facing half:
+  it satisfies :class:`~repro.core.incremental.IncrementalSolver`'s
+  shared-store protocol (``fetch``/``publish``) plus the planner's
+  ``betas`` query, one synchronous framed request per call;
+* :class:`InlineMemoStore` wraps the same state in-process for tests,
+  single-process federations and the bench's deterministic mode.
+
+Cross-tenant accounting is the store's job because only it sees both
+sides: every digest remembers which tenants published into it, and a
+fetch hit from a tenant that never contributed counts as a
+``cross_tenant_hit`` — the number the E32 gate asserts is positive on
+templated tenant families.
+
+Solutions are exact rationals end to end (the solver's wire form); a hit
+on one tenant's subtree replays bit-identically for another tenant, which
+is what makes sharing sound — content equality implies solution equality.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from fractions import Fraction
+from multiprocessing import Process, current_process
+from multiprocessing.connection import Client, Listener
+from typing import Dict, Optional, Set
+
+from ..exceptions import PlatformError
+
+#: Default bound on distinct digests held by one store.
+MAX_ENTRIES = 8192
+
+
+class MemoState:
+    """The store itself: merge discipline + cross-tenant accounting.
+
+    Not thread-safe; callers serialise (the service holds one lock across
+    client threads, the inline store its own).
+    """
+
+    def __init__(self, max_entries: int = MAX_ENTRIES, exact_cap: int = 64):
+        self.entries: Dict[str, dict] = {}
+        self.publishers: Dict[str, Set[str]] = {}
+        self.max_entries = max_entries
+        self.exact_cap = exact_cap
+        self.stats = {
+            "fetches": 0, "hits": 0, "misses": 0, "publishes": 0,
+            "cross_tenant_hits": 0, "evictions": 0,
+        }
+
+    def fetch(self, digest: str, tenant: Optional[str] = None) -> Optional[dict]:
+        self.stats["fetches"] += 1
+        entry = self.entries.get(digest)
+        if entry is None:
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        if tenant is not None and tenant not in self.publishers.get(digest, ()):
+            self.stats["cross_tenant_hits"] += 1
+        return entry
+
+    def publish(self, digest: str, update: dict,
+                tenant: Optional[str] = None) -> None:
+        self.stats["publishes"] += 1
+        entry = self.entries.get(digest)
+        if entry is None:
+            while len(self.entries) >= self.max_entries:
+                evicted = next(iter(self.entries))
+                del self.entries[evicted]
+                self.publishers.pop(evicted, None)
+                self.stats["evictions"] += 1
+            entry = self.entries[digest] = {}
+        if tenant is not None:
+            self.publishers.setdefault(digest, set()).add(tenant)
+        sat = update.get("sat")
+        thr = update.get("thr")
+        if sat is not None and thr is not None:
+            if "thr" not in entry or Fraction(thr) < Fraction(entry["thr"]):
+                entry["sat"] = sat
+                entry["thr"] = thr
+        for beta, sol in (update.get("exact") or {}).items():
+            exact = entry.setdefault("exact", {})
+            if beta not in exact and len(exact) < self.exact_cap:
+                exact[beta] = sol
+
+    def betas(self, digest: str) -> dict:
+        """The planner's oracle: which β the store can answer for *digest*."""
+        entry = self.entries.get(digest) or {}
+        return {
+            "saturated_above": entry.get("thr"),
+            "exact": sorted(entry.get("exact") or ()),
+        }
+
+    def snapshot(self) -> dict:
+        info = dict(self.stats)
+        info["entries"] = len(self.entries)
+        return info
+
+
+class InlineMemoStore:
+    """The in-process flavour: same protocol, no sockets.
+
+    Useful for tests, deterministic benches and single-process
+    federations; also exactly what two solvers in one process need to
+    share solutions (the shared-subtree property test).
+    """
+
+    def __init__(self, max_entries: int = MAX_ENTRIES, exact_cap: int = 64):
+        self._state = MemoState(max_entries=max_entries, exact_cap=exact_cap)
+        self._lock = threading.Lock()
+
+    def fetch(self, digest: str, tenant: Optional[str] = None) -> Optional[dict]:
+        with self._lock:
+            return self._state.fetch(digest, tenant=tenant)
+
+    def publish(self, digest: str, update: dict,
+                tenant: Optional[str] = None) -> None:
+        with self._lock:
+            self._state.publish(digest, update, tenant=tenant)
+
+    def betas(self, digest: str) -> dict:
+        with self._lock:
+            return self._state.betas(digest)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return self._state.snapshot()
+
+
+def _serve_client(conn, state: MemoState, lock: threading.Lock) -> None:
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                return
+            op = request.get("t")
+            with lock:
+                if op == "fetch":
+                    reply = state.fetch(request["d"], tenant=request.get("tenant"))
+                elif op == "publish":
+                    # fire-and-forget: the client pipelines publishes
+                    # without waiting, so a publish costs no round trip
+                    state.publish(request["d"], request["u"],
+                                  tenant=request.get("tenant"))
+                    continue
+                elif op == "betas":
+                    reply = state.betas(request["d"])
+                elif op == "stats":
+                    reply = state.snapshot()
+                else:
+                    reply = {"error": f"unknown memo op {op!r}"}
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _memo_main(address: str, authkey: bytes, max_entries: int,
+               exact_cap: int) -> None:
+    state = MemoState(max_entries=max_entries, exact_cap=exact_cap)
+    lock = threading.Lock()
+    with Listener(address, "AF_UNIX", authkey=authkey) as listener:
+        while True:
+            try:
+                conn = listener.accept()
+            except (OSError, EOFError):
+                continue
+            thread = threading.Thread(target=_serve_client,
+                                      args=(conn, state, lock), daemon=True)
+            thread.start()
+
+
+class SharedMemoClient:
+    """One shard's handle on the memo service: synchronous framed RPC.
+
+    Satisfies the solver's shared-store protocol (``fetch``/``publish``
+    with a ``tenant`` label) plus the planner's ``betas`` query.  Each
+    call is one request/reply round trip on a dedicated connection, so a
+    shard's single-threaded request loop needs no further locking.
+    """
+
+    def __init__(self, address: str, authkey: bytes):
+        self._conn = Client(address, "AF_UNIX", authkey=authkey)
+        self._lock = threading.Lock()
+
+    def _call(self, request: dict):
+        with self._lock:
+            self._conn.send(request)
+            return self._conn.recv()
+
+    def fetch(self, digest: str, tenant: Optional[str] = None) -> Optional[dict]:
+        return self._call({"t": "fetch", "d": digest, "tenant": tenant})
+
+    def publish(self, digest: str, update: dict,
+                tenant: Optional[str] = None) -> None:
+        # fire-and-forget: no reply frame — the connection is FIFO, so any
+        # later fetch is ordered after this publish on the server anyway
+        with self._lock:
+            self._conn.send({"t": "publish", "d": digest, "u": update,
+                             "tenant": tenant})
+
+    def betas(self, digest: str) -> dict:
+        return self._call({"t": "betas", "d": digest})
+
+    def stats(self) -> dict:
+        return self._call({"t": "stats"})
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class MemoService:
+    """The memo state in its own process, reachable over an AF_UNIX socket.
+
+    The parent starts it once; every shard (including respawned ones)
+    connects with :meth:`client` / the ``(address, authkey)`` pair handed
+    to worker processes.  :meth:`stop` drains final stats and terminates
+    the process — the store is a cache, there is nothing to flush.
+    """
+
+    def __init__(self, max_entries: int = MAX_ENTRIES, exact_cap: int = 64):
+        self._dir = tempfile.mkdtemp(prefix="repro-memo-")
+        self.address = os.path.join(self._dir, "memo.sock")
+        self.authkey = bytes(current_process().authkey)
+        self._process = Process(
+            target=_memo_main,
+            args=(self.address, self.authkey, max_entries, exact_cap),
+            daemon=True, name="repro-memo",
+        )
+        self._process.start()
+        self._client: Optional[SharedMemoClient] = None
+        # wait for the listener to bind (the socket path appears)
+        for _ in range(2000):
+            if os.path.exists(self.address):
+                break
+            if not self._process.is_alive():
+                raise PlatformError("memo service died during startup")
+            threading.Event().wait(0.005)
+        else:
+            raise PlatformError("memo service never bound its socket")
+
+    def client(self) -> SharedMemoClient:
+        return SharedMemoClient(self.address, self.authkey)
+
+    def stats(self) -> dict:
+        if self._client is None:
+            self._client = self.client()
+        return self._client.stats()
+
+    def stop(self) -> dict:
+        """Drain final stats, terminate the process, clean up the socket."""
+        final = {}
+        try:
+            final = self.stats()
+        except (EOFError, OSError):
+            pass
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        self._process.terminate()
+        self._process.join(timeout=5)
+        try:
+            os.unlink(self.address)
+            os.rmdir(self._dir)
+        except OSError:
+            pass
+        return final

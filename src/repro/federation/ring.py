@@ -1,0 +1,56 @@
+"""Consistent hashing of tenant ids onto shards.
+
+The classic fixed-point construction: each shard projects ``replicas``
+virtual points onto a 64-bit circle (blake2b keyed by ``"shard|replica"``),
+and a tenant lands on the first point clockwise of its own hash.  Adding
+or removing one shard therefore moves only ~1/S of the tenants — the
+property that makes shard respawn and future elastic resharding cheap —
+and the mapping is a pure function of the names involved, so every
+process (service, shards, tests) computes the same placement with no
+coordination and no ``PYTHONHASHSEED`` sensitivity.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from hashlib import blake2b
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import PlatformError
+
+
+def _point(text: str) -> int:
+    return int.from_bytes(blake2b(text.encode("utf-8"), digest_size=8).digest(),
+                          "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over a fixed set of shard ids."""
+
+    def __init__(self, shards: Sequence, replicas: int = 64):
+        if not shards:
+            raise PlatformError("a hash ring needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise PlatformError(f"duplicate shard ids in {shards!r}")
+        self.shards: Tuple = tuple(shards)
+        points: List[Tuple[int, object]] = []
+        for shard in self.shards:
+            for replica in range(replicas):
+                points.append((_point(f"{shard}|{replica}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, tenant) -> object:
+        """The shard owning *tenant* (stable across processes and runs)."""
+        i = bisect_right(self._points, _point(str(tenant)))
+        if i == len(self._points):
+            i = 0
+        return self._owners[i]
+
+    def assignments(self, tenants: Sequence) -> Dict[object, List]:
+        """Group *tenants* by owning shard (shards with none are omitted)."""
+        out: Dict[object, List] = {}
+        for tenant in tenants:
+            out.setdefault(self.shard_for(tenant), []).append(tenant)
+        return out

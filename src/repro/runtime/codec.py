@@ -121,13 +121,23 @@ def encode_message(message: Message) -> bytes:
     return json.dumps(payload, separators=(",", ":")).encode("utf-8")
 
 
-def _parse_rational(text) -> Fraction:
+def parse_rational(text) -> Fraction:
+    """Parse a wire rational (``"n"`` or ``"n/d"``), hardened.
+
+    The public face of the codec's rational validation — the federation
+    service parses request payloads with it so a hostile or corrupted
+    field raises a recoverable :class:`~repro.exceptions.CodecError`
+    exactly like a malformed control frame would.
+    """
     if not isinstance(text, str) or not _RATIONAL.match(text):
         raise CodecError(f"malformed wire rational {text!r}")
     try:
         return Fraction(text)
     except (ValueError, ZeroDivisionError) as exc:
         raise CodecError(f"malformed wire rational {text!r}") from exc
+
+
+_parse_rational = parse_rational
 
 
 def _parse_payload(body: bytes) -> dict:

@@ -27,7 +27,7 @@ from typing import Any, Dict, Iterable, List, NamedTuple, Optional
 #: their own assertion, not wall/evals gates).
 GATED_BENCHES = ("e8_protocol_scaling", "e25_runtime", "e26_incremental",
                  "e27_timeline", "e28_chaos", "e30_taskplane",
-                 "e31_arraykernel")
+                 "e31_arraykernel", "e32_federation")
 
 
 class Drift(NamedTuple):

@@ -79,6 +79,7 @@ _PAGE = """<!DOCTYPE html>
  <section><h2>runtime octets / edge</h2><div id="octets" class="dim">no data</div></section>
  <section><h2>task plane</h2><div id="taskplane" class="dim">no data</div></section>
  <section><h2>benchwatch</h2><div id="bench" class="dim">no data</div></section>
+ <section><h2>federation</h2><div id="fed" class="dim">no data</div></section>
 </main>
 <script>
 const $=id=>document.getElementById(id);
@@ -115,7 +116,23 @@ function render(s){
     ["node evals",fmt(evals)],["hits",fmt(hits)],["misses",fmt(miss)],
     ["hit ratio",hits+miss?((100*hits/(hits+miss)).toFixed(1)+"%"):"—"],
     ["invalidations",fmt(cName("incr.invalidations"))],
-    ["evictions",fmt(cName("incr.evictions")+cName("incr.memo_evictions"))]]);
+    ["evictions",fmt(cName("incr.evictions")+cName("incr.memo_evictions"))],
+    ["memo eviction rate",fmt(rate(C,m=>m.name=="incr.memo_evictions"))+"/s"]]);
+  const shards=C.filter(m=>m.name=="federation.resolves")
+    .sort((a,b)=>(a.labels.shard??"").localeCompare(b.labels.shard??""))
+    .map(m=>[m.labels.shard,fmt(m.total),fmt(m.rate)+"/s"]);
+  if(shards.length){
+    const gName=n=>G.find(g=>g.name==n)?.value;
+    const mh=gName("federation.memo.hits"),mm=gName("federation.memo.misses"),
+          xt=gName("federation.memo.cross_tenant_hits");
+    let fed=table(shards,["shard","re-solves","rate"]);
+    fed+=`memo: hits <b>${fmt(mh)}</b> · misses <b>${fmt(mm)}</b>`+
+      ` · hit ratio <b>${mh+mm?((100*mh/(mh+mm)).toFixed(1)+"%"):"—"}</b><br>`+
+      `cross-tenant hits <b>${fmt(xt)}</b> · entries `+
+      `<b>${fmt(gName("federation.memo.entries"))}</b> · respawns `+
+      `<b>${fmt(sum(C,m=>m.name=="federation.respawns"))}</b>`;
+    $("fed").innerHTML=fed;
+  }
   const edges=C.filter(m=>m.name=="runtime.tcp.edge_octets")
     .sort((a,b)=>b.total-a.total).slice(0,10)
     .map(m=>[m.labels.edge,fmt(m.total)]);

@@ -1,0 +1,426 @@
+"""Tests for the multi-tenant federation layer (PR 10).
+
+The load-bearing contract is *exactness through sharing*: two distinct
+tenant trees that contain an identical subtree must produce bit-exact
+BW-First solutions when solved through the shared memo store, with the
+second tenant replaying the first tenant's published solutions
+(``incr.hit.shared`` > 0) instead of recomputing them.  On top of that:
+the consistent-hash ring, the framed wire codec, the memo merge
+discipline, the cache-aware proposal planner, the memo-cap knobs, the
+clone fast path, request batching, and crash recovery of a shard worker
+killed mid-batch.
+"""
+
+import json
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bwfirst import bw_first
+from repro.core.incremental import (IncrementalSolver, MEMO_CAP_ENV,
+                                    sol_from_wire, sol_to_wire)
+from repro.exceptions import CodecError, PlatformError, ScheduleError
+from repro.federation import (FederationService, HashRing, InlineMemoStore,
+                              MemoService, matches_reference)
+from repro.federation.memo import MemoState
+from repro.federation.wire import decode_blob
+from repro.platform.generators import random_tree, smooth_tree
+from repro.platform.tree import Tree
+from repro.protocol import plan_proposal
+from repro.runtime.codec import encode_blob
+from repro.telemetry.core import Registry
+
+F = Fraction
+
+
+# ----------------------------------------------------------------------
+# the shared-subtree construction
+# ----------------------------------------------------------------------
+# BW-First seeds the root with t_max = r_root + max{b_i} and proposes
+# β = min(δ, τ·b) to the first-opened child, where δ = t_max − r_root =
+# max{b_i} and τ = 1.  If the shared subtree is attached with strictly
+# the smallest c (highest bandwidth) among the root's children, the β it
+# receives is exactly its own bandwidth 1/c — *independent of the rest of
+# the tree*.  Attaching the same subtree with the same c to two different
+# roots therefore guarantees identical (digest, β) pairs at every node of
+# the shared subtree, which is what makes the cross-tenant hit certain.
+
+SHARED_C = F(1, 50)  # bandwidth 50 — far above any tail edge
+
+
+def _tenant_tree(root_w, shared, tail, tail_c) -> Tree:
+    tree = Tree("root", w=root_w)
+    tree.add_subtree("root", SHARED_C, shared)
+    tree.add_subtree("root", tail_c, tail)
+    return tree
+
+
+def _shared_pair(seed: int):
+    """Two distinct tenant trees embedding one identical random subtree."""
+    shared = random_tree(12, seed=seed, w_numerator_range=(2, 30),
+                         c_numerator_range=(1, 5))
+    shared = shared.relabel({n: f"s{n}" for n in shared.nodes()})
+    tail_a = random_tree(8, seed=seed + 1000).relabel(
+        {n: f"a{n}" for n in random_tree(8, seed=seed + 1000).nodes()})
+    tail_b = random_tree(9, seed=seed + 2000).relabel(
+        {n: f"b{n}" for n in random_tree(9, seed=seed + 2000).nodes()})
+    tree_a = _tenant_tree(F(3), shared.copy(), tail_a, F(2))
+    tree_b = _tenant_tree(F(5), shared.copy(), tail_b, F(3))
+    return tree_a, tree_b
+
+
+def assert_exact(solver, tree):
+    ref = bw_first(tree)
+    got = solver.solve()
+    assert got.throughput == ref.throughput
+    assert got.outcomes == ref.outcomes
+    assert got.transactions == ref.transactions
+
+
+class TestSharedSubtreeProperty:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cross_tenant_replay_is_bit_exact(self, seed):
+        tree_a, tree_b = _shared_pair(seed)
+        store = InlineMemoStore()
+        registry = Registry()
+        solver_a = IncrementalSolver(tree_a, shared=store, tenant="a",
+                                     shared_min_size=1)
+        assert_exact(solver_a, tree_a)
+        solver_b = IncrementalSolver(tree_b, telemetry=registry, shared=store,
+                                     tenant="b", shared_min_size=1)
+        assert_exact(solver_b, tree_b)
+        assert solver_b.stats["hits_shared"] > 0
+        assert registry.value("incr.hit.shared") > 0
+        assert store.stats()["cross_tenant_hits"] > 0
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_replay_through_real_memo_service(self, seed):
+        tree_a, tree_b = _shared_pair(seed)
+        service = MemoService()
+        try:
+            solver_a = IncrementalSolver(tree_a, shared=service.client(),
+                                         tenant="a", shared_min_size=1)
+            assert_exact(solver_a, tree_a)
+            solver_b = IncrementalSolver(tree_b, shared=service.client(),
+                                         tenant="b", shared_min_size=1)
+            assert_exact(solver_b, tree_b)
+            assert solver_b.stats["hits_shared"] > 0
+            assert service.stats()["cross_tenant_hits"] > 0
+        finally:
+            service.stop()
+
+    def test_size_window_gates_fetch_and_publish(self):
+        tree_a, tree_b = _shared_pair(42)
+        store = InlineMemoStore()
+        solver_a = IncrementalSolver(tree_a, shared=store, tenant="a",
+                                     shared_min_size=len(tree_a) + 1)
+        solver_a.solve()
+        assert solver_a.stats["shared_publishes"] == 0
+        solver_b = IncrementalSolver(tree_b, shared=store, tenant="b",
+                                     shared_min_size=len(tree_b) + 1)
+        solver_b.solve()
+        assert solver_b.stats["shared_fetches"] == 0
+        assert store.stats()["fetches"] == 0
+
+
+# ----------------------------------------------------------------------
+# consistent-hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_and_stable(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        tenants = [f"t{i:03d}" for i in range(64)]
+        first = ring.assignments(tenants)
+        assert first == HashRing(["s0", "s1", "s2"]).assignments(tenants)
+        assert set(first) == {"s0", "s1", "s2"}
+        assert sorted(t for group in first.values() for t in group) == tenants
+
+    def test_shard_removal_moves_only_its_tenants(self):
+        tenants = [f"t{i:03d}" for i in range(64)]
+        before = HashRing(["s0", "s1", "s2"])
+        after = HashRing(["s0", "s1"])
+        for tenant in tenants:
+            if before.shard_for(tenant) != "s2":
+                assert after.shard_for(tenant) == before.shard_for(tenant)
+
+    def test_bad_ring_rejected(self):
+        with pytest.raises(PlatformError):
+            HashRing([])
+        with pytest.raises(PlatformError):
+            HashRing(["s0", "s0"])
+
+
+# ----------------------------------------------------------------------
+# wire framing
+# ----------------------------------------------------------------------
+class TestWire:
+    def test_round_trip(self):
+        payload = json.dumps({"t": "batch", "reqs": list(range(100))})
+        body = payload.encode()
+        assert decode_blob(encode_blob(body)) == body
+
+    def test_corruption_detected(self):
+        blob = bytearray(encode_blob(b'{"t":"ok"}'))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CodecError):
+            decode_blob(bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = encode_blob(b'{"t":"ok"}')
+        with pytest.raises(CodecError):
+            decode_blob(blob[:-3])
+        with pytest.raises(CodecError):
+            decode_blob(blob[:4])
+
+    def test_oversize_rejected(self):
+        blob = encode_blob(b"x" * 100)
+        with pytest.raises(CodecError):
+            decode_blob(blob, max_frame=16)
+
+
+# ----------------------------------------------------------------------
+# memo state: merge discipline, eviction, accounting
+# ----------------------------------------------------------------------
+class TestMemoState:
+    def test_lower_saturation_threshold_wins(self):
+        state = MemoState()
+        state.publish("d1", {"sat": ["9", "3", "6", "0", [], 1], "thr": "7"})
+        state.publish("d1", {"sat": ["5", "3", "2", "0", [], 1], "thr": "5"})
+        state.publish("d1", {"sat": ["8", "3", "5", "0", [], 1], "thr": "6"})
+        assert state.betas("d1")["saturated_above"] == "5"
+
+    def test_exact_cap_never_displaces(self):
+        state = MemoState(exact_cap=2)
+        sol = ["1", "1", "0", "0", [], 1]
+        state.publish("d1", {"exact": {"1": sol, "2": sol}})
+        state.publish("d1", {"exact": {"3": sol}})
+        assert state.betas("d1")["exact"] == ["1", "2"]
+
+    def test_fifo_eviction_bounds_entries(self):
+        state = MemoState(max_entries=3)
+        for i in range(5):
+            state.publish(f"d{i}", {"exact": {"1": ["1", "1", "0", "0", [], 1]}})
+        assert len(state.entries) == 3
+        assert state.stats["evictions"] == 2
+        assert "d0" not in state.entries and "d4" in state.entries
+
+    def test_cross_tenant_accounting(self):
+        state = MemoState()
+        state.publish("d1", {"exact": {"1": ["1", "1", "0", "0", [], 1]}},
+                      tenant="a")
+        state.fetch("d1", tenant="a")
+        assert state.stats["cross_tenant_hits"] == 0
+        state.fetch("d1", tenant="b")
+        assert state.stats["cross_tenant_hits"] == 1
+
+    def test_sol_wire_round_trip(self):
+        tree = random_tree(10, seed=7)
+        solver = IncrementalSolver(tree)
+        res = solver.solve()
+        out = res.outcomes[tree.root]
+        # any node's _Sol survives the wire form bit for bit
+        wire = sol_to_wire(sol_from_wire(sol_to_wire(sol_from_wire(
+            [str(out.lam), str(out.alpha), str(out.theta), str(out.tau),
+             [], 1]))))
+        assert wire[0] == str(out.lam) and wire[2] == str(out.theta)
+
+
+# ----------------------------------------------------------------------
+# cache-aware proposal planning
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def _warm_solver(self):
+        tree = smooth_tree(40, seed=3)
+        solver = IncrementalSolver(tree)
+        solver.solve()
+        # the default solve memoises the *saturated* regime at the root;
+        # warm one exact memo strictly between the rate and the threshold
+        thr = solver.memoised_betas(tree.root)["saturated_above"]
+        assert thr is not None
+        beta = (tree.rate(tree.root) + thr) / 2
+        assert tree.rate(tree.root) < beta < thr
+        solver.solve(proposal=beta)
+        return tree, solver
+
+    def test_prefers_exact_memo(self):
+        tree, solver = self._warm_solver()
+        info = solver.memoised_betas(tree.root)
+        memoised = info["exact"][0]
+        choice = plan_proposal(solver, [memoised + 1000, memoised])
+        assert choice == memoised
+        res = solver.solve(proposal=choice)
+        ref = bw_first(tree, proposal=choice)
+        assert res.outcomes == ref.outcomes
+
+    def test_prefers_saturated_coverage(self):
+        tree, solver = self._warm_solver()
+        thr = solver.memoised_betas(tree.root)["saturated_above"]
+        assert thr is not None
+        lo, hi = thr - F(1, 7), thr + F(1, 7)
+        assert plan_proposal(solver, [lo, hi]) == hi
+
+    def test_consults_shared_store(self):
+        tree_a, tree_b = _shared_pair(5)
+        store = InlineMemoStore()
+        solver_a = IncrementalSolver(tree_a, shared=store, tenant="a",
+                                     shared_min_size=1)
+        solver_a.solve()
+        solver_b = IncrementalSolver(tree_b, shared=store, tenant="b",
+                                     shared_min_size=1)
+        remote = store.betas(solver_b.digest(tree_b.root))
+        if remote["exact"]:
+            beta = F(remote["exact"][0])
+            assert plan_proposal(solver_b, [beta, beta + 999],
+                                 shared=store) == beta
+
+    def test_default_and_smallest_fallbacks(self):
+        _, solver = self._warm_solver()
+        fresh = IncrementalSolver(solver.tree.copy())
+        assert plan_proposal(fresh, [F(7), F(9)], default=F(9)) == F(9)
+        assert plan_proposal(fresh, [F(7), F(9)], default=F(11)) == F(7)
+        assert plan_proposal(fresh, [F(7), F(9)]) == F(7)
+
+    def test_empty_candidates_rejected(self):
+        _, solver = self._warm_solver()
+        with pytest.raises(ScheduleError):
+            plan_proposal(solver, [])
+
+
+# ----------------------------------------------------------------------
+# memo cap knobs
+# ----------------------------------------------------------------------
+class TestMemoCap:
+    def test_constructor_cap_bounds_exact_memos(self):
+        tree = smooth_tree(30, seed=1)
+        solver = IncrementalSolver(tree, memo_cap=1)
+        for beta in (F(9), F(10), F(11)):
+            solver.solve(proposal=beta)
+        info = solver.cache_info()
+        assert info["memo_cap"] == 1
+        assert all(len(e.exact) <= 1 for e in solver._cache.values())
+
+    def test_invalid_constructor_cap_rejected(self):
+        with pytest.raises(ScheduleError):
+            IncrementalSolver(smooth_tree(10, seed=1), memo_cap=0)
+
+    def test_env_cap(self, monkeypatch):
+        monkeypatch.setenv(MEMO_CAP_ENV, "3")
+        solver = IncrementalSolver(smooth_tree(10, seed=1))
+        assert solver.cache_info()["memo_cap"] == 3
+
+    def test_bad_env_cap_rejected(self, monkeypatch):
+        monkeypatch.setenv(MEMO_CAP_ENV, "lots")
+        with pytest.raises(ScheduleError):
+            IncrementalSolver(smooth_tree(10, seed=1))
+        monkeypatch.setenv(MEMO_CAP_ENV, "0")
+        with pytest.raises(ScheduleError):
+            IncrementalSolver(smooth_tree(10, seed=1))
+
+
+# ----------------------------------------------------------------------
+# clone fast path (template onboarding)
+# ----------------------------------------------------------------------
+class TestCloneFastPath:
+    def test_clone_replays_with_zero_evals(self):
+        tree = smooth_tree(60, seed=4)
+        warm = IncrementalSolver(tree)
+        ref = warm.solve()
+        clone = IncrementalSolver(tree.copy(), like=warm)
+        got = clone.solve()
+        assert clone.last_evals == 0
+        assert got.outcomes == ref.outcomes
+
+    def test_clone_method_independent_mutation(self):
+        tree = smooth_tree(40, seed=5)
+        warm = IncrementalSolver(tree)
+        warm.solve()
+        clone = warm.clone()
+        clone.set_w(tree.leaves()[0], F(97))
+        assert_exact(clone, clone.tree)
+        assert_exact(warm, tree)  # the template is untouched
+
+    def test_like_mismatched_tree_falls_back(self):
+        warm = IncrementalSolver(smooth_tree(30, seed=6))
+        warm.solve()
+        other = smooth_tree(30, seed=7)
+        solver = IncrementalSolver(other, like=warm)
+        assert_exact(solver, other)
+
+
+# ----------------------------------------------------------------------
+# the federation service: batching, exactness, crash recovery
+# ----------------------------------------------------------------------
+class TestFederationService:
+    def _trees(self, n, nodes=40, templates=2, seed=9):
+        base = [smooth_tree(nodes, seed=seed + k) for k in range(templates)]
+        return {f"t{i}": base[i % templates].copy() for i in range(n)}
+
+    def test_batch_coalesces_mutations_into_one_resolve(self):
+        trees = self._trees(1)
+        with FederationService(shards=1, memo="inline") as service:
+            service.onboard("t0", trees["t0"])
+            before = service.stats()["service"]["resolves"]
+            leaves = trees["t0"].leaves()
+            service.mutate("t0", ["set_w", leaves[0], "2048"],
+                           ["set_w", leaves[1], "3072"],
+                           ["set_w", leaves[0], "4096"])
+            results = service.flush()
+            assert len(results) == 1
+            assert service.stats()["service"]["resolves"] == before + 1
+            trees["t0"].set_w(leaves[0], 4096)
+            trees["t0"].set_w(leaves[1], 3072)
+            assert matches_reference(service.result("t0"),
+                                     bw_first(trees["t0"]))
+
+    def test_multi_tenant_exactness_under_churn(self):
+        trees = self._trees(4)
+        with FederationService(shards=2, memo="service") as service:
+            for tenant in sorted(trees):
+                service.onboard(tenant, trees[tenant])
+            rng = random.Random(11)
+            for _ in range(3):
+                for tenant in sorted(trees):
+                    leaf = rng.choice(trees[tenant].leaves())
+                    w = rng.choice((2048, 3072, 4096))
+                    service.mutate(tenant, ["set_w", leaf, str(w)])
+                    trees[tenant].set_w(leaf, w)
+                service.flush()
+            for tenant in sorted(trees):
+                assert matches_reference(service.result(tenant),
+                                         bw_first(trees[tenant]))
+            assert service.stats()["memo"]["cross_tenant_hits"] > 0
+
+    def test_shard_crash_mid_batch_is_retried_exactly(self):
+        trees = self._trees(4)
+        with FederationService(shards=2, memo="service") as service:
+            for tenant in sorted(trees):
+                service.onboard(tenant, trees[tenant])
+            killed = service.chaos_kill("t0", batches=1)
+            for tenant in sorted(trees):
+                leaf = trees[tenant].leaves()[0]
+                service.mutate(tenant, ["set_w", leaf, "6144"])
+                trees[tenant].set_w(leaf, 6144)
+            results = service.flush()
+            assert len(results) == 4
+            stats = service.stats()
+            assert stats["service"]["respawns"] >= 1
+            assert stats["shards"][killed].get("dead") is None
+            for tenant in sorted(trees):
+                assert matches_reference(service.result(tenant),
+                                         bw_first(trees[tenant]))
+
+    def test_duplicate_tenant_rejected(self):
+        trees = self._trees(1)
+        with FederationService(shards=1, memo="inline") as service:
+            service.onboard("t0", trees["t0"])
+            with pytest.raises(PlatformError):
+                service.onboard("t0", trees["t0"])
+
+    def test_template_onboarding_uses_clone_fast_path(self):
+        trees = self._trees(4, templates=1)
+        with FederationService(shards=1, memo="inline") as service:
+            for tenant in sorted(trees):
+                service.onboard(tenant, trees[tenant])
+            shard_stats = service.stats()["shards"]["s0"]
+            assert shard_stats["template_clones"] == 3
